@@ -1,0 +1,69 @@
+//! Figure 2: coefficient of variation of CPI versus sampling unit size.
+//!
+//! For every benchmark, runs a full-detail reference simulation at a fine
+//! base unit (U₀ = 10 instructions) and aggregates the per-unit CPI trace
+//! to larger unit sizes, printing the V_CPI(U) series the paper plots on
+//! log axes. The paper's claims to check:
+//!
+//! * curves fall steeply up to U ≈ 1000 and flatten beyond it;
+//! * phase-heavy benchmarks (our `phased-*`, the paper's `ammp`/`vpr`)
+//!   keep non-negligible V even at very large U.
+//!
+//! `--icc` additionally reports the intraclass correlation δ at a
+//! sampling-relevant interval (Section 2's homogeneity check).
+
+use smarts_bench::{banner, HarnessArgs, RefCache};
+use smarts_core::SmartsSim;
+use smarts_stats::{intraclass_correlation, variation_curve};
+
+const BASE_UNIT: u64 = 10;
+const FACTORS: &[usize] = &[1, 10, 100, 1_000, 10_000, 100_000];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 2",
+        "Coefficient of variation of CPI vs sampling unit size U (8-way)",
+    );
+    let sim = SmartsSim::new(
+        args.config.configs().into_iter().next().expect("at least one config"),
+    );
+    let cache = RefCache::new();
+
+    print!("{:<12}", "benchmark");
+    for &f in FACTORS {
+        print!("{:>12}", format!("U={}", BASE_UNIT * f as u64));
+    }
+    if args.icc {
+        print!("{:>12}", "delta");
+    }
+    println!();
+
+    for bench in args.suite() {
+        let reference = cache.get(&sim, &bench, BASE_UNIT);
+        let curve = variation_curve(&reference.unit_cpis, BASE_UNIT, FACTORS);
+        print!("{:<12}", bench.name());
+        for &f in FACTORS {
+            let u = BASE_UNIT * f as u64;
+            match curve.iter().find(|p| p.unit_size == u) {
+                Some(p) => print!("{:>12.4}", p.coefficient_of_variation),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        if args.icc {
+            // δ at the interval a U=1000, n≈N/100 design would use.
+            let per_1000: Vec<f64> = reference
+                .unit_cpis
+                .chunks_exact(100)
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect();
+            let interval = (per_1000.len() / 30).max(2);
+            print!("{:>12.2e}", intraclass_correlation(&per_1000, interval));
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "(expected shape: steep fall to U≈1000, flat beyond; phased-* stays high at large U)"
+    );
+}

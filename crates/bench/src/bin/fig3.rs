@@ -1,0 +1,58 @@
+//! Figure 3: minimum instructions that must be measured per benchmark to
+//! reach the standard confidence targets.
+//!
+//! Using the measured V_CPI at U = 10 (as the paper does), computes
+//! `n·U = U·(z·V/ε)²` for the four targets the figure shows and reports
+//! it as a fraction of the benchmark's length. The paper's claim: even
+//! ±1% at 99.7% confidence needs at most ~0.1% of the stream.
+
+use smarts_bench::{banner, upct, HarnessArgs, RefCache};
+use smarts_core::SmartsSim;
+use smarts_stats::{required_sample_size, Confidence, RunningStats};
+
+const UNIT: u64 = 10;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 3",
+        "Minimum measured instructions (n·U at U=10) for common confidence targets (8-way)",
+    );
+    let sim = SmartsSim::new(
+        args.config.configs().into_iter().next().expect("at least one config"),
+    );
+    let cache = RefCache::new();
+
+    let targets = [
+        ("±1% @99.7%", 0.01, Confidence::THREE_SIGMA),
+        ("±3% @99.7%", 0.03, Confidence::THREE_SIGMA),
+        ("±1% @95%", 0.01, Confidence::NINETY_FIVE),
+        ("±3% @95%", 0.03, Confidence::NINETY_FIVE),
+    ];
+
+    print!("{:<12}{:>8}{:>10}", "benchmark", "V(U=10)", "length");
+    for (label, _, _) in &targets {
+        print!("{:>14}", label);
+    }
+    println!("{:>12}", "%len @3/99.7");
+
+    for bench in args.suite() {
+        let reference = cache.get(&sim, &bench, UNIT);
+        let stats: RunningStats = reference.unit_cpis.iter().copied().collect();
+        let v = stats.coefficient_of_variation();
+        print!("{:<12}{:>8.3}{:>9.1}M", bench.name(), v, reference.instructions as f64 / 1e6);
+        let mut headline_fraction = 0.0;
+        for (i, (_, eps, conf)) in targets.iter().enumerate() {
+            let n = required_sample_size(v, *eps, *conf).expect("valid target");
+            let measured = n * UNIT;
+            print!("{:>14}", measured);
+            if i == 1 {
+                headline_fraction = measured as f64 / reference.instructions as f64;
+            }
+        }
+        println!("{:>12}", upct(headline_fraction.min(1.0)));
+    }
+    println!();
+    println!("(paper: worst case ≤0.1% of the stream for ±1%@99.7%; ours scales with stream length — the");
+    println!(" absolute n·U is length-independent, so the fraction shrinks as streams grow toward SPEC2K size)");
+}

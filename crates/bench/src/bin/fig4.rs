@@ -1,0 +1,67 @@
+//! Figure 4: modeled SMARTS simulation rate as a function of the detailed
+//! warming length W.
+//!
+//! Reproduces the three curves of the figure from the Section 3.4 model —
+//! detailed-warming-only at S_D = 1/60 (today) and 1/600 (future), and
+//! functional warming at S_FW = 0.55 — then recomputes them with the
+//! S_D/S_FW ratios *measured on this machine* by timing the three
+//! simulator modes on a probe benchmark.
+
+use smarts_bench::{banner, HarnessArgs};
+use smarts_core::{SmartsSim, SpeedupModel};
+use smarts_uarch::MachineConfig;
+use smarts_workloads::find;
+
+const N: f64 = 10_000.0;
+const U: f64 = 1_000.0;
+const STREAM: f64 = 10e9; // a gcc-1-like multi-billion-instruction stream
+const W_POINTS: &[f64] = &[0.0, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7];
+
+fn print_curves(model_today: SpeedupModel, model_future: SpeedupModel, w_fixed: f64) {
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "W", "S_D=1/60", "S_D=1/600", "S_FW (W=2000)"
+    );
+    for &w in W_POINTS {
+        let today = model_today.detailed_warming_rate(N, U, w, STREAM);
+        let future = model_future.detailed_warming_rate(N, U, w, STREAM);
+        // Functional warming bounds W to w_fixed regardless of the sweep.
+        let fw = model_today.functional_warming_rate(N, U, w_fixed, STREAM);
+        println!("{:>10.0} {:>14.4} {:>14.4} {:>14.4}", w, today, future, fw);
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 4",
+        "Modeled SMARTS simulation rate vs detailed warming W (n=10,000, U=1000, 10G stream)",
+    );
+
+    println!("--- paper parameters (S_D = 1/60 and 1/600, S_FW = 0.55) ---");
+    print_curves(SpeedupModel::paper(), SpeedupModel::future(), 2000.0);
+
+    // Measure this machine's actual ratios on a probe benchmark.
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let probe = find("hashp-2").expect("probe benchmark").scaled(args.scale.min(0.5));
+    let (t_func, n_func) = sim.time_functional(&probe);
+    let (t_fw, _) = sim.time_functional_warming(&probe);
+    let reference = sim.reference(&probe, 1000);
+    let mips_f = n_func as f64 / t_func.as_secs_f64() / 1e6;
+    let s_fw = t_func.as_secs_f64() / t_fw.as_secs_f64();
+    let s_d = t_func.as_secs_f64() / reference.wall.as_secs_f64();
+    println!();
+    println!(
+        "--- measured on this host (probe: {}) ---",
+        probe.name()
+    );
+    println!(
+        "S_F = {mips_f:.1} MIPS, S_FW = {s_fw:.3}, S_D = 1/{:.0}",
+        1.0 / s_d
+    );
+    let measured = SpeedupModel { s_d, s_fw };
+    print_curves(measured, SpeedupModel { s_d: s_d / 10.0, s_fw }, 2000.0);
+    println!();
+    println!("(shape check: rate collapses toward S_D as W grows — earlier and harder for the");
+    println!(" slower detailed simulator — while the functional-warming curve stays flat near S_FW)");
+}

@@ -1,0 +1,126 @@
+//! Figure 5: the optimal sampling unit size U as a function of the
+//! detailed-warming length W.
+//!
+//! Left chart: for one benchmark, the fraction of instructions simulated
+//! in detail — `n(U)·(U+W)/N` with `n(U) = (z·V(U)/ε)²` for ±3% at 99.7%
+//! confidence — for several values of W and a sweep of U.
+//!
+//! Right chart: the optimal U (minimizing that fraction) per benchmark
+//! for W = 1000 and W = 100,000, the magnitudes relevant with and without
+//! functional warming. The paper's conclusions to check: optimal U grows
+//! with W, lies in 100..10,000 for realistic W, and U = 1000 is close
+//! enough to optimal everywhere.
+
+use smarts_bench::{banner, HarnessArgs, RefCache};
+use smarts_core::SmartsSim;
+use smarts_stats::{required_sample_size, variation_curve, Confidence};
+use smarts_uarch::MachineConfig;
+use smarts_workloads::Benchmark;
+
+const BASE_UNIT: u64 = 10;
+const U_FACTORS: &[usize] = &[1, 10, 100, 1_000, 10_000];
+const EPSILON: f64 = 0.03;
+/// Fractions are computed against a SPEC2K-scale nominal stream. V(U) is a
+/// property of the workload, not the stream length, so measuring V on our
+/// shorter streams and evaluating n(U)·(U+W)/N at the paper's N reproduces
+/// the published trade-off; using our own N would clamp everything at 100%.
+const NOMINAL_STREAM: f64 = 10e9;
+
+/// Detail fraction n(U)·(U+W)/N for each U in the sweep.
+fn detail_fractions(
+    cache: &RefCache,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    w: u64,
+) -> Vec<(u64, f64)> {
+    let reference = cache.get(sim, bench, BASE_UNIT);
+    let stream = NOMINAL_STREAM;
+    variation_curve(&reference.unit_cpis, BASE_UNIT, U_FACTORS)
+        .into_iter()
+        .map(|point| {
+            let n = required_sample_size(
+                point.coefficient_of_variation,
+                EPSILON,
+                Confidence::THREE_SIGMA,
+            )
+            .expect("valid target");
+            let fraction = (n as f64 * (point.unit_size + w) as f64 / stream).min(1.0);
+            (point.unit_size, fraction)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 5",
+        "Detail fraction n(U)·(U+W)/N vs U at SPEC2K-scale N = 10G, with V(U) measured here (±3% @ 99.7%)",
+    );
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let cache = RefCache::new();
+    let suite = args.suite();
+
+    // Left chart: one benchmark (the paper uses gcc-1; we use hashp-1 or
+    // the --bench selection), several W values.
+    let focus = suite.first().expect("nonempty suite").clone();
+    let focus = args
+        .suite()
+        .into_iter()
+        .find(|b| b.name() == "hashp-1")
+        .unwrap_or(focus);
+    println!("--- detail fraction vs U for {} ---", focus.name());
+    print!("{:>10}", "U");
+    for w in [0u64, 1_000, 10_000, 100_000] {
+        print!("{:>14}", format!("W={w}"));
+    }
+    println!();
+    let sweeps: Vec<Vec<(u64, f64)>> = [0u64, 1_000, 10_000, 100_000]
+        .iter()
+        .map(|&w| detail_fractions(&cache, &sim, &focus, w))
+        .collect();
+    for i in 0..sweeps[0].len() {
+        print!("{:>10}", sweeps[0][i].0);
+        for sweep in &sweeps {
+            print!("{:>13.4}%", sweep[i].1 * 100.0);
+        }
+        println!();
+    }
+
+    // Right chart: optimal U per benchmark for the two W magnitudes.
+    println!();
+    println!("--- optimal U per benchmark ---");
+    println!(
+        "{:<12}{:>14}{:>14}{:>18}",
+        "benchmark", "U* (W=1000)", "U* (W=100k)", "U=1000 overhead"
+    );
+    for bench in &suite {
+        let at = |w: u64| -> (u64, f64, f64) {
+            let sweep = detail_fractions(&cache, &sim, bench, w);
+            let (u_best, f_best) = sweep
+                .iter()
+                .copied()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractions"))
+                .expect("nonempty sweep");
+            let f_1000 = sweep
+                .iter()
+                .find(|(u, _)| *u == 1000)
+                .map(|&(_, f)| f)
+                .unwrap_or(f_best);
+            (u_best, f_best, f_1000)
+        };
+        let (u1, best1, at1000_w1k) = at(1_000);
+        let (u2, _, _) = at(100_000);
+        // How much more of the stream does fixing U=1000 cost vs optimal?
+        let overhead = if best1 > 0.0 { at1000_w1k / best1 } else { 1.0 };
+        println!(
+            "{:<12}{:>14}{:>14}{:>17.2}x",
+            bench.name(),
+            u1,
+            u2,
+            overhead
+        );
+    }
+    println!();
+    println!("(paper: optimal U in 100..10,000 for non-zero W, increasing with W; fixing U=1000");
+    println!(" costs only a small constant factor of detail — i.e. minutes of run time)");
+}

@@ -1,0 +1,117 @@
+//! Figure 6: SMARTS CPI results across the suite with the initial sample
+//! size, plus n_tuned reruns for the benchmarks whose confidence interval
+//! misses the ±3% target.
+//!
+//! For each benchmark and machine: one sampling run at n_init, reporting
+//! the *actual* CPI error against the full-detail reference and the
+//! *predicted* 99.7% confidence interval from the measured V̂. Rows are
+//! sorted by predicted interval, worst first, with the average of the
+//! rest — the paper's presentation. Claims to check:
+//!
+//! * actual error is generally far inside the predicted interval;
+//! * benchmarks whose interval exceeds ±3% are fixed by rerunning at
+//!   n_tuned = (z·V̂/ε)².
+
+use smarts_bench::{banner, pct, upct, HarnessArgs, RefCache};
+use smarts_core::{SamplingParams, SmartsSim};
+use smarts_stats::Confidence;
+
+const EPSILON: f64 = 0.03;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 6",
+        "SMARTS CPI error and 99.7% confidence interval across the suite (n_init run)",
+    );
+    let cache = RefCache::new();
+    let conf = Confidence::THREE_SIGMA;
+    let n_init = if args.quick { 15 } else { 60 };
+
+    for cfg in args.config.configs() {
+        let sim = SmartsSim::new(cfg.clone());
+        println!("--- {} (n_init = {n_init}, U = 1000, W = {}) ---", cfg.name, cfg.recommended_detailed_warming());
+        println!(
+            "  {:<12}{:>10}{:>12}{:>12}{:>8}",
+            "benchmark", "CPI", "actual err", "interval", "V̂"
+        );
+        let mut rows = Vec::new();
+        for bench in args.suite() {
+            let truth = cache.get(&sim, &bench, 1000).cpi;
+            // Offset 1 skips the cold unit at instruction 0, which at our
+            // stream scale carries weight 1/n instead of the paper's
+            // 1/10,000 (see EXPERIMENTS.md caveat 3).
+            let params = SamplingParams::paper_defaults(&cfg, bench.approx_len(), n_init)
+                .expect("valid parameters")
+                .with_offset(1)
+                .expect("interval exceeds 1");
+            let report = sim.sample(&bench, &params).expect("sampling succeeds");
+            let est = report.cpi();
+            let interval = est.achieved_epsilon(conf).expect("valid confidence");
+            rows.push((
+                bench.clone(),
+                est.mean(),
+                (est.mean() - truth) / truth,
+                interval,
+                est.coefficient_of_variation(),
+            ));
+        }
+        rows.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite intervals"));
+        let shown = rows.len().min(12);
+        for (bench, cpi, err, interval, v) in &rows[..shown] {
+            println!(
+                "  {:<12}{:>10.3}{:>12}{:>12}{:>8.2}",
+                bench.name(),
+                cpi,
+                pct(*err),
+                format!("±{}", upct(*interval)),
+                v
+            );
+        }
+        if rows.len() > shown {
+            let rest_err: f64 = rows[shown..].iter().map(|r| r.2.abs()).sum::<f64>()
+                / (rows.len() - shown) as f64;
+            let rest_int: f64 =
+                rows[shown..].iter().map(|r| r.3).sum::<f64>() / (rows.len() - shown) as f64;
+            println!(
+                "  {:<12}{:>10}{:>12}{:>12}",
+                "avg. rest",
+                "-",
+                upct(rest_err),
+                format!("±{}", upct(rest_int))
+            );
+        }
+        let mean_abs_err: f64 =
+            rows.iter().map(|r| r.2.abs()).sum::<f64>() / rows.len() as f64;
+        println!("  mean |actual error| = {}", upct(mean_abs_err));
+
+        // Rerun the offenders with n_tuned (step 2 of Section 5.1).
+        let offenders: Vec<_> = rows.iter().filter(|r| r.3 > EPSILON).collect();
+        if offenders.is_empty() {
+            println!("  (all intervals within ±{}; no n_tuned rerun needed)", upct(EPSILON));
+        } else {
+            println!("  --- n_tuned reruns for intervals beyond ±{} ---", upct(EPSILON));
+            for (bench, _, _, _, _) in offenders {
+                let truth = cache.get(&sim, bench, 1000).cpi;
+                let params =
+                    SamplingParams::paper_defaults(&cfg, bench.approx_len(), n_init)
+                        .expect("valid parameters");
+                let outcome = sim
+                    .sample_two_step(bench, &params, EPSILON, conf)
+                    .expect("two-step succeeds");
+                let best = outcome.best();
+                let est = best.cpi();
+                println!(
+                    "  {:<12} n_tuned = {:>5}  err {}  interval ±{}",
+                    bench.name(),
+                    best.sample_size(),
+                    pct((est.mean() - truth) / truth),
+                    upct(est.achieved_epsilon(conf).expect("valid confidence")),
+                );
+            }
+        }
+        println!();
+    }
+    println!("(paper: n_init achieves ±3% for most benchmarks; actual error ≪ predicted interval;");
+    println!(" high-V̂ outliers — our phased-*, the paper's ammp/vpr/gcc-2 — need the tuned rerun)");
+}

@@ -1,0 +1,85 @@
+//! Table 3: machine configurations.
+//!
+//! Prints the two Table 3 machines as configured in `smarts-uarch`,
+//! together with the derived quantities the paper quotes in the text
+//! (the Section 4.4 warming bound and the recommended W).
+
+use smarts_bench::banner;
+use smarts_uarch::MachineConfig;
+
+fn row(label: &str, eight: String, sixteen: String) {
+    println!("{label:<26} {eight:<30} {sixteen:<30}");
+}
+
+fn main() {
+    banner("Table 3", "Machine configurations");
+    let e = MachineConfig::eight_way();
+    let s = MachineConfig::sixteen_way();
+
+    row("Parameter", "8-way (baseline)".into(), "16-way".into());
+    row("RUU/LSQ", format!("{}/{}", e.ruu_size, e.lsq_size), format!("{}/{}", s.ruu_size, s.lsq_size));
+    row(
+        "L1 I/D",
+        format!("{}KB {}-way, {} ports", e.l1d.size_bytes >> 10, e.l1d.assoc, e.l1d_ports),
+        format!("{}KB {}-way, {} ports", s.l1d.size_bytes >> 10, s.l1d.assoc, s.l1d_ports),
+    );
+    row("MSHRs", e.mshrs.to_string(), s.mshrs.to_string());
+    row(
+        "L2",
+        format!("{}M {}-way", e.l2.size_bytes >> 20, e.l2.assoc),
+        format!("{}M {}-way", s.l2.size_bytes >> 20, s.l2.assoc),
+    );
+    row("Store buffer", format!("{}-entry", e.store_buffer), format!("{}-entry", s.store_buffer));
+    row(
+        "ITLB/DTLB",
+        format!("{}-way {}/{} entries", e.itlb.assoc, e.itlb.entries, e.dtlb.entries),
+        format!("{}-way {}/{} entries", s.itlb.assoc, s.itlb.entries, s.dtlb.entries),
+    );
+    row(
+        "TLB miss",
+        format!("{} cycles", e.itlb.miss_penalty),
+        format!("{} cycles", s.itlb.miss_penalty),
+    );
+    row(
+        "L1/L2/mem latency",
+        format!("{}/{}/{} cycles", e.l1d.latency, e.l2.latency, e.mem_latency),
+        format!("{}/{}/{} cycles", s.l1d.latency, s.l2.latency, s.mem_latency),
+    );
+    row(
+        "Functional units",
+        format!(
+            "{} I-ALU, {} I-MUL/DIV, {} FP-ALU, {} FP-MUL/DIV",
+            e.int_alu_units, e.int_muldiv_units, e.fp_alu_units, e.fp_muldiv_units
+        ),
+        format!(
+            "{} I-ALU, {} I-MUL/DIV, {} FP-ALU, {} FP-MUL/DIV",
+            s.int_alu_units, s.int_muldiv_units, s.fp_alu_units, s.fp_muldiv_units
+        ),
+    );
+    row(
+        "Branch predictor",
+        format!(
+            "Combined {}K tables, {}-cycle mispred, {} pred/cycle",
+            e.bpred.bimodal_entries >> 10,
+            e.bpred.mispred_penalty,
+            e.bpred.predictions_per_cycle
+        ),
+        format!(
+            "Combined {}K tables, {}-cycle mispred, {} preds/cycle",
+            s.bpred.bimodal_entries >> 10,
+            s.bpred.mispred_penalty,
+            s.bpred.predictions_per_cycle
+        ),
+    );
+    println!();
+    row(
+        "W bound (Sec 4.4)",
+        format!("{} instructions", e.detailed_warming_bound()),
+        format!("{} instructions", s.detailed_warming_bound()),
+    );
+    row(
+        "recommended W",
+        format!("{} instructions", e.recommended_detailed_warming()),
+        format!("{} instructions", s.recommended_detailed_warming()),
+    );
+}

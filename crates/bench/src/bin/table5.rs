@@ -1,0 +1,119 @@
+//! Table 5: residual CPI bias with functional warming and minimal
+//! detailed warming (W = 2000 on the 8-way machine, W = 4000 on the
+//! 16-way).
+//!
+//! Bias is approximated as the average signed error over evenly spaced
+//! systematic phases (the paper uses 5), against the full-detail
+//! reference. The paper's claims to check: all benchmarks within ±2%,
+//! only a handful above ±1%.
+
+use smarts_bench::{banner, pct, HarnessArgs, RefCache};
+use smarts_core::{SamplingParams, SmartsSim, Warming};
+use smarts_stats::bias;
+
+const PHASES: u64 = 5;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Table 5",
+        "CPI bias with functional warming and minimal detailed warming",
+    );
+    let cache = RefCache::new();
+
+    for cfg in args.config.configs() {
+        let sim = SmartsSim::new(cfg.clone());
+        let w = cfg.recommended_detailed_warming();
+        println!("--- {} (W = {w}) ---", cfg.name);
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for bench in args.suite() {
+            let truth = cache.get(&sim, &bench, 1000).cpi;
+            // Sample a fixed fraction of the population per phase so the
+            // statistical noise of the bias estimate shrinks with stream
+            // length; skip the cold unit at instruction 0, whose
+            // initialization transient would dominate at our small N
+            // (it has weight 1/n here versus 1/10,000 in the paper).
+            let population = bench.approx_len() / 1000;
+            let n = (population / 20).clamp(if args.quick { 10 } else { 40 }, 400);
+            let base = SamplingParams::for_sample_size(
+                bench.approx_len(),
+                1000,
+                w,
+                Warming::Functional,
+                n,
+                0,
+            )
+            .expect("valid parameters");
+            let estimates: Vec<f64> = (0..PHASES)
+                .map(|i| (1 + i * base.interval / PHASES).min(base.interval - 1))
+                .filter_map(|j| {
+                    let params = base.with_offset(j).ok()?;
+                    sim.sample(&bench, &params).ok().map(|r| r.cpi().mean())
+                })
+                .collect();
+            rows.push((bench.name().to_string(), bias(&estimates, truth) / truth));
+        }
+        rows.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite bias"));
+
+        let shown = rows.len().min(10);
+        for (name, b) in &rows[..shown] {
+            println!("  {name:<12} {}", pct(*b));
+        }
+        if rows.len() > shown {
+            let rest: f64 =
+                rows[shown..].iter().map(|(_, b)| b.abs()).sum::<f64>() / (rows.len() - shown) as f64;
+            println!("  {:<12} {}", "avg. rest", pct(rest));
+        }
+        let worst = rows.first().map(|(_, b)| b.abs()).unwrap_or(0.0);
+        let over_1pct = rows.iter().filter(|(_, b)| b.abs() > 0.01).count();
+        println!(
+            "  summary: worst |bias| = {}, {} benchmark(s) above |1%|",
+            pct(worst),
+            over_1pct
+        );
+
+        // Section 4.4's analytic escape hatch: any benchmark still biased
+        // at the empirical W must fall below the worst-case bound
+        // store_buffer × mem_latency × max IPC. Our store-heavy kernels
+        // exercise exactly the store-buffer-overflow mechanism that bound
+        // is derived from.
+        let offenders: Vec<&(String, f64)> =
+            rows.iter().filter(|(_, b)| b.abs() > 0.015).collect();
+        if !offenders.is_empty() {
+            let w_bound = cfg.detailed_warming_bound();
+            println!("  --- rerun at the analytic bound W = {w_bound} ---");
+            for (name, old_bias) in offenders {
+                let Some(bench) = args.suite().into_iter().find(|b| b.name() == name) else {
+                    continue;
+                };
+                let truth = cache.get(&sim, &bench, 1000).cpi;
+                let population = bench.approx_len() / 1000;
+                let n = (population / 20).clamp(10, 400);
+                let base = SamplingParams::for_sample_size(
+                    bench.approx_len(),
+                    1000,
+                    w_bound,
+                    Warming::Functional,
+                    n,
+                    0,
+                )
+                .expect("valid parameters");
+                let estimates: Vec<f64> = (0..PHASES)
+                    .map(|i| (1 + i * base.interval / PHASES).min(base.interval - 1))
+                    .filter_map(|j| {
+                        let params = base.with_offset(j).ok()?;
+                        sim.sample(&bench, &params).ok().map(|r| r.cpi().mean())
+                    })
+                    .collect();
+                let new_bias = bias(&estimates, truth) / truth;
+                println!(
+                    "  {name:<12} {} -> {}",
+                    pct(*old_bias),
+                    pct(new_bias)
+                );
+            }
+        }
+        println!();
+    }
+    println!("(paper: all biases under ±2.0%, ≤6 benchmarks per configuration above ±1.0%)");
+}

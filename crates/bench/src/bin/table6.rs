@@ -1,0 +1,80 @@
+//! Table 6: wall-clock runtimes for detailed, functional, and SMARTS
+//! simulation of each benchmark (8-way).
+//!
+//! The paper reports hours on a 2 GHz Pentium 4; our streams and host
+//! differ, so the *ratios* are what must reproduce:
+//!
+//! * detailed ≫ functional (the paper's S_D ≈ 1/60);
+//! * SMARTS lands within ~2× of functional-only simulation (SMARTSim ran
+//!   at ≈50% of functional speed), yielding order-of-magnitude speedups
+//!   over full detail that grow with stream length.
+
+use smarts_bench::{banner, HarnessArgs};
+use smarts_core::{SamplingParams, SmartsSim};
+use smarts_uarch::MachineConfig;
+use std::time::Duration;
+
+fn secs(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Table 6",
+        "Runtimes for SMARTS compared to detailed and functional simulation (8-way)",
+    );
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let n = if args.quick { 15 } else { 60 };
+
+    println!(
+        "{:<12}{:>10}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "benchmark", "instrs", "detailed", "functional", "SMARTS", "speedup", "SMARTS MIPS"
+    );
+    let mut rows = Vec::new();
+    for bench in args.suite() {
+        let reference = sim.reference(&bench, 1000);
+        let (func, instructions) = sim.time_functional(&bench);
+        let params = SamplingParams::paper_defaults(&cfg, bench.approx_len(), n)
+            .expect("valid parameters");
+        let report = sim.sample(&bench, &params).expect("sampling succeeds");
+        let smarts = report.wall_total();
+        rows.push((bench.name().to_string(), instructions, reference.wall, func, smarts));
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2));
+    let mut sums = (Duration::ZERO, Duration::ZERO, Duration::ZERO, 0u64);
+    for (name, instrs, detailed, func, smarts) in &rows {
+        println!(
+            "{:<12}{:>9.1}M{:>12}{:>12}{:>12}{:>11.1}x{:>12.1}",
+            name,
+            *instrs as f64 / 1e6,
+            secs(*detailed),
+            secs(*func),
+            secs(*smarts),
+            detailed.as_secs_f64() / smarts.as_secs_f64(),
+            *instrs as f64 / smarts.as_secs_f64() / 1e6,
+        );
+        sums.0 += *detailed;
+        sums.1 += *func;
+        sums.2 += *smarts;
+        sums.3 += instrs;
+    }
+    println!();
+    println!(
+        "totals: detailed {} | functional {} | SMARTS {}",
+        secs(sums.0),
+        secs(sums.1),
+        secs(sums.2)
+    );
+    println!(
+        "suite-wide: SMARTS/functional slowdown {:.2}x, detailed/SMARTS speedup {:.1}x, effective {:.1} MIPS",
+        sums.2.as_secs_f64() / sums.1.as_secs_f64(),
+        sums.0.as_secs_f64() / sums.2.as_secs_f64(),
+        sums.3 as f64 / sums.2.as_secs_f64() / 1e6,
+    );
+    println!();
+    println!("(paper, at 2–547G-instruction scale: detailed avg 7.2 days, SMARTS avg 5.0 hours,");
+    println!(" SMARTS ≈ 50% of functional speed. Our speedup grows with --scale: the detailed");
+    println!(" column scales linearly with stream length, SMARTS's detailed work does not.)");
+}

@@ -1,0 +1,219 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! SMARTS paper (see DESIGN.md §4 for the full index). They share a tiny
+//! command-line convention:
+//!
+//! * `--scale <f>` — multiply every benchmark's dynamic length
+//!   (default 1.0; figures in EXPERIMENTS.md were produced at the
+//!   default).
+//! * `--config <8|16|both>` — which Table 3 machine(s) to run.
+//! * `--bench <name>` — restrict to one benchmark.
+//! * `--quick` — a fast smoke-test preset (small scale, fewer units).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smarts_core::{ReferenceRun, SmartsSim};
+use smarts_uarch::MachineConfig;
+use smarts_workloads::Benchmark;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Which machine configuration(s) a binary should evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigChoice {
+    /// The 8-way baseline only.
+    Eight,
+    /// The 16-way aggressive machine only.
+    Sixteen,
+    /// Both Table 3 machines.
+    Both,
+}
+
+impl ConfigChoice {
+    /// The machine configurations selected.
+    pub fn configs(&self) -> Vec<MachineConfig> {
+        match self {
+            ConfigChoice::Eight => vec![MachineConfig::eight_way()],
+            ConfigChoice::Sixteen => vec![MachineConfig::sixteen_way()],
+            ConfigChoice::Both => {
+                vec![MachineConfig::eight_way(), MachineConfig::sixteen_way()]
+            }
+        }
+    }
+}
+
+/// Parsed harness arguments (see the crate docs for the flags).
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Benchmark length multiplier.
+    pub scale: f64,
+    /// Machine selection.
+    pub config: ConfigChoice,
+    /// Restrict to one benchmark by name.
+    pub bench: Option<String>,
+    /// Fast smoke-test preset.
+    pub quick: bool,
+    /// Extra flag used by `fig2 --icc`.
+    pub icc: bool,
+    /// Use the extended (28-combination) suite instead of the default 18.
+    pub extended: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 1.0,
+            config: ConfigChoice::Eight,
+            bench: None,
+            quick: false,
+            icc: false,
+            extended: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    args.scale = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a positive number"));
+                }
+                "--config" => match iter.next().as_deref() {
+                    Some("8") => args.config = ConfigChoice::Eight,
+                    Some("16") => args.config = ConfigChoice::Sixteen,
+                    Some("both") => args.config = ConfigChoice::Both,
+                    _ => usage("--config takes 8, 16, or both"),
+                },
+                "--bench" => {
+                    args.bench = Some(iter.next().unwrap_or_else(|| usage("--bench needs a name")));
+                }
+                "--quick" => {
+                    args.quick = true;
+                    args.scale = args.scale.min(0.1);
+                }
+                "--icc" => args.icc = true,
+                "--extended" => args.extended = true,
+                "--help" | "-h" => usage("usage"),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if args.scale <= 0.0 {
+            usage("--scale must be positive");
+        }
+        args
+    }
+
+    /// The benchmark suite at the requested scale and filter.
+    pub fn suite(&self) -> Vec<Benchmark> {
+        let base = if self.extended {
+            smarts_workloads::extended_suite()
+        } else {
+            smarts_workloads::suite()
+        };
+        base.into_iter()
+            .map(|b| b.scaled(self.scale))
+            .filter(|b| self.bench.as_deref().is_none_or(|name| b.name() == name))
+            .collect()
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\n\nflags: [--scale <f>] [--config 8|16|both] [--bench <name>] [--quick] [--icc] [--extended]"
+    );
+    std::process::exit(2)
+}
+
+/// A process-local cache of full-detail reference runs, so binaries that
+/// need the same ground truth for several analyses pay for it once.
+#[derive(Debug, Default)]
+pub struct RefCache {
+    runs: Mutex<HashMap<(String, &'static str, u64), ReferenceRun>>,
+}
+
+impl RefCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RefCache::default()
+    }
+
+    /// The reference run for (benchmark, machine, unit size), computed on
+    /// first use.
+    pub fn get(&self, sim: &SmartsSim, bench: &Benchmark, unit_size: u64) -> ReferenceRun {
+        let key = (bench.name().to_string(), sim.config().name, unit_size);
+        if let Some(hit) = self.runs.lock().expect("cache lock").get(&key) {
+            return hit.clone();
+        }
+        let run = sim.reference(bench, unit_size);
+        self.runs.lock().expect("cache lock").insert(key, run.clone());
+        run
+    }
+}
+
+/// Formats a signed percentage with the paper's style (`-1.6%`).
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+/// Formats an unsigned percentage.
+pub fn upct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_choice_expands() {
+        assert_eq!(ConfigChoice::Eight.configs().len(), 1);
+        assert_eq!(ConfigChoice::Both.configs().len(), 2);
+        assert_eq!(ConfigChoice::Both.configs()[1].name, "16-way");
+    }
+
+    #[test]
+    fn suite_filter_applies() {
+        let args = HarnessArgs {
+            bench: Some("loopy-1".to_string()),
+            scale: 0.5,
+            ..HarnessArgs::default()
+        };
+        let suite = args.suite();
+        assert_eq!(suite.len(), 1);
+        assert_eq!(suite[0].name(), "loopy-1");
+    }
+
+    #[test]
+    fn ref_cache_returns_identical_runs() {
+        let cache = RefCache::new();
+        let sim = SmartsSim::new(MachineConfig::eight_way());
+        let bench = smarts_workloads::find("loopy-1").unwrap().scaled(0.01);
+        let a = cache.get(&sim, &bench, 1000);
+        let b = cache.get(&sim, &bench, 1000);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(-0.016), "-1.60%");
+        assert_eq!(upct(0.5), "50.00%");
+    }
+}

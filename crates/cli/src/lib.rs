@@ -1,0 +1,458 @@
+//! Implementation of the `smarts` command-line interface.
+//!
+//! Kept as a library so the argument parser and command handlers are
+//! unit-testable; the `smarts` binary is a thin wrapper around
+//! [`dispatch`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smarts_core::{
+    compare_machines, FunctionalEngine, SamplingParams, SmartsSim, Warming,
+};
+use smarts_uarch::WarmState;
+use smarts_simpoint::{estimate_cpi, SimPointConfig};
+use smarts_stats::Confidence;
+use smarts_uarch::MachineConfig;
+use smarts_workloads::{extended_suite, find, Benchmark};
+
+/// Parsed common options shared by the sampling subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Benchmark name (required by most subcommands).
+    pub bench: Option<String>,
+    /// Machine selection: 8 or 16.
+    pub config: u32,
+    /// Benchmark length multiplier.
+    pub scale: f64,
+    /// Target sample size.
+    pub n: u64,
+    /// Sampling unit size U.
+    pub unit: u64,
+    /// Detailed warming W (`None` = the machine's recommendation).
+    pub warming_len: Option<u64>,
+    /// Disable functional warming.
+    pub no_functional_warming: bool,
+    /// Phase offset j.
+    pub offset: u64,
+    /// Relative error target for the two-step procedure.
+    pub epsilon: Option<f64>,
+    /// Confidence level (fraction).
+    pub confidence: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            bench: None,
+            config: 8,
+            scale: 1.0,
+            n: 100,
+            unit: 1000,
+            warming_len: None,
+            no_functional_warming: false,
+            offset: 0,
+            epsilon: None,
+            confidence: 0.9973,
+        }
+    }
+}
+
+/// Usage text for `smarts help` and error paths.
+pub fn usage() -> String {
+    "usage: smarts <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 list                     show the benchmark suite\n\
+     \x20 sample                   SMARTS sampling estimate (CPI/EPI/MPKI + confidence)\n\
+     \x20 reference                full-detail ground truth (slow)\n\
+     \x20 compare                  paired 8-way vs 16-way comparison\n\
+     \x20 simpoint                 SimPoint baseline estimate\n\
+     \x20 cachesim                 functional cache/TLB simulation (sim-cache analogue)\n\
+     \x20 bpredsim                 functional branch-predictor simulation (sim-bpred analogue)\n\
+     \x20 help                     this message\n\
+     \n\
+     options:\n\
+     \x20 --bench <name>           benchmark (see `smarts list`)\n\
+     \x20 --config <8|16>          machine configuration      [8]\n\
+     \x20 --scale <f>              stream length multiplier   [1.0]\n\
+     \x20 --n <count>              target sample size         [100]\n\
+     \x20 --u <insts>              sampling unit size U       [1000]\n\
+     \x20 --w <insts>              detailed warming W         [machine default]\n\
+     \x20 --no-functional-warming  fast-forward without warming\n\
+     \x20 --offset <units>         systematic phase offset j  [0]\n\
+     \x20 --epsilon <f>            two-step target (e.g. 0.03)\n\
+     \x20 --confidence <f>         confidence level           [0.9973]"
+        .to_string()
+}
+
+/// Parses the option list shared by the subcommands.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed
+/// values.
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--bench" => options.bench = Some(value("--bench")?),
+            "--config" => {
+                options.config = value("--config")?
+                    .parse()
+                    .map_err(|_| "--config takes 8 or 16".to_string())?;
+                if options.config != 8 && options.config != 16 {
+                    return Err("--config takes 8 or 16".into());
+                }
+            }
+            "--scale" => {
+                options.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| "--scale takes a positive number".to_string())?;
+                if options.scale <= 0.0 {
+                    return Err("--scale takes a positive number".into());
+                }
+            }
+            "--n" => {
+                options.n =
+                    value("--n")?.parse().map_err(|_| "--n takes a count".to_string())?;
+            }
+            "--u" => {
+                options.unit =
+                    value("--u")?.parse().map_err(|_| "--u takes a count".to_string())?;
+            }
+            "--w" => {
+                options.warming_len = Some(
+                    value("--w")?.parse().map_err(|_| "--w takes a count".to_string())?,
+                );
+            }
+            "--no-functional-warming" => options.no_functional_warming = true,
+            "--offset" => {
+                options.offset = value("--offset")?
+                    .parse()
+                    .map_err(|_| "--offset takes a count".to_string())?;
+            }
+            "--epsilon" => {
+                options.epsilon = Some(
+                    value("--epsilon")?
+                        .parse()
+                        .map_err(|_| "--epsilon takes a fraction".to_string())?,
+                );
+            }
+            "--confidence" => {
+                options.confidence = value("--confidence")?
+                    .parse()
+                    .map_err(|_| "--confidence takes a fraction".to_string())?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn machine(options: &Options) -> MachineConfig {
+    if options.config == 16 {
+        MachineConfig::sixteen_way()
+    } else {
+        MachineConfig::eight_way()
+    }
+}
+
+fn benchmark(options: &Options) -> Result<Benchmark, String> {
+    let name = options.bench.as_deref().ok_or("--bench is required")?;
+    let bench = find(name).ok_or_else(|| {
+        format!("unknown benchmark `{name}` (see `smarts list`)")
+    })?;
+    Ok(bench.scaled(options.scale))
+}
+
+fn sampling_params(options: &Options, cfg: &MachineConfig, bench: &Benchmark) -> Result<SamplingParams, String> {
+    let warming =
+        if options.no_functional_warming { Warming::None } else { Warming::Functional };
+    let w = options.warming_len.unwrap_or_else(|| cfg.recommended_detailed_warming());
+    SamplingParams::for_sample_size(
+        bench.approx_len(),
+        options.unit,
+        w,
+        warming,
+        options.n,
+        options.offset,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_list() {
+    println!("{:<12} {:>14}  {}", "name", "approx length", "kernel family");
+    for bench in extended_suite() {
+        let family = bench.name().split('-').next().unwrap_or("?");
+        println!(
+            "{:<12} {:>13.1}M  {}",
+            bench.name(),
+            bench.approx_len() as f64 / 1e6,
+            family
+        );
+    }
+}
+
+fn cmd_sample(options: &Options) -> Result<(), String> {
+    let cfg = machine(options);
+    let bench = benchmark(options)?;
+    let sim = SmartsSim::new(cfg.clone());
+    let params = sampling_params(options, &cfg, &bench)?;
+    let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
+
+    let report = match options.epsilon {
+        None => sim.sample(&bench, &params).map_err(|e| e.to_string())?,
+        Some(eps) => {
+            let outcome = sim
+                .sample_two_step(&bench, &params, eps, conf)
+                .map_err(|e| e.to_string())?;
+            if let Some(tuned) = &outcome.tuned {
+                println!(
+                    "initial n = {} missed ±{:.2}%; tuned rerun at n = {}",
+                    outcome.initial.sample_size(),
+                    eps * 100.0,
+                    tuned.sample_size()
+                );
+            }
+            outcome.best().clone()
+        }
+    };
+
+    let cpi = report.cpi();
+    let epi = report.epi();
+    let mpki = report.branch_mpki();
+    let mem = report.memory_pki();
+    println!("benchmark     {}", bench);
+    println!("machine       {} (U={}, W={}, k={}, j={})",
+        cfg.name, params.unit_size, params.detailed_warming, params.interval, params.offset);
+    println!("sample        {} units, {:.4}% of the stream in detail",
+        report.sample_size(),
+        report.instructions.detailed_fraction() * 100.0);
+    let pct = |e: smarts_stats::SampleEstimate| -> String {
+        match e.achieved_epsilon(conf) {
+            Ok(eps) => format!("±{:.2}%", eps * 100.0),
+            Err(_) => "±?".to_string(),
+        }
+    };
+    println!("CPI           {:.4} {} (V̂ = {:.3})", cpi.mean(), pct(cpi), cpi.coefficient_of_variation());
+    println!("EPI           {:.2} nJ {}", epi.mean(), pct(epi));
+    println!("branch MPKI   {:.2} {}", mpki.mean(), pct(mpki));
+    println!("memory APKI   {:.2} {}", mem.mean(), pct(mem));
+    println!("wall clock    {:.2?} ({:.2?} fast-forward, {:.2?} detailed)",
+        report.wall_total(), report.wall_functional, report.wall_detailed);
+    Ok(())
+}
+
+fn cmd_reference(options: &Options) -> Result<(), String> {
+    let cfg = machine(options);
+    let bench = benchmark(options)?;
+    let sim = SmartsSim::new(cfg.clone());
+    let reference = sim.reference(&bench, options.unit);
+    println!("benchmark     {}", bench);
+    println!("machine       {}", cfg.name);
+    println!("instructions  {}", reference.instructions);
+    println!("cycles        {}", reference.cycles);
+    println!("CPI           {:.4}", reference.cpi);
+    println!("EPI           {:.2} nJ", reference.epi);
+    println!("wall clock    {:.2?}", reference.wall);
+    Ok(())
+}
+
+fn cmd_compare(options: &Options) -> Result<(), String> {
+    let bench = benchmark(options)?;
+    let base = SmartsSim::new(MachineConfig::eight_way());
+    let alt = SmartsSim::new(MachineConfig::sixteen_way());
+    let mut params = sampling_params(options, base.config(), &bench)?;
+    params.detailed_warming = 0; // per-machine recommendation
+    let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
+    let cmp = compare_machines(&base, &alt, &bench, &params).map_err(|e| e.to_string())?;
+    println!("benchmark     {}", bench);
+    println!("pairs         {}", cmp.pairs());
+    println!("8-way CPI     {:.4}", cmp.baseline.cpi().mean());
+    println!("16-way CPI    {:.4}", cmp.alternative.cpi().mean());
+    println!("speedup       {:.3}x", cmp.speedup());
+    println!(
+        "ΔCPI          {:+.4} ± {:.4} ({}significant at {:.2}%)",
+        cmp.cpi_delta(),
+        cmp.delta_half_width(conf).map_err(|e| e.to_string())?,
+        if cmp.is_significant(conf).map_err(|e| e.to_string())? { "" } else { "not " },
+        options.confidence * 100.0,
+    );
+    println!("pairing gain  {:.1}x tighter than independent runs", cmp.pairing_gain());
+    Ok(())
+}
+
+fn cmd_simpoint(options: &Options) -> Result<(), String> {
+    let cfg = machine(options);
+    let bench = benchmark(options)?;
+    let sim = SmartsSim::new(cfg.clone());
+    let sp_config = SimPointConfig {
+        interval: (bench.approx_len() / 40).clamp(10_000, 200_000),
+        ..SimPointConfig::default()
+    };
+    let estimate = estimate_cpi(&sim, &bench, &sp_config);
+    println!("benchmark     {}", bench);
+    println!("machine       {}", cfg.name);
+    println!("interval      {} instructions", sp_config.interval);
+    println!("clusters      {} (of {} intervals)", estimate.selection.k, estimate.selection.population);
+    println!("CPI           {:.4} (no confidence measure — see the paper §5.3)", estimate.cpi);
+    println!(
+        "wall clock    {:.2?} profile + {:.2?} measure",
+        estimate.wall_profile, estimate.wall_measure
+    );
+    Ok(())
+}
+
+fn cmd_cachesim(options: &Options) -> Result<(), String> {
+    let cfg = machine(options);
+    let bench = benchmark(options)?;
+    let mut engine = FunctionalEngine::new(bench.load());
+    let mut warm = WarmState::new(&cfg);
+    engine.fast_forward_warming(u64::MAX - 1, &mut warm);
+    let h = &warm.hierarchy;
+    println!("benchmark     {}", bench);
+    println!("machine       {} (functional cache simulation)", cfg.name);
+    println!("instructions  {}", engine.position());
+    let line = |name: &str, accesses: u64, misses: u64| {
+        let ratio = if accesses == 0 { 0.0 } else { misses as f64 / accesses as f64 };
+        println!("{name:<8} accesses {accesses:>12}  misses {misses:>10}  miss ratio {:>7.4}", ratio);
+    };
+    line("L1I", h.l1i().accesses(), h.l1i().misses());
+    line("L1D", h.l1d().accesses(), h.l1d().misses());
+    line("L2", h.l2().accesses(), h.l2().misses());
+    line("ITLB", warm.itlb.accesses(), warm.itlb.misses());
+    line("DTLB", warm.dtlb.accesses(), warm.dtlb.misses());
+    Ok(())
+}
+
+fn cmd_bpredsim(options: &Options) -> Result<(), String> {
+    let cfg = machine(options);
+    let bench = benchmark(options)?;
+    let mut engine = FunctionalEngine::new(bench.load());
+    let mut warm = WarmState::new(&cfg);
+    engine.fast_forward_warming(u64::MAX - 1, &mut warm);
+    println!("benchmark     {}", bench);
+    println!("machine       {} (functional branch-predictor simulation)", cfg.name);
+    println!("instructions  {}", engine.position());
+    println!("cond branches mispredicted: {} (direction miss ratio {:.4})",
+        warm.bpred.cond_mispredicts(),
+        warm.bpred.mispredict_ratio());
+    Ok(())
+}
+
+/// Entry point: dispatches a raw argument vector to a subcommand.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands or bad options.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("a command is required".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "sample" => cmd_sample(&parse_options(rest)?),
+        "reference" => cmd_reference(&parse_options(rest)?),
+        "compare" => cmd_compare(&parse_options(rest)?),
+        "simpoint" => cmd_simpoint(&parse_options(rest)?),
+        "cachesim" => cmd_cachesim(&parse_options(rest)?),
+        "bpredsim" => cmd_bpredsim(&parse_options(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_option_set() {
+        let args = strings(&[
+            "--bench", "chase-1", "--config", "16", "--scale", "0.5", "--n", "42", "--u",
+            "500", "--w", "3000", "--no-functional-warming", "--offset", "2", "--epsilon",
+            "0.03", "--confidence", "0.95",
+        ]);
+        let options = parse_options(&args).unwrap();
+        assert_eq!(options.bench.as_deref(), Some("chase-1"));
+        assert_eq!(options.config, 16);
+        assert_eq!(options.scale, 0.5);
+        assert_eq!(options.n, 42);
+        assert_eq!(options.unit, 500);
+        assert_eq!(options.warming_len, Some(3000));
+        assert!(options.no_functional_warming);
+        assert_eq!(options.offset, 2);
+        assert_eq!(options.epsilon, Some(0.03));
+        assert_eq!(options.confidence, 0.95);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_options(&strings(&["--wat"])).is_err());
+        assert!(parse_options(&strings(&["--config", "12"])).is_err());
+        assert!(parse_options(&strings(&["--scale", "-1"])).is_err());
+        assert!(parse_options(&strings(&["--n"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(dispatch(&strings(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn dispatch_runs_list_and_help() {
+        assert!(dispatch(&strings(&["list"])).is_ok());
+        assert!(dispatch(&strings(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn sample_requires_a_benchmark() {
+        let err = dispatch(&strings(&["sample"])).unwrap_err();
+        assert!(err.contains("--bench"));
+    }
+
+    #[test]
+    fn sample_runs_end_to_end_at_tiny_scale() {
+        dispatch(&strings(&[
+            "sample", "--bench", "loopy-1", "--scale", "0.02", "--n", "8",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn compare_runs_end_to_end_at_tiny_scale() {
+        dispatch(&strings(&[
+            "compare", "--bench", "stream-2", "--scale", "0.05", "--n", "6",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn cachesim_and_bpredsim_run_end_to_end() {
+        dispatch(&strings(&["cachesim", "--bench", "chase-2", "--scale", "0.02"])).unwrap();
+        dispatch(&strings(&["bpredsim", "--bench", "branchy-1", "--scale", "0.02"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_benchmark_is_reported() {
+        let err = dispatch(&strings(&["sample", "--bench", "nope-9"])).unwrap_err();
+        assert!(err.contains("unknown benchmark"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `smarts` — command-line interface to the sampling simulator.
+//!
+//! ```text
+//! smarts list                                 # show the benchmark suite
+//! smarts sample  --bench chase-1 [options]    # SMARTS sampling estimate
+//! smarts reference --bench chase-1 [options]  # full-detail ground truth
+//! smarts compare --bench chase-1 [options]    # paired 8-way vs 16-way
+//! smarts simpoint --bench chase-1 [options]   # SimPoint baseline estimate
+//! ```
+//!
+//! Run `smarts help` for the full option list.
+
+use smarts_cli::{dispatch, usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Checkpointed sampling: pay the fast-forward once, replay the sample
+//! many times.
+//!
+//! The paper's closing argument is that SMARTS's simulation rate is
+//! bounded by fast-forwarding/functional warming, not by the detailed
+//! simulator — so the way to go faster still is to eliminate the
+//! fast-forward. That is exactly what the authors later built as
+//! *TurboSMARTS / SimFlex checkpointing*: store the architectural and
+//! warmable microarchitectural state at each sampling unit's
+//! warming-start point, then reconstitute units directly.
+//!
+//! This module implements that extension. A [`CheckpointLibrary`] is
+//! built with one functional-warming pass; [`SmartsSim::sample_library`]
+//! then measures the whole sample without executing a single
+//! fast-forward instruction. Because the long-history warm state is
+//! stored per checkpoint, the library can be replayed against any
+//! machine that shares the warmable-state geometry (caches, TLBs,
+//! predictor) — e.g. sweeps over FU counts, window sizes, store-buffer
+//! depth, or branch-penalty parameters reuse one library.
+//!
+//! Memory cost: each checkpoint holds a copy-on-write memory snapshot
+//! (cheap) plus a deep copy of the warm state (a few hundred KiB for the
+//! Table 3 machines), so libraries of a few hundred units are tens of
+//! megabytes.
+
+use crate::engine::{EngineSnapshot, FunctionalEngine};
+use crate::error::SmartsError;
+use crate::sampler::{
+    ModeInstructions, SampleReport, SamplingParams, SmartsSim, UnitSample, Warming,
+};
+use smarts_stats::RunningStats;
+use smarts_uarch::{MachineConfig, Pipeline, WarmState};
+use smarts_workloads::Benchmark;
+use std::time::{Duration, Instant};
+
+/// One reconstitutable sampling unit: architectural state plus warm
+/// microarchitectural state at the unit's detailed-warming start.
+#[derive(Debug, Clone)]
+struct UnitCheckpoint {
+    unit_start: u64,
+    snapshot: EngineSnapshot,
+    warm: WarmState,
+}
+
+/// A library of per-unit checkpoints for one benchmark and one sampling
+/// design, built by a single functional-warming pass.
+#[derive(Debug, Clone)]
+pub struct CheckpointLibrary {
+    params: SamplingParams,
+    program: smarts_isa::Program,
+    warm_geometry: MachineConfig,
+    checkpoints: Vec<UnitCheckpoint>,
+    build_wall: Duration,
+}
+
+impl CheckpointLibrary {
+    /// Number of checkpointed units.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the library holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// The sampling design the library was built for.
+    pub fn params(&self) -> &SamplingParams {
+        &self.params
+    }
+
+    /// Wall-clock spent building the library (the one-time cost that
+    /// replays amortize).
+    pub fn build_wall(&self) -> Duration {
+        self.build_wall
+    }
+
+    /// Whether a machine can replay this library: its warmable-state
+    /// geometry (caches, TLBs, branch predictor, memory latency) must
+    /// match the configuration the library was warmed for; the pipeline
+    /// core (widths, window, FUs, store buffer) may differ freely.
+    pub fn compatible_with(&self, cfg: &MachineConfig) -> bool {
+        let a = &self.warm_geometry;
+        a.l1i == cfg.l1i
+            && a.l1d == cfg.l1d
+            && a.l2 == cfg.l2
+            && a.itlb == cfg.itlb
+            && a.dtlb == cfg.dtlb
+            && a.bpred == cfg.bpred
+            && a.mem_latency == cfg.mem_latency
+    }
+}
+
+impl SmartsSim {
+    /// Builds a checkpoint library for a sampling design with one
+    /// functional-warming pass over the stream.
+    ///
+    /// With [`Warming::Functional`] the stored warm state at each unit is
+    /// the state a direct sampling run would have (up to the detailed
+    /// episodes' own pipeline-order updates). With [`Warming::None`] the
+    /// stored warm state is cold for every unit, so replays measure
+    /// cold-start units — a direct `Warming::None` run instead carries
+    /// *stale* state from the previous detailed episode; prefer
+    /// functional warming for libraries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters or when the stream ends
+    /// before the first unit.
+    pub fn build_library(
+        &self,
+        bench: &Benchmark,
+        params: &SamplingParams,
+    ) -> Result<CheckpointLibrary, SmartsError> {
+        params.validate()?;
+        let start = Instant::now();
+        let loaded = bench.load();
+        let program = loaded.program.clone();
+        let mut engine = FunctionalEngine::new(loaded);
+        let mut warm = WarmState::new(self.config());
+        let mut checkpoints = Vec::new();
+
+        let mut unit_index = params.offset;
+        loop {
+            if let Some(max) = params.max_units {
+                if checkpoints.len() as u64 >= max {
+                    break;
+                }
+            }
+            let unit_start = unit_index * params.unit_size;
+            let warm_start = unit_start.saturating_sub(params.detailed_warming);
+            match params.warming {
+                Warming::None => engine.fast_forward(warm_start),
+                Warming::Functional => engine.fast_forward_warming(warm_start, &mut warm),
+            };
+            if engine.finished() {
+                break;
+            }
+            if engine.position() > unit_start {
+                // Overlapping designs (k·U < W) can leave the engine past
+                // this unit entirely; skip to the next one.
+                unit_index += params.interval;
+                continue;
+            }
+            // The unit (and its detailed warming) must fit in the stream;
+            // probe cheaply by checkpointing now and validating on replay.
+            checkpoints.push(UnitCheckpoint {
+                unit_start,
+                snapshot: engine.snapshot(),
+                warm: warm.clone(),
+            });
+            unit_index += params.interval;
+        }
+        if checkpoints.is_empty() {
+            return Err(SmartsError::EmptySample);
+        }
+        Ok(CheckpointLibrary {
+            params: *params,
+            program,
+            warm_geometry: self.config().clone(),
+            checkpoints,
+            build_wall: start.elapsed(),
+        })
+    }
+
+    /// Measures the whole sample from a checkpoint library: no
+    /// fast-forwarding, one detailed `W + U` episode per checkpoint.
+    ///
+    /// The simulator's pipeline configuration may differ from the one the
+    /// library was built with, as long as the warmable-state geometry
+    /// matches ([`CheckpointLibrary::compatible_with`]) — this is how a
+    /// design-space sweep reuses one library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartsError::EmptySample`] when no checkpointed unit
+    /// completes, or a parameter error when the geometry is incompatible.
+    pub fn sample_library(&self, library: &CheckpointLibrary) -> Result<SampleReport, SmartsError> {
+        if !library.compatible_with(self.config()) {
+            return Err(SmartsError::ZeroParameter(
+                "warmable-state geometry differs from the library's",
+            ));
+        }
+        let params = library.params;
+        let t0 = Instant::now();
+        let mut units = Vec::new();
+        let mut cpi_stats = RunningStats::new();
+        let mut epi_stats = RunningStats::new();
+        let mut instructions = ModeInstructions::default();
+
+        for checkpoint in &library.checkpoints {
+            let mut engine = FunctionalEngine::from_snapshot(
+                library.program.clone(),
+                checkpoint.snapshot.clone(),
+            );
+            let mut warm = checkpoint.warm.clone();
+            let mut pipeline = Pipeline::new(self.config());
+            let warm_commits = checkpoint.unit_start.saturating_sub(engine.position());
+            let warm_run = pipeline.run(&mut warm, &mut engine, warm_commits, false);
+            let measured = pipeline.run(&mut warm, &mut engine, params.unit_size, true);
+            instructions.detailed_warmed += warm_run.instructions;
+            instructions.measured += measured.instructions;
+            if measured.instructions < params.unit_size {
+                break; // partial tail unit
+            }
+            let cpi = measured.cpi();
+            let epi = self.energy().energy_per_instruction(&measured.counters, measured.cycles);
+            cpi_stats.push(cpi);
+            epi_stats.push(epi);
+            units.push(UnitSample {
+                start_instr: checkpoint.unit_start,
+                cycles: measured.cycles,
+                instructions: measured.instructions,
+                cpi,
+                epi,
+                counters: measured.counters,
+            });
+        }
+        if units.is_empty() {
+            return Err(SmartsError::EmptySample);
+        }
+        Ok(SampleReport::from_parts(
+            params,
+            units,
+            instructions,
+            Duration::ZERO,
+            t0.elapsed(),
+            cpi_stats,
+            epi_stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_workloads::find;
+
+    fn sim() -> SmartsSim {
+        SmartsSim::new(MachineConfig::eight_way())
+    }
+
+    fn design(bench: &Benchmark, n: u64) -> SamplingParams {
+        SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            n,
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn library_replay_matches_direct_sampling() {
+        let sim = sim();
+        let bench = find("hashp-2").unwrap().scaled(0.1);
+        let params = design(&bench, 15);
+        let direct = sim.sample(&bench, &params).unwrap();
+        let library = sim.build_library(&bench, &params).unwrap();
+        let replay = sim.sample_library(&library).unwrap();
+        assert_eq!(direct.sample_size(), replay.sample_size());
+        // Units align exactly. Cycle counts may differ slightly: in the
+        // direct run each detailed episode warms the shared state through
+        // the pipeline's access stream, while the library warms everything
+        // functionally — two equally legitimate warming histories (the
+        // TurboSMARTS design point). Per-unit CPI must agree closely and
+        // the aggregate even more so.
+        for (a, b) in direct.units.iter().zip(&replay.units) {
+            assert_eq!(a.start_instr, b.start_instr);
+            let rel = (a.cpi - b.cpi).abs() / a.cpi;
+            assert!(rel < 0.15, "unit at {}: direct {} vs replay {}", a.start_instr, a.cpi, b.cpi);
+        }
+        let agg = (direct.cpi().mean() - replay.cpi().mean()).abs() / direct.cpi().mean();
+        assert!(agg < 0.02, "aggregate divergence {agg}");
+        // The first unit is bit-identical: no detailed episode precedes
+        // it, so both histories coincide.
+        assert_eq!(direct.units[0].cycles, replay.units[0].cycles);
+        assert_eq!(direct.units[0].counters, replay.units[0].counters);
+        // The replay did no fast-forwarding at all.
+        assert_eq!(replay.instructions.fast_forwarded, 0);
+    }
+
+    #[test]
+    fn library_is_replayable_many_times() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 8);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let a = sim.sample_library(&library).unwrap();
+        let b = sim.sample_library(&library).unwrap();
+        assert_eq!(a.cpi().mean(), b.cpi().mean());
+    }
+
+    #[test]
+    fn library_replays_against_modified_pipeline_core() {
+        // Same warm geometry, different core: halve the window and FUs.
+        let sim8 = sim();
+        let bench = find("branchy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 10);
+        let library = sim8.build_library(&bench, &params).unwrap();
+
+        let mut narrow = MachineConfig::eight_way();
+        narrow.ruu_size = 32;
+        narrow.lsq_size = 16;
+        narrow.issue_width = 2;
+        narrow.fetch_width = 2;
+        narrow.decode_width = 2;
+        narrow.commit_width = 2;
+        narrow.int_alu_units = 1;
+        let narrow_sim = SmartsSim::new(narrow);
+        assert!(library.compatible_with(narrow_sim.config()));
+        let wide = sim8.sample_library(&library).unwrap();
+        let slim = narrow_sim.sample_library(&library).unwrap();
+        assert!(
+            slim.cpi().mean() > wide.cpi().mean() * 1.2,
+            "narrow core {} should be slower than wide {}",
+            slim.cpi().mean(),
+            wide.cpi().mean()
+        );
+    }
+
+    #[test]
+    fn incompatible_geometry_is_rejected() {
+        let sim8 = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.02);
+        let library = sim8.build_library(&bench, &design(&bench, 5)).unwrap();
+        let sim16 = SmartsSim::new(MachineConfig::sixteen_way());
+        assert!(!library.compatible_with(sim16.config()));
+        assert!(sim16.sample_library(&library).is_err());
+    }
+
+    #[test]
+    fn library_len_matches_design() {
+        let sim = sim();
+        let bench = find("stream-2").unwrap().scaled(0.1);
+        let params = design(&bench, 12);
+        let library = sim.build_library(&bench, &params).unwrap();
+        assert!(!library.is_empty());
+        assert!((10..=16).contains(&library.len()), "len = {}", library.len());
+    }
+}

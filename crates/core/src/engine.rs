@@ -1,0 +1,164 @@
+//! The functional execution engine: SMARTS's fast-forwarding substrate.
+
+use smarts_isa::{Cpu, ExecRecord, Memory, Program};
+use smarts_uarch::{TraceSource, WarmState};
+use smarts_workloads::LoadedBenchmark;
+
+/// Owns the architectural state of one benchmark execution and exposes
+/// the three ways SMARTS consumes instructions:
+///
+/// * [`FunctionalEngine::fast_forward`] — plain functional simulation
+///   (architectural state only),
+/// * [`FunctionalEngine::fast_forward_warming`] — functional simulation
+///   plus functional warming of a [`WarmState`],
+/// * the [`TraceSource`] impl — feeding the detailed pipeline, which
+///   performs its own (timed) updates of the warm state.
+///
+/// `position` counts instructions consumed from the dynamic stream in any
+/// of the three modes, so the sampling driver can align sampling units on
+/// absolute stream offsets.
+#[derive(Debug, Clone)]
+pub struct FunctionalEngine {
+    cpu: Cpu,
+    memory: Memory,
+    program: Program,
+}
+
+/// A resumable snapshot of an engine's architectural state.
+///
+/// Cloning is cheap: memory pages are shared copy-on-write, so a snapshot
+/// costs O(pages) reference bumps. Used by the checkpoint library to jump
+/// straight to a sampling unit without fast-forwarding.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    cpu: Cpu,
+    memory: Memory,
+}
+
+impl FunctionalEngine {
+    /// Starts an engine at the entry point of a loaded benchmark.
+    pub fn new(loaded: LoadedBenchmark) -> Self {
+        FunctionalEngine { cpu: Cpu::new(), memory: loaded.memory, program: loaded.program }
+    }
+
+    /// Captures the current architectural state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot { cpu: self.cpu.clone(), memory: self.memory.clone() }
+    }
+
+    /// Resumes an engine from a snapshot of the same program.
+    pub fn from_snapshot(program: Program, snapshot: EngineSnapshot) -> Self {
+        FunctionalEngine { cpu: snapshot.cpu, memory: snapshot.memory, program }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Instructions consumed from the dynamic stream so far.
+    pub fn position(&self) -> u64 {
+        self.cpu.retired()
+    }
+
+    /// Whether the program has executed its `halt`.
+    pub fn finished(&self) -> bool {
+        self.cpu.halted()
+    }
+
+    /// Read-only access to the architectural CPU state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Functionally executes until `position() >= target` (or the program
+    /// halts), updating architectural state only. Returns the number of
+    /// instructions executed.
+    pub fn fast_forward(&mut self, target: u64) -> u64 {
+        let mut executed = 0;
+        while self.cpu.retired() < target && !self.cpu.halted() {
+            if self.cpu.step(&self.program, &mut self.memory).is_err() {
+                break;
+            }
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Functionally executes until `position() >= target` (or halt),
+    /// applying functional warming to `warm` for every instruction.
+    /// Returns the number of instructions executed.
+    pub fn fast_forward_warming(&mut self, target: u64, warm: &mut WarmState) -> u64 {
+        let mut executed = 0;
+        while self.cpu.retired() < target && !self.cpu.halted() {
+            match self.cpu.step(&self.program, &mut self.memory) {
+                Ok(rec) => warm.warm_record(&rec),
+                Err(_) => break,
+            }
+            executed += 1;
+        }
+        executed
+    }
+}
+
+impl TraceSource for FunctionalEngine {
+    fn next_record(&mut self) -> Option<ExecRecord> {
+        if self.cpu.halted() {
+            return None;
+        }
+        self.cpu.step(&self.program, &mut self.memory).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_uarch::MachineConfig;
+    use smarts_workloads::find;
+
+    fn tiny() -> LoadedBenchmark {
+        find("loopy-1").unwrap().scaled(0.01).load()
+    }
+
+    #[test]
+    fn fast_forward_advances_to_target() {
+        let mut engine = FunctionalEngine::new(tiny());
+        let executed = engine.fast_forward(1000);
+        assert_eq!(executed, 1000);
+        assert_eq!(engine.position(), 1000);
+        assert!(!engine.finished());
+    }
+
+    #[test]
+    fn fast_forward_stops_at_halt() {
+        let mut engine = FunctionalEngine::new(tiny());
+        engine.fast_forward(u64::MAX - 1);
+        assert!(engine.finished());
+        let at_halt = engine.position();
+        assert_eq!(engine.fast_forward(u64::MAX - 1), 0);
+        assert_eq!(engine.position(), at_halt);
+    }
+
+    #[test]
+    fn warming_mode_advances_state_identically() {
+        let cfg = MachineConfig::eight_way();
+        let mut warm = WarmState::new(&cfg);
+        let mut plain = FunctionalEngine::new(tiny());
+        let mut warming = FunctionalEngine::new(tiny());
+        plain.fast_forward(5000);
+        warming.fast_forward_warming(5000, &mut warm);
+        // Architectural state is identical regardless of warming.
+        assert_eq!(plain.cpu(), warming.cpu());
+        // And the warm state saw I-side traffic.
+        assert!(warm.hierarchy.l1i().accesses() > 0);
+    }
+
+    #[test]
+    fn trace_source_counts_toward_position() {
+        let mut engine = FunctionalEngine::new(tiny());
+        engine.fast_forward(100);
+        let rec = engine.next_record().unwrap();
+        assert_eq!(engine.position(), 101);
+        assert_eq!(rec.pc, rec.pc); // record is well-formed
+    }
+}

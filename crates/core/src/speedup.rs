@@ -1,0 +1,140 @@
+//! The analytical simulation-rate model of Section 3.4 (Figure 4).
+
+/// Simulation rates normalized to plain functional simulation
+/// (`S_F ≡ 1.0`).
+///
+/// * `s_d` — detailed simulation rate relative to functional (the paper
+///   uses 1/60 for today's simulators and 1/600 for future ones).
+/// * `s_fw` — functional-warming rate relative to functional (≈ 0.55 in
+///   SMARTSim: warming adds ~75% overhead).
+///
+/// # Examples
+///
+/// ```
+/// use smarts_core::SpeedupModel;
+///
+/// let model = SpeedupModel::paper();
+/// let n = 10_000.0;
+/// let big = 10e9;
+/// // With W bounded small by functional warming, the rate stays near S_FW.
+/// let rate = model.functional_warming_rate(n, 1000.0, 2000.0, big);
+/// assert!(rate > 0.5 && rate < 0.56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupModel {
+    /// Detailed-simulation rate relative to `S_F = 1`.
+    pub s_d: f64,
+    /// Functional-warming rate relative to `S_F = 1`.
+    pub s_fw: f64,
+}
+
+impl SpeedupModel {
+    /// The paper's contemporary operating point: `S_D = 1/60`,
+    /// `S_FW = 0.55`.
+    pub fn paper() -> Self {
+        SpeedupModel { s_d: 1.0 / 60.0, s_fw: 0.55 }
+    }
+
+    /// The paper's projected future detailed simulator: `S_D = 1/600`.
+    pub fn future() -> Self {
+        SpeedupModel { s_d: 1.0 / 600.0, s_fw: 0.55 }
+    }
+
+    /// SMARTS simulation rate with detailed warming only (no functional
+    /// warming), from the paper:
+    /// `S = S_F·[N − n(U+W)]/N + S_D·[n(U+W)]/N`.
+    ///
+    /// All quantities in instructions; `n` is the number of sampling
+    /// units. The rate is clamped to the all-detailed rate when
+    /// `n(U+W) > N`.
+    pub fn detailed_warming_rate(&self, n: f64, u: f64, w: f64, stream: f64) -> f64 {
+        let detailed = (n * (u + w)).min(stream);
+        let functional = stream - detailed;
+        (functional + self.s_d * detailed) / stream
+    }
+
+    /// SMARTS simulation rate with functional warming: the fast-forward
+    /// portion advances at `S_FW` instead of `S_F`.
+    pub fn functional_warming_rate(&self, n: f64, u: f64, w: f64, stream: f64) -> f64 {
+        let detailed = (n * (u + w)).min(stream);
+        let functional = stream - detailed;
+        (self.s_fw * functional + self.s_d * detailed) / stream
+    }
+
+    /// Wall-clock seconds to simulate `stream` instructions at the given
+    /// normalized rate, assuming plain functional simulation runs at
+    /// `functional_mips` million instructions per second.
+    pub fn runtime_seconds(rate: f64, stream: f64, functional_mips: f64) -> f64 {
+        assert!(rate > 0.0 && functional_mips > 0.0);
+        stream / (rate * functional_mips * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: f64 = 10e9;
+
+    #[test]
+    fn rate_is_one_with_no_detail() {
+        let m = SpeedupModel::paper();
+        assert!((m.detailed_warming_rate(0.0, 1000.0, 0.0, STREAM) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_collapses_to_s_d_when_all_detailed() {
+        let m = SpeedupModel::paper();
+        let rate = m.detailed_warming_rate(1e7, 1000.0, 0.0, STREAM);
+        assert!((rate - m.s_d).abs() < 1e-9);
+        // Oversubscription clamps rather than going negative.
+        let over = m.detailed_warming_rate(1e9, 1000.0, 1000.0, STREAM);
+        assert!((over - m.s_d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_decreases_monotonically_with_w() {
+        let m = SpeedupModel::paper();
+        let mut last = f64::INFINITY;
+        for w in [0.0, 1e3, 1e4, 1e5] {
+            let rate = m.detailed_warming_rate(10_000.0, 1000.0, w, STREAM);
+            assert!(rate < last, "rate {rate} at W={w}");
+            last = rate;
+        }
+        // Once n(U+W) exceeds the stream the rate saturates at S_D.
+        let saturated = m.detailed_warming_rate(10_000.0, 1000.0, 1e7, STREAM);
+        assert!((saturated - m.s_d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn future_simulator_collapses_earlier_and_harder() {
+        // The Figure 4 observation: smaller S_D makes the rate fall
+        // earlier and more sharply as W grows.
+        let today = SpeedupModel::paper();
+        let future = SpeedupModel::future();
+        let w = 1e6;
+        let rate_today = today.detailed_warming_rate(10_000.0, 1000.0, w, STREAM);
+        let rate_future = future.detailed_warming_rate(10_000.0, 1000.0, w, STREAM);
+        assert!(rate_future < rate_today / 2.0);
+    }
+
+    #[test]
+    fn functional_warming_is_insensitive_to_s_d() {
+        // With W bounded to thousands, the functional-warming rate barely
+        // moves when the detailed simulator slows 10×.
+        let today = SpeedupModel::paper();
+        let future = SpeedupModel::future();
+        let args = (10_000.0, 1000.0, 2000.0, STREAM);
+        let r1 = today.functional_warming_rate(args.0, args.1, args.2, args.3);
+        let r2 = future.functional_warming_rate(args.0, args.1, args.2, args.3);
+        assert!((r1 - r2).abs() / r1 < 0.01, "r1={r1} r2={r2}");
+        assert!((r1 - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn runtime_conversion() {
+        // 10 G instructions at rate 0.5 and 10 MIPS functional: 2000 s.
+        let secs = SpeedupModel::runtime_seconds(0.5, 10e9, 10.0);
+        assert!((secs - 2000.0).abs() < 1e-9);
+    }
+}

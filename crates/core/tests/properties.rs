@@ -1,0 +1,82 @@
+//! Property-based tests of the sampling driver's invariants.
+
+use proptest::prelude::*;
+use smarts_core::{SamplingParams, SmartsSim, Warming};
+use smarts_uarch::MachineConfig;
+use smarts_workloads::find;
+
+fn sim() -> SmartsSim {
+    SmartsSim::new(MachineConfig::eight_way())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sampling_invariants_hold_for_any_design(
+        unit_size in prop_oneof![Just(250u64), Just(500), Just(1000), Just(2000)],
+        w in prop_oneof![Just(0u64), Just(500), Just(2000)],
+        n in 3u64..12,
+        offset in 0u64..3,
+        functional in proptest::bool::ANY,
+    ) {
+        let bench = find("branchy-1").unwrap().scaled(0.05);
+        let warming = if functional { Warming::Functional } else { Warming::None };
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len(), unit_size, w, warming, n, 0,
+        ).unwrap();
+        let Ok(params) = params.with_offset(offset.min(params.interval - 1)) else {
+            return Ok(());
+        };
+        let report = sim().sample(&bench, &params).unwrap();
+
+        // Units are aligned on the systematic grid.
+        let stride = params.interval * unit_size;
+        for unit in &report.units {
+            prop_assert_eq!(
+                (unit.start_instr / unit_size) % params.interval,
+                params.offset
+            );
+            prop_assert_eq!(unit.instructions, unit_size);
+            prop_assert!(unit.cpi > 0.0 && unit.cpi.is_finite());
+            prop_assert!(unit.epi > 0.0 && unit.epi.is_finite());
+        }
+        for pair in report.units.windows(2) {
+            prop_assert_eq!(pair[1].start_instr - pair[0].start_instr, stride);
+        }
+
+        // Accounting: measured = n·U; detailed warming ≤ n·W; the total
+        // consumed never exceeds the stream (pipeline overshoot ≤ one
+        // window per unit).
+        let m = &report.instructions;
+        // A trailing partial unit contributes measured instructions
+        // without being recorded as a sample, so allow up to U extra.
+        prop_assert!(m.measured >= report.sample_size() * unit_size);
+        prop_assert!(m.measured < (report.sample_size() + 1) * unit_size);
+        prop_assert!(m.detailed_warmed <= (report.sample_size() + 1) * w.max(1));
+        prop_assert!((0.0..=1.0).contains(&m.detailed_fraction()));
+
+        // The estimate is a plain average of per-unit values.
+        let mean: f64 =
+            report.units.iter().map(|u| u.cpi).sum::<f64>() / report.sample_size() as f64;
+        prop_assert!((report.cpi().mean() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warming_mode_never_changes_which_units_are_measured(
+        n in 4u64..10,
+        offset in 0u64..2,
+    ) {
+        let bench = find("hashp-2").unwrap().scaled(0.05);
+        let build = |warming| {
+            SamplingParams::for_sample_size(bench.approx_len(), 1000, 1000, warming, n, offset)
+                .unwrap()
+        };
+        let cold = sim().sample(&bench, &build(Warming::None)).unwrap();
+        let warm = sim().sample(&bench, &build(Warming::Functional)).unwrap();
+        prop_assert_eq!(cold.sample_size(), warm.sample_size());
+        for (a, b) in cold.units.iter().zip(&warm.units) {
+            prop_assert_eq!(a.start_instr, b.start_instr);
+        }
+    }
+}

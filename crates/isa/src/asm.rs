@@ -1,0 +1,488 @@
+use crate::{reg, Inst, IsaError, Opcode, Program};
+
+/// An opaque forward-referenceable code label.
+///
+/// Created with [`Asm::label`], bound to the current position with
+/// [`Asm::bind`], and usable as a branch or jump target before or after
+/// binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A label-based assembler for building [`Program`]s.
+///
+/// There is no binary instruction encoding in this substrate; the
+/// assembler exists to resolve labels and to make workload kernels
+/// readable. Every emit method returns `&mut Self` so sequences chain.
+///
+/// # Examples
+///
+/// ```
+/// use smarts_isa::{Asm, reg};
+///
+/// # fn main() -> Result<(), smarts_isa::IsaError> {
+/// let mut a = Asm::new();
+/// let done = a.label();
+/// a.li(reg::T0, 3);
+/// a.beq(reg::T0, reg::ZERO, done); // forward reference
+/// a.addi(reg::T0, reg::T0, -1);
+/// a.bind(done)?;
+/// a.halt();
+/// let program = a.finish()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    // labels[id] = Some(instruction index) once bound.
+    labels: Vec<Option<u64>>,
+    // (instruction index, label id) pairs whose imm awaits resolution.
+    fixups: Vec<(usize, usize)>,
+}
+
+macro_rules! emit_rrr {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+                self.emit(Inst::new(Opcode::$op, rd, rs1, rs2, 0))
+            }
+        )+
+    };
+}
+
+macro_rules! emit_rri {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, rd: u8, rs1: u8, imm: i64) -> &mut Self {
+                self.emit(Inst::new(Opcode::$op, rd, rs1, 0, imm))
+            }
+        )+
+    };
+}
+
+macro_rules! emit_branch {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+                self.emit_label_target(Opcode::$op, 0, rs1, rs2, target)
+            }
+        )+
+    };
+}
+
+macro_rules! emit_mem {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, r: u8, base: u8, disp: i64) -> &mut Self {
+                self.emit(Inst::new(Opcode::$op, r, base, 0, disp))
+            }
+        )+
+    };
+}
+
+macro_rules! emit_store {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, src: u8, base: u8, disp: i64) -> &mut Self {
+                self.emit(Inst::new(Opcode::$op, 0, base, src, disp))
+            }
+        )+
+    };
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current position (index of the next emitted instruction).
+    pub fn here(&self) -> u64 {
+        self.insts.len() as u64
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RedefinedLabel`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<&mut Self, IsaError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(IsaError::RedefinedLabel(label.0));
+        }
+        *slot = Some(self.insts.len() as u64);
+        Ok(self)
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit_label_target(
+        &mut self,
+        op: Opcode,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+        target: Label,
+    ) -> &mut Self {
+        let at = self.insts.len();
+        self.insts.push(Inst::new(op, rd, rs1, rs2, 0));
+        self.fixups.push((at, target.0));
+        self
+    }
+
+    emit_rrr! {
+        /// `rd ← rs1 + rs2`
+        add => Add,
+        /// `rd ← rs1 − rs2`
+        sub => Sub,
+        /// `rd ← rs1 × rs2` (low 64 bits)
+        mul => Mul,
+        /// `rd ← rs1 ÷ rs2` (unsigned; ÷0 yields all-ones)
+        div => Div,
+        /// `rd ← rs1 mod rs2` (unsigned; mod 0 yields rs1)
+        rem => Rem,
+        /// `rd ← rs1 & rs2`
+        and => And,
+        /// `rd ← rs1 | rs2`
+        or => Or,
+        /// `rd ← rs1 ^ rs2`
+        xor => Xor,
+        /// `rd ← rs1 << (rs2 & 63)`
+        sll => Sll,
+        /// `rd ← rs1 >> (rs2 & 63)` (logical)
+        srl => Srl,
+        /// `rd ← rs1 >> (rs2 & 63)` (arithmetic)
+        sra => Sra,
+        /// `rd ← (rs1 <ₛ rs2) ? 1 : 0`
+        slt => Slt,
+        /// `rd ← (rs1 <ᵤ rs2) ? 1 : 0`
+        sltu => Sltu,
+        /// `rd ← min(rs1, rs2)` over f64 registers
+        fmin => FMin,
+        /// `rd ← max(rs1, rs2)` over f64 registers
+        fmax => FMax,
+        /// `rd ← rs1 + rs2` over f64 registers
+        fadd => FAdd,
+        /// `rd ← rs1 − rs2` over f64 registers
+        fsub => FSub,
+        /// `rd ← rs1 × rs2` over f64 registers
+        fmul => FMul,
+        /// `rd ← rs1 ÷ rs2` over f64 registers
+        fdiv => FDiv,
+        /// `rd ← (f[rs1] < f[rs2]) ? 1 : 0` into the integer file
+        flt => FLt,
+        /// `rd ← (f[rs1] ≤ f[rs2]) ? 1 : 0` into the integer file
+        fle => FLe,
+        /// `rd ← (f[rs1] = f[rs2]) ? 1 : 0` into the integer file
+        feq => FEq,
+    }
+
+    emit_rri! {
+        /// `rd ← rs1 + imm`
+        addi => Addi,
+        /// `rd ← rs1 & imm`
+        andi => Andi,
+        /// `rd ← rs1 | imm`
+        ori => Ori,
+        /// `rd ← rs1 ^ imm`
+        xori => Xori,
+        /// `rd ← rs1 << (imm & 63)`
+        slli => Slli,
+        /// `rd ← rs1 >> (imm & 63)` (logical)
+        srli => Srli,
+        /// `rd ← rs1 >> (imm & 63)` (arithmetic)
+        srai => Srai,
+        /// `rd ← (rs1 <ₛ imm) ? 1 : 0`
+        slti => Slti,
+    }
+
+    emit_mem! {
+        /// Load signed byte.
+        lb => Lb,
+        /// Load unsigned byte.
+        lbu => Lbu,
+        /// Load signed halfword.
+        lh => Lh,
+        /// Load unsigned halfword.
+        lhu => Lhu,
+        /// Load signed word.
+        lw => Lw,
+        /// Load unsigned word.
+        lwu => Lwu,
+        /// Load doubleword.
+        ld => Ld,
+        /// Load an f64 into a floating-point register.
+        fld => FLd,
+    }
+
+    emit_store! {
+        /// Store low byte of `src`.
+        sb => Sb,
+        /// Store low halfword of `src`.
+        sh => Sh,
+        /// Store low word of `src`.
+        sw => Sw,
+        /// Store doubleword of `src`.
+        sd => Sd,
+        /// Store floating-point register `src` as an f64.
+        fsd => FSd,
+    }
+
+    emit_branch! {
+        /// Branch to `target` if `rs1 = rs2`.
+        beq => Beq,
+        /// Branch to `target` if `rs1 ≠ rs2`.
+        bne => Bne,
+        /// Branch to `target` if `rs1 <ₛ rs2`.
+        blt => Blt,
+        /// Branch to `target` if `rs1 ≥ₛ rs2`.
+        bge => Bge,
+        /// Branch to `target` if `rs1 <ᵤ rs2`.
+        bltu => Bltu,
+        /// Branch to `target` if `rs1 ≥ᵤ rs2`.
+        bgeu => Bgeu,
+    }
+
+    /// Branch to `target` if `rs1 ≤ₛ rs2` (pseudo-op: `bge rs2, rs1`).
+    pub fn ble(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.bge(rs2, rs1, target)
+    }
+
+    /// Branch to `target` if `rs1 >ₛ rs2` (pseudo-op: `blt rs2, rs1`).
+    pub fn bgt(&mut self, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.blt(rs2, rs1, target)
+    }
+
+    /// Branch to `target` if `rs1 = 0`.
+    pub fn beqz(&mut self, rs1: u8, target: Label) -> &mut Self {
+        self.beq(rs1, reg::ZERO, target)
+    }
+
+    /// Branch to `target` if `rs1 ≠ 0`.
+    pub fn bnez(&mut self, rs1: u8, target: Label) -> &mut Self {
+        self.bne(rs1, reg::ZERO, target)
+    }
+
+    /// `rd ← imm` (load full 64-bit immediate).
+    pub fn li(&mut self, rd: u8, imm: i64) -> &mut Self {
+        self.emit(Inst::new(Opcode::Li, rd, 0, 0, imm))
+    }
+
+    /// `rd ← f64 immediate` (floating-point register).
+    pub fn fli(&mut self, rd: u8, value: f64) -> &mut Self {
+        self.emit(Inst::new(Opcode::FLi, rd, 0, 0, value.to_bits() as i64))
+    }
+
+    /// `rd ← rs1` (pseudo-op: `addi rd, rs1, 0`).
+    pub fn mv(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.addi(rd, rs1, 0)
+    }
+
+    /// `f[rd] ← f[rs1] + f64 ALU move` (pseudo-op: `fadd rd, rs1, f0`
+    /// is wrong in general, so use min with itself).
+    pub fn fmv(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FMin, rd, rs1, rs1, 0))
+    }
+
+    /// `f[rd] ← √f[rs1]`
+    pub fn fsqrt(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FSqrt, rd, rs1, 0, 0))
+    }
+
+    /// `f[rd] ← |f[rs1]|`
+    pub fn fabs(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FAbs, rd, rs1, 0, 0))
+    }
+
+    /// `f[rd] ← −f[rs1]`
+    pub fn fneg(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FNeg, rd, rs1, 0, 0))
+    }
+
+    /// `f[rd] ← (f64) x[rs1]` (signed conversion).
+    pub fn fcvt_if(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FCvtIf, rd, rs1, 0, 0))
+    }
+
+    /// `x[rd] ← (i64) f[rs1]` (truncating, saturating conversion).
+    pub fn fcvt_fi(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FCvtFi, rd, rs1, 0, 0))
+    }
+
+    /// `f[rd] ← bits of x[rs1]`.
+    pub fn fmv_if(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FMvIf, rd, rs1, 0, 0))
+    }
+
+    /// `x[rd] ← bits of f[rs1]`.
+    pub fn fmv_fi(&mut self, rd: u8, rs1: u8) -> &mut Self {
+        self.emit(Inst::new(Opcode::FMvFi, rd, rs1, 0, 0))
+    }
+
+    /// Unconditional jump to `target` (pseudo-op: `jal x0, target`).
+    pub fn j(&mut self, target: Label) -> &mut Self {
+        self.emit_label_target(Opcode::Jal, reg::ZERO, 0, 0, target)
+    }
+
+    /// Call: `ra ← pc+1; pc ← target`.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.emit_label_target(Opcode::Jal, reg::RA, 0, 0, target)
+    }
+
+    /// Return: `pc ← ra` (pseudo-op: `jalr x0, ra, 0`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Inst::new(Opcode::Jalr, reg::ZERO, reg::RA, 0, 0))
+    }
+
+    /// Indirect jump: `pc ← x[rs1] + imm` (instruction-index arithmetic).
+    pub fn jr(&mut self, rs1: u8, imm: i64) -> &mut Self {
+        self.emit(Inst::new(Opcode::Jalr, reg::ZERO, rs1, 0, imm))
+    }
+
+    /// Indirect call: `ra ← pc+1; pc ← x[rs1] + imm`.
+    pub fn callr(&mut self, rs1: u8, imm: i64) -> &mut Self {
+        self.emit(Inst::new(Opcode::Jalr, reg::RA, rs1, 0, imm))
+    }
+
+    /// `jal rd, target` with an arbitrary link register.
+    pub fn jal(&mut self, rd: u8, target: Label) -> &mut Self {
+        self.emit_label_target(Opcode::Jal, rd, 0, 0, target)
+    }
+
+    /// Loads the (eventual) instruction index of `target` into `rd`,
+    /// for computed jumps through `jr`.
+    pub fn la(&mut self, rd: u8, target: Label) -> &mut Self {
+        self.emit_label_target(Opcode::Li, rd, 0, 0, target)
+    }
+
+    /// No-operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::nop())
+    }
+
+    /// Halts the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::new(Opcode::Halt, 0, 0, 0, 0))
+    }
+
+    /// Resolves all label references and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] if any referenced label was never
+    /// bound, or [`IsaError::EmptyProgram`] if nothing was emitted.
+    pub fn finish(mut self) -> Result<Program, IsaError> {
+        for &(at, label_id) in &self.fixups {
+            let target = self.labels[label_id].ok_or(IsaError::UnboundLabel(label_id))?;
+            self.insts[at].imm = target as i64;
+        }
+        Program::from_insts(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpClass;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.label();
+        let back = a.label();
+        a.bind(back).unwrap();
+        a.addi(reg::T0, reg::T0, 1); // index 0
+        a.beq(reg::T0, reg::T1, fwd); // index 1 -> 4
+        a.j(back); // index 2 -> 0
+        a.nop(); // index 3
+        a.bind(fwd).unwrap();
+        a.halt(); // index 4
+        let program = a.finish().unwrap();
+        assert_eq!(program.get(1).unwrap().imm, 4);
+        assert_eq!(program.get(2).unwrap().imm, 0);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let never = a.label();
+        a.j(never);
+        assert_eq!(a.finish(), Err(IsaError::UnboundLabel(0)));
+    }
+
+    #[test]
+    fn double_bind_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.bind(l).unwrap();
+        a.nop();
+        assert_eq!(a.bind(l).unwrap_err(), IsaError::RedefinedLabel(0));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(Asm::new().finish(), Err(IsaError::EmptyProgram));
+    }
+
+    #[test]
+    fn pseudo_ops_lower_correctly() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.bind(l).unwrap();
+        a.ble(reg::T0, reg::T1, l); // bge t1, t0
+        a.bgt(reg::T0, reg::T1, l); // blt t1, t0
+        a.mv(reg::T2, reg::T3);
+        a.ret();
+        let program = a.finish().unwrap();
+        let ble = program.get(0).unwrap();
+        assert_eq!(ble.op, Opcode::Bge);
+        assert_eq!((ble.rs1, ble.rs2), (reg::T1, reg::T0));
+        let bgt = program.get(1).unwrap();
+        assert_eq!(bgt.op, Opcode::Blt);
+        let mv = program.get(2).unwrap();
+        assert_eq!((mv.op, mv.imm), (Opcode::Addi, 0));
+        assert_eq!(program.get(3).unwrap().class(), OpClass::Return);
+    }
+
+    #[test]
+    fn la_materializes_label_index() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.la(reg::T0, f);
+        a.jr(reg::T0, 0);
+        a.bind(f).unwrap();
+        a.halt();
+        let program = a.finish().unwrap();
+        assert_eq!(program.get(0).unwrap().imm, 2);
+    }
+
+    #[test]
+    fn call_links_ra() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call(f);
+        a.halt();
+        a.bind(f).unwrap();
+        a.ret();
+        let program = a.finish().unwrap();
+        assert_eq!(program.get(0).unwrap().class(), OpClass::Call);
+        assert_eq!(program.get(0).unwrap().imm, 2);
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for functional execution and program assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The program counter left the program's text section.
+    PcOutOfRange {
+        /// The offending instruction index.
+        pc: u64,
+        /// Number of instructions in the program.
+        len: u64,
+    },
+    /// Stepping a CPU that has already executed a `halt`.
+    Halted,
+    /// A register operand outside 0..=31.
+    InvalidRegister(u8),
+    /// A label was referenced but never bound to a position.
+    UnboundLabel(usize),
+    /// A label was bound more than once.
+    RedefinedLabel(usize),
+    /// The assembled program is empty.
+    EmptyProgram,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::PcOutOfRange { pc, len } => {
+                write!(f, "program counter {pc} outside program of {len} instructions")
+            }
+            IsaError::Halted => write!(f, "cpu has halted"),
+            IsaError::InvalidRegister(r) => write!(f, "register index {r} outside 0..=31"),
+            IsaError::UnboundLabel(id) => write!(f, "label {id} referenced but never bound"),
+            IsaError::RedefinedLabel(id) => write!(f, "label {id} bound more than once"),
+            IsaError::EmptyProgram => write!(f, "assembled program contains no instructions"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            IsaError::PcOutOfRange { pc: 10, len: 5 },
+            IsaError::Halted,
+            IsaError::InvalidRegister(40),
+            IsaError::UnboundLabel(3),
+            IsaError::RedefinedLabel(3),
+            IsaError::EmptyProgram,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the ISA substrate: memory, assembler, and the
+//! functional CPU's architectural invariants.
+
+use proptest::prelude::*;
+use smarts_isa::{reg, Asm, Cpu, Inst, Memory, Opcode, Program};
+
+fn arb_alu_op() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Add),
+        Just(Opcode::Sub),
+        Just(Opcode::Mul),
+        Just(Opcode::Div),
+        Just(Opcode::Rem),
+        Just(Opcode::And),
+        Just(Opcode::Or),
+        Just(Opcode::Xor),
+        Just(Opcode::Sll),
+        Just(Opcode::Srl),
+        Just(Opcode::Sra),
+        Just(Opcode::Slt),
+        Just(Opcode::Sltu),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn memory_roundtrips_any_u64(addr in 0u64..u64::MAX - 8, value: u64) {
+        let mut mem = Memory::new();
+        mem.write_u64(addr, value);
+        prop_assert_eq!(mem.read_u64(addr), value);
+    }
+
+    #[test]
+    fn memory_narrow_writes_compose(addr in 0u64..1u64 << 40, bytes: [u8; 8]) {
+        let mut mem = Memory::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            mem.write_u8(addr + i as u64, b);
+        }
+        prop_assert_eq!(mem.read_u64(addr), u64::from_le_bytes(bytes));
+    }
+
+    #[test]
+    fn memory_adjacent_writes_do_not_interfere(
+        addr in 8u64..1u64 << 40,
+        a: u64,
+        b: u64,
+    ) {
+        let mut mem = Memory::new();
+        mem.write_u64(addr - 8, a);
+        mem.write_u64(addr + 8, b);
+        prop_assert_eq!(mem.read_u64(addr - 8), a);
+        prop_assert_eq!(mem.read_u64(addr + 8), b);
+        // The word between the two writes was never touched.
+        prop_assert_eq!(mem.read_u64(addr), 0);
+    }
+
+    #[test]
+    fn zero_register_survives_any_alu_storm(
+        ops in proptest::collection::vec((arb_alu_op(), 0u8..8, 0u8..8, 0u8..8), 1..200),
+    ) {
+        // Random ALU programs over registers 0..8 never corrupt x0 and
+        // never touch memory or control flow.
+        let mut insts = Vec::new();
+        for (op, rd, rs1, rs2) in ops {
+            insts.push(Inst::new(op, rd, rs1, rs2, 0));
+        }
+        insts.push(Inst::new(Opcode::Halt, 0, 0, 0, 0));
+        let len = insts.len() as u64;
+        let program = Program::from_insts(insts).unwrap();
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            let rec = cpu.step(&program, &mut mem).unwrap();
+            prop_assert!(rec.mem.is_none());
+            prop_assert!(!rec.taken);
+        }
+        prop_assert_eq!(cpu.reg(0), 0);
+        prop_assert_eq!(cpu.retired(), len);
+        prop_assert_eq!(mem.page_count(), 0);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_through_the_cpu(
+        base in 0x1000u64..0x100_0000,
+        value: u64,
+        disp in 0i64..256,
+    ) {
+        let mut a = Asm::new();
+        a.li(reg::S0, base as i64);
+        a.li(reg::T0, value as i64);
+        a.sd(reg::T0, reg::S0, disp);
+        a.ld(reg::T1, reg::S0, disp);
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            cpu.step(&program, &mut mem).unwrap();
+        }
+        prop_assert_eq!(cpu.reg(reg::T1), value);
+    }
+
+    #[test]
+    fn branch_taken_iff_condition_holds(lhs: i64, rhs: i64) {
+        let cases = [
+            (Opcode::Beq, lhs == rhs),
+            (Opcode::Bne, lhs != rhs),
+            (Opcode::Blt, lhs < rhs),
+            (Opcode::Bge, lhs >= rhs),
+            (Opcode::Bltu, (lhs as u64) < (rhs as u64)),
+            (Opcode::Bgeu, (lhs as u64) >= (rhs as u64)),
+        ];
+        for (op, expect) in cases {
+            let insts = vec![
+                Inst::new(Opcode::Li, reg::T0, 0, 0, lhs),
+                Inst::new(Opcode::Li, reg::T1, 0, 0, rhs),
+                Inst::new(op, 0, reg::T0, reg::T1, 4),
+                Inst::new(Opcode::Halt, 0, 0, 0, 0), // fall-through
+                Inst::new(Opcode::Halt, 0, 0, 0, 0), // target
+            ];
+            let program = Program::from_insts(insts).unwrap();
+            let mut cpu = Cpu::new();
+            let mut mem = Memory::new();
+            cpu.step(&program, &mut mem).unwrap();
+            cpu.step(&program, &mut mem).unwrap();
+            let rec = cpu.step(&program, &mut mem).unwrap();
+            prop_assert_eq!(rec.taken, expect, "{:?} {} {}", op, lhs, rhs);
+            prop_assert_eq!(rec.next_pc, if expect { 4 } else { 3 });
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic(seed_ops in proptest::collection::vec((arb_alu_op(), 0u8..16, 0u8..16, 0u8..16), 1..100)) {
+        let mut insts: Vec<Inst> = seed_ops
+            .iter()
+            .map(|&(op, rd, rs1, rs2)| Inst::new(op, rd, rs1, rs2, 7))
+            .collect();
+        insts.push(Inst::new(Opcode::Halt, 0, 0, 0, 0));
+        let program = Program::from_insts(insts).unwrap();
+        let run = || {
+            let mut cpu = Cpu::new();
+            let mut mem = Memory::new();
+            while !cpu.halted() {
+                cpu.step(&program, &mut mem).unwrap();
+            }
+            (0..32).map(|r| cpu.reg(r)).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn assembler_labels_resolve_to_bound_positions(extra_nops in 0usize..20) {
+        let mut a = Asm::new();
+        let target = a.label();
+        a.j(target);
+        for _ in 0..extra_nops {
+            a.nop();
+        }
+        a.bind(target).unwrap();
+        a.halt();
+        let program = a.finish().unwrap();
+        prop_assert_eq!(program.get(0).unwrap().imm as u64, 1 + extra_nops as u64);
+    }
+}

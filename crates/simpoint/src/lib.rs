@@ -1,0 +1,48 @@
+//! SimPoint baseline for the SMARTS reproduction (Section 5.3 of the
+//! paper).
+//!
+//! SimPoint (Sherwood et al., ASPLOS 2002) reduces simulation time by
+//! clustering fixed-length intervals of the dynamic instruction stream by
+//! their *basic block vectors* and simulating one weighted representative
+//! per cluster. This crate implements the published pipeline from
+//! scratch:
+//!
+//! 1. [`profile`] — per-interval basic-block-vector profiling,
+//! 2. random projection to a small dimensionality,
+//! 3. [`kmeans`] with k-means++ seeding and [`bic`] model scoring,
+//! 4. [`select`] — centroid-nearest representative per cluster, weighted
+//!    by cluster size,
+//! 5. [`estimate_cpi`] — detailed simulation of the representatives
+//!    (cold-started, as the original tool assumes large intervals warm
+//!    themselves).
+//!
+//! The Figure 8 comparison emerges naturally: SimPoint is competitive on
+//! phase-stable workloads but can err arbitrarily when similar BBVs hide
+//! different microarchitectural behaviour (the `phased` workload), and it
+//! offers no confidence measure.
+//!
+//! # Examples
+//!
+//! ```
+//! use smarts_simpoint::{select, SimPointConfig};
+//! use smarts_workloads::find;
+//!
+//! let bench = find("loopy-1").unwrap().scaled(0.1);
+//! let config = SimPointConfig { interval: 20_000, ..SimPointConfig::default() };
+//! let selection = select(&bench, &config);
+//! let total: f64 = selection.intervals.iter().map(|s| s.weight).sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbv;
+mod kmeans;
+mod simpoint;
+
+pub use bbv::{profile, BbVector, BbvProfile};
+pub use kmeans::{bic, kmeans, KMeansResult};
+pub use simpoint::{
+    estimate_cpi, select, SelectedInterval, SimPointConfig, SimPointEstimate, SimPointSelection,
+};

@@ -1,0 +1,209 @@
+use crate::RunningStats;
+
+/// One point of a `V(U)` variation curve: a sampling-unit size and the
+/// coefficient of variation the population exhibits at that granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationPoint {
+    /// Sampling-unit size in instructions.
+    pub unit_size: u64,
+    /// Coefficient of variation of the per-unit means at this unit size.
+    pub coefficient_of_variation: f64,
+    /// Number of aggregated units the coefficient was computed over.
+    pub units: u64,
+}
+
+/// Computes the Figure 2 variation curve `V(U)` from a fine-grained
+/// per-unit metric trace.
+///
+/// `per_unit` holds the metric (e.g. CPI) of consecutive base units of
+/// `base_unit_size` instructions each. For every aggregation factor `m`
+/// (so `U = m · base_unit_size`), adjacent groups of `m` base units are
+/// averaged and the coefficient of variation of the aggregated means is
+/// reported. Because base units hold equal instruction counts, the mean of
+/// their CPIs equals the CPI of the aggregate.
+///
+/// Factors that leave fewer than two aggregated units are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use smarts_stats::variation_curve;
+///
+/// // A population alternating fast and slow units: variation vanishes
+/// // once units are pooled in pairs.
+/// let cpi: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+/// let curve = variation_curve(&cpi, 1000, &[1, 2]);
+/// assert!(curve[0].coefficient_of_variation > 0.4);
+/// assert!(curve[1].coefficient_of_variation < 1e-12);
+/// ```
+pub fn variation_curve(
+    per_unit: &[f64],
+    base_unit_size: u64,
+    factors: &[usize],
+) -> Vec<VariationPoint> {
+    let mut curve = Vec::with_capacity(factors.len());
+    for &m in factors {
+        if m == 0 {
+            continue;
+        }
+        let groups = per_unit.len() / m;
+        if groups < 2 {
+            continue;
+        }
+        let mut stats = RunningStats::new();
+        for g in 0..groups {
+            let slice = &per_unit[g * m..(g + 1) * m];
+            let mean = slice.iter().sum::<f64>() / m as f64;
+            stats.push(mean);
+        }
+        curve.push(VariationPoint {
+            unit_size: base_unit_size * m as u64,
+            coefficient_of_variation: stats.coefficient_of_variation(),
+            units: groups as u64,
+        });
+    }
+    curve
+}
+
+/// Means of the `k` possible systematic samples of a population trace.
+///
+/// Sample `j` consists of units `j, j+k, j+2k, …`; its mean is the estimate
+/// a systematic sampling run with phase `j` would produce (ignoring
+/// measurement bias). The spread of these means is exactly the sampling
+/// distribution of the systematic estimator.
+pub fn systematic_sample_means(per_unit: &[f64], interval: usize) -> Vec<f64> {
+    assert!(interval > 0, "interval must be nonzero");
+    let mut means = Vec::with_capacity(interval.min(per_unit.len()));
+    for j in 0..interval.min(per_unit.len()) {
+        let mut stats = RunningStats::new();
+        let mut i = j;
+        while i < per_unit.len() {
+            stats.push(per_unit[i]);
+            i += interval;
+        }
+        if stats.count() > 0 {
+            means.push(stats.mean());
+        }
+    }
+    means
+}
+
+/// Intraclass correlation coefficient `δ` of a population under systematic
+/// sampling at the given interval (Section 2's homogeneity measure).
+///
+/// Uses the variance identity `Var(x̄_sys) = (σ²/n)[1 + (n−1)δ]`, computing
+/// the variance of the `k` possible systematic sample means directly. A
+/// magnitude near zero means systematic sampling behaves like random
+/// sampling; the paper verifies `|δ|` on the order of 1e-6 for SPEC2K.
+///
+/// Returns 0 for degenerate populations (constant, or fewer than two units
+/// per systematic sample).
+pub fn intraclass_correlation(per_unit: &[f64], interval: usize) -> f64 {
+    assert!(interval > 0, "interval must be nonzero");
+    let population: RunningStats = per_unit.iter().copied().collect();
+    let sigma2 = population.population_variance();
+    if sigma2 == 0.0 {
+        return 0.0;
+    }
+    let n = per_unit.len() / interval;
+    if n < 2 {
+        return 0.0;
+    }
+    let means = systematic_sample_means(per_unit, interval);
+    let mean_stats: RunningStats = means.iter().copied().collect();
+    // Variance of the estimator over the k equally likely phases.
+    let var_est = mean_stats.population_variance();
+    (var_est * n as f64 / sigma2 - 1.0) / (n as f64 - 1.0)
+}
+
+/// Bias of an estimator: the average difference between the estimates from
+/// all sampled phases and the true population value (`B(x̄) = Σx̄/k − X̄`).
+///
+/// The paper approximates the true bias by averaging the errors of a few
+/// evenly distributed phase runs (Section 4.3 uses five).
+pub fn bias(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates.iter().sum::<f64>() / estimates.len() as f64 - truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variation_curve_is_monotonically_damped_for_alternating_signal() {
+        let per_unit: Vec<f64> =
+            (0..1024).map(|i| if i % 2 == 0 { 0.5 } else { 2.5 }).collect();
+        let curve = variation_curve(&per_unit, 10, &[1, 2, 4, 8]);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0].unit_size, 10);
+        assert_eq!(curve[3].unit_size, 80);
+        assert!(curve[0].coefficient_of_variation > 0.5);
+        for point in &curve[1..] {
+            assert!(point.coefficient_of_variation < 1e-12);
+        }
+    }
+
+    #[test]
+    fn variation_curve_skips_degenerate_factors() {
+        let per_unit = vec![1.0, 2.0, 3.0, 4.0];
+        let curve = variation_curve(&per_unit, 10, &[1, 2, 3, 4, 100]);
+        // factor 3 gives 1 group, factor 4 gives 1 group, 100 gives 0.
+        let sizes: Vec<u64> = curve.iter().map(|p| p.unit_size).collect();
+        assert_eq!(sizes, vec![10, 20]);
+    }
+
+    #[test]
+    fn variation_curve_preserves_grand_mean_semantics() {
+        // Aggregated means must average to the same grand mean.
+        let per_unit: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let curve = variation_curve(&per_unit, 1, &[5]);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].units, 20);
+    }
+
+    #[test]
+    fn systematic_sample_means_partition_population() {
+        let per_unit = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let means = systematic_sample_means(&per_unit, 2);
+        assert_eq!(means, vec![3.0, 4.0]); // {1,3,5} and {2,4,6}
+    }
+
+    #[test]
+    fn icc_near_zero_for_aperiodic_population() {
+        // A pseudo-random population has negligible intraclass correlation.
+        let mut x = 123_456_789u64;
+        let per_unit: Vec<f64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as f64 / (1u64 << 31) as f64
+            })
+            .collect();
+        let delta = intraclass_correlation(&per_unit, 100);
+        assert!(delta.abs() < 0.01, "delta = {delta}");
+    }
+
+    #[test]
+    fn icc_large_when_period_matches_interval() {
+        // Period-4 signal sampled at interval 4: units within a systematic
+        // sample are identical, so delta approaches 1.
+        let per_unit: Vec<f64> = (0..4000).map(|i| (i % 4) as f64).collect();
+        let delta = intraclass_correlation(&per_unit, 4);
+        assert!(delta > 0.9, "delta = {delta}");
+    }
+
+    #[test]
+    fn icc_zero_for_constant_population() {
+        let per_unit = vec![2.0; 100];
+        assert_eq!(intraclass_correlation(&per_unit, 10), 0.0);
+    }
+
+    #[test]
+    fn bias_averages_phase_errors() {
+        assert!((bias(&[1.1, 0.9, 1.0], 1.0)).abs() < 1e-12);
+        assert!((bias(&[1.2, 1.2], 1.0) - 0.2).abs() < 1e-12);
+        assert_eq!(bias(&[], 1.0), 0.0);
+    }
+}

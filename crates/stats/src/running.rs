@@ -1,0 +1,232 @@
+use std::fmt;
+
+/// Single-pass running moments (Welford's algorithm).
+///
+/// Accumulates count, mean, and variance of a stream of observations without
+/// storing them, in a numerically stable way. This is the accumulator the
+/// SMARTS driver feeds with per-sampling-unit CPI and EPI measurements.
+///
+/// # Examples
+///
+/// ```
+/// use smarts_stats::RunningStats;
+///
+/// let mut stats = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.count(), 8);
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased (n−1) sample variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population (n) variance; 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation `V = σ / mean`; 0 when the mean is zero.
+    ///
+    /// This is the `V̂_x` of the paper's Table 1: the sample standard
+    /// deviation normalized by the sample mean.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    ///
+    /// The result is identical (up to floating-point rounding) to pushing
+    /// both observation streams into a single accumulator.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} std={:.6} cv={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.coefficient_of_variation()
+        )
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = RunningStats::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_variance(xs: &[f64]) -> f64 {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let stats = RunningStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let stats: RunningStats = [42.0].into_iter().collect();
+        assert_eq!(stats.mean(), 42.0);
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.min(), 42.0);
+        assert_eq!(stats.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_two_pass_reference() {
+        let xs = [1.5, 2.25, -3.0, 0.0, 9.75, 2.5, 2.5, 100.0];
+        let stats: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((stats.mean() - mean).abs() < 1e-12);
+        assert!((stats.variance() - reference_variance(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_of_constant_stream_is_zero() {
+        let stats: RunningStats = std::iter::repeat(3.7).take(100).collect();
+        assert_eq!(stats.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0];
+        let mut left: RunningStats = a.iter().copied().collect();
+        let right: RunningStats = b.iter().copied().collect();
+        left.merge(&right);
+        let both: RunningStats = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(left.count(), both.count());
+        assert!((left.mean() - both.mean()).abs() < 1e-12);
+        assert!((left.variance() - both.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), both.min());
+        assert_eq!(left.max(), both.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats: RunningStats = [5.0, 6.0].into_iter().collect();
+        let before = stats;
+        stats.merge(&RunningStats::new());
+        assert_eq!(stats, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats: RunningStats = [1.0, 2.0].into_iter().collect();
+        assert!(!format!("{stats}").is_empty());
+    }
+}

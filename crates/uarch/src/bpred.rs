@@ -1,0 +1,467 @@
+//! Combined (bimodal + gshare with meta chooser) branch predictor, branch
+//! target buffer, and return address stack — the "Combined 2K tables"
+//! predictor of Table 3.
+
+use crate::config::PredictorConfig;
+use smarts_isa::OpClass;
+
+/// A fetch-time branch prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (always `true` for unconditional transfers).
+    pub taken: bool,
+    /// Predicted target instruction index, when the front end can supply
+    /// one (BTB hit, RAS entry, or direct target known at decode).
+    pub target: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Btb {
+    tags: Vec<u64>,
+    targets: Vec<u64>,
+    valid: Vec<bool>,
+    lru: Vec<u64>,
+    tick: u64,
+    sets: u64,
+    assoc: usize,
+}
+
+impl Btb {
+    fn new(entries: u32, assoc: u32) -> Self {
+        assert!(entries > 0 && assoc > 0 && entries % assoc == 0);
+        let sets = (entries / assoc) as u64;
+        let slots = entries as usize;
+        Btb {
+            tags: vec![0; slots],
+            targets: vec![0; slots],
+            valid: vec![false; slots],
+            lru: vec![0; slots],
+            tick: 0,
+            sets,
+            assoc: assoc as usize,
+        }
+    }
+
+    fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        let set = pc % self.sets;
+        let tag = pc / self.sets;
+        let base = (set as usize) * self.assoc;
+        for way in base..base + self.assoc {
+            if self.valid[way] && self.tags[way] == tag {
+                self.lru[way] = self.tick;
+                return Some(self.targets[way]);
+            }
+        }
+        None
+    }
+
+    fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let set = pc % self.sets;
+        let tag = pc / self.sets;
+        let base = (set as usize) * self.assoc;
+        for way in base..base + self.assoc {
+            if self.valid[way] && self.tags[way] == tag {
+                self.targets[way] = target;
+                self.lru[way] = self.tick;
+                return;
+            }
+        }
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for way in base..base + self.assoc {
+            if !self.valid[way] {
+                victim = way;
+                break;
+            }
+            if self.lru[way] < best {
+                best = self.lru[way];
+                victim = way;
+            }
+        }
+        self.valid[victim] = true;
+        self.tags[victim] = tag;
+        self.targets[victim] = target;
+        self.lru[victim] = self.tick;
+    }
+}
+
+#[inline]
+fn counter_update(counter: &mut u8, taken: bool) {
+    if taken {
+        if *counter < 3 {
+            *counter += 1;
+        }
+    } else if *counter > 0 {
+        *counter -= 1;
+    }
+}
+
+/// Combined branch predictor with BTB and return address stack.
+///
+/// Direction prediction follows SimpleScalar's "comb" predictor: a bimodal
+/// table and a gshare (global-history XOR) table of 2-bit counters, with a
+/// 2-bit meta chooser selecting between them per branch. Targets come from
+/// a set-associative BTB; returns pop a circular return-address stack.
+///
+/// The same predictor instance is updated by functional warming between
+/// sampling units and consulted by the detailed front end inside them —
+/// this is exactly the state that SMARTS's functional warming keeps hot.
+///
+/// # Examples
+///
+/// ```
+/// use smarts_uarch::{BranchPredictor, MachineConfig};
+/// use smarts_isa::OpClass;
+///
+/// let mut bp = BranchPredictor::new(MachineConfig::eight_way().bpred);
+/// // Train a strongly-taken branch at pc 100 targeting 5.
+/// for _ in 0..4 {
+///     bp.update(100, OpClass::CondBranch, true, 5);
+/// }
+/// let p = bp.predict(100, OpClass::CondBranch, None);
+/// assert!(p.taken);
+/// assert_eq!(p.target, Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: PredictorConfig,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    meta: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    btb: Btb,
+    ras: Vec<u64>,
+    ras_top: usize,
+    ras_depth: usize,
+    lookups: u64,
+    cond_lookups: u64,
+    cond_mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with all counters weakly not-taken and an empty
+    /// RAS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is zero, not a power of two (direction
+    /// tables), or the BTB geometry does not divide evenly.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        assert!(cfg.bimodal_entries.is_power_of_two());
+        assert!(cfg.gshare_entries.is_power_of_two());
+        assert!(cfg.meta_entries.is_power_of_two());
+        assert!(cfg.ras_entries > 0);
+        BranchPredictor {
+            bimodal: vec![1; cfg.bimodal_entries as usize],
+            gshare: vec![1; cfg.gshare_entries as usize],
+            meta: vec![1; cfg.meta_entries as usize],
+            history: 0,
+            history_mask: (cfg.gshare_entries as u64) - 1,
+            btb: Btb::new(cfg.btb_entries, cfg.btb_assoc),
+            ras: vec![0; cfg.ras_entries as usize],
+            ras_top: 0,
+            ras_depth: 0,
+            lookups: 0,
+            cond_lookups: 0,
+            cond_mispredicts: 0,
+            cfg,
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Total prediction lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Conditional-branch direction mispredicts recorded via
+    /// [`BranchPredictor::update`].
+    pub fn cond_mispredicts(&self) -> u64 {
+        self.cond_mispredicts
+    }
+
+    /// Conditional-branch direction misprediction ratio.
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.cond_lookups == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_lookups as f64
+        }
+    }
+
+    #[inline]
+    fn bimodal_index(&self, pc: u64) -> usize {
+        // Table sizes are asserted powers of two; mask instead of modulo.
+        (pc & (self.bimodal.len() as u64 - 1)) as usize
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        ((pc ^ self.history) & self.history_mask) as usize
+    }
+
+    #[inline]
+    fn meta_index(&self, pc: u64) -> usize {
+        (pc & (self.meta.len() as u64 - 1)) as usize
+    }
+
+    fn direction(&self, pc: u64) -> bool {
+        let use_gshare = self.meta[self.meta_index(pc)] >= 2;
+        if use_gshare {
+            self.gshare[self.gshare_index(pc)] >= 2
+        } else {
+            self.bimodal[self.bimodal_index(pc)] >= 2
+        }
+    }
+
+    /// Predicts the outcome of the control instruction at `pc`
+    /// (an instruction index).
+    ///
+    /// `direct_target` supplies the statically-known target of direct
+    /// jumps and calls (available at decode in a real front end); indirect
+    /// transfers fall back to the BTB, and returns to the RAS. For calls,
+    /// `pc + 1` is pushed onto the RAS.
+    ///
+    /// Non-control classes return a fall-through (not-taken) prediction.
+    pub fn predict(&mut self, pc: u64, class: OpClass, direct_target: Option<u64>) -> Prediction {
+        self.lookups += 1;
+        match class {
+            OpClass::CondBranch => {
+                self.cond_lookups += 1;
+                let taken = self.direction(pc);
+                let target = if taken { self.btb.lookup(pc) } else { None };
+                Prediction { taken, target }
+            }
+            OpClass::Jump => {
+                let target = direct_target.or_else(|| self.btb.lookup(pc));
+                Prediction { taken: true, target }
+            }
+            OpClass::Call => {
+                self.ras_push(pc + 1);
+                let target = direct_target.or_else(|| self.btb.lookup(pc));
+                Prediction { taken: true, target }
+            }
+            OpClass::Return => {
+                let target = self.ras_pop();
+                Prediction { taken: true, target }
+            }
+            _ => Prediction { taken: false, target: None },
+        }
+    }
+
+    /// Trains the predictor with the resolved outcome of the control
+    /// instruction at `pc`.
+    ///
+    /// Functional warming calls this for every control instruction during
+    /// fast-forwarding; detailed simulation calls it at commit.
+    pub fn update(&mut self, pc: u64, class: OpClass, taken: bool, target: u64) {
+        match class {
+            OpClass::CondBranch => {
+                let bi = self.bimodal_index(pc);
+                let gi = self.gshare_index(pc);
+                let mi = self.meta_index(pc);
+                let bimodal_correct = (self.bimodal[bi] >= 2) == taken;
+                let gshare_correct = (self.gshare[gi] >= 2) == taken;
+                let predicted = self.direction(pc);
+                if predicted != taken {
+                    self.cond_mispredicts += 1;
+                }
+                // Meta chooser trains toward whichever component was right.
+                if gshare_correct != bimodal_correct {
+                    counter_update(&mut self.meta[mi], gshare_correct);
+                }
+                counter_update(&mut self.bimodal[bi], taken);
+                counter_update(&mut self.gshare[gi], taken);
+                self.history = ((self.history << 1) | taken as u64) & self.history_mask;
+                if taken {
+                    self.btb.update(pc, target);
+                }
+            }
+            OpClass::Jump | OpClass::Call => {
+                self.btb.update(pc, target);
+            }
+            OpClass::Return => {}
+            _ => {}
+        }
+    }
+
+    /// Trains the predictor from an architectural execution record during
+    /// functional warming: performs the RAS push/pop side effects of
+    /// calls/returns and updates direction/target state.
+    pub fn warm(&mut self, pc: u64, class: OpClass, taken: bool, target: u64) {
+        match class {
+            OpClass::Call => {
+                self.ras_push(pc + 1);
+                self.btb.update(pc, target);
+            }
+            OpClass::Return => {
+                let _ = self.ras_pop();
+            }
+            _ => self.update(pc, class, taken, target),
+        }
+    }
+
+    fn ras_push(&mut self, return_pc: u64) {
+        self.ras_top = (self.ras_top + 1) % self.ras.len();
+        self.ras[self.ras_top] = return_pc;
+        if self.ras_depth < self.ras.len() {
+            self.ras_depth += 1;
+        }
+    }
+
+    fn ras_pop(&mut self) -> Option<u64> {
+        if self.ras_depth == 0 {
+            return None;
+        }
+        let value = self.ras[self.ras_top];
+        self.ras_top = (self.ras_top + self.ras.len() - 1) % self.ras.len();
+        self.ras_depth -= 1;
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(MachineConfig::eight_way().bpred)
+    }
+
+    #[test]
+    fn cold_predictor_predicts_not_taken() {
+        let mut bp = predictor();
+        let p = bp.predict(10, OpClass::CondBranch, None);
+        assert!(!p.taken);
+        assert_eq!(p.target, None);
+    }
+
+    #[test]
+    fn trains_to_taken_with_btb_target() {
+        let mut bp = predictor();
+        for _ in 0..4 {
+            bp.update(10, OpClass::CondBranch, true, 77);
+        }
+        let p = bp.predict(10, OpClass::CondBranch, None);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(77));
+    }
+
+    #[test]
+    fn trains_back_to_not_taken() {
+        let mut bp = predictor();
+        for _ in 0..4 {
+            bp.update(10, OpClass::CondBranch, true, 77);
+        }
+        for _ in 0..4 {
+            bp.update(10, OpClass::CondBranch, false, 0);
+        }
+        assert!(!bp.predict(10, OpClass::CondBranch, None).taken);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut bp = predictor();
+        // Pattern T,N,T,N… is unlearnable by bimodal but trivial for
+        // gshare once history differentiates the two contexts.
+        let mut correct = 0;
+        let mut total = 0;
+        let mut taken = true;
+        for i in 0..400 {
+            let p = bp.predict(42, OpClass::CondBranch, None);
+            if i >= 200 {
+                total += 1;
+                if p.taken == taken {
+                    correct += 1;
+                }
+            }
+            bp.update(42, OpClass::CondBranch, taken, 7);
+            taken = !taken;
+        }
+        assert!(correct as f64 / total as f64 > 0.95, "{correct}/{total}");
+    }
+
+    #[test]
+    fn call_return_pair_uses_ras() {
+        let mut bp = predictor();
+        // Call at pc 5 → RAS holds 6; return should predict 6.
+        let _ = bp.predict(5, OpClass::Call, Some(100));
+        let p = bp.predict(200, OpClass::Return, None);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(6));
+        // Empty RAS yields no target.
+        let p2 = bp.predict(201, OpClass::Return, None);
+        assert_eq!(p2.target, None);
+    }
+
+    #[test]
+    fn nested_calls_unwind_in_order() {
+        let mut bp = predictor();
+        let _ = bp.predict(1, OpClass::Call, Some(10));
+        let _ = bp.predict(11, OpClass::Call, Some(20));
+        assert_eq!(bp.predict(21, OpClass::Return, None).target, Some(12));
+        assert_eq!(bp.predict(12, OpClass::Return, None).target, Some(2));
+    }
+
+    #[test]
+    fn ras_overflows_circularly() {
+        let cfg = PredictorConfig { ras_entries: 2, ..MachineConfig::eight_way().bpred };
+        let mut bp = BranchPredictor::new(cfg);
+        let _ = bp.predict(1, OpClass::Call, None);
+        let _ = bp.predict(2, OpClass::Call, None);
+        let _ = bp.predict(3, OpClass::Call, None); // overwrites oldest
+        assert_eq!(bp.predict(10, OpClass::Return, None).target, Some(4));
+        assert_eq!(bp.predict(11, OpClass::Return, None).target, Some(3));
+        // The overwritten frame returns a stale value (circular stack).
+        assert_eq!(bp.predict(12, OpClass::Return, None).target, None);
+    }
+
+    #[test]
+    fn direct_jump_uses_decode_target() {
+        let mut bp = predictor();
+        let p = bp.predict(9, OpClass::Jump, Some(55));
+        assert!(p.taken);
+        assert_eq!(p.target, Some(55));
+    }
+
+    #[test]
+    fn indirect_jump_uses_btb() {
+        let mut bp = predictor();
+        assert_eq!(bp.predict(9, OpClass::Jump, None).target, None);
+        bp.update(9, OpClass::Jump, true, 123);
+        assert_eq!(bp.predict(9, OpClass::Jump, None).target, Some(123));
+    }
+
+    #[test]
+    fn warm_matches_update_for_branches() {
+        let mut a = predictor();
+        let mut b = predictor();
+        for i in 0..50 {
+            let taken = i % 3 != 0;
+            a.update(7, OpClass::CondBranch, taken, 99);
+            b.warm(7, OpClass::CondBranch, taken, 99);
+        }
+        assert_eq!(
+            a.predict(7, OpClass::CondBranch, None),
+            b.predict(7, OpClass::CondBranch, None)
+        );
+    }
+
+    #[test]
+    fn mispredict_ratio_tracks_training() {
+        let mut bp = predictor();
+        for _ in 0..100 {
+            let _ = bp.predict(3, OpClass::CondBranch, None);
+            bp.update(3, OpClass::CondBranch, true, 4);
+        }
+        // After warm-up nearly everything predicts correctly.
+        assert!(bp.mispredict_ratio() < 0.1);
+    }
+}

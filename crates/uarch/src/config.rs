@@ -1,0 +1,319 @@
+//! Machine configuration mirroring Table 3 of the paper.
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles on a hit.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is zero.
+    pub fn sets(&self) -> u64 {
+        assert!(self.size_bytes > 0 && self.assoc > 0 && self.line_bytes > 0);
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines % self.assoc as u64 == 0, "cache geometry does not divide evenly");
+        lines / self.assoc as u64
+    }
+}
+
+/// Geometry and timing of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub assoc: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Miss penalty in cycles (page-table walk).
+    pub miss_penalty: u64,
+}
+
+/// Geometry of the combined branch predictor, BTB, and RAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Entries in the bimodal direction table (2-bit counters).
+    pub bimodal_entries: u32,
+    /// Entries in the gshare direction table (2-bit counters).
+    pub gshare_entries: u32,
+    /// Entries in the meta chooser table (2-bit counters).
+    pub meta_entries: u32,
+    /// Branch target buffer entries.
+    pub btb_entries: u32,
+    /// BTB associativity.
+    pub btb_assoc: u32,
+    /// Return address stack depth.
+    pub ras_entries: u32,
+    /// Front-end refill penalty after a resolved misprediction, in cycles.
+    pub mispred_penalty: u64,
+    /// Predicted-taken control transfers the fetch stage can follow per
+    /// cycle.
+    pub predictions_per_cycle: u32,
+}
+
+/// Execution latencies per functional-unit class, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLatencies {
+    /// Integer ALU (and logical/compare/move) latency.
+    pub int_alu: u64,
+    /// Integer multiply latency (pipelined).
+    pub int_mul: u64,
+    /// Integer divide latency (unpipelined).
+    pub int_div: u64,
+    /// FP add/convert latency (pipelined).
+    pub fp_alu: u64,
+    /// FP multiply latency (pipelined).
+    pub fp_mul: u64,
+    /// FP divide / square-root latency (unpipelined).
+    pub fp_div: u64,
+}
+
+impl Default for OpLatencies {
+    fn default() -> Self {
+        OpLatencies { int_alu: 1, int_mul: 3, int_div: 20, fp_alu: 2, fp_mul: 4, fp_div: 12 }
+    }
+}
+
+/// Complete machine configuration: the analogue of a SimpleScalar
+/// configuration file, with presets reproducing Table 3 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use smarts_uarch::MachineConfig;
+///
+/// let cfg = MachineConfig::eight_way();
+/// assert_eq!(cfg.ruu_size, 128);
+/// // Section 4.4's analytic bound on detailed warming:
+/// // store buffer × memory latency × max IPC = 16 × 100 × 8.
+/// assert_eq!(cfg.detailed_warming_bound(), 12_800);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions dispatched (renamed) per cycle.
+    pub decode_width: u32,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Register update unit (reorder buffer) entries.
+    pub ruu_size: u32,
+    /// Load/store queue entries.
+    pub lsq_size: u32,
+    /// Post-commit store buffer entries.
+    pub store_buffer: u32,
+    /// Fetch queue capacity.
+    pub ifq_size: u32,
+    /// Integer ALUs.
+    pub int_alu_units: u32,
+    /// Integer multiply/divide units.
+    pub int_muldiv_units: u32,
+    /// FP ALUs.
+    pub fp_alu_units: u32,
+    /// FP multiply/divide units.
+    pub fp_muldiv_units: u32,
+    /// Execution latencies.
+    pub latencies: OpLatencies,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// L1 data cache ports (shared by loads and store-buffer drains).
+    pub l1d_ports: u32,
+    /// Miss status holding registers on the L1 data cache.
+    pub mshrs: u32,
+    /// Main memory latency in cycles.
+    pub mem_latency: u64,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Branch predictor.
+    pub bpred: PredictorConfig,
+    /// Model wrong-path instruction fetch after a misprediction: the
+    /// front end keeps fetching down the predicted (wrong) path, touching
+    /// the I-TLB and I-cache, until the branch resolves. Off by default;
+    /// Section 4.5 of the paper attributes the residual functional-
+    /// warming bias predominantly to wrong-path and out-of-order effects,
+    /// and this knob lets the `ablation` harness quantify the wrong-path
+    /// component directly.
+    pub model_wrong_path: bool,
+}
+
+impl MachineConfig {
+    /// The paper's 8-way baseline configuration (Table 3, left column).
+    pub fn eight_way() -> Self {
+        MachineConfig {
+            name: "8-way",
+            fetch_width: 8,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            ruu_size: 128,
+            lsq_size: 64,
+            store_buffer: 16,
+            ifq_size: 16,
+            int_alu_units: 4,
+            int_muldiv_units: 2,
+            fp_alu_units: 2,
+            fp_muldiv_units: 1,
+            latencies: OpLatencies::default(),
+            l1i: CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 64, latency: 1 },
+            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 64, latency: 1 },
+            l2: CacheConfig { size_bytes: 1 << 20, assoc: 4, line_bytes: 64, latency: 12 },
+            l1d_ports: 2,
+            mshrs: 8,
+            mem_latency: 100,
+            itlb: TlbConfig { entries: 128, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
+            dtlb: TlbConfig { entries: 256, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
+            bpred: PredictorConfig {
+                bimodal_entries: 2048,
+                gshare_entries: 2048,
+                meta_entries: 2048,
+                btb_entries: 512,
+                btb_assoc: 4,
+                ras_entries: 16,
+                mispred_penalty: 7,
+                predictions_per_cycle: 1,
+            },
+            model_wrong_path: false,
+        }
+    }
+
+    /// The paper's 16-way aggressive configuration (Table 3, right
+    /// column): wider datapath, larger out-of-order window, larger caches.
+    pub fn sixteen_way() -> Self {
+        MachineConfig {
+            name: "16-way",
+            fetch_width: 16,
+            decode_width: 16,
+            issue_width: 16,
+            commit_width: 16,
+            ruu_size: 256,
+            lsq_size: 128,
+            store_buffer: 32,
+            ifq_size: 32,
+            int_alu_units: 16,
+            int_muldiv_units: 8,
+            fp_alu_units: 8,
+            fp_muldiv_units: 4,
+            latencies: OpLatencies::default(),
+            l1i: CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 2 },
+            l1d: CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 2 },
+            l2: CacheConfig { size_bytes: 2 << 20, assoc: 8, line_bytes: 64, latency: 16 },
+            l1d_ports: 4,
+            mshrs: 16,
+            mem_latency: 100,
+            itlb: TlbConfig { entries: 128, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
+            dtlb: TlbConfig { entries: 256, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
+            bpred: PredictorConfig {
+                bimodal_entries: 8192,
+                gshare_entries: 8192,
+                meta_entries: 8192,
+                btb_entries: 1024,
+                btb_assoc: 4,
+                ras_entries: 32,
+                mispred_penalty: 10,
+                predictions_per_cycle: 2,
+            },
+            model_wrong_path: false,
+        }
+    }
+
+    /// Section 4.4's worst-case analytic bound on the detailed-warming
+    /// length `W` when functional warming maintains the long-history
+    /// state: store-buffer depth × memory latency × maximum IPC.
+    pub fn detailed_warming_bound(&self) -> u64 {
+        self.store_buffer as u64 * self.mem_latency * self.commit_width as u64
+    }
+
+    /// The paper's recommended detailed-warming length under functional
+    /// warming: 2000 instructions for the 8-way machine, 4000 for the
+    /// 16-way (Section 4.4). Scaled from the commit width for other
+    /// configurations.
+    pub fn recommended_detailed_warming(&self) -> u64 {
+        250 * self.commit_width as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_eight_way_parameters() {
+        let cfg = MachineConfig::eight_way();
+        assert_eq!((cfg.ruu_size, cfg.lsq_size), (128, 64));
+        assert_eq!(cfg.l1d.size_bytes, 32 << 10);
+        assert_eq!(cfg.l1d.assoc, 2);
+        assert_eq!(cfg.l1d_ports, 2);
+        assert_eq!(cfg.mshrs, 8);
+        assert_eq!(cfg.l2.size_bytes, 1 << 20);
+        assert_eq!(cfg.l2.assoc, 4);
+        assert_eq!(cfg.store_buffer, 16);
+        assert_eq!((cfg.l1d.latency, cfg.l2.latency, cfg.mem_latency), (1, 12, 100));
+        assert_eq!(cfg.bpred.mispred_penalty, 7);
+        assert_eq!(cfg.bpred.predictions_per_cycle, 1);
+        assert_eq!(cfg.itlb.entries, 128);
+        assert_eq!(cfg.dtlb.entries, 256);
+    }
+
+    #[test]
+    fn table3_sixteen_way_parameters() {
+        let cfg = MachineConfig::sixteen_way();
+        assert_eq!((cfg.ruu_size, cfg.lsq_size), (256, 128));
+        assert_eq!(cfg.l1d.size_bytes, 64 << 10);
+        assert_eq!(cfg.l1d_ports, 4);
+        assert_eq!(cfg.mshrs, 16);
+        assert_eq!(cfg.l2.size_bytes, 2 << 20);
+        assert_eq!(cfg.l2.assoc, 8);
+        assert_eq!(cfg.store_buffer, 32);
+        assert_eq!((cfg.l1d.latency, cfg.l2.latency), (2, 16));
+        assert_eq!(cfg.bpred.mispred_penalty, 10);
+        assert_eq!(cfg.bpred.predictions_per_cycle, 2);
+        assert_eq!(
+            (cfg.int_alu_units, cfg.int_muldiv_units, cfg.fp_alu_units, cfg.fp_muldiv_units),
+            (16, 8, 8, 4)
+        );
+    }
+
+    #[test]
+    fn warming_bound_matches_paper() {
+        // Paper: 16 × 100 × 8 = 12,800 for the 8-way machine.
+        assert_eq!(MachineConfig::eight_way().detailed_warming_bound(), 12_800);
+        assert_eq!(MachineConfig::sixteen_way().detailed_warming_bound(), 51_200);
+    }
+
+    #[test]
+    fn recommended_warming_matches_paper() {
+        assert_eq!(MachineConfig::eight_way().recommended_detailed_warming(), 2000);
+        assert_eq!(MachineConfig::sixteen_way().recommended_detailed_warming(), 4000);
+    }
+
+    #[test]
+    fn cache_geometry_divides() {
+        let cfg = MachineConfig::eight_way();
+        assert_eq!(cfg.l1d.sets(), 256);
+        assert_eq!(cfg.l2.sets(), 4096);
+        let cfg16 = MachineConfig::sixteen_way();
+        assert_eq!(cfg16.l1d.sets(), 512);
+        assert_eq!(cfg16.l2.sets(), 4096);
+    }
+}

@@ -1,0 +1,119 @@
+//! `branchy` — data-dependent control flow, in the spirit of
+//! `gcc`/`crafty`: pseudo-random conditional branches plus an indirect
+//! jump table, stressing the direction predictor, BTB, and front end.
+
+use crate::rng::SplitMix64;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+const LCG_MUL: i64 = 6364136223846793005;
+const LCG_ADD: i64 = 1442695040888963407;
+
+/// Builds the branchy kernel: `iters` rounds of three pseudo-random
+/// conditional branches and a four-way indirect jump.
+///
+/// Dynamic length ≈ `19 · iters` instructions (± the branch-dependent
+/// increments).
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn build(iters: u64, seed: u64) -> (Program, Memory) {
+    assert!(iters > 0);
+    // Perturb the initial LCG state so different inputs diverge instantly.
+    let start_state = SplitMix64::new(seed).next_u64();
+
+    let mut a = Asm::new();
+    a.li(reg::S0, start_state as i64);
+    a.li(reg::S3, LCG_MUL);
+    a.li(reg::S4, LCG_ADD);
+    a.li(reg::T1, iters as i64);
+    let top = a.label();
+    let skip1 = a.label();
+    let skip2 = a.label();
+    let skip3 = a.label();
+    let case0 = a.label();
+    let merge = a.label();
+
+    a.bind(top).expect("label binds once");
+    a.mul(reg::S0, reg::S0, reg::S3);
+    a.add(reg::S0, reg::S0, reg::S4);
+    // Three data-dependent branches on high (well-mixed) bits.
+    a.srli(reg::T0, reg::S0, 63);
+    a.beqz(reg::T0, skip1);
+    a.addi(reg::S5, reg::S5, 1);
+    a.bind(skip1).expect("label binds once");
+    a.srli(reg::T0, reg::S0, 62);
+    a.andi(reg::T0, reg::T0, 1);
+    a.beqz(reg::T0, skip2);
+    a.addi(reg::S6, reg::S6, 1);
+    a.bind(skip2).expect("label binds once");
+    a.srli(reg::T0, reg::S0, 61);
+    a.andi(reg::T0, reg::T0, 1);
+    a.beqz(reg::T0, skip3);
+    a.addi(reg::S7, reg::S7, 1);
+    a.bind(skip3).expect("label binds once");
+    // Four-way indirect jump on bits 59..61: each case is exactly two
+    // instructions (payload + jump to merge) so targets are computable.
+    a.srli(reg::T0, reg::S0, 59);
+    a.andi(reg::T0, reg::T0, 3);
+    a.slli(reg::T0, reg::T0, 1);
+    a.la(reg::T2, case0);
+    a.add(reg::T2, reg::T2, reg::T0);
+    a.jr(reg::T2, 0);
+    a.bind(case0).expect("label binds once");
+    a.addi(reg::S1, reg::S1, 1); // case 0
+    a.j(merge);
+    a.addi(reg::S1, reg::S1, 2); // case 1
+    a.j(merge);
+    a.addi(reg::S1, reg::S1, 3); // case 2
+    a.j(merge);
+    a.addi(reg::S1, reg::S1, 5); // case 3
+    a.j(merge);
+    a.bind(merge).expect("label binds once");
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, top);
+    a.halt();
+
+    (a.finish().expect("branchy kernel assembles"), Memory::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn branch_counters_are_roughly_balanced() {
+        let iters = 8000;
+        let (program, memory) = build(iters, 13);
+        let (cpu, _) = run_to_halt(&program, memory, 400_000).unwrap();
+        for r in [reg::S5, reg::S6, reg::S7] {
+            let count = cpu.reg(r);
+            assert!(
+                (iters * 4 / 10..=iters * 6 / 10).contains(&count),
+                "counter x{r} = {count} out of balance for {iters} iters"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_table_visits_all_cases() {
+        let iters = 8000;
+        let (program, memory) = build(iters, 17);
+        let (cpu, _) = run_to_halt(&program, memory, 400_000).unwrap();
+        // Sum of case payloads: average (1+2+3+5)/4 = 2.75 per iteration.
+        let s1 = cpu.reg(reg::S1) as f64;
+        let per_iter = s1 / iters as f64;
+        assert!((2.4..3.1).contains(&per_iter), "per-iter payload {per_iter}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let (program, memory) = build(500, seed);
+            let (cpu, _) = run_to_halt(&program, memory, 50_000).unwrap();
+            (cpu.reg(reg::S5), cpu.reg(reg::S1))
+        };
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,80 @@
+//! `chase` — dependent pointer chasing over a randomized linked list, in
+//! the spirit of `mcf`: every step is a load whose address depends on the
+//! previous load.
+//!
+//! With the node pool sized beyond L2, every step misses the whole
+//! hierarchy and CPI is dominated by serialized memory latency; sized to
+//! fit L2 (but not L1) it exercises the mid-latency regime.
+
+use super::DATA_BASE;
+use crate::rng::cyclic_permutation;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+/// Bytes per list node (one cache line, so distinct nodes never share a
+/// line).
+pub const NODE_BYTES: u64 = 64;
+
+/// Builds the chase kernel: `steps` dependent loads over a single-cycle
+/// random chain of `nodes` nodes.
+///
+/// Dynamic length ≈ `3 · steps` instructions.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or `steps` is zero.
+pub fn build(nodes: usize, steps: u64, seed: u64) -> (Program, Memory) {
+    assert!(nodes >= 2 && steps > 0);
+    let mut memory = Memory::new();
+    let next = cyclic_permutation(nodes, seed);
+    for (i, &succ) in next.iter().enumerate() {
+        let addr = DATA_BASE + i as u64 * NODE_BYTES;
+        let succ_addr = DATA_BASE + succ as u64 * NODE_BYTES;
+        memory.write_u64(addr, succ_addr);
+    }
+
+    let mut a = Asm::new();
+    a.li(reg::S0, DATA_BASE as i64);
+    a.li(reg::T1, steps as i64);
+    let top = a.label();
+    a.bind(top).expect("label binds once");
+    a.ld(reg::S0, reg::S0, 0);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, top);
+    a.halt();
+
+    (a.finish().expect("chase kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn walks_the_full_cycle_back_to_head() {
+        let nodes = 128;
+        let (program, memory) = build(nodes, nodes as u64, 9);
+        let (cpu, _) = run_to_halt(&program, memory, 10_000).unwrap();
+        // After exactly `nodes` steps a cyclic permutation returns to the
+        // head node.
+        assert_eq!(cpu.reg(reg::S0), DATA_BASE);
+    }
+
+    #[test]
+    fn never_leaves_the_node_pool() {
+        let nodes = 64;
+        let (program, memory) = build(nodes, 1000, 5);
+        let (cpu, _) = run_to_halt(&program, memory, 10_000).unwrap();
+        let end = DATA_BASE + nodes as u64 * NODE_BYTES;
+        let at = cpu.reg(reg::S0);
+        assert!((DATA_BASE..end).contains(&at));
+        assert_eq!(at % NODE_BYTES, 0, "lands on node boundaries");
+    }
+
+    #[test]
+    fn dynamic_length_matches_model() {
+        let (program, memory) = build(16, 500, 1);
+        let (cpu, _) = run_to_halt(&program, memory, 10_000).unwrap();
+        assert_eq!(cpu.retired(), 3 * 500 + 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! `fpchain` — serialized long-latency floating-point dependences, in the
+//! spirit of `ammp`/`art`: every iteration chains a divide and a square
+//! root through a single register, bounding IPC by FP latency rather than
+//! memory or fetch.
+
+use smarts_isa::{reg, Asm, Memory, Program};
+
+/// Builds the FP-chain kernel: `iters` rounds of
+/// `f0 ← √(1 + c / f0)` plus a tiny amount of integer bookkeeping.
+///
+/// The recurrence converges toward the "plastic number" fixed point and
+/// never degenerates (f0 stays in roughly `[1, 3]`), so the latency chain
+/// is identical every iteration.
+///
+/// Dynamic length ≈ `6 · iters` instructions.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn build(iters: u64) -> (Program, Memory) {
+    assert!(iters > 0);
+    let mut a = Asm::new();
+    a.fli(0, 1.5); // chain value
+    a.fli(1, 2.25); // constant c
+    a.fli(2, 1.0); // constant 1
+    a.li(reg::T1, iters as i64);
+    let top = a.label();
+    a.bind(top).expect("label binds once");
+    a.fdiv(3, 1, 0); // f3 = c / f0
+    a.fadd(3, 3, 2); // f3 = 1 + c / f0
+    a.fsqrt(0, 3); // f0 = sqrt(...)
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, top);
+    a.halt();
+
+    (a.finish().expect("fpchain kernel assembles"), Memory::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+    use smarts_isa::Cpu;
+
+    #[test]
+    fn converges_to_the_fixed_point() {
+        let (program, memory) = build(200);
+        let mut cpu = Cpu::new();
+        let mut mem = memory;
+        while !cpu.halted() {
+            cpu.step(&program, &mut mem).unwrap();
+        }
+        let x = cpu.freg(0);
+        // Fixed point of x = sqrt(1 + 2.25/x): x³ = x² ... solves near 1.8.
+        assert!((x - (1.0 + 2.25 / x).sqrt()).abs() < 1e-9, "x = {x}");
+        assert!(x > 1.0 && x < 3.0);
+    }
+
+    #[test]
+    fn dynamic_length_matches_model() {
+        let (program, memory) = build(1000);
+        let (cpu, _) = run_to_halt(&program, memory, 100_000).unwrap();
+        assert_eq!(cpu.retired(), 5 * 1000 + 5);
+    }
+}

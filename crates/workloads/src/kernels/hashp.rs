@@ -1,0 +1,89 @@
+//! `hashp` — randomized hash-table probing, in the spirit of
+//! `vortex`/`gap`: hash computation, a dependent random-indexed load, and
+//! a data-dependent branch per operation.
+
+use super::DATA_BASE;
+use crate::rng::SplitMix64;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+const LCG_MUL: i64 = 6364136223846793005;
+const LCG_ADD: i64 = 1442695040888963407;
+
+/// Builds the hash-probe kernel: `ops` probes into a table of
+/// `table_words` 64-bit entries.
+///
+/// Dynamic length ≈ `(12..13) · ops` instructions (the inner branch is
+/// taken for roughly half the probes).
+///
+/// # Panics
+///
+/// Panics if `table_words` is not a power of two or `ops` is zero.
+pub fn build(table_words: usize, ops: u64, seed: u64) -> (Program, Memory) {
+    assert!(table_words.is_power_of_two() && table_words >= 2);
+    assert!(ops > 0);
+    let mut memory = Memory::new();
+    let mut rng = SplitMix64::new(seed ^ 0xABCD);
+    for i in 0..table_words as u64 {
+        memory.write_u64(DATA_BASE + i * 8, rng.next_u64());
+    }
+
+    let mut a = Asm::new();
+    a.li(reg::S0, seed as i64); // LCG state
+    a.li(reg::S1, DATA_BASE as i64);
+    a.li(reg::S2, (table_words - 1) as i64); // index mask
+    a.li(reg::S3, LCG_MUL);
+    a.li(reg::S4, LCG_ADD);
+    a.li(reg::T1, ops as i64);
+    let top = a.label();
+    let skip = a.label();
+    a.bind(top).expect("label binds once");
+    a.mul(reg::S0, reg::S0, reg::S3);
+    a.add(reg::S0, reg::S0, reg::S4);
+    a.srli(reg::T0, reg::S0, 17);
+    a.and(reg::T0, reg::T0, reg::S2);
+    a.slli(reg::T0, reg::T0, 3);
+    a.add(reg::T0, reg::T0, reg::S1);
+    a.ld(reg::T2, reg::T0, 0);
+    a.xor(reg::S5, reg::S5, reg::T2); // checksum accumulator
+    a.andi(reg::T3, reg::T2, 1);
+    a.beqz(reg::T3, skip);
+    a.addi(reg::S6, reg::S6, 1); // odd-entry counter
+    a.bind(skip).expect("label binds once");
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, top);
+    a.halt();
+
+    (a.finish().expect("hashp kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn probes_hit_roughly_half_odd_entries() {
+        let (program, memory) = build(1024, 4000, 11);
+        let (cpu, _) = run_to_halt(&program, memory, 200_000).unwrap();
+        let odd = cpu.reg(reg::S6);
+        // Random 64-bit entries are odd with probability 1/2.
+        assert!((1500..2500).contains(&odd), "odd = {odd}");
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let run = |seed| {
+            let (program, memory) = build(256, 1000, seed);
+            let (cpu, _) = run_to_halt(&program, memory, 100_000).unwrap();
+            cpu.reg(reg::S5)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_table_panics() {
+        let _ = build(1000, 10, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! `mixed` — a rotation of small compute, memory, and control subroutines
+//! invoked through call/return, in the spirit of `parser`/`twolf`:
+//! exercises the return-address stack and mixes all instruction classes.
+
+use super::DATA_BASE;
+use crate::rng::{cyclic_permutation, SplitMix64};
+use smarts_isa::{reg, Asm, Memory, Program};
+
+const ARRAY_ELEMS: usize = 512; // 4 KiB f64 array for the compute routine
+const CHAIN_NODES: usize = 1024; // 64 KiB chase chain (L1-evicting)
+const CHASE_STEPS_PER_CALL: i64 = 32;
+
+/// Builds the mixed kernel: `iters` rounds, each calling a small FP
+/// routine, a pointer-chase routine, and a branchy LCG routine.
+///
+/// Dynamic length ≈ `490 · iters` instructions.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn build(iters: u64, seed: u64) -> (Program, Memory) {
+    assert!(iters > 0);
+    let array_base = DATA_BASE;
+    let chain_base = DATA_BASE + (ARRAY_ELEMS as u64 + 16) * 8;
+
+    let mut memory = Memory::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..ARRAY_ELEMS as u64 {
+        memory.write_f64(array_base + i * 8, rng.next_f64());
+    }
+    let next = cyclic_permutation(CHAIN_NODES, seed ^ 0xFEED);
+    for (i, &succ) in next.iter().enumerate() {
+        memory.write_u64(chain_base + i as u64 * 64, chain_base + succ as u64 * 64);
+    }
+
+    let mut a = Asm::new();
+    let fp_routine = a.label();
+    let chase_routine = a.label();
+    let branch_routine = a.label();
+    let top = a.label();
+    let done = a.label();
+
+    // --- main loop --------------------------------------------------------
+    a.li(reg::S7, iters as i64);
+    a.li(reg::S0, SplitMix64::new(seed ^ 1).next_u64() as i64); // LCG state
+    a.li(reg::S2, chain_base as i64); // chase cursor (persists across calls)
+    a.bind(top).expect("label binds once");
+    a.call(fp_routine);
+    a.call(chase_routine);
+    a.call(branch_routine);
+    a.addi(reg::S7, reg::S7, -1);
+    a.bnez(reg::S7, top);
+    a.j(done);
+
+    // --- fp routine: sum 32 array elements chosen by the LCG ---------------
+    a.bind(fp_routine).expect("label binds once");
+    a.li(reg::T1, 32);
+    a.li(reg::T4, (ARRAY_ELEMS - 1) as i64);
+    let fp_top = a.label();
+    a.bind(fp_top).expect("label binds once");
+    a.li(reg::T3, 6364136223846793005);
+    a.mul(reg::S0, reg::S0, reg::T3);
+    a.srli(reg::T0, reg::S0, 40);
+    a.and(reg::T0, reg::T0, reg::T4);
+    a.slli(reg::T0, reg::T0, 3);
+    a.addi(reg::T0, reg::T0, array_base as i64);
+    a.fld(1, reg::T0, 0);
+    a.fadd(0, 0, 1);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, fp_top);
+    a.ret();
+
+    // --- chase routine: a fixed number of dependent steps ------------------
+    a.bind(chase_routine).expect("label binds once");
+    a.li(reg::T1, CHASE_STEPS_PER_CALL);
+    let ch_top = a.label();
+    a.bind(ch_top).expect("label binds once");
+    a.ld(reg::S2, reg::S2, 0);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, ch_top);
+    a.ret();
+
+    // --- branchy routine: 8 data-dependent branches -------------------------
+    a.bind(branch_routine).expect("label binds once");
+    a.li(reg::T1, 8);
+    let br_top = a.label();
+    let br_skip = a.label();
+    a.bind(br_top).expect("label binds once");
+    a.li(reg::T3, 1442695040888963407);
+    a.add(reg::S0, reg::S0, reg::T3);
+    a.srli(reg::T0, reg::S0, 62);
+    a.andi(reg::T0, reg::T0, 1);
+    a.beqz(reg::T0, br_skip);
+    a.addi(reg::S5, reg::S5, 1);
+    a.bind(br_skip).expect("label binds once");
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, br_top);
+    a.ret();
+
+    a.bind(done).expect("label binds once");
+    a.halt();
+
+    (a.finish().expect("mixed kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn terminates_with_all_routines_active() {
+        let (program, memory) = build(50, 21);
+        let (cpu, _) = run_to_halt(&program, memory, 1_000_000).unwrap();
+        // The FP accumulator grew (array values are positive).
+        assert!(cpu.freg(0) > 0.0);
+        // The chase cursor is inside the chain region.
+        let chain_base = DATA_BASE + (ARRAY_ELEMS as u64 + 16) * 8;
+        let at = cpu.reg(reg::S2);
+        assert!(at >= chain_base && at < chain_base + CHAIN_NODES as u64 * 64);
+        // Some branchy increments happened (~50% of 8 × 50).
+        let s5 = cpu.reg(reg::S5);
+        assert!((100..300).contains(&s5), "s5 = {s5}");
+    }
+
+    #[test]
+    fn length_scales_linearly_with_iters() {
+        let len = |iters| {
+            let (program, memory) = build(iters, 3);
+            let (cpu, _) = run_to_halt(&program, memory, 2_000_000).unwrap();
+            cpu.retired()
+        };
+        let l10 = len(10);
+        let l20 = len(20);
+        let per_iter = (l20 - l10) / 10;
+        assert!((420..560).contains(&per_iter), "per-iter {per_iter}");
+    }
+}

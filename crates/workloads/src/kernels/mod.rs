@@ -1,0 +1,40 @@
+//! Hand-assembled workload kernels.
+//!
+//! Each kernel module exposes a `build` function returning the assembled
+//! [`Program`](smarts_isa::Program) and an initialized
+//! [`Memory`](smarts_isa::Memory) image. All kernels terminate via `halt`
+//! after a parameterized amount of work, and all randomness is seeded.
+
+pub mod branchy;
+pub mod chase;
+pub mod fpchain;
+pub mod hashp;
+pub mod loopy;
+pub mod mixed;
+pub mod mtx;
+pub mod nbody;
+pub mod phased;
+pub mod rle;
+pub mod sortk;
+pub mod stream;
+
+/// Base address of kernel data segments, far from the text section.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use smarts_isa::{Cpu, IsaError, Memory, Program};
+
+    /// Runs a program to completion, panicking if it does not halt within
+    /// `max_insts` instructions. Returns the CPU and memory at halt.
+    pub fn run_to_halt(
+        program: &Program,
+        mut memory: Memory,
+        max_insts: u64,
+    ) -> Result<(Cpu, Memory), IsaError> {
+        let mut cpu = Cpu::new();
+        let executed = cpu.run(program, &mut memory, max_insts)?;
+        assert!(cpu.halted(), "kernel did not halt within {executed} instructions");
+        Ok((cpu, memory))
+    }
+}

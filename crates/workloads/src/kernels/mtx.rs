@@ -1,0 +1,130 @@
+//! `mtx` — dense matrix multiply `C += A·B` with the classic i/j/k loop
+//! nest, in the spirit of `mgrid`/`applu`: regular FP compute with
+//! strided reuse that stresses the L1/L2 boundary as `n` grows.
+
+use super::DATA_BASE;
+use crate::rng::SplitMix64;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+/// Builds the matrix kernel: `reps` full `n × n` multiplications.
+///
+/// Dynamic length ≈ `reps · 8·n³` instructions.
+///
+/// # Panics
+///
+/// Panics if `n` or `reps` is zero.
+pub fn build(n: usize, reps: u64, seed: u64) -> (Program, Memory) {
+    assert!(n > 0 && reps > 0);
+    let words = (n * n) as u64;
+    let a_base = DATA_BASE;
+    let b_base = a_base + words * 8;
+    let c_base = b_base + words * 8;
+    let row_bytes = (n as i64) * 8;
+
+    let mut memory = Memory::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..words {
+        memory.write_f64(a_base + i * 8, rng.next_f64() - 0.5);
+        memory.write_f64(b_base + i * 8, rng.next_f64() - 0.5);
+    }
+
+    let mut a = Asm::new();
+    // s7 = reps, s5 = n, s6 = row bytes
+    a.li(reg::S7, reps as i64);
+    a.li(reg::S5, n as i64);
+    a.li(reg::S6, row_bytes);
+    let rep_top = a.label();
+    a.bind(rep_top).expect("label binds once");
+    // s3 = A row pointer, t2 = C pointer, s0 = i countdown
+    a.li(reg::S3, a_base as i64);
+    a.li(reg::T2, c_base as i64);
+    a.li(reg::S0, n as i64);
+    let i_top = a.label();
+    a.bind(i_top).expect("label binds once");
+    // s1 = j countdown, t3 = B column pointer
+    a.li(reg::S1, n as i64);
+    a.li(reg::T3, b_base as i64);
+    let j_top = a.label();
+    a.bind(j_top).expect("label binds once");
+    // f0 = accumulator, t0 = A element pointer, t1 = B element pointer,
+    // s2 = k countdown
+    a.fli(0, 0.0);
+    a.mv(reg::T0, reg::S3);
+    a.mv(reg::T1, reg::T3);
+    a.li(reg::S2, n as i64);
+    let k_top = a.label();
+    a.bind(k_top).expect("label binds once");
+    a.fld(1, reg::T0, 0);
+    a.fld(2, reg::T1, 0);
+    a.fmul(3, 1, 2);
+    a.fadd(0, 0, 3);
+    a.addi(reg::T0, reg::T0, 8);
+    a.add(reg::T1, reg::T1, reg::S6);
+    a.addi(reg::S2, reg::S2, -1);
+    a.bnez(reg::S2, k_top);
+    // C[i][j] += acc
+    a.fld(4, reg::T2, 0);
+    a.fadd(4, 4, 0);
+    a.fsd(4, reg::T2, 0);
+    a.addi(reg::T2, reg::T2, 8);
+    a.addi(reg::T3, reg::T3, 8); // next B column
+    a.addi(reg::S1, reg::S1, -1);
+    a.bnez(reg::S1, j_top);
+    a.add(reg::S3, reg::S3, reg::S6); // next A row
+    a.addi(reg::S0, reg::S0, -1);
+    a.bnez(reg::S0, i_top);
+    a.addi(reg::S7, reg::S7, -1);
+    a.bnez(reg::S7, rep_top);
+    a.halt();
+
+    (a.finish().expect("mtx kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn multiplies_small_matrices_correctly() {
+        let n = 4;
+        let (program, memory) = build(n, 1, 7);
+        // Capture inputs before running.
+        let words = (n * n) as u64;
+        let a_base = DATA_BASE;
+        let b_base = a_base + words * 8;
+        let c_base = b_base + words * 8;
+        let read_mat = |mem: &Memory, base: u64| -> Vec<f64> {
+            (0..words).map(|i| mem.read_f64(base + i * 8)).collect()
+        };
+        let ma = read_mat(&memory, a_base);
+        let mb = read_mat(&memory, b_base);
+        let (_, memory) = run_to_halt(&program, memory, 100_000).unwrap();
+        let mc = read_mat(&memory, c_base);
+        for i in 0..n {
+            for j in 0..n {
+                let mut expect = 0.0;
+                for k in 0..n {
+                    expect += ma[i * n + k] * mb[k * n + j];
+                }
+                let got = mc[i * n + j];
+                assert!((got - expect).abs() < 1e-9, "C[{i}][{j}] = {got}, want {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn reps_accumulate_into_c() {
+        let n = 3;
+        let (p1, m1) = build(n, 1, 3);
+        let (p2, m2) = build(n, 2, 3);
+        let (_, m1) = run_to_halt(&p1, m1, 100_000).unwrap();
+        let (_, m2) = run_to_halt(&p2, m2, 100_000).unwrap();
+        let c_base = DATA_BASE + 2 * (n * n) as u64 * 8;
+        for i in 0..(n * n) as u64 {
+            let once = m1.read_f64(c_base + i * 8);
+            let twice = m2.read_f64(c_base + i * 8);
+            assert!((twice - 2.0 * once).abs() < 1e-9);
+        }
+    }
+}

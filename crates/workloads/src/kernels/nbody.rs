@@ -1,0 +1,127 @@
+//! `nbody` — all-pairs gravitational accumulation, in the spirit of
+//! FP-heavy SPEC codes with O(n²) inner loops (`art`, `galgel`): dense
+//! FP multiply/divide with square roots, strided loads, and very regular
+//! control flow.
+
+use super::DATA_BASE;
+use crate::rng::SplitMix64;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+/// Builds the n-body kernel: `steps` iterations of the all-pairs force
+/// accumulation over `n` bodies in one dimension (position + mass per
+/// body; forces accumulate into a third array).
+///
+/// Dynamic length ≈ `steps · 14·n²` instructions.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `steps` is zero.
+pub fn build(n: usize, steps: u64, seed: u64) -> (Program, Memory) {
+    assert!(n >= 2 && steps > 0);
+    let pos = DATA_BASE;
+    let mass = pos + n as u64 * 8;
+    let force = mass + n as u64 * 8;
+
+    let mut memory = Memory::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..n as u64 {
+        memory.write_f64(pos + i * 8, rng.next_f64() * 100.0);
+        memory.write_f64(mass + i * 8, 0.5 + rng.next_f64());
+    }
+
+    let mut a = Asm::new();
+    a.li(reg::S7, steps as i64);
+    a.fli(5, 1e-3); // softening term to avoid division blow-ups
+    let step_top = a.label();
+    a.bind(step_top).expect("label binds once");
+    // Outer loop over bodies i: s0 = i countdown, t0 = &pos[i] cursor,
+    // t4 = &force[i] cursor.
+    a.li(reg::S0, n as i64);
+    a.li(reg::T0, pos as i64);
+    a.li(reg::T4, force as i64);
+    let i_top = a.label();
+    a.bind(i_top).expect("label binds once");
+    a.fld(0, reg::T0, 0); // xi
+    a.fli(1, 0.0); // accumulated force
+    // Inner loop over bodies j: s1 = j countdown, t1/t2 = pos/mass cursors.
+    a.li(reg::S1, n as i64);
+    a.li(reg::T1, pos as i64);
+    a.li(reg::T2, mass as i64);
+    let j_top = a.label();
+    a.bind(j_top).expect("label binds once");
+    a.fld(2, reg::T1, 0); // xj
+    a.fld(3, reg::T2, 0); // mj
+    a.fsub(2, 2, 0); // dx
+    a.fmul(4, 2, 2); // dx²
+    a.fadd(4, 4, 5); // dx² + ε
+    a.fdiv(3, 3, 4); // mj / (dx² + ε)
+    a.fmul(3, 3, 2); // · dx  (direction)
+    a.fadd(1, 1, 3); // accumulate
+    a.addi(reg::T1, reg::T1, 8);
+    a.addi(reg::T2, reg::T2, 8);
+    a.addi(reg::S1, reg::S1, -1);
+    a.bnez(reg::S1, j_top);
+    a.fsd(1, reg::T4, 0);
+    a.addi(reg::T0, reg::T0, 8);
+    a.addi(reg::T4, reg::T4, 8);
+    a.addi(reg::S0, reg::S0, -1);
+    a.bnez(reg::S0, i_top);
+    a.addi(reg::S7, reg::S7, -1);
+    a.bnez(reg::S7, step_top);
+    a.halt();
+
+    (a.finish().expect("nbody kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn forces_match_a_rust_reference() {
+        let n = 12;
+        let (program, memory) = build(n, 1, 5);
+        let pos_base = DATA_BASE;
+        let mass_base = pos_base + n as u64 * 8;
+        let force_base = mass_base + n as u64 * 8;
+        let pos: Vec<f64> = (0..n as u64).map(|i| memory.read_f64(pos_base + i * 8)).collect();
+        let mass: Vec<f64> =
+            (0..n as u64).map(|i| memory.read_f64(mass_base + i * 8)).collect();
+        let (_, memory) = run_to_halt(&program, memory, 100_000).unwrap();
+        for i in 0..n {
+            let mut expect = 0.0;
+            for j in 0..n {
+                let dx = pos[j] - pos[i];
+                expect += mass[j] / (dx * dx + 1e-3) * dx;
+            }
+            let got = memory.read_f64(force_base + i as u64 * 8);
+            assert!(
+                (got - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                "force[{i}] = {got}, want {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_pulls_in_opposite_directions() {
+        // With two equal-mass bodies, forces are equal and opposite.
+        let (program, memory) = build(2, 1, 9);
+        let force_base = DATA_BASE + 2 * 2 * 8;
+        let (_, memory) = run_to_halt(&program, memory, 10_000).unwrap();
+        let f0 = memory.read_f64(force_base);
+        let f1 = memory.read_f64(force_base + 8);
+        // Equal masses are not guaranteed by the seed, so check signs only.
+        assert!(f0 * f1 <= 0.0, "forces {f0} and {f1} must oppose");
+    }
+
+    #[test]
+    fn dynamic_length_matches_model() {
+        let n = 10u64;
+        let (program, memory) = build(n as usize, 2, 1);
+        let (cpu, _) = run_to_halt(&program, memory, 100_000).unwrap();
+        let approx = 2 * 14 * n * n;
+        let ratio = cpu.retired() as f64 / approx as f64;
+        assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,120 @@
+//! `phased` — alternating cache-resident and cache-hostile pointer-chase
+//! phases executed by the *same static code*, in the spirit of `gcc-2`'s
+//! behaviour in the paper's Section 5.3.
+//!
+//! Both phases run the identical inner basic block; only the data region
+//! differs (a small chain that fits L1 versus a huge chain that misses
+//! L2). Basic-block-vector profiles of the two phases are therefore
+//! nearly identical while CPI differs by an order of magnitude — the
+//! exact failure mode the paper demonstrates for SimPoint, and a high-
+//! variance stress case (`ammp`/`vpr`-like) for Figure 2/6.
+
+use super::DATA_BASE;
+use crate::kernels::chase::NODE_BYTES;
+use crate::rng::cyclic_permutation;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+/// Builds the phased kernel: `phases` alternating chase phases of
+/// `steps_per_phase` dependent loads, odd phases over `large_nodes`
+/// nodes, even phases over `small_nodes` nodes.
+///
+/// Dynamic length ≈ `phases · (3·steps_per_phase + 7)` instructions.
+///
+/// # Panics
+///
+/// Panics if either pool has fewer than two nodes, or `steps_per_phase`/
+/// `phases` is zero.
+pub fn build(
+    small_nodes: usize,
+    large_nodes: usize,
+    steps_per_phase: u64,
+    phases: u64,
+    seed: u64,
+) -> (Program, Memory) {
+    assert!(small_nodes >= 2 && large_nodes >= 2);
+    assert!(steps_per_phase > 0 && phases > 0);
+    let small_base = DATA_BASE;
+    let large_base = DATA_BASE + (small_nodes as u64 + 16) * NODE_BYTES;
+
+    let mut memory = Memory::new();
+    for (base, nodes, salt) in [(small_base, small_nodes, 0u64), (large_base, large_nodes, 1)] {
+        let next = cyclic_permutation(nodes, seed ^ salt);
+        for (i, &succ) in next.iter().enumerate() {
+            memory.write_u64(
+                base + i as u64 * NODE_BYTES,
+                base + succ as u64 * NODE_BYTES,
+            );
+        }
+    }
+
+    let mut a = Asm::new();
+    a.li(reg::S1, small_base as i64);
+    a.li(reg::S2, large_base as i64);
+    a.li(reg::S5, phases as i64);
+    let phase_top = a.label();
+    let use_small = a.label();
+    let start = a.label();
+    a.bind(phase_top).expect("label binds once");
+    a.andi(reg::T0, reg::S5, 1);
+    a.beqz(reg::T0, use_small);
+    a.mv(reg::S0, reg::S2); // odd phase: large pool
+    a.j(start);
+    a.bind(use_small).expect("label binds once");
+    a.mv(reg::S0, reg::S1); // even phase: small pool
+    a.bind(start).expect("label binds once");
+    a.li(reg::T1, steps_per_phase as i64);
+    let chase_top = a.label();
+    a.bind(chase_top).expect("label binds once");
+    a.ld(reg::S0, reg::S0, 0);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, chase_top);
+    a.addi(reg::S5, reg::S5, -1);
+    a.bnez(reg::S5, phase_top);
+    a.halt();
+
+    (a.finish().expect("phased kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn terminates_and_stays_in_pools() {
+        let (program, memory) = build(8, 64, 100, 6, 3);
+        let (cpu, _) = run_to_halt(&program, memory, 100_000).unwrap();
+        let at = cpu.reg(reg::S0);
+        let small_end = DATA_BASE + 8 * NODE_BYTES;
+        let large_base = DATA_BASE + (8 + 16) * NODE_BYTES;
+        let large_end = large_base + 64 * NODE_BYTES;
+        assert!(
+            (DATA_BASE..small_end).contains(&at) || (large_base..large_end).contains(&at),
+            "final pointer 0x{at:x} escaped both pools"
+        );
+    }
+
+    #[test]
+    fn pools_do_not_overlap() {
+        let small_nodes = 32;
+        let (_, memory) = build(small_nodes, 32, 10, 2, 7);
+        // Every small-pool next-pointer stays in the small pool.
+        let small_end = DATA_BASE + small_nodes as u64 * NODE_BYTES;
+        for i in 0..small_nodes as u64 {
+            let next = memory.read_u64(DATA_BASE + i * NODE_BYTES);
+            assert!((DATA_BASE..small_end).contains(&next));
+        }
+    }
+
+    #[test]
+    fn dynamic_length_matches_model() {
+        let steps = 50;
+        let phases = 4;
+        let (program, memory) = build(4, 4, steps, phases, 1);
+        let (cpu, _) = run_to_halt(&program, memory, 100_000).unwrap();
+        // Per phase: 2 select + (mv, maybe j) + li + 3·steps + 2 loop end.
+        // Odd phases run 6 non-chase instructions, even phases 5.
+        let expected = 3 + phases / 2 * (6 + 5) + 3 * steps * phases + phases + 1;
+        assert_eq!(cpu.retired(), expected);
+    }
+}

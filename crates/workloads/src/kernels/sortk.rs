@@ -1,0 +1,131 @@
+//! `sortk` — repeated bubble-sort passes with periodic re-scrambling, in
+//! the spirit of `bzip2`: loads, stores, compares, and data-dependent
+//! swap branches whose predictability *drifts* as the array gets sorted.
+//!
+//! The scramble→sort cycle creates natural program phases at several time
+//! scales — chaotic early passes (hard branches, many swaps), orderly
+//! late passes (predictable, no stores) — which is exactly the structure
+//! SMARTS's small-U sampling captures and single-chunk approaches miss.
+
+use super::DATA_BASE;
+use crate::rng::SplitMix64;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+const LCG_MUL: i64 = 6364136223846793005;
+const LCG_ADD: i64 = 1442695040888963407;
+
+/// Builds the sort kernel: `reps` rounds of (scramble, then `passes`
+/// bubble passes) over `n` signed 64-bit elements. With
+/// `presorted == true` the scramble writes an ascending sequence instead,
+/// modelling an "easy" input set.
+///
+/// Dynamic length ≈ `reps · (6·n + passes · 9·(n−1))` instructions.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, or `passes`/`reps` is zero.
+pub fn build(n: usize, passes: u64, reps: u64, seed: u64, presorted: bool) -> (Program, Memory) {
+    assert!(n >= 2 && passes > 0 && reps > 0);
+    let memory = Memory::new(); // array is written by the scramble phase
+
+    let mut a = Asm::new();
+    a.li(reg::S0, SplitMix64::new(seed).next_u64() as i64); // LCG state
+    a.li(reg::S7, reps as i64);
+    let rep_top = a.label();
+    a.bind(rep_top).expect("label binds once");
+
+    // --- scramble (or re-ascend) phase: write n elements -----------------
+    a.li(reg::T0, DATA_BASE as i64);
+    a.li(reg::T1, n as i64);
+    let scr_top = a.label();
+    a.bind(scr_top).expect("label binds once");
+    if presorted {
+        // value = n - countdown (ascending).
+        a.li(reg::T3, n as i64);
+        a.sub(reg::T2, reg::T3, reg::T1);
+    } else {
+        a.li(reg::T3, LCG_MUL);
+        a.mul(reg::S0, reg::S0, reg::T3);
+        a.li(reg::T3, LCG_ADD);
+        a.add(reg::S0, reg::S0, reg::T3);
+        a.srai(reg::T2, reg::S0, 24); // signed values
+    }
+    a.sd(reg::T2, reg::T0, 0);
+    a.addi(reg::T0, reg::T0, 8);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, scr_top);
+
+    // --- bubble passes ----------------------------------------------------
+    a.li(reg::S1, passes as i64);
+    let pass_top = a.label();
+    a.bind(pass_top).expect("label binds once");
+    a.li(reg::T0, DATA_BASE as i64);
+    a.li(reg::T1, (n - 1) as i64);
+    let cmp_top = a.label();
+    let no_swap = a.label();
+    a.bind(cmp_top).expect("label binds once");
+    a.ld(reg::T2, reg::T0, 0);
+    a.ld(reg::T3, reg::T0, 8);
+    a.ble(reg::T2, reg::T3, no_swap);
+    a.sd(reg::T3, reg::T0, 0);
+    a.sd(reg::T2, reg::T0, 8);
+    a.bind(no_swap).expect("label binds once");
+    a.addi(reg::T0, reg::T0, 8);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, cmp_top);
+    a.addi(reg::S1, reg::S1, -1);
+    a.bnez(reg::S1, pass_top);
+
+    a.addi(reg::S7, reg::S7, -1);
+    a.bnez(reg::S7, rep_top);
+    a.halt();
+
+    (a.finish().expect("sortk kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    fn read_array(memory: &Memory, n: usize) -> Vec<i64> {
+        (0..n as u64).map(|i| memory.read_u64(DATA_BASE + i * 8) as i64).collect()
+    }
+
+    #[test]
+    fn enough_passes_fully_sort() {
+        let n = 32;
+        let (program, memory) = build(n, n as u64, 1, 99, false);
+        let (_, memory) = run_to_halt(&program, memory, 1_000_000).unwrap();
+        let array = read_array(&memory, n);
+        let mut sorted = array.clone();
+        sorted.sort_unstable();
+        assert_eq!(array, sorted);
+        // Values are genuinely mixed-sign (scramble produced signed data).
+        assert!(array.first().unwrap() < &0 && array.last().unwrap() > &0);
+    }
+
+    #[test]
+    fn few_passes_leave_array_partially_sorted() {
+        let n = 64;
+        let (program, memory) = build(n, 2, 1, 7, false);
+        let (_, memory) = run_to_halt(&program, memory, 1_000_000).unwrap();
+        let array = read_array(&memory, n);
+        let mut sorted = array.clone();
+        sorted.sort_unstable();
+        assert_ne!(array, sorted, "two bubble passes cannot sort 64 elements");
+        // But each pass bubbles the maximum to the end.
+        assert_eq!(array[n - 1], *sorted.last().unwrap());
+        assert_eq!(array[n - 2], sorted[n - 2]);
+    }
+
+    #[test]
+    fn presorted_input_is_ascending_and_swap_free() {
+        let n = 32;
+        let (program, memory) = build(n, 3, 1, 1, true);
+        let (_, memory) = run_to_halt(&program, memory, 100_000).unwrap();
+        let array = read_array(&memory, n);
+        let expect: Vec<i64> = (0..n as i64).collect();
+        assert_eq!(array, expect);
+    }
+}

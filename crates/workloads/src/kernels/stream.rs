@@ -1,0 +1,91 @@
+//! `stream` — sequential floating-point triad, in the spirit of `swim`/
+//! `equake`: `A[i] = B[i] * s + C[i]` over arrays of configurable size.
+//!
+//! With arrays larger than L1 the kernel is memory-bandwidth bound with a
+//! very regular access pattern: low CPI variation, the "easy" end of the
+//! Figure 2 spectrum.
+
+use super::DATA_BASE;
+use crate::rng::SplitMix64;
+use smarts_isa::{reg, Asm, Memory, Program};
+
+/// Builds the stream kernel: `reps` passes of the triad over `n` f64
+/// elements per array.
+///
+/// Dynamic length ≈ `reps · (10·n + 6)` instructions.
+///
+/// # Panics
+///
+/// Panics if `n` or `reps` is zero (the kernel would not terminate
+/// meaningfully) or the assembly fails (a bug, not an input condition).
+pub fn build(n: usize, reps: u64, seed: u64) -> (Program, Memory) {
+    assert!(n > 0 && reps > 0);
+    let a_base = DATA_BASE;
+    let b_base = a_base + (n as u64) * 8;
+    let c_base = b_base + (n as u64) * 8;
+
+    let mut memory = Memory::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..n as u64 {
+        memory.write_f64(b_base + i * 8, rng.next_f64() * 4.0 - 2.0);
+        memory.write_f64(c_base + i * 8, rng.next_f64() * 4.0 - 2.0);
+    }
+
+    let mut a = Asm::new();
+    a.li(reg::S4, reps as i64);
+    a.fli(3, 1.8); // scale factor s
+    let outer = a.label();
+    a.bind(outer).expect("label binds once");
+    a.li(reg::S0, a_base as i64);
+    a.li(reg::S1, b_base as i64);
+    a.li(reg::S2, c_base as i64);
+    a.li(reg::T1, n as i64);
+    let inner = a.label();
+    a.bind(inner).expect("label binds once");
+    a.fld(0, reg::S1, 0);
+    a.fld(1, reg::S2, 0);
+    a.fmul(2, 0, 3);
+    a.fadd(2, 2, 1);
+    a.fsd(2, reg::S0, 0);
+    a.addi(reg::S0, reg::S0, 8);
+    a.addi(reg::S1, reg::S1, 8);
+    a.addi(reg::S2, reg::S2, 8);
+    a.addi(reg::T1, reg::T1, -1);
+    a.bnez(reg::T1, inner);
+    a.addi(reg::S4, reg::S4, -1);
+    a.bnez(reg::S4, outer);
+    a.halt();
+
+    (a.finish().expect("stream kernel assembles"), memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_to_halt;
+
+    #[test]
+    fn computes_the_triad() {
+        let n = 64;
+        let (program, memory) = build(n, 2, 42);
+        let (_, memory) = run_to_halt(&program, memory, 100_000).unwrap();
+        // Check A[i] == B[i] * 1.8 + C[i] for a few elements.
+        let a_base = DATA_BASE;
+        let b_base = a_base + (n as u64) * 8;
+        let c_base = b_base + (n as u64) * 8;
+        for i in [0u64, 1, 31, 63] {
+            let b = memory.read_f64(b_base + i * 8);
+            let c = memory.read_f64(c_base + i * 8);
+            let a = memory.read_f64(a_base + i * 8);
+            assert!((a - (b * 1.8 + c)).abs() < 1e-12, "element {i}");
+        }
+    }
+
+    #[test]
+    fn dynamic_length_matches_model() {
+        let (program, memory) = build(100, 3, 1);
+        let (cpu, _) = run_to_halt(&program, memory, 100_000).unwrap();
+        let expected = 3 * (10 * 100 + 6) + 2 + 1; // prologue li/fli + halt
+        assert_eq!(cpu.retired(), expected);
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic SPEC2K-like benchmark suite for the SMARTS reproduction.
+//!
+//! The original paper evaluates 41 SPEC CPU2000 benchmark/input
+//! combinations whose binaries, inputs, and multi-billion-instruction
+//! streams are not available here. This crate substitutes a suite of
+//! procedurally generated kernels — real instruction sequences for the
+//! [`smarts_isa`] substrate — chosen to span the same behavioural
+//! regimes the paper's Figure 2 documents:
+//!
+//! | kernel    | inspired by      | regime                                   |
+//! |-----------|------------------|------------------------------------------|
+//! | `stream`  | swim/equake      | regular FP streaming, low variation       |
+//! | `mtx`     | mgrid/applu      | loop-nest FP compute, L1/L2 reuse         |
+//! | `chase`   | mcf              | dependent misses, memory-latency bound    |
+//! | `hashp`   | vortex/gap       | random access + data-dependent branches   |
+//! | `branchy` | gcc/crafty       | hard control flow, BTB/indirect pressure  |
+//! | `sortk`   | bzip2            | phase drift: chaotic → sorted passes      |
+//! | `fpchain` | ammp/art         | serialized FP divide/sqrt latency         |
+//! | `phased`  | gcc-2 (§5.3)     | same code, alternating locality phases    |
+//! | `loopy`   | sixtrack/mesa    | tight predictable loops, minimal CPI      |
+//! | `mixed`   | parser/twolf     | call/return mix of all of the above       |
+//!
+//! Benchmarks are deterministic given their seed, terminate via `halt`,
+//! and scale their dynamic length through [`Benchmark::scaled`] /
+//! [`scaled_suite`] without changing data-set sizes (so cache behaviour
+//! is preserved across scales).
+//!
+//! # Examples
+//!
+//! ```
+//! use smarts_isa::Cpu;
+//! use smarts_workloads::find;
+//!
+//! # fn main() -> Result<(), smarts_isa::IsaError> {
+//! let bench = find("loopy-1").unwrap().scaled(0.01);
+//! let loaded = bench.load();
+//! let mut cpu = Cpu::new();
+//! let mut mem = loaded.memory;
+//! cpu.run(&loaded.program, &mut mem, u64::MAX)?;
+//! assert!(cpu.halted());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+mod rng;
+mod suite;
+
+pub use rng::{cyclic_permutation, SplitMix64};
+pub use suite::{extended_suite, find, scaled_suite, suite, Benchmark, LoadedBenchmark, Spec};

@@ -1,0 +1,99 @@
+//! Small deterministic generators used for data initialization.
+//!
+//! Workload construction must be reproducible from a seed alone, so the
+//! crate uses splitmix64 directly instead of threading a `rand` RNG
+//! through every kernel builder (the `rand` dependency is used where
+//! distributions matter, e.g. shuffles).
+
+/// Splitmix64: a fast, well-distributed 64-bit mixer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A uniformly random f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A random cyclic permutation of `0..n` (a single cycle visiting every
+/// element), used to build pointer-chase chains with no short cycles.
+///
+/// Uses Sattolo's algorithm.
+pub fn cyclic_permutation(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n >= 2, "a cycle needs at least two elements");
+    let mut items: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SplitMix64::new(seed);
+    // Sattolo: shuffle into a single cycle.
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64) as usize;
+        items.swap(i, j);
+    }
+    // items is now a cyclic order; produce next[] mapping.
+    let mut next = vec![0u32; n];
+    for w in 0..n {
+        next[items[w] as usize] = items[(w + 1) % n];
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn cyclic_permutation_is_one_cycle() {
+        for seed in [1, 2, 42] {
+            let n = 257;
+            let next = cyclic_permutation(n, seed);
+            let mut seen = vec![false; n];
+            let mut at = 0usize;
+            for _ in 0..n {
+                assert!(!seen[at], "revisited {at} before covering the cycle");
+                seen[at] = true;
+                at = next[at] as usize;
+            }
+            assert_eq!(at, 0, "walk returns to the start after n steps");
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

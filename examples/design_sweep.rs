@@ -1,0 +1,73 @@
+//! Checkpointed design-space exploration: build the sampling checkpoints
+//! once, then sweep pipeline parameters with *zero* fast-forwarding per
+//! point — the TurboSMARTS workflow the paper's conclusion anticipates
+//! ("designers should focus on techniques to speed up fast-forwarding
+//! and functional warming, because these ultimately determine sampling
+//! simulation time").
+//!
+//! Sweeps the out-of-order window (RUU/LSQ) of the 8-way machine and
+//! prints CPI with confidence for each point, plus the amortization
+//! arithmetic.
+//!
+//! ```sh
+//! cargo run --release --example design_sweep
+//! ```
+
+use smarts::core::compare_machines;
+use smarts::prelude::*;
+
+fn main() -> Result<(), SmartsError> {
+    let base_cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(base_cfg.clone());
+    let bench = find("hashp-2").expect("suite benchmark exists").scaled(0.5);
+    let params = SamplingParams::paper_defaults(&base_cfg, bench.approx_len(), 40)?
+        .with_offset(1)?;
+
+    println!("building checkpoint library for {bench} ...");
+    let library = sim.build_library(&bench, &params)?;
+    println!(
+        "  {} checkpoints in {:.2?} (one-time cost)\n",
+        library.len(),
+        library.build_wall()
+    );
+
+    println!("{:>12} {:>10} {:>10} {:>12}", "RUU/LSQ", "CPI", "±99.7%", "replay time");
+    let conf = Confidence::THREE_SIGMA;
+    let mut total_replay = std::time::Duration::ZERO;
+    for (ruu, lsq) in [(16u32, 8u32), (32, 16), (64, 32), (128, 64), (256, 128)] {
+        let mut cfg = base_cfg.clone();
+        cfg.ruu_size = ruu;
+        cfg.lsq_size = lsq;
+        let point = SmartsSim::new(cfg);
+        let report = point.sample_library(&library)?;
+        total_replay += report.wall_detailed;
+        println!(
+            "{:>9}/{:<3} {:>10.3} {:>9.1}% {:>12.2?}",
+            ruu,
+            lsq,
+            report.cpi().mean(),
+            report.cpi().achieved_epsilon(conf)? * 100.0,
+            report.wall_detailed,
+        );
+    }
+    println!(
+        "\n5-point sweep: {:.2?} of replay vs {:.2?} per point with fast-forwarding",
+        total_replay,
+        library.build_wall() + total_replay / 5,
+    );
+
+    // The same question asked as a paired comparison: is the 64-entry
+    // window significantly worse than the 128-entry baseline?
+    let mut small = base_cfg.clone();
+    small.ruu_size = 64;
+    small.lsq_size = 32;
+    let cmp = compare_machines(&sim, &SmartsSim::new(small), &bench, &params)?;
+    println!(
+        "\npaired check (128→64 RUU): ΔCPI = {:+.4} ± {:.4}, significant: {}, pairing gain {:.1}x",
+        cmp.cpi_delta(),
+        cmp.delta_half_width(conf)?,
+        cmp.is_significant(conf)?,
+        cmp.pairing_gain(),
+    );
+    Ok(())
+}
