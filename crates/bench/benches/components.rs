@@ -1,11 +1,11 @@
 //! Microbenchmarks of the simulator's hot components: the functional
 //! step, cache access, TLB access, and branch-predictor lookup/update.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smarts_bench::timing::bench;
 use smarts_isa::{reg, Asm, Cpu, Memory, OpClass};
 use smarts_uarch::{BranchPredictor, Cache, MachineConfig, Tlb};
 
-fn bench_cpu_step(c: &mut Criterion) {
+fn bench_cpu_step() {
     let mut a = Asm::new();
     a.li(reg::S0, 0x8000);
     let top = a.label();
@@ -17,83 +17,69 @@ fn bench_cpu_step(c: &mut Criterion) {
     a.j(top);
     let program = a.finish().expect("assembles");
 
-    let mut group = c.benchmark_group("cpu_step");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("mixed_loop_10k", |b| {
-        b.iter(|| {
-            let mut cpu = Cpu::new();
-            let mut mem = Memory::new();
-            cpu.run(&program, &mut mem, 10_000).expect("runs")
-        });
+    bench("cpu_step", "mixed_loop_10k", 10_000, || {
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        cpu.run(&program, &mut mem, 10_000).expect("runs")
     });
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let cfg = MachineConfig::eight_way();
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("l1d_hit_streak", |b| {
-        let mut cache = Cache::new(cfg.l1d);
-        cache.access(0, false);
-        b.iter(|| {
-            let mut sum = 0u32;
-            for _ in 0..10_000 {
-                sum += cache.access(0, false).hit as u32;
-            }
-            sum
-        });
+    let mut cache = Cache::new(cfg.l1d);
+    cache.access(0, false);
+    bench("cache_access", "l1d_hit_streak", 10_000, || {
+        let mut sum = 0u32;
+        for _ in 0..10_000 {
+            sum += cache.access(0, false).hit as u32;
+        }
+        sum
     });
-    group.bench_function("l1d_miss_stride", |b| {
-        let mut cache = Cache::new(cfg.l1d);
-        let mut addr = 0u64;
-        b.iter(|| {
-            let mut sum = 0u32;
-            for _ in 0..10_000 {
-                addr = addr.wrapping_add(1 << 16);
-                sum += cache.access(addr, false).hit as u32;
-            }
-            sum
-        });
+    let mut cache = Cache::new(cfg.l1d);
+    let mut addr = 0u64;
+    bench("cache_access", "l1d_miss_stride", 10_000, move || {
+        let mut sum = 0u32;
+        for _ in 0..10_000 {
+            addr = addr.wrapping_add(1 << 16);
+            sum += cache.access(addr, false).hit as u32;
+        }
+        sum
     });
-    group.finish();
 }
 
-fn bench_tlb(c: &mut Criterion) {
+fn bench_tlb() {
     let cfg = MachineConfig::eight_way();
-    let mut group = c.benchmark_group("tlb_access");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("dtlb_hit_streak", |b| {
-        let mut tlb = Tlb::new(cfg.dtlb);
-        tlb.access(0);
-        b.iter(|| {
-            let mut sum = 0u32;
-            for _ in 0..10_000 {
-                sum += tlb.access(4096) as u32;
-            }
-            sum
-        });
+    let mut tlb = Tlb::new(cfg.dtlb);
+    tlb.access(0);
+    bench("tlb_access", "dtlb_hit_streak", 10_000, || {
+        let mut sum = 0u32;
+        for _ in 0..10_000 {
+            sum += tlb.access(4096) as u32;
+        }
+        sum
     });
-    group.finish();
 }
 
-fn bench_bpred(c: &mut Criterion) {
+fn bench_bpred() {
     let cfg = MachineConfig::eight_way();
-    let mut group = c.benchmark_group("branch_predictor");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("predict_update_loop", |b| {
-        let mut bp = BranchPredictor::new(cfg.bpred);
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                let pc = i % 64;
-                let taken = i % 3 != 0;
-                let _ = bp.predict(pc, OpClass::CondBranch, None);
-                bp.update(pc, OpClass::CondBranch, taken, pc + 1);
-            }
-        });
+    let mut bp = BranchPredictor::new(cfg.bpred);
+    bench("branch_predictor", "predict_update_loop", 10_000, || {
+        for i in 0..10_000u64 {
+            let pc = i % 64;
+            let taken = i % 3 != 0;
+            let _ = bp.predict(pc, OpClass::CondBranch, None);
+            bp.update(pc, OpClass::CondBranch, taken, pc + 1);
+        }
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_cpu_step, bench_cache, bench_tlb, bench_bpred);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "components ({} samples/case, median)",
+        smarts_bench::timing::SAMPLES
+    );
+    bench_cpu_step();
+    bench_cache();
+    bench_tlb();
+    bench_bpred();
+}

@@ -5,23 +5,18 @@
 //! sampling run); the accuracy side is reported by the `table4`/`table5`
 //! binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use smarts_bench::timing::bench;
 use smarts_core::{SamplingParams, SmartsSim, Warming};
 use smarts_uarch::MachineConfig;
 use smarts_workloads::find;
 
-fn bench_unit_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unit_size_ablation");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_unit_size() {
     let sim = SmartsSim::new(MachineConfig::eight_way());
-    let bench = find("hashp-2").expect("suite benchmark").scaled(0.2);
+    let bench_case = find("hashp-2").expect("suite benchmark").scaled(0.2);
     // Equal measured instructions (n·U = 20,000) at different granularity.
     for (u, n) in [(100u64, 200u64), (1000, 20), (10_000, 2)] {
         let params = SamplingParams::for_sample_size(
-            bench.approx_len(),
+            bench_case.approx_len(),
             u,
             2000,
             Warming::Functional,
@@ -29,41 +24,35 @@ fn bench_unit_size(c: &mut Criterion) {
             0,
         )
         .expect("valid parameters");
-        group.bench_with_input(BenchmarkId::from_parameter(u), &params, |b, params| {
-            b.iter(|| sim.sample(&bench, params).expect("sampling succeeds"));
+        bench("unit_size_ablation", &format!("U={u}"), 0, || {
+            sim.sample(&bench_case, &params).expect("sampling succeeds")
         });
     }
-    group.finish();
 }
 
-fn bench_warming_mode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("warming_ablation");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
+fn bench_warming_mode() {
     let sim = SmartsSim::new(MachineConfig::eight_way());
-    let bench = find("hashp-2").expect("suite benchmark").scaled(0.2);
+    let bench_case = find("hashp-2").expect("suite benchmark").scaled(0.2);
     let cases = [
         ("none_w0", Warming::None, 0u64),
         ("none_w16k", Warming::None, 16_000),
         ("functional_w2k", Warming::Functional, 2_000),
     ];
     for (label, warming, w) in cases {
-        let params = SamplingParams::for_sample_size(
-            bench.approx_len(),
-            1000,
-            w,
-            warming,
-            20,
-            0,
-        )
-        .expect("valid parameters");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &params, |b, params| {
-            b.iter(|| sim.sample(&bench, params).expect("sampling succeeds"));
+        let params =
+            SamplingParams::for_sample_size(bench_case.approx_len(), 1000, w, warming, 20, 0)
+                .expect("valid parameters");
+        bench("warming_ablation", label, 0, || {
+            sim.sample(&bench_case, &params).expect("sampling succeeds")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_unit_size, bench_warming_mode);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "sampling_ablation ({} samples/case, median)",
+        smarts_bench::timing::SAMPLES
+    );
+    bench_unit_size();
+    bench_warming_mode();
+}

@@ -1,11 +1,10 @@
-//! Criterion benchmarks of the three simulator modes' throughput — the
-//! measured S_F / S_FW / S_D ratios behind Section 3.4 and Table 6.
+//! Benchmarks of the three simulator modes' throughput — the measured
+//! S_F / S_FW / S_D ratios behind Section 3.4 and Table 6.
 //!
 //! Run with `cargo bench --bench simulator_rates`; throughput is reported
 //! in Melem/s where an element is one simulated instruction (i.e. MIPS).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
+use smarts_bench::timing::bench;
 use smarts_core::FunctionalEngine;
 use smarts_uarch::{MachineConfig, Pipeline, WarmState};
 use smarts_workloads::find;
@@ -13,70 +12,39 @@ use smarts_workloads::find;
 const FUNCTIONAL_INSTRUCTIONS: u64 = 200_000;
 const DETAILED_INSTRUCTIONS: u64 = 30_000;
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator_rates");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+fn main() {
+    println!(
+        "simulator_rates ({} samples/case, median)",
+        smarts_bench::timing::SAMPLES
+    );
     for name in ["loopy-1", "hashp-2", "chase-2"] {
-        let bench = find(name).expect("suite benchmark").scaled(1.0);
+        let bench_case = find(name).expect("suite benchmark").scaled(1.0);
 
-        group.throughput(Throughput::Elements(FUNCTIONAL_INSTRUCTIONS));
-        group.bench_with_input(
-            BenchmarkId::new("functional", name),
-            &bench,
-            |b, bench| {
-                b.iter(|| {
-                    let mut engine = FunctionalEngine::new(bench.load());
-                    engine.fast_forward(FUNCTIONAL_INSTRUCTIONS)
-                });
-            },
-        );
+        bench("functional", name, FUNCTIONAL_INSTRUCTIONS, || {
+            let mut engine = FunctionalEngine::new(bench_case.load());
+            engine.fast_forward(FUNCTIONAL_INSTRUCTIONS)
+        });
 
         let cfg = MachineConfig::eight_way();
-        group.bench_with_input(
-            BenchmarkId::new("functional_warming", name),
-            &bench,
-            |b, bench| {
-                b.iter(|| {
-                    let mut engine = FunctionalEngine::new(bench.load());
-                    let mut warm = WarmState::new(&cfg);
-                    engine.fast_forward_warming(FUNCTIONAL_INSTRUCTIONS, &mut warm)
-                });
-            },
-        );
+        bench("functional_warming", name, FUNCTIONAL_INSTRUCTIONS, || {
+            let mut engine = FunctionalEngine::new(bench_case.load());
+            let mut warm = WarmState::new(&cfg);
+            engine.fast_forward_warming(FUNCTIONAL_INSTRUCTIONS, &mut warm)
+        });
 
-        group.throughput(Throughput::Elements(DETAILED_INSTRUCTIONS));
-        group.bench_with_input(
-            BenchmarkId::new("detailed_8way", name),
-            &bench,
-            |b, bench| {
-                b.iter(|| {
-                    let mut engine = FunctionalEngine::new(bench.load());
-                    let mut warm = WarmState::new(&cfg);
-                    let mut pipeline = Pipeline::new(&cfg);
-                    pipeline.run(&mut warm, &mut engine, DETAILED_INSTRUCTIONS, true)
-                });
-            },
-        );
+        bench("detailed_8way", name, DETAILED_INSTRUCTIONS, || {
+            let mut engine = FunctionalEngine::new(bench_case.load());
+            let mut warm = WarmState::new(&cfg);
+            let mut pipeline = Pipeline::new(&cfg);
+            pipeline.run(&mut warm, &mut engine, DETAILED_INSTRUCTIONS, true)
+        });
 
         let cfg16 = MachineConfig::sixteen_way();
-        group.bench_with_input(
-            BenchmarkId::new("detailed_16way", name),
-            &bench,
-            |b, bench| {
-                b.iter(|| {
-                    let mut engine = FunctionalEngine::new(bench.load());
-                    let mut warm = WarmState::new(&cfg16);
-                    let mut pipeline = Pipeline::new(&cfg16);
-                    pipeline.run(&mut warm, &mut engine, DETAILED_INSTRUCTIONS, true)
-                });
-            },
-        );
+        bench("detailed_16way", name, DETAILED_INSTRUCTIONS, || {
+            let mut engine = FunctionalEngine::new(bench_case.load());
+            let mut warm = WarmState::new(&cfg16);
+            let mut pipeline = Pipeline::new(&cfg16);
+            pipeline.run(&mut warm, &mut engine, DETAILED_INSTRUCTIONS, true)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

@@ -19,13 +19,18 @@ use smarts_uarch::MachineConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("Ablations", "systematic vs random; warming modes; checkpoint replay (8-way)");
+    banner(
+        "Ablations",
+        "systematic vs random; warming modes; checkpoint replay (8-way)",
+    );
     let sim = SmartsSim::new(MachineConfig::eight_way());
     let cache = RefCache::new();
     let suite = args.suite();
 
     // --- 1: systematic vs random over the reference population ---------
-    println!("--- systematic vs random sampling (estimator spread over trials, n per trial = N/20) ---");
+    println!(
+        "--- systematic vs random sampling (estimator spread over trials, n per trial = N/20) ---"
+    );
     println!(
         "{:<12}{:>16}{:>16}{:>12}",
         "benchmark", "systematic RMSE", "random RMSE", "ratio"
@@ -41,15 +46,18 @@ fn main() {
         let n = pop.len() / k;
 
         let sys_means = systematic_sample_means(pop, k);
-        let sys_rmse = (sys_means.iter().map(|m| (m - truth) * (m - truth)).sum::<f64>()
+        let sys_rmse = (sys_means
+            .iter()
+            .map(|m| (m - truth) * (m - truth))
+            .sum::<f64>()
             / sys_means.len() as f64)
             .sqrt();
 
         let mut rnd_sq = 0.0;
         let trials = 20;
         for seed in 0..trials {
-            let design = RandomDesign::draw(1000, pop.len() as u64, n as u64, seed)
-                .expect("valid design");
+            let design =
+                RandomDesign::draw(1000, pop.len() as u64, n as u64, seed).expect("valid design");
             let mean: f64 = design.unit_indices().map(|i| pop[i as usize]).sum::<f64>()
                 / design.sample_size() as f64;
             rnd_sq += (mean - truth) * (mean - truth);
@@ -81,15 +89,9 @@ fn main() {
             (Warming::None, 16_000),
             (Warming::Functional, 2_000),
         ] {
-            let params = SamplingParams::for_sample_size(
-                bench.approx_len(),
-                1000,
-                w,
-                warming,
-                n,
-                1,
-            )
-            .expect("valid parameters");
+            let params =
+                SamplingParams::for_sample_size(bench.approx_len(), 1000, w, warming, n, 1)
+                    .expect("valid parameters");
             let report = sim.sample(bench, &params).expect("sampling succeeds");
             errors.push((report.cpi().mean() - truth).abs() / truth);
         }
@@ -124,8 +126,7 @@ fn main() {
         let direct = sim.sample(bench, &params).expect("sampling succeeds");
         let library = sim.build_library(bench, &params).expect("library builds");
         let replay = sim.sample_library(&library).expect("replay succeeds");
-        let divergence =
-            (direct.cpi().mean() - replay.cpi().mean()).abs() / direct.cpi().mean();
+        let divergence = (direct.cpi().mean() - replay.cpi().mean()).abs() / direct.cpi().mean();
         println!(
             "{:<12}{:>14.4}{:>14.4}{:>16}{:>13.1}x",
             bench.name(),

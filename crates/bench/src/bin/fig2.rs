@@ -26,7 +26,11 @@ fn main() {
         "Coefficient of variation of CPI vs sampling unit size U (8-way)",
     );
     let sim = SmartsSim::new(
-        args.config.configs().into_iter().next().expect("at least one config"),
+        args.config
+            .configs()
+            .into_iter()
+            .next()
+            .expect("at least one config"),
     );
     let cache = RefCache::new();
 
@@ -63,7 +67,5 @@ fn main() {
         println!();
     }
     println!();
-    println!(
-        "(expected shape: steep fall to U≈1000, flat beyond; phased-* stays high at large U)"
-    );
+    println!("(expected shape: steep fall to U≈1000, flat beyond; phased-* stays high at large U)");
 }

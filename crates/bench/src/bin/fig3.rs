@@ -19,7 +19,11 @@ fn main() {
         "Minimum measured instructions (n·U at U=10) for common confidence targets (8-way)",
     );
     let sim = SmartsSim::new(
-        args.config.configs().into_iter().next().expect("at least one config"),
+        args.config
+            .configs()
+            .into_iter()
+            .next()
+            .expect("at least one config"),
     );
     let cache = RefCache::new();
 
@@ -40,7 +44,12 @@ fn main() {
         let reference = cache.get(&sim, &bench, UNIT);
         let stats: RunningStats = reference.unit_cpis.iter().copied().collect();
         let v = stats.coefficient_of_variation();
-        print!("{:<12}{:>8.3}{:>9.1}M", bench.name(), v, reference.instructions as f64 / 1e6);
+        print!(
+            "{:<12}{:>8.3}{:>9.1}M",
+            bench.name(),
+            v,
+            reference.instructions as f64 / 1e6
+        );
         let mut headline_fraction = 0.0;
         for (i, (_, eps, conf)) in targets.iter().enumerate() {
             let n = required_sample_size(v, *eps, *conf).expect("valid target");

@@ -43,7 +43,9 @@ fn main() {
 
     // Measure this machine's actual ratios on a probe benchmark.
     let sim = SmartsSim::new(MachineConfig::eight_way());
-    let probe = find("hashp-2").expect("probe benchmark").scaled(args.scale.min(0.5));
+    let probe = find("hashp-2")
+        .expect("probe benchmark")
+        .scaled(args.scale.min(0.5));
     let (t_func, n_func) = sim.time_functional(&probe);
     let (t_fw, _) = sim.time_functional_warming(&probe);
     let reference = sim.reference(&probe, 1000);
@@ -51,17 +53,23 @@ fn main() {
     let s_fw = t_func.as_secs_f64() / t_fw.as_secs_f64();
     let s_d = t_func.as_secs_f64() / reference.wall.as_secs_f64();
     println!();
-    println!(
-        "--- measured on this host (probe: {}) ---",
-        probe.name()
-    );
+    println!("--- measured on this host (probe: {}) ---", probe.name());
     println!(
         "S_F = {mips_f:.1} MIPS, S_FW = {s_fw:.3}, S_D = 1/{:.0}",
         1.0 / s_d
     );
     let measured = SpeedupModel { s_d, s_fw };
-    print_curves(measured, SpeedupModel { s_d: s_d / 10.0, s_fw }, 2000.0);
+    print_curves(
+        measured,
+        SpeedupModel {
+            s_d: s_d / 10.0,
+            s_fw,
+        },
+        2000.0,
+    );
     println!();
     println!("(shape check: rate collapses toward S_D as W grows — earlier and harder for the");
-    println!(" slower detailed simulator — while the functional-warming curve stays flat near S_FW)");
+    println!(
+        " slower detailed simulator — while the functional-warming curve stays flat near S_FW)"
+    );
 }

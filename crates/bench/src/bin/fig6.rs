@@ -30,7 +30,11 @@ fn main() {
 
     for cfg in args.config.configs() {
         let sim = SmartsSim::new(cfg.clone());
-        println!("--- {} (n_init = {n_init}, U = 1000, W = {}) ---", cfg.name, cfg.recommended_detailed_warming());
+        println!(
+            "--- {} (n_init = {n_init}, U = 1000, W = {}) ---",
+            cfg.name,
+            cfg.recommended_detailed_warming()
+        );
         println!(
             "  {:<12}{:>10}{:>12}{:>12}{:>8}",
             "benchmark", "CPI", "actual err", "interval", "V̂"
@@ -69,8 +73,8 @@ fn main() {
             );
         }
         if rows.len() > shown {
-            let rest_err: f64 = rows[shown..].iter().map(|r| r.2.abs()).sum::<f64>()
-                / (rows.len() - shown) as f64;
+            let rest_err: f64 =
+                rows[shown..].iter().map(|r| r.2.abs()).sum::<f64>() / (rows.len() - shown) as f64;
             let rest_int: f64 =
                 rows[shown..].iter().map(|r| r.3).sum::<f64>() / (rows.len() - shown) as f64;
             println!(
@@ -81,21 +85,25 @@ fn main() {
                 format!("±{}", upct(rest_int))
             );
         }
-        let mean_abs_err: f64 =
-            rows.iter().map(|r| r.2.abs()).sum::<f64>() / rows.len() as f64;
+        let mean_abs_err: f64 = rows.iter().map(|r| r.2.abs()).sum::<f64>() / rows.len() as f64;
         println!("  mean |actual error| = {}", upct(mean_abs_err));
 
         // Rerun the offenders with n_tuned (step 2 of Section 5.1).
         let offenders: Vec<_> = rows.iter().filter(|r| r.3 > EPSILON).collect();
         if offenders.is_empty() {
-            println!("  (all intervals within ±{}; no n_tuned rerun needed)", upct(EPSILON));
+            println!(
+                "  (all intervals within ±{}; no n_tuned rerun needed)",
+                upct(EPSILON)
+            );
         } else {
-            println!("  --- n_tuned reruns for intervals beyond ±{} ---", upct(EPSILON));
+            println!(
+                "  --- n_tuned reruns for intervals beyond ±{} ---",
+                upct(EPSILON)
+            );
             for (bench, _, _, _, _) in offenders {
                 let truth = cache.get(&sim, bench, 1000).cpi;
-                let params =
-                    SamplingParams::paper_defaults(&cfg, bench.approx_len(), n_init)
-                        .expect("valid parameters");
+                let params = SamplingParams::paper_defaults(&cfg, bench.approx_len(), n_init)
+                    .expect("valid parameters");
                 let outcome = sim
                     .sample_two_step(bench, &params, EPSILON, conf)
                     .expect("two-step succeeds");

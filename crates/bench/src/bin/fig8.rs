@@ -60,7 +60,13 @@ fn main() {
 
         sp_errors.push(sp_err.abs());
         sm_errors.push(sm_err.abs());
-        rows.push((bench.name().to_string(), sp_err, sm_err, sp.selection.k, interval));
+        rows.push((
+            bench.name().to_string(),
+            sp_err,
+            sm_err,
+            sp.selection.k,
+            interval,
+        ));
     }
     rows.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors"));
     for (name, sp_err, sm_err, k, interval) in &rows {

@@ -1,0 +1,146 @@
+//! Worker-count scaling of the parallel execution subsystem.
+//!
+//! For 1, 2, 4, and `nproc` workers this reports, per mode:
+//!
+//! * **checkpoint** — wall-clock split into the sequential library-build
+//!   pass and the parallel replay phase, with the replay-phase speedup
+//!   over one worker (the build pass is the Amdahl term; replay itself
+//!   is embarrassingly parallel and bit-identical to sequential).
+//! * **sharded** — end-to-end wall-clock against the sequential driver
+//!   (no sequential pass at all) plus the residual cold-start bias of
+//!   the merged estimate, which checkpoint mode avoids by construction.
+
+use smarts_bench::{banner, pct, HarnessArgs};
+use smarts_core::{SamplingParams, SmartsSim, Warming};
+use smarts_exec::{residual_bias, Executor, ParallelDriver, ParallelMode};
+use smarts_uarch::MachineConfig;
+use std::time::{Duration, Instant};
+
+fn fmt(d: Duration) -> String {
+    format!("{:.2?}", d)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Scaling",
+        "parallel sampling wall-clock vs worker count (8-way machine)",
+    );
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut job_counts = vec![1usize, 2, 4];
+    if !job_counts.contains(&nproc) {
+        job_counts.push(nproc);
+    }
+
+    let benches = if args.bench.is_some() {
+        args.suite()
+    } else {
+        let scale = if args.quick {
+            args.scale.min(0.1)
+        } else {
+            args.scale
+        };
+        ["hashp-2", "branchy-1"]
+            .iter()
+            .map(|n| {
+                smarts_workloads::find(n)
+                    .expect("suite benchmark")
+                    .scaled(scale)
+            })
+            .collect()
+    };
+
+    for bench in &benches {
+        // Enough detailed work (n·(W+U)) that replay, not the build pass,
+        // carries the run; the same design is used at every worker count.
+        let n = if args.quick { 20 } else { 60 };
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            n,
+            0,
+        )
+        .expect("valid sampling parameters");
+
+        let seq_start = Instant::now();
+        let sequential = sim.sample(bench, &params).expect("sequential run");
+        let seq_wall = seq_start.elapsed();
+        // The bit-identity baseline: a sequential replay of the same
+        // library (a direct run's warm state differs per the checkpoint
+        // module docs, so it is compared only for sharded-mode bias).
+        let library = sim.build_library(bench, &params).expect("library");
+        let replay_start = Instant::now();
+        let seq_replay = sim.sample_library(&library).expect("sequential replay");
+        let seq_replay_wall = replay_start.elapsed();
+        println!(
+            "--- {} (n = {}, sequential driver: {}, sequential replay: {}) ---",
+            bench.name(),
+            sequential.sample_size(),
+            fmt(seq_wall),
+            fmt(seq_replay_wall)
+        );
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10} {:>10}",
+            "jobs",
+            "ckpt-total",
+            "build",
+            "replay",
+            "replay-x",
+            "shard-total",
+            "shard-x",
+            "cpi-bias",
+            "max-unit"
+        );
+
+        let mut replay_base: Option<Duration> = None;
+        for &jobs in &job_counts {
+            let executor = Executor::new(jobs).expect("executor");
+            let start = Instant::now();
+            let ckpt = sim
+                .sample_parallel(bench, &params, &executor)
+                .expect("checkpoint run");
+            let ckpt_total = start.elapsed();
+            assert_eq!(
+                ckpt.report.cpi().mean().to_bits(),
+                seq_replay.cpi().mean().to_bits(),
+                "checkpoint merge must be bit-identical to sequential replay"
+            );
+            let replay = ckpt.parallel_wall;
+            let base = *replay_base.get_or_insert(replay);
+            let replay_x = base.as_secs_f64() / replay.as_secs_f64().max(1e-9);
+
+            let sharded_exec = Executor::new(jobs)
+                .expect("executor")
+                .with_mode(ParallelMode::Sharded)
+                .with_shard_warmup(200_000);
+            let start = Instant::now();
+            let sharded = sim
+                .sample_parallel(bench, &params, &sharded_exec)
+                .expect("sharded run");
+            let shard_total = start.elapsed();
+            let shard_x = seq_wall.as_secs_f64() / shard_total.as_secs_f64().max(1e-9);
+            let bias = residual_bias(&sharded.report, &sequential);
+
+            println!(
+                "{:>5} {:>12} {:>12} {:>12} {:>9.2}x {:>12} {:>11.2}x {:>10} {:>10}",
+                jobs,
+                fmt(ckpt_total),
+                fmt(ckpt.build_wall),
+                fmt(replay),
+                replay_x,
+                fmt(shard_total),
+                shard_x,
+                pct(bias.cpi_bias),
+                pct(bias.max_unit_cpi_error),
+            );
+        }
+        println!();
+    }
+    println!("(checkpoint replay is bit-identical to sequential at every worker count;");
+    println!(" sharded trades the sequential build pass for the residual bias shown.)");
+}

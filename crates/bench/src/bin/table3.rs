@@ -17,11 +17,25 @@ fn main() {
     let s = MachineConfig::sixteen_way();
 
     row("Parameter", "8-way (baseline)".into(), "16-way".into());
-    row("RUU/LSQ", format!("{}/{}", e.ruu_size, e.lsq_size), format!("{}/{}", s.ruu_size, s.lsq_size));
+    row(
+        "RUU/LSQ",
+        format!("{}/{}", e.ruu_size, e.lsq_size),
+        format!("{}/{}", s.ruu_size, s.lsq_size),
+    );
     row(
         "L1 I/D",
-        format!("{}KB {}-way, {} ports", e.l1d.size_bytes >> 10, e.l1d.assoc, e.l1d_ports),
-        format!("{}KB {}-way, {} ports", s.l1d.size_bytes >> 10, s.l1d.assoc, s.l1d_ports),
+        format!(
+            "{}KB {}-way, {} ports",
+            e.l1d.size_bytes >> 10,
+            e.l1d.assoc,
+            e.l1d_ports
+        ),
+        format!(
+            "{}KB {}-way, {} ports",
+            s.l1d.size_bytes >> 10,
+            s.l1d.assoc,
+            s.l1d_ports
+        ),
     );
     row("MSHRs", e.mshrs.to_string(), s.mshrs.to_string());
     row(
@@ -29,11 +43,21 @@ fn main() {
         format!("{}M {}-way", e.l2.size_bytes >> 20, e.l2.assoc),
         format!("{}M {}-way", s.l2.size_bytes >> 20, s.l2.assoc),
     );
-    row("Store buffer", format!("{}-entry", e.store_buffer), format!("{}-entry", s.store_buffer));
+    row(
+        "Store buffer",
+        format!("{}-entry", e.store_buffer),
+        format!("{}-entry", s.store_buffer),
+    );
     row(
         "ITLB/DTLB",
-        format!("{}-way {}/{} entries", e.itlb.assoc, e.itlb.entries, e.dtlb.entries),
-        format!("{}-way {}/{} entries", s.itlb.assoc, s.itlb.entries, s.dtlb.entries),
+        format!(
+            "{}-way {}/{} entries",
+            e.itlb.assoc, e.itlb.entries, e.dtlb.entries
+        ),
+        format!(
+            "{}-way {}/{} entries",
+            s.itlb.assoc, s.itlb.entries, s.dtlb.entries
+        ),
     );
     row(
         "TLB miss",
@@ -42,8 +66,14 @@ fn main() {
     );
     row(
         "L1/L2/mem latency",
-        format!("{}/{}/{} cycles", e.l1d.latency, e.l2.latency, e.mem_latency),
-        format!("{}/{}/{} cycles", s.l1d.latency, s.l2.latency, s.mem_latency),
+        format!(
+            "{}/{}/{} cycles",
+            e.l1d.latency, e.l2.latency, e.mem_latency
+        ),
+        format!(
+            "{}/{}/{} cycles",
+            s.l1d.latency, s.l2.latency, s.mem_latency
+        ),
     );
     row(
         "Functional units",

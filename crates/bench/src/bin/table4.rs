@@ -32,8 +32,8 @@ fn main() {
     let cache = RefCache::new();
 
     println!(
-        "{:<12}{:>10}{:>12}   {}",
-        "benchmark", "W needed", "bias at W", "bias trajectory over the W grid"
+        "{:<12}{:>10}{:>12}   bias trajectory over the W grid",
+        "benchmark", "W needed", "bias at W"
     );
     let mut groups: Vec<(String, Option<u64>)> = Vec::new();
     for bench in args.suite() {
@@ -44,15 +44,9 @@ fn main() {
         let mut final_bias = f64::NAN;
         let mut trajectory = String::new();
         for &w in W_GRID {
-            let base = SamplingParams::for_sample_size(
-                bench.approx_len(),
-                1000,
-                w,
-                Warming::None,
-                n,
-                0,
-            )
-            .expect("valid parameters");
+            let base =
+                SamplingParams::for_sample_size(bench.approx_len(), 1000, w, Warming::None, n, 0)
+                    .expect("valid parameters");
             // Skip the cold unit at instruction 0 (initialization
             // transient, negligible at the paper's N but not at ours).
             let phase_offsets: Vec<u64> = (0..PHASES)
@@ -74,7 +68,13 @@ fn main() {
             }
         }
         match needed {
-            Some(w) => println!("{:<12}{:>10}{:>12}  {}", bench.name(), w, pct(final_bias), trajectory),
+            Some(w) => println!(
+                "{:<12}{:>10}{:>12}  {}",
+                bench.name(),
+                w,
+                pct(final_bias),
+                trajectory
+            ),
             None => println!(
                 "{:<12}{:>10}{:>12}  {}",
                 bench.name(),
@@ -104,7 +104,11 @@ fn main() {
         .map(|(name, _)| name.as_str())
         .collect();
     if !unbounded.is_empty() {
-        println!("W >  {:<8} {}", W_GRID.last().expect("nonempty grid"), unbounded.join(", "));
+        println!(
+            "W >  {:<8} {}",
+            W_GRID.last().expect("nonempty grid"),
+            unbounded.join(", ")
+        );
     }
     println!();
     println!("(paper: the spread across rows is the point — without functional warming, W is");

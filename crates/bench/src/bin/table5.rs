@@ -60,8 +60,8 @@ fn main() {
             println!("  {name:<12} {}", pct(*b));
         }
         if rows.len() > shown {
-            let rest: f64 =
-                rows[shown..].iter().map(|(_, b)| b.abs()).sum::<f64>() / (rows.len() - shown) as f64;
+            let rest: f64 = rows[shown..].iter().map(|(_, b)| b.abs()).sum::<f64>()
+                / (rows.len() - shown) as f64;
             println!("  {:<12} {}", "avg. rest", pct(rest));
         }
         let worst = rows.first().map(|(_, b)| b.abs()).unwrap_or(0.0);
@@ -77,8 +77,7 @@ fn main() {
         // store_buffer × mem_latency × max IPC. Our store-heavy kernels
         // exercise exactly the store-buffer-overflow mechanism that bound
         // is derived from.
-        let offenders: Vec<&(String, f64)> =
-            rows.iter().filter(|(_, b)| b.abs() > 0.015).collect();
+        let offenders: Vec<&(String, f64)> = rows.iter().filter(|(_, b)| b.abs() > 0.015).collect();
         if !offenders.is_empty() {
             let w_bound = cfg.detailed_warming_bound();
             println!("  --- rerun at the analytic bound W = {w_bound} ---");
@@ -106,11 +105,7 @@ fn main() {
                     })
                     .collect();
                 let new_bias = bias(&estimates, truth) / truth;
-                println!(
-                    "  {name:<12} {} -> {}",
-                    pct(*old_bias),
-                    pct(new_bias)
-                );
+                println!("  {name:<12} {} -> {}", pct(*old_bias), pct(new_bias));
             }
         }
         println!();

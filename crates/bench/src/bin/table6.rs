@@ -36,13 +36,19 @@ fn main() {
     for bench in args.suite() {
         let reference = sim.reference(&bench, 1000);
         let (func, instructions) = sim.time_functional(&bench);
-        let params = SamplingParams::paper_defaults(&cfg, bench.approx_len(), n)
-            .expect("valid parameters");
+        let params =
+            SamplingParams::paper_defaults(&cfg, bench.approx_len(), n).expect("valid parameters");
         let report = sim.sample(&bench, &params).expect("sampling succeeds");
         let smarts = report.wall_total();
-        rows.push((bench.name().to_string(), instructions, reference.wall, func, smarts));
+        rows.push((
+            bench.name().to_string(),
+            instructions,
+            reference.wall,
+            func,
+            smarts,
+        ));
     }
-    rows.sort_by(|a, b| b.2.cmp(&a.2));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.2));
     let mut sums = (Duration::ZERO, Duration::ZERO, Duration::ZERO, 0u64);
     for (name, instrs, detailed, func, smarts) in &rows {
         println!(

@@ -7,13 +7,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use smarts_core::{
-    compare_machines, FunctionalEngine, SamplingParams, SmartsSim, Warming,
+use smarts_core::{compare_machines, FunctionalEngine, SamplingParams, SmartsSim, Warming};
+use smarts_exec::{
+    compare_machines_parallel, sample_two_step_parallel, Executor, ParallelMode, ParallelReport,
 };
-use smarts_uarch::WarmState;
 use smarts_simpoint::{estimate_cpi, SimPointConfig};
 use smarts_stats::Confidence;
 use smarts_uarch::MachineConfig;
+use smarts_uarch::WarmState;
 use smarts_workloads::{extended_suite, find, Benchmark};
 
 /// Parsed common options shared by the sampling subcommands.
@@ -39,6 +40,10 @@ pub struct Options {
     pub epsilon: Option<f64>,
     /// Confidence level (fraction).
     pub confidence: f64,
+    /// Worker threads for `sample` and `compare` (1 = sequential).
+    pub jobs: usize,
+    /// Parallel decomposition when `jobs > 1`.
+    pub parallel_mode: ParallelMode,
 }
 
 impl Default for Options {
@@ -54,6 +59,8 @@ impl Default for Options {
             offset: 0,
             epsilon: None,
             confidence: 0.9973,
+            jobs: 1,
+            parallel_mode: ParallelMode::Checkpoint,
         }
     }
 }
@@ -82,7 +89,10 @@ pub fn usage() -> String {
      \x20 --no-functional-warming  fast-forward without warming\n\
      \x20 --offset <units>         systematic phase offset j  [0]\n\
      \x20 --epsilon <f>            two-step target (e.g. 0.03)\n\
-     \x20 --confidence <f>         confidence level           [0.9973]"
+     \x20 --confidence <f>         confidence level           [0.9973]\n\
+     \x20 --jobs <count>           worker threads for sample/compare [1]\n\
+     \x20 --parallel-mode <mode>   checkpoint (bit-identical replay) or\n\
+     \x20                          sharded (leapfrog, small residual bias) [checkpoint]"
         .to_string()
 }
 
@@ -97,7 +107,9 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
-            iter.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
             "--bench" => options.bench = Some(value("--bench")?),
@@ -118,16 +130,20 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--n" => {
-                options.n =
-                    value("--n")?.parse().map_err(|_| "--n takes a count".to_string())?;
+                options.n = value("--n")?
+                    .parse()
+                    .map_err(|_| "--n takes a count".to_string())?;
             }
             "--u" => {
-                options.unit =
-                    value("--u")?.parse().map_err(|_| "--u takes a count".to_string())?;
+                options.unit = value("--u")?
+                    .parse()
+                    .map_err(|_| "--u takes a count".to_string())?;
             }
             "--w" => {
                 options.warming_len = Some(
-                    value("--w")?.parse().map_err(|_| "--w takes a count".to_string())?,
+                    value("--w")?
+                        .parse()
+                        .map_err(|_| "--w takes a count".to_string())?,
                 );
             }
             "--no-functional-warming" => options.no_functional_warming = true,
@@ -148,6 +164,18 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--confidence takes a fraction".to_string())?;
             }
+            "--jobs" => {
+                options.jobs = value("--jobs")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--jobs takes a worker count of at least 1".to_string())?;
+            }
+            "--parallel-mode" => {
+                options.parallel_mode = value("--parallel-mode")?
+                    .parse()
+                    .map_err(|_| "--parallel-mode takes checkpoint or sharded".to_string())?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -164,16 +192,24 @@ fn machine(options: &Options) -> MachineConfig {
 
 fn benchmark(options: &Options) -> Result<Benchmark, String> {
     let name = options.bench.as_deref().ok_or("--bench is required")?;
-    let bench = find(name).ok_or_else(|| {
-        format!("unknown benchmark `{name}` (see `smarts list`)")
-    })?;
+    let bench =
+        find(name).ok_or_else(|| format!("unknown benchmark `{name}` (see `smarts list`)"))?;
     Ok(bench.scaled(options.scale))
 }
 
-fn sampling_params(options: &Options, cfg: &MachineConfig, bench: &Benchmark) -> Result<SamplingParams, String> {
-    let warming =
-        if options.no_functional_warming { Warming::None } else { Warming::Functional };
-    let w = options.warming_len.unwrap_or_else(|| cfg.recommended_detailed_warming());
+fn sampling_params(
+    options: &Options,
+    cfg: &MachineConfig,
+    bench: &Benchmark,
+) -> Result<SamplingParams, String> {
+    let warming = if options.no_functional_warming {
+        Warming::None
+    } else {
+        Warming::Functional
+    };
+    let w = options
+        .warming_len
+        .unwrap_or_else(|| cfg.recommended_detailed_warming());
     SamplingParams::for_sample_size(
         bench.approx_len(),
         options.unit,
@@ -186,7 +222,7 @@ fn sampling_params(options: &Options, cfg: &MachineConfig, bench: &Benchmark) ->
 }
 
 fn cmd_list() {
-    println!("{:<12} {:>14}  {}", "name", "approx length", "kernel family");
+    println!("{:<12} {:>14}  kernel family", "name", "approx length");
     for bench in extended_suite() {
         let family = bench.name().split('-').next().unwrap_or("?");
         println!(
@@ -205,21 +241,47 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
     let params = sampling_params(options, &cfg, &bench)?;
     let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
 
-    let report = match options.epsilon {
-        None => sim.sample(&bench, &params).map_err(|e| e.to_string())?,
-        Some(eps) => {
-            let outcome = sim
-                .sample_two_step(&bench, &params, eps, conf)
-                .map_err(|e| e.to_string())?;
-            if let Some(tuned) = &outcome.tuned {
-                println!(
-                    "initial n = {} missed ±{:.2}%; tuned rerun at n = {}",
-                    outcome.initial.sample_size(),
-                    eps * 100.0,
-                    tuned.sample_size()
-                );
+    let announce_tuned = |outcome: &smarts_core::TwoStepOutcome, eps: f64| {
+        if let Some(tuned) = &outcome.tuned {
+            println!(
+                "initial n = {} missed ±{:.2}%; tuned rerun at n = {}",
+                outcome.initial.sample_size(),
+                eps * 100.0,
+                tuned.sample_size()
+            );
+        }
+    };
+    let mut parallel: Option<ParallelReport> = None;
+    let report = if options.jobs > 1 {
+        let executor = Executor::new(options.jobs)
+            .map_err(|e| e.to_string())?
+            .with_mode(options.parallel_mode);
+        match options.epsilon {
+            None => {
+                let outcome = executor
+                    .sample(&sim, &bench, &params)
+                    .map_err(|e| e.to_string())?;
+                let report = outcome.report.clone();
+                parallel = Some(outcome);
+                report
             }
-            outcome.best().clone()
+            Some(eps) => {
+                let outcome = sample_two_step_parallel(&executor, &sim, &bench, &params, eps, conf)
+                    .map_err(|e| e.to_string())?;
+                announce_tuned(&outcome, eps);
+                outcome.best().clone()
+            }
+        }
+    } else {
+        match options.epsilon {
+            None => sim.sample(&bench, &params).map_err(|e| e.to_string())?,
+            Some(eps) => {
+                let outcome = sim
+                    .sample_two_step(&bench, &params, eps, conf)
+                    .map_err(|e| e.to_string())?;
+                announce_tuned(&outcome, eps);
+                outcome.best().clone()
+            }
         }
     };
 
@@ -228,23 +290,49 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
     let mpki = report.branch_mpki();
     let mem = report.memory_pki();
     println!("benchmark     {}", bench);
-    println!("machine       {} (U={}, W={}, k={}, j={})",
-        cfg.name, params.unit_size, params.detailed_warming, params.interval, params.offset);
-    println!("sample        {} units, {:.4}% of the stream in detail",
+    println!(
+        "machine       {} (U={}, W={}, k={}, j={})",
+        cfg.name, params.unit_size, params.detailed_warming, params.interval, params.offset
+    );
+    println!(
+        "sample        {} units, {:.4}% of the stream in detail",
         report.sample_size(),
-        report.instructions.detailed_fraction() * 100.0);
+        report.instructions.detailed_fraction() * 100.0
+    );
     let pct = |e: smarts_stats::SampleEstimate| -> String {
         match e.achieved_epsilon(conf) {
             Ok(eps) => format!("±{:.2}%", eps * 100.0),
             Err(_) => "±?".to_string(),
         }
     };
-    println!("CPI           {:.4} {} (V̂ = {:.3})", cpi.mean(), pct(cpi), cpi.coefficient_of_variation());
+    println!(
+        "CPI           {:.4} {} (V̂ = {:.3})",
+        cpi.mean(),
+        pct(cpi),
+        cpi.coefficient_of_variation()
+    );
     println!("EPI           {:.2} nJ {}", epi.mean(), pct(epi));
     println!("branch MPKI   {:.2} {}", mpki.mean(), pct(mpki));
     println!("memory APKI   {:.2} {}", mem.mean(), pct(mem));
-    println!("wall clock    {:.2?} ({:.2?} fast-forward, {:.2?} detailed)",
-        report.wall_total(), report.wall_functional, report.wall_detailed);
+    println!(
+        "wall clock    {:.2?} ({:.2?} fast-forward, {:.2?} detailed)",
+        report.wall_total(),
+        report.wall_functional,
+        report.wall_detailed
+    );
+    if let Some(pr) = &parallel {
+        println!(
+            "parallel      {} mode, {} workers: {:.2?} sequential build + {:.2?} parallel",
+            pr.mode, pr.jobs, pr.build_wall, pr.parallel_wall
+        );
+        for w in &pr.workers {
+            let i = &w.instructions;
+            println!(
+                "  worker {:<3} {:>5} units  {:>10.2?}  ff {:>12}  warm {:>10}  measured {:>10}",
+                w.worker, w.units, w.wall, i.fast_forwarded, i.detailed_warmed, i.measured
+            );
+        }
+    }
     Ok(())
 }
 
@@ -270,7 +358,15 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
     let mut params = sampling_params(options, base.config(), &bench)?;
     params.detailed_warming = 0; // per-machine recommendation
     let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
-    let cmp = compare_machines(&base, &alt, &bench, &params).map_err(|e| e.to_string())?;
+    let cmp = if options.jobs > 1 {
+        let executor = Executor::new(options.jobs)
+            .map_err(|e| e.to_string())?
+            .with_mode(options.parallel_mode);
+        compare_machines_parallel(&executor, &base, &alt, &bench, &params)
+            .map_err(|e| e.to_string())?
+    } else {
+        compare_machines(&base, &alt, &bench, &params).map_err(|e| e.to_string())?
+    };
     println!("benchmark     {}", bench);
     println!("pairs         {}", cmp.pairs());
     println!("8-way CPI     {:.4}", cmp.baseline.cpi().mean());
@@ -280,10 +376,23 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
         "ΔCPI          {:+.4} ± {:.4} ({}significant at {:.2}%)",
         cmp.cpi_delta(),
         cmp.delta_half_width(conf).map_err(|e| e.to_string())?,
-        if cmp.is_significant(conf).map_err(|e| e.to_string())? { "" } else { "not " },
+        if cmp.is_significant(conf).map_err(|e| e.to_string())? {
+            ""
+        } else {
+            "not "
+        },
         options.confidence * 100.0,
     );
-    println!("pairing gain  {:.1}x tighter than independent runs", cmp.pairing_gain());
+    println!(
+        "pairing gain  {:.1}x tighter than independent runs",
+        cmp.pairing_gain()
+    );
+    if options.jobs > 1 {
+        println!(
+            "parallel      {} mode, {} workers per machine",
+            options.parallel_mode, options.jobs
+        );
+    }
     Ok(())
 }
 
@@ -299,8 +408,14 @@ fn cmd_simpoint(options: &Options) -> Result<(), String> {
     println!("benchmark     {}", bench);
     println!("machine       {}", cfg.name);
     println!("interval      {} instructions", sp_config.interval);
-    println!("clusters      {} (of {} intervals)", estimate.selection.k, estimate.selection.population);
-    println!("CPI           {:.4} (no confidence measure — see the paper §5.3)", estimate.cpi);
+    println!(
+        "clusters      {} (of {} intervals)",
+        estimate.selection.k, estimate.selection.population
+    );
+    println!(
+        "CPI           {:.4} (no confidence measure — see the paper §5.3)",
+        estimate.cpi
+    );
     println!(
         "wall clock    {:.2?} profile + {:.2?} measure",
         estimate.wall_profile, estimate.wall_measure
@@ -319,8 +434,15 @@ fn cmd_cachesim(options: &Options) -> Result<(), String> {
     println!("machine       {} (functional cache simulation)", cfg.name);
     println!("instructions  {}", engine.position());
     let line = |name: &str, accesses: u64, misses: u64| {
-        let ratio = if accesses == 0 { 0.0 } else { misses as f64 / accesses as f64 };
-        println!("{name:<8} accesses {accesses:>12}  misses {misses:>10}  miss ratio {:>7.4}", ratio);
+        let ratio = if accesses == 0 {
+            0.0
+        } else {
+            misses as f64 / accesses as f64
+        };
+        println!(
+            "{name:<8} accesses {accesses:>12}  misses {misses:>10}  miss ratio {:>7.4}",
+            ratio
+        );
     };
     line("L1I", h.l1i().accesses(), h.l1i().misses());
     line("L1D", h.l1d().accesses(), h.l1d().misses());
@@ -337,11 +459,16 @@ fn cmd_bpredsim(options: &Options) -> Result<(), String> {
     let mut warm = WarmState::new(&cfg);
     engine.fast_forward_warming(u64::MAX - 1, &mut warm);
     println!("benchmark     {}", bench);
-    println!("machine       {} (functional branch-predictor simulation)", cfg.name);
+    println!(
+        "machine       {} (functional branch-predictor simulation)",
+        cfg.name
+    );
     println!("instructions  {}", engine.position());
-    println!("cond branches mispredicted: {} (direction miss ratio {:.4})",
+    println!(
+        "cond branches mispredicted: {} (direction miss ratio {:.4})",
         warm.bpred.cond_mispredicts(),
-        warm.bpred.mispredict_ratio());
+        warm.bpred.mispredict_ratio()
+    );
     Ok(())
 }
 
@@ -385,9 +512,25 @@ mod tests {
     #[test]
     fn parses_full_option_set() {
         let args = strings(&[
-            "--bench", "chase-1", "--config", "16", "--scale", "0.5", "--n", "42", "--u",
-            "500", "--w", "3000", "--no-functional-warming", "--offset", "2", "--epsilon",
-            "0.03", "--confidence", "0.95",
+            "--bench",
+            "chase-1",
+            "--config",
+            "16",
+            "--scale",
+            "0.5",
+            "--n",
+            "42",
+            "--u",
+            "500",
+            "--w",
+            "3000",
+            "--no-functional-warming",
+            "--offset",
+            "2",
+            "--epsilon",
+            "0.03",
+            "--confidence",
+            "0.95",
         ]);
         let options = parse_options(&args).unwrap();
         assert_eq!(options.bench.as_deref(), Some("chase-1"));
@@ -408,6 +551,19 @@ mod tests {
         assert!(parse_options(&strings(&["--config", "12"])).is_err());
         assert!(parse_options(&strings(&["--scale", "-1"])).is_err());
         assert!(parse_options(&strings(&["--n"])).is_err());
+        assert!(parse_options(&strings(&["--jobs", "0"])).is_err());
+        assert!(parse_options(&strings(&["--parallel-mode", "magic"])).is_err());
+    }
+
+    #[test]
+    fn parses_parallel_flags() {
+        let options =
+            parse_options(&strings(&["--jobs", "4", "--parallel-mode", "sharded"])).unwrap();
+        assert_eq!(options.jobs, 4);
+        assert_eq!(options.parallel_mode, ParallelMode::Sharded);
+        let defaults = parse_options(&[]).unwrap();
+        assert_eq!(defaults.jobs, 1);
+        assert_eq!(defaults.parallel_mode, ParallelMode::Checkpoint);
     }
 
     #[test]
@@ -445,9 +601,49 @@ mod tests {
     }
 
     #[test]
+    fn sample_runs_parallel_in_both_modes() {
+        dispatch(&strings(&[
+            "sample", "--bench", "loopy-1", "--scale", "0.02", "--n", "8", "--jobs", "2",
+        ]))
+        .unwrap();
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--jobs",
+            "2",
+            "--parallel-mode",
+            "sharded",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn compare_runs_parallel_end_to_end() {
+        dispatch(&strings(&[
+            "compare", "--bench", "stream-2", "--scale", "0.05", "--n", "6", "--jobs", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
     fn cachesim_and_bpredsim_run_end_to_end() {
-        dispatch(&strings(&["cachesim", "--bench", "chase-2", "--scale", "0.02"])).unwrap();
-        dispatch(&strings(&["bpredsim", "--bench", "branchy-1", "--scale", "0.02"])).unwrap();
+        dispatch(&strings(&[
+            "cachesim", "--bench", "chase-2", "--scale", "0.02",
+        ]))
+        .unwrap();
+        dispatch(&strings(&[
+            "bpredsim",
+            "--bench",
+            "branchy-1",
+            "--scale",
+            "0.02",
+        ]))
+        .unwrap();
     }
 
     #[test]

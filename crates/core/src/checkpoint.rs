@@ -28,7 +28,6 @@ use crate::error::SmartsError;
 use crate::sampler::{
     ModeInstructions, SampleReport, SamplingParams, SmartsSim, UnitSample, Warming,
 };
-use smarts_stats::RunningStats;
 use smarts_uarch::{MachineConfig, Pipeline, WarmState};
 use smarts_workloads::Benchmark;
 use std::time::{Duration, Instant};
@@ -40,6 +39,31 @@ struct UnitCheckpoint {
     unit_start: u64,
     snapshot: EngineSnapshot,
     warm: WarmState,
+}
+
+/// Outcome of replaying one checkpointed sampling unit in isolation.
+///
+/// The accounting fields let callers rebuild the exact
+/// [`ModeInstructions`] a sequential replay pass would have produced,
+/// whichever order (or thread) the units were actually measured in.
+#[derive(Debug, Clone)]
+pub enum UnitReplay {
+    /// The unit measured all `U` instructions.
+    Complete {
+        /// The measured unit (boxed: it carries full activity counters,
+        /// dwarfing the `Partial` variant).
+        sample: Box<UnitSample>,
+        /// Instructions consumed by detailed warming before the unit.
+        detailed_warmed: u64,
+    },
+    /// The stream ended inside the unit; no sample is recorded but the
+    /// consumed instructions still count toward the mode breakdown.
+    Partial {
+        /// Instructions consumed by detailed warming before the unit.
+        detailed_warmed: u64,
+        /// Instructions measured before the stream ended (`< U`).
+        measured: u64,
+    },
 }
 
 /// A library of per-unit checkpoints for one benchmark and one sampling
@@ -73,6 +97,12 @@ impl CheckpointLibrary {
     /// replays amortize).
     pub fn build_wall(&self) -> Duration {
         self.build_wall
+    }
+
+    /// The stream offset (in instructions) of each checkpointed unit, in
+    /// stream order.
+    pub fn unit_starts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.checkpoints.iter().map(|c| c.unit_start)
     }
 
     /// Whether a machine can replay this library: its warmable-state
@@ -176,58 +206,97 @@ impl SmartsSim {
     /// Returns [`SmartsError::EmptySample`] when no checkpointed unit
     /// completes, or a parameter error when the geometry is incompatible.
     pub fn sample_library(&self, library: &CheckpointLibrary) -> Result<SampleReport, SmartsError> {
+        let t0 = Instant::now();
+        let mut units = Vec::new();
+        let mut instructions = ModeInstructions::default();
+
+        for index in 0..library.len() {
+            match self.replay_unit(library, index)? {
+                UnitReplay::Complete {
+                    sample,
+                    detailed_warmed,
+                } => {
+                    instructions.detailed_warmed += detailed_warmed;
+                    instructions.measured += sample.instructions;
+                    units.push(*sample);
+                }
+                UnitReplay::Partial {
+                    detailed_warmed,
+                    measured,
+                } => {
+                    instructions.detailed_warmed += detailed_warmed;
+                    instructions.measured += measured;
+                    break; // partial tail unit
+                }
+            }
+        }
+        if units.is_empty() {
+            return Err(SmartsError::EmptySample);
+        }
+        Ok(SampleReport::from_units(
+            library.params,
+            units,
+            instructions,
+            Duration::ZERO,
+            t0.elapsed(),
+        ))
+    }
+
+    /// Replays a single checkpointed unit: one detailed `W + U` episode
+    /// starting from the stored architectural and warm state.
+    ///
+    /// Units are mutually independent — the result depends only on the
+    /// checkpoint and this simulator's configuration — so any subset may
+    /// be replayed in any order (or concurrently on clones of `self`) and
+    /// reassembled with [`SampleReport::from_units`] into the exact report
+    /// [`SmartsSim::sample_library`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `index` is out of range or the warmable-state
+    /// geometry is incompatible.
+    pub fn replay_unit(
+        &self,
+        library: &CheckpointLibrary,
+        index: usize,
+    ) -> Result<UnitReplay, SmartsError> {
         if !library.compatible_with(self.config()) {
             return Err(SmartsError::ZeroParameter(
                 "warmable-state geometry differs from the library's",
             ));
         }
+        let Some(checkpoint) = library.checkpoints.get(index) else {
+            return Err(SmartsError::ZeroParameter("checkpoint index out of range"));
+        };
         let params = library.params;
-        let t0 = Instant::now();
-        let mut units = Vec::new();
-        let mut cpi_stats = RunningStats::new();
-        let mut epi_stats = RunningStats::new();
-        let mut instructions = ModeInstructions::default();
-
-        for checkpoint in &library.checkpoints {
-            let mut engine = FunctionalEngine::from_snapshot(
-                library.program.clone(),
-                checkpoint.snapshot.clone(),
-            );
-            let mut warm = checkpoint.warm.clone();
-            let mut pipeline = Pipeline::new(self.config());
-            let warm_commits = checkpoint.unit_start.saturating_sub(engine.position());
-            let warm_run = pipeline.run(&mut warm, &mut engine, warm_commits, false);
-            let measured = pipeline.run(&mut warm, &mut engine, params.unit_size, true);
-            instructions.detailed_warmed += warm_run.instructions;
-            instructions.measured += measured.instructions;
-            if measured.instructions < params.unit_size {
-                break; // partial tail unit
-            }
-            let cpi = measured.cpi();
-            let epi = self.energy().energy_per_instruction(&measured.counters, measured.cycles);
-            cpi_stats.push(cpi);
-            epi_stats.push(epi);
-            units.push(UnitSample {
+        let mut engine =
+            FunctionalEngine::from_snapshot(library.program.clone(), checkpoint.snapshot.clone());
+        let mut warm = checkpoint.warm.clone();
+        let mut pipeline = Pipeline::new(self.config());
+        let warm_commits = checkpoint.unit_start.saturating_sub(engine.position());
+        let warm_run = pipeline.run(&mut warm, &mut engine, warm_commits, false);
+        let measured = pipeline.run(&mut warm, &mut engine, params.unit_size, true);
+        if measured.instructions < params.unit_size {
+            return Ok(UnitReplay::Partial {
+                detailed_warmed: warm_run.instructions,
+                measured: measured.instructions,
+            });
+        }
+        let cpi = measured.cpi();
+        let epi = self
+            .energy()
+            .energy_per_instruction(&measured.counters, measured.cycles);
+        Ok(UnitReplay::Complete {
+            sample: Box::new(UnitSample {
                 start_instr: checkpoint.unit_start,
                 cycles: measured.cycles,
                 instructions: measured.instructions,
                 cpi,
                 epi,
                 counters: measured.counters,
-            });
-        }
-        if units.is_empty() {
-            return Err(SmartsError::EmptySample);
-        }
-        Ok(SampleReport::from_parts(
-            params,
-            units,
-            instructions,
-            Duration::ZERO,
-            t0.elapsed(),
-            cpi_stats,
-            epi_stats,
-        ))
+            }),
+            detailed_warmed: warm_run.instructions,
+        })
     }
 }
 
@@ -241,15 +310,8 @@ mod tests {
     }
 
     fn design(bench: &Benchmark, n: u64) -> SamplingParams {
-        SamplingParams::for_sample_size(
-            bench.approx_len(),
-            1000,
-            2000,
-            Warming::Functional,
-            n,
-            1,
-        )
-        .unwrap()
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, n, 1)
+            .unwrap()
     }
 
     #[test]
@@ -270,7 +332,13 @@ mod tests {
         for (a, b) in direct.units.iter().zip(&replay.units) {
             assert_eq!(a.start_instr, b.start_instr);
             let rel = (a.cpi - b.cpi).abs() / a.cpi;
-            assert!(rel < 0.15, "unit at {}: direct {} vs replay {}", a.start_instr, a.cpi, b.cpi);
+            assert!(
+                rel < 0.15,
+                "unit at {}: direct {} vs replay {}",
+                a.start_instr,
+                a.cpi,
+                b.cpi
+            );
         }
         let agg = (direct.cpi().mean() - replay.cpi().mean()).abs() / direct.cpi().mean();
         assert!(agg < 0.02, "aggregate divergence {agg}");
@@ -338,6 +406,10 @@ mod tests {
         let params = design(&bench, 12);
         let library = sim.build_library(&bench, &params).unwrap();
         assert!(!library.is_empty());
-        assert!((10..=16).contains(&library.len()), "len = {}", library.len());
+        assert!(
+            (10..=16).contains(&library.len()),
+            "len = {}",
+            library.len()
+        );
     }
 }

@@ -29,6 +29,36 @@ pub struct PairedComparison {
 }
 
 impl PairedComparison {
+    /// Pairs two already-measured reports of the same systematic design
+    /// (same `U`, `k`, `j`, so unit starts coincide).
+    ///
+    /// This is the assembly half of [`compare_machines`], split out so
+    /// the reports can come from any driver — in particular the parallel
+    /// executor in `smarts-exec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmartsError::EmptySample`] if the runs measured no
+    /// common units.
+    pub fn from_reports(
+        baseline: SampleReport,
+        alternative: SampleReport,
+    ) -> Result<Self, SmartsError> {
+        let mut diffs = RunningStats::new();
+        for (ua, ub) in baseline.units.iter().zip(&alternative.units) {
+            debug_assert_eq!(ua.start_instr, ub.start_instr, "designs must align");
+            diffs.push(ub.cpi - ua.cpi);
+        }
+        if diffs.count() == 0 {
+            return Err(SmartsError::EmptySample);
+        }
+        Ok(PairedComparison {
+            baseline,
+            alternative,
+            diffs,
+        })
+    }
+
     /// Mean CPI difference `alternative − baseline` (negative means the
     /// alternative is faster).
     pub fn cpi_delta(&self) -> f64 {
@@ -55,10 +85,12 @@ impl PairedComparison {
     pub fn delta_half_width(&self, confidence: Confidence) -> Result<f64, SmartsError> {
         let n = self.diffs.count();
         if n < 2 {
-            return Err(SmartsError::Stats(smarts_stats::StatsError::InsufficientSample {
-                required: 2,
-                actual: n,
-            }));
+            return Err(SmartsError::Stats(
+                smarts_stats::StatsError::InsufficientSample {
+                    required: 2,
+                    actual: n,
+                },
+            ));
         }
         Ok(confidence.z() * self.diffs.std_dev() / (n as f64).sqrt())
     }
@@ -77,9 +109,8 @@ impl PairedComparison {
     /// obtained by combining the two runs' independent variances
     /// (`√(σ_a² + σ_b²)/σ_diff`); > 1 means pairing helped.
     pub fn pairing_gain(&self) -> f64 {
-        let independent = (self.baseline.cpi_std_dev().powi(2)
-            + self.alternative.cpi_std_dev().powi(2))
-        .sqrt();
+        let independent =
+            (self.baseline.cpi_std_dev().powi(2) + self.alternative.cpi_std_dev().powi(2)).sqrt();
         let paired = self.diffs.std_dev();
         if paired == 0.0 {
             f64::INFINITY
@@ -126,15 +157,7 @@ pub fn compare_machines(
     };
     let a = baseline.sample(bench, &with_w(baseline))?;
     let b = alternative.sample(bench, &with_w(alternative))?;
-    let mut diffs = RunningStats::new();
-    for (ua, ub) in a.units.iter().zip(&b.units) {
-        debug_assert_eq!(ua.start_instr, ub.start_instr, "designs must align");
-        diffs.push(ub.cpi - ua.cpi);
-    }
-    if diffs.count() == 0 {
-        return Err(SmartsError::EmptySample);
-    }
-    Ok(PairedComparison { baseline: a, alternative: b, diffs })
+    PairedComparison::from_reports(a, b)
 }
 
 #[cfg(test)]

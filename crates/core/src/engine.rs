@@ -38,17 +38,28 @@ pub struct EngineSnapshot {
 impl FunctionalEngine {
     /// Starts an engine at the entry point of a loaded benchmark.
     pub fn new(loaded: LoadedBenchmark) -> Self {
-        FunctionalEngine { cpu: Cpu::new(), memory: loaded.memory, program: loaded.program }
+        FunctionalEngine {
+            cpu: Cpu::new(),
+            memory: loaded.memory,
+            program: loaded.program,
+        }
     }
 
     /// Captures the current architectural state.
     pub fn snapshot(&self) -> EngineSnapshot {
-        EngineSnapshot { cpu: self.cpu.clone(), memory: self.memory.clone() }
+        EngineSnapshot {
+            cpu: self.cpu.clone(),
+            memory: self.memory.clone(),
+        }
     }
 
     /// Resumes an engine from a snapshot of the same program.
     pub fn from_snapshot(program: Program, snapshot: EngineSnapshot) -> Self {
-        FunctionalEngine { cpu: snapshot.cpu, memory: snapshot.memory, program }
+        FunctionalEngine {
+            cpu: snapshot.cpu,
+            memory: snapshot.memory,
+            program,
+        }
     }
 
     /// The program being executed.

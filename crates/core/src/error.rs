@@ -29,10 +29,16 @@ impl fmt::Display for SmartsError {
                 write!(f, "sampling parameter `{name}` must be nonzero")
             }
             SmartsError::OffsetOutOfRange { offset, interval } => {
-                write!(f, "unit offset {offset} is not below the sampling interval {interval}")
+                write!(
+                    f,
+                    "unit offset {offset} is not below the sampling interval {interval}"
+                )
             }
             SmartsError::EmptySample => {
-                write!(f, "benchmark stream ended before any sampling unit was measured")
+                write!(
+                    f,
+                    "benchmark stream ended before any sampling unit was measured"
+                )
             }
             SmartsError::Stats(e) => write!(f, "statistics error: {e}"),
             SmartsError::Isa(e) => write!(f, "functional execution error: {e}"),

@@ -56,13 +56,12 @@ mod reference;
 mod sampler;
 mod speedup;
 
-pub use checkpoint::CheckpointLibrary;
+pub use checkpoint::{CheckpointLibrary, UnitReplay};
 pub use compare::{compare_machines, PairedComparison};
 pub use engine::{EngineSnapshot, FunctionalEngine};
 pub use error::SmartsError;
 pub use reference::ReferenceRun;
 pub use sampler::{
-    ModeInstructions, SampleReport, SamplingParams, SmartsSim, TwoStepOutcome, UnitSample,
-    Warming,
+    ModeInstructions, SampleReport, SamplingParams, SmartsSim, TwoStepOutcome, UnitSample, Warming,
 };
 pub use speedup::SpeedupModel;

@@ -75,7 +75,11 @@ impl SmartsSim {
             }
         }
 
-        let cpi = if instructions == 0 { 0.0 } else { cycles as f64 / instructions as f64 };
+        let cpi = if instructions == 0 {
+            0.0
+        } else {
+            cycles as f64 / instructions as f64
+        };
         let epi = self.energy().energy_per_instruction(&counters, cycles);
         ReferenceRun {
             cpi,
@@ -137,8 +141,7 @@ mod tests {
     fn unit_trace_mean_matches_total_cpi() {
         let bench = find("branchy-1").unwrap().scaled(0.02);
         let reference = sim().reference(&bench, 500);
-        let mean: f64 =
-            reference.unit_cpis.iter().sum::<f64>() / reference.unit_cpis.len() as f64;
+        let mean: f64 = reference.unit_cpis.iter().sum::<f64>() / reference.unit_cpis.len() as f64;
         // Units are equal-length, so the unit mean equals stream CPI up to
         // the excluded partial tail.
         assert!(

@@ -258,17 +258,27 @@ pub struct SampleReport {
 }
 
 impl SampleReport {
-    /// Assembles a report from raw parts (used by the checkpoint module).
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_parts(
+    /// Builds a report by re-accumulating per-unit estimates in stream
+    /// order.
+    ///
+    /// This is the deterministic merge anchor for parallel execution
+    /// (`smarts-exec`): the CPI/EPI accumulators are fed one unit at a
+    /// time in exactly the order the sequential driver would, so a report
+    /// assembled from concurrently-measured units is bit-identical to the
+    /// sequential one. `units` must already be sorted by `start_instr`.
+    pub fn from_units(
         params: SamplingParams,
         units: Vec<UnitSample>,
         instructions: ModeInstructions,
         wall_functional: Duration,
         wall_detailed: Duration,
-        cpi_stats: RunningStats,
-        epi_stats: RunningStats,
     ) -> Self {
+        let mut cpi_stats = RunningStats::new();
+        let mut epi_stats = RunningStats::new();
+        for unit in &units {
+            cpi_stats.push(unit.cpi);
+            epi_stats.push(unit.epi);
+        }
         SampleReport {
             params,
             units,
@@ -410,8 +420,11 @@ impl SmartsSim {
     /// Creates a simulator, selecting the energy preset matching the
     /// machine width.
     pub fn new(cfg: MachineConfig) -> Self {
-        let energy =
-            if cfg.fetch_width >= 16 { EnergyModel::sixteen_way() } else { EnergyModel::eight_way() };
+        let energy = if cfg.fetch_width >= 16 {
+            EnergyModel::sixteen_way()
+        } else {
+            EnergyModel::eight_way()
+        };
         SmartsSim { cfg, energy }
     }
 
@@ -514,7 +527,9 @@ impl SmartsSim {
             }
             instructions.measured += measured.instructions;
             let cpi = measured.cpi();
-            let epi = self.energy.energy_per_instruction(&measured.counters, measured.cycles);
+            let epi = self
+                .energy
+                .energy_per_instruction(&measured.counters, measured.cycles);
             cpi_stats.push(cpi);
             epi_stats.push(epi);
             units.push(UnitSample {
@@ -558,7 +573,10 @@ impl SmartsSim {
     ) -> Result<TwoStepOutcome, SmartsError> {
         let initial = self.sample(bench, params)?;
         match initial.recommended_n(epsilon, confidence)? {
-            None => Ok(TwoStepOutcome { initial, tuned: None }),
+            None => Ok(TwoStepOutcome {
+                initial,
+                tuned: None,
+            }),
             Some(n_tuned) => {
                 let retuned = SamplingParams::for_sample_size(
                     bench.approx_len(),
@@ -569,7 +587,10 @@ impl SmartsSim {
                     0, // the tuned run's interval shrinks; restart at phase 0
                 )?;
                 let tuned = self.sample(bench, &retuned)?;
-                Ok(TwoStepOutcome { initial, tuned: Some(tuned) })
+                Ok(TwoStepOutcome {
+                    initial,
+                    tuned: Some(tuned),
+                })
             }
         }
     }
@@ -639,8 +660,8 @@ mod tests {
     #[test]
     fn detailed_fraction_is_small() {
         let bench = find("loopy-1").unwrap().scaled(0.1);
-        let params = SamplingParams::paper_defaults(sim().config(), bench.approx_len(), 10)
-            .unwrap();
+        let params =
+            SamplingParams::paper_defaults(sim().config(), bench.approx_len(), 10).unwrap();
         let report = sim().sample(&bench, &params).unwrap();
         assert!(
             report.instructions.detailed_fraction() < 0.2,
@@ -667,7 +688,10 @@ mod tests {
             report.cpi().coefficient_of_variation()
         );
         // Therefore it meets ±3% @ 99.7% immediately.
-        assert_eq!(report.recommended_n(0.03, Confidence::THREE_SIGMA).unwrap(), None);
+        assert_eq!(
+            report.recommended_n(0.03, Confidence::THREE_SIGMA).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -691,7 +715,7 @@ mod tests {
     #[test]
     fn empty_sample_is_an_error() {
         let bench = find("loopy-1").unwrap().scaled(0.01); // ~36k instrs
-        // Offset far beyond the stream end.
+                                                           // Offset far beyond the stream end.
         let params = SamplingParams {
             unit_size: 1000,
             detailed_warming: 0,

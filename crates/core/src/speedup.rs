@@ -32,12 +32,18 @@ impl SpeedupModel {
     /// The paper's contemporary operating point: `S_D = 1/60`,
     /// `S_FW = 0.55`.
     pub fn paper() -> Self {
-        SpeedupModel { s_d: 1.0 / 60.0, s_fw: 0.55 }
+        SpeedupModel {
+            s_d: 1.0 / 60.0,
+            s_fw: 0.55,
+        }
     }
 
     /// The paper's projected future detailed simulator: `S_D = 1/600`.
     pub fn future() -> Self {
-        SpeedupModel { s_d: 1.0 / 600.0, s_fw: 0.55 }
+        SpeedupModel {
+            s_d: 1.0 / 600.0,
+            s_fw: 0.55,
+        }
     }
 
     /// SMARTS simulation rate with detailed warming only (no functional

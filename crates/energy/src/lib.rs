@@ -374,7 +374,10 @@ mod tests {
     #[test]
     fn epi_zero_without_commits() {
         let model = EnergyModel::eight_way();
-        assert_eq!(model.energy_per_instruction(&ActivityCounters::default(), 99), 0.0);
+        assert_eq!(
+            model.energy_per_instruction(&ActivityCounters::default(), 99),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Residual-bias measurement: how far a parallel run's estimates drift
+//! from the sequential run it approximates.
+//!
+//! Checkpoint-mode runs merge bit-identically, so their bias is exactly
+//! zero; this module exists to quantify the sharded mode, whose
+//! truncated warming run-ins reintroduce a (bounded, configurable)
+//! cold-start error.
+
+use smarts_core::SampleReport;
+
+/// Measured divergence of one run's estimates from a reference run over
+/// the units they share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasReport {
+    /// Units present (by stream offset) in both runs.
+    pub matched_units: u64,
+    /// Units present in exactly one of the runs.
+    pub unmatched_units: u64,
+    /// Relative CPI bias of the candidate's aggregate estimate:
+    /// `(CPI_candidate − CPI_reference) / CPI_reference`.
+    pub cpi_bias: f64,
+    /// Relative EPI bias of the candidate's aggregate estimate.
+    pub epi_bias: f64,
+    /// Largest relative per-unit CPI error over the matched units.
+    pub max_unit_cpi_error: f64,
+}
+
+/// Measures the residual bias of `candidate` against `reference` (e.g. a
+/// sharded parallel run against the sequential run of the same design).
+///
+/// Units are matched by stream offset; both reports hold units in stream
+/// order.
+pub fn residual_bias(candidate: &SampleReport, reference: &SampleReport) -> BiasReport {
+    let mut matched = 0u64;
+    let mut max_unit_cpi_error = 0.0f64;
+    let mut ci = candidate.units.iter().peekable();
+    let mut ri = reference.units.iter().peekable();
+    while let (Some(c), Some(r)) = (ci.peek(), ri.peek()) {
+        match c.start_instr.cmp(&r.start_instr) {
+            std::cmp::Ordering::Less => {
+                ci.next();
+            }
+            std::cmp::Ordering::Greater => {
+                ri.next();
+            }
+            std::cmp::Ordering::Equal => {
+                if r.cpi != 0.0 {
+                    let err = ((c.cpi - r.cpi) / r.cpi).abs();
+                    max_unit_cpi_error = max_unit_cpi_error.max(err);
+                }
+                matched += 1;
+                ci.next();
+                ri.next();
+            }
+        }
+    }
+    let total = candidate.units.len() as u64 + reference.units.len() as u64;
+    let rel = |c: f64, r: f64| if r == 0.0 { 0.0 } else { (c - r) / r };
+    BiasReport {
+        matched_units: matched,
+        unmatched_units: total - 2 * matched,
+        cpi_bias: rel(candidate.cpi().mean(), reference.cpi().mean()),
+        epi_bias: rel(candidate.epi().mean(), reference.epi().mean()),
+        max_unit_cpi_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_core::{SamplingParams, SmartsSim, Warming};
+    use smarts_uarch::MachineConfig;
+    use smarts_workloads::find;
+
+    #[test]
+    fn identical_runs_have_zero_bias() {
+        let sim = SmartsSim::new(MachineConfig::eight_way());
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            8,
+            0,
+        )
+        .unwrap();
+        let a = sim.sample(&bench, &params).unwrap();
+        let b = sim.sample(&bench, &params).unwrap();
+        let bias = residual_bias(&a, &b);
+        assert_eq!(bias.matched_units, a.sample_size());
+        assert_eq!(bias.unmatched_units, 0);
+        assert_eq!(bias.cpi_bias, 0.0);
+        assert_eq!(bias.epi_bias, 0.0);
+        assert_eq!(bias.max_unit_cpi_error, 0.0);
+    }
+
+    #[test]
+    fn disjoint_offsets_match_nothing() {
+        let sim = SmartsSim::new(MachineConfig::eight_way());
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let base = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            6,
+            0,
+        )
+        .unwrap();
+        let shifted = base.with_offset(1).unwrap();
+        let a = sim.sample(&bench, &base).unwrap();
+        let b = sim.sample(&bench, &shifted).unwrap();
+        let bias = residual_bias(&a, &b);
+        assert_eq!(bias.matched_units, 0);
+        assert_eq!(bias.unmatched_units, a.sample_size() + b.sample_size());
+    }
+}

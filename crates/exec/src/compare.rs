@@ -1,0 +1,139 @@
+//! Parallel variants of the higher-level sampling procedures: paired
+//! machine comparison and the two-step confidence procedure.
+
+use crate::error::ExecError;
+use crate::executor::Executor;
+use smarts_core::{PairedComparison, SamplingParams, SmartsSim, TwoStepOutcome};
+use smarts_stats::Confidence;
+use smarts_workloads::Benchmark;
+
+/// Fills in a machine-specific detailed-warming length when the caller
+/// left `detailed_warming` at 0, mirroring `compare_machines`.
+fn with_recommended_w(sim: &SmartsSim, params: &SamplingParams) -> SamplingParams {
+    if params.detailed_warming == 0 {
+        SamplingParams {
+            detailed_warming: sim.config().recommended_detailed_warming(),
+            ..*params
+        }
+    } else {
+        *params
+    }
+}
+
+/// Samples the same systematic design on two machines — each run
+/// parallelized across the executor's worker pool — and pairs the
+/// per-unit measurements.
+///
+/// In checkpoint mode the per-machine reports are bit-identical to their
+/// sequential counterparts, so the paired deltas (and significance
+/// verdicts) match `compare_machines` exactly.
+///
+/// # Errors
+///
+/// As for [`Executor::sample`], plus an empty-sample error when the two
+/// runs measured no common units.
+pub fn compare_machines_parallel(
+    executor: &Executor,
+    baseline: &SmartsSim,
+    alternative: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+) -> Result<PairedComparison, ExecError> {
+    let a = executor.sample(baseline, bench, &with_recommended_w(baseline, params))?;
+    let b = executor.sample(alternative, bench, &with_recommended_w(alternative, params))?;
+    PairedComparison::from_reports(a.report, b.report).map_err(ExecError::Smarts)
+}
+
+/// The paper's two-step procedure (Section 5.1) with both runs
+/// parallelized: one run at the caller's `n`; if its interval misses
+/// `±epsilon` at the given confidence, a second run at the tuned `n`.
+///
+/// # Errors
+///
+/// As for [`Executor::sample`], plus invalid `epsilon`/confidence.
+pub fn sample_two_step_parallel(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+    epsilon: f64,
+    confidence: Confidence,
+) -> Result<TwoStepOutcome, ExecError> {
+    let initial = executor.sample(sim, bench, params)?.report;
+    match initial
+        .recommended_n(epsilon, confidence)
+        .map_err(ExecError::Smarts)?
+    {
+        None => Ok(TwoStepOutcome {
+            initial,
+            tuned: None,
+        }),
+        Some(n_tuned) => {
+            let retuned = SamplingParams::for_sample_size(
+                bench.approx_len(),
+                params.unit_size,
+                params.detailed_warming,
+                params.warming,
+                n_tuned,
+                0, // the tuned run's interval shrinks; restart at phase 0
+            )
+            .map_err(ExecError::Smarts)?;
+            let tuned = executor.sample(sim, bench, &retuned)?.report;
+            Ok(TwoStepOutcome {
+                initial,
+                tuned: Some(tuned),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_core::{compare_machines, Warming};
+    use smarts_uarch::MachineConfig;
+    use smarts_workloads::find;
+
+    fn params(bench: &Benchmark, n: u64) -> SamplingParams {
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 0, Warming::Functional, n, 1)
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_compare_matches_sequential_pairing() {
+        let base = SmartsSim::new(MachineConfig::eight_way());
+        let alt = SmartsSim::new(MachineConfig::sixteen_way());
+        let bench = find("stream-2").unwrap().scaled(0.05);
+        let p = params(&bench, 10);
+        let executor = Executor::new(2).unwrap();
+        let parallel = compare_machines_parallel(&executor, &base, &alt, &bench, &p).unwrap();
+        let sequential = compare_machines(&base, &alt, &bench, &p).unwrap();
+        assert_eq!(parallel.pairs(), sequential.pairs());
+        // Checkpoint replay warms through one functional pass rather than
+        // interleaved detailed episodes, so per-unit cycles can differ
+        // marginally from the direct run; the paired aggregate agrees
+        // closely.
+        assert!((parallel.speedup() - sequential.speedup()).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_step_tunes_when_the_target_is_demanding() {
+        let sim = SmartsSim::new(MachineConfig::eight_way());
+        let bench = find("hashp-2").unwrap().scaled(0.2);
+        let p = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            8,
+            0,
+        )
+        .unwrap();
+        let executor = Executor::new(2).unwrap();
+        let outcome =
+            sample_two_step_parallel(&executor, &sim, &bench, &p, 0.001, Confidence::THREE_SIGMA)
+                .unwrap();
+        assert!(outcome.tuned.is_some());
+        assert!(outcome.best().sample_size() > outcome.initial.sample_size());
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+use smarts_core::SmartsError;
+
+/// Error type for parallel sampling execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// An underlying sampling error (invalid parameters, empty sample,
+    /// incompatible checkpoint geometry, ...).
+    Smarts(SmartsError),
+    /// A worker thread panicked; the panic payload is preserved so the
+    /// failure is attributable instead of tearing down the process.
+    WorkerPanic {
+        /// Zero-based index of the worker that panicked.
+        worker: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The executor was configured with zero workers.
+    ZeroJobs,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Smarts(e) => write!(f, "sampling error: {e}"),
+            ExecError::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+            ExecError::ZeroJobs => write!(f, "executor needs at least one worker"),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Smarts(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<SmartsError> for ExecError {
+    fn from(e: SmartsError) -> Self {
+        ExecError::Smarts(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExecError::Smarts(SmartsError::EmptySample);
+        assert!(e.to_string().contains("sampling error"));
+        assert!(e.source().is_some());
+        let p = ExecError::WorkerPanic {
+            worker: 3,
+            message: "boom".into(),
+        };
+        assert!(p.to_string().contains("worker 3"));
+        assert!(p.to_string().contains("boom"));
+        assert!(p.source().is_none());
+        assert!(ExecError::ZeroJobs.to_string().contains("at least one"));
+    }
+}

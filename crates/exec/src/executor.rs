@@ -1,0 +1,506 @@
+//! The executor: a configurable worker pool running sampling-unit jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::error::ExecError;
+use crate::pool::run_workers;
+use crate::shard;
+use smarts_core::{
+    CheckpointLibrary, ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim,
+    UnitReplay,
+};
+use smarts_workloads::Benchmark;
+
+/// How a parallel sampling run distributes work across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParallelMode {
+    /// One sequential functional-warming pass builds a
+    /// [`CheckpointLibrary`]; all units then replay concurrently. The
+    /// merged report is bit-identical to a sequential replay at any
+    /// worker count.
+    #[default]
+    Checkpoint,
+    /// The stream is split into one contiguous shard per worker; each
+    /// worker fast-forwards from a cold engine, functionally warming only
+    /// a configurable run-in before its first unit. No sequential pass at
+    /// all, but units near shard starts carry truncated warming history —
+    /// a residual bias measurable with [`crate::residual_bias`].
+    Sharded,
+}
+
+impl std::fmt::Display for ParallelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ParallelMode::Checkpoint => "checkpoint",
+            ParallelMode::Sharded => "sharded",
+        })
+    }
+}
+
+impl std::str::FromStr for ParallelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "checkpoint" => Ok(ParallelMode::Checkpoint),
+            "sharded" => Ok(ParallelMode::Sharded),
+            other => Err(format!(
+                "unknown parallel mode `{other}` (checkpoint|sharded)"
+            )),
+        }
+    }
+}
+
+/// Per-worker cost accounting for one parallel run.
+///
+/// `instructions` uses the same mode breakdown as the sequential driver
+/// (the paper's Table 6 categories), so per-worker rows can be summed or
+/// tabulated with the existing reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Zero-based worker index.
+    pub worker: usize,
+    /// Sampling units this worker measured (including a partial tail).
+    pub units: u64,
+    /// Wall-clock the worker spent on its share of the run.
+    pub wall: Duration,
+    /// Instructions the worker simulated, by mode.
+    pub instructions: ModeInstructions,
+}
+
+/// The result of a parallel sampling run: the merged [`SampleReport`]
+/// plus the parallel-execution accounting a sequential report cannot
+/// carry.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// The merged report, reduced in stream order.
+    ///
+    /// In [`ParallelMode::Checkpoint`] its estimates (CPI, EPI, V̂, and
+    /// hence every confidence interval) are bit-identical to
+    /// [`SmartsSim::sample_library`] on the same library. Its
+    /// `instructions` count the merged sample only; redundant per-worker
+    /// work (sharded fast-forward overlap) shows up in [`Self::workers`].
+    pub report: SampleReport,
+    /// The mode the run used.
+    pub mode: ParallelMode,
+    /// Worker-pool size the run was configured with.
+    pub jobs: usize,
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock of the sequential checkpoint-build pass (zero in
+    /// sharded mode, which has no sequential phase).
+    pub build_wall: Duration,
+    /// Wall-clock of the parallel phase (the longest worker critical
+    /// path, as observed by the caller).
+    pub parallel_wall: Duration,
+}
+
+impl ParallelReport {
+    /// Total wall-clock: sequential build pass plus parallel phase.
+    pub fn wall_total(&self) -> Duration {
+        self.build_wall + self.parallel_wall
+    }
+
+    /// Sum of all workers' simulated instructions, by mode. In sharded
+    /// mode this exceeds the merged report's accounting by the redundant
+    /// fast-forwarding each worker performs to reach its shard.
+    pub fn worker_instructions(&self) -> ModeInstructions {
+        let mut total = ModeInstructions::default();
+        for w in &self.workers {
+            total.fast_forwarded += w.instructions.fast_forwarded;
+            total.detailed_warmed += w.instructions.detailed_warmed;
+            total.measured += w.instructions.measured;
+        }
+        total
+    }
+}
+
+/// A parallel sampling executor: worker-pool size, work-distribution
+/// mode, and the sharded-mode warming run-in.
+///
+/// # Examples
+///
+/// ```
+/// use smarts_exec::Executor;
+/// use smarts_core::{SamplingParams, SmartsSim, Warming};
+/// use smarts_uarch::MachineConfig;
+/// use smarts_workloads::find;
+///
+/// # fn main() -> Result<(), smarts_exec::ExecError> {
+/// let sim = SmartsSim::new(MachineConfig::eight_way());
+/// let bench = find("loopy-1").unwrap().scaled(0.05);
+/// let params = SamplingParams::for_sample_size(
+///     bench.approx_len(), 1000, 2000, Warming::Functional, 10, 0)
+///     .map_err(smarts_exec::ExecError::Smarts)?;
+/// let outcome = Executor::new(2)?.sample(&sim, &bench, &params)?;
+/// assert!(outcome.report.sample_size() > 0);
+/// assert_eq!(outcome.workers.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    jobs: usize,
+    mode: ParallelMode,
+    shard_warmup: u64,
+}
+
+/// Default functional-warming run-in before a shard's first unit, in
+/// instructions. Ample for the Table 3 cache geometries; tune with
+/// [`Executor::with_shard_warmup`].
+pub const DEFAULT_SHARD_WARMUP: u64 = 100_000;
+
+impl Executor {
+    /// Creates an executor with `jobs` workers, checkpoint mode, and the
+    /// default shard warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ZeroJobs`] when `jobs` is zero.
+    pub fn new(jobs: usize) -> Result<Self, ExecError> {
+        if jobs == 0 {
+            return Err(ExecError::ZeroJobs);
+        }
+        Ok(Executor {
+            jobs,
+            mode: ParallelMode::Checkpoint,
+            shard_warmup: DEFAULT_SHARD_WARMUP,
+        })
+    }
+
+    /// Selects the work-distribution mode.
+    pub fn with_mode(mut self, mode: ParallelMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the sharded-mode functional-warming run-in (instructions
+    /// before a shard's first unit).
+    pub fn with_shard_warmup(mut self, instructions: u64) -> Self {
+        self.shard_warmup = instructions;
+        self
+    }
+
+    /// Worker-pool size.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Work-distribution mode.
+    pub fn mode(&self) -> ParallelMode {
+        self.mode
+    }
+
+    /// Sharded-mode warming run-in, in instructions.
+    pub fn shard_warmup(&self) -> u64 {
+        self.shard_warmup
+    }
+
+    /// Runs one parallel sampling simulation in the configured mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors, and reports worker panics as
+    /// [`ExecError::WorkerPanic`].
+    pub fn sample(
+        &self,
+        sim: &SmartsSim,
+        bench: &Benchmark,
+        params: &SamplingParams,
+    ) -> Result<ParallelReport, ExecError> {
+        match self.mode {
+            ParallelMode::Checkpoint => self.sample_checkpoint(sim, bench, params),
+            ParallelMode::Sharded => shard::sample_sharded(self, sim, bench, params),
+        }
+    }
+
+    /// Checkpoint-replay parallel sampling: build the library with one
+    /// sequential functional-warming pass, then replay all units across
+    /// the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::sample`].
+    pub fn sample_checkpoint(
+        &self,
+        sim: &SmartsSim,
+        bench: &Benchmark,
+        params: &SamplingParams,
+    ) -> Result<ParallelReport, ExecError> {
+        let library = sim.build_library(bench, params)?;
+        self.replay_library(sim, &library)
+    }
+
+    /// Replays an existing checkpoint library across the worker pool.
+    ///
+    /// Workers pull unit indices from a shared queue (dynamic load
+    /// balancing: unit cost varies with cache behavior), and the per-unit
+    /// results are reduced in stream order, so the merged report is
+    /// bit-identical to [`SmartsSim::sample_library`] at any worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::sample`], plus a parameter error when the
+    /// simulator's warmable-state geometry is incompatible with the
+    /// library.
+    pub fn replay_library(
+        &self,
+        sim: &SmartsSim,
+        library: &CheckpointLibrary,
+    ) -> Result<ParallelReport, ExecError> {
+        if !library.compatible_with(sim.config()) {
+            return Err(ExecError::Smarts(SmartsError::ZeroParameter(
+                "warmable-state geometry differs from the library's",
+            )));
+        }
+        let count = library.len();
+        let queue = AtomicUsize::new(0);
+        let t0 = Instant::now();
+
+        struct WorkerOutput {
+            stats: WorkerStats,
+            outcomes: Vec<(usize, UnitReplay)>,
+        }
+
+        let outputs = run_workers(self.jobs, |worker| -> Result<WorkerOutput, SmartsError> {
+            let start = Instant::now();
+            let mut outcomes = Vec::new();
+            let mut instructions = ModeInstructions::default();
+            loop {
+                let index = queue.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let replay = sim.replay_unit(library, index)?;
+                match &replay {
+                    UnitReplay::Complete {
+                        sample,
+                        detailed_warmed,
+                    } => {
+                        instructions.detailed_warmed += detailed_warmed;
+                        instructions.measured += sample.instructions;
+                    }
+                    UnitReplay::Partial {
+                        detailed_warmed,
+                        measured,
+                    } => {
+                        instructions.detailed_warmed += detailed_warmed;
+                        instructions.measured += measured;
+                    }
+                }
+                outcomes.push((index, replay));
+            }
+            Ok(WorkerOutput {
+                stats: WorkerStats {
+                    worker,
+                    units: outcomes.len() as u64,
+                    wall: start.elapsed(),
+                    instructions,
+                },
+                outcomes,
+            })
+        })?;
+        let parallel_wall = t0.elapsed();
+
+        let mut workers = Vec::with_capacity(self.jobs);
+        let mut outcomes: Vec<(usize, UnitReplay)> = Vec::with_capacity(count);
+        for output in outputs {
+            let output = output?;
+            workers.push(output.stats);
+            outcomes.extend(output.outcomes);
+        }
+
+        // Deterministic merge: reduce per-unit results in stream order,
+        // stopping at the first partial unit exactly as the sequential
+        // replay loop does. Every index in 0..count was claimed exactly
+        // once, so after sorting the vector is a permutation-free 0..count.
+        outcomes.sort_unstable_by_key(|(index, _)| *index);
+        let mut units = Vec::with_capacity(count);
+        let mut instructions = ModeInstructions::default();
+        for (_, replay) in outcomes {
+            match replay {
+                UnitReplay::Complete {
+                    sample,
+                    detailed_warmed,
+                } => {
+                    instructions.detailed_warmed += detailed_warmed;
+                    instructions.measured += sample.instructions;
+                    units.push(*sample);
+                }
+                UnitReplay::Partial {
+                    detailed_warmed,
+                    measured,
+                } => {
+                    instructions.detailed_warmed += detailed_warmed;
+                    instructions.measured += measured;
+                    break;
+                }
+            }
+        }
+        if units.is_empty() {
+            return Err(ExecError::Smarts(SmartsError::EmptySample));
+        }
+        let report = SampleReport::from_units(
+            *library.params(),
+            units,
+            instructions,
+            Duration::ZERO,
+            parallel_wall,
+        );
+        Ok(ParallelReport {
+            report,
+            mode: ParallelMode::Checkpoint,
+            jobs: self.jobs,
+            workers,
+            build_wall: library.build_wall(),
+            parallel_wall,
+        })
+    }
+}
+
+/// Parallel sampling as an alternate driver on [`SmartsSim`] itself, for
+/// call sites that start from the simulator rather than the executor.
+pub trait ParallelDriver {
+    /// Runs one parallel sampling simulation with the given executor.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::sample`].
+    fn sample_parallel(
+        &self,
+        bench: &Benchmark,
+        params: &SamplingParams,
+        executor: &Executor,
+    ) -> Result<ParallelReport, ExecError>;
+}
+
+impl ParallelDriver for SmartsSim {
+    fn sample_parallel(
+        &self,
+        bench: &Benchmark,
+        params: &SamplingParams,
+        executor: &Executor,
+    ) -> Result<ParallelReport, ExecError> {
+        executor.sample(self, bench, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_core::Warming;
+    use smarts_uarch::MachineConfig;
+    use smarts_workloads::find;
+
+    fn sim() -> SmartsSim {
+        SmartsSim::new(MachineConfig::eight_way())
+    }
+
+    fn design(bench: &Benchmark, n: u64) -> SamplingParams {
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, n, 1)
+            .unwrap()
+    }
+
+    #[test]
+    fn executor_rejects_zero_jobs() {
+        assert!(matches!(Executor::new(0), Err(ExecError::ZeroJobs)));
+    }
+
+    #[test]
+    fn parallel_mode_parses() {
+        assert_eq!(
+            "checkpoint".parse::<ParallelMode>(),
+            Ok(ParallelMode::Checkpoint)
+        );
+        assert_eq!("sharded".parse::<ParallelMode>(), Ok(ParallelMode::Sharded));
+        assert!("turbo".parse::<ParallelMode>().is_err());
+    }
+
+    #[test]
+    fn checkpoint_replay_is_bit_identical_to_sequential() {
+        let sim = sim();
+        let bench = find("hashp-2").unwrap().scaled(0.05);
+        let params = design(&bench, 10);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let sequential = sim.sample_library(&library).unwrap();
+        for jobs in [1, 2, 4] {
+            let parallel = Executor::new(jobs)
+                .unwrap()
+                .replay_library(&sim, &library)
+                .unwrap();
+            assert_eq!(parallel.report.sample_size(), sequential.sample_size());
+            assert_eq!(
+                parallel.report.cpi().mean().to_bits(),
+                sequential.cpi().mean().to_bits(),
+                "CPI differs at {jobs} jobs"
+            );
+            assert_eq!(
+                parallel.report.epi().mean().to_bits(),
+                sequential.epi().mean().to_bits()
+            );
+            assert_eq!(
+                parallel.report.cpi().coefficient_of_variation().to_bits(),
+                sequential.cpi().coefficient_of_variation().to_bits()
+            );
+            assert_eq!(parallel.report.instructions, sequential.instructions);
+            for (a, b) in parallel.report.units.iter().zip(&sequential.units) {
+                assert_eq!(a.start_instr, b.start_instr);
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.counters, b.counters);
+            }
+        }
+    }
+
+    #[test]
+    fn every_worker_is_accounted_for() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let outcome = Executor::new(3)
+            .unwrap()
+            .sample(&sim, &bench, &design(&bench, 9))
+            .unwrap();
+        assert_eq!(outcome.workers.len(), 3);
+        assert_eq!(outcome.jobs, 3);
+        // Workers claim every checkpointed unit, including a partial tail
+        // the merge excludes from the sample.
+        let claimed: u64 = outcome.workers.iter().map(|w| w.units).sum();
+        assert!(claimed >= outcome.report.sample_size());
+        assert!(claimed <= outcome.report.sample_size() + 1);
+        let totals = outcome.worker_instructions();
+        assert_eq!(totals.measured, outcome.report.instructions.measured);
+        assert_eq!(
+            totals.detailed_warmed,
+            outcome.report.instructions.detailed_warmed
+        );
+        assert!(outcome.build_wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn incompatible_geometry_is_rejected() {
+        let sim8 = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.02);
+        let library = sim8.build_library(&bench, &design(&bench, 5)).unwrap();
+        let sim16 = SmartsSim::new(MachineConfig::sixteen_way());
+        let err = Executor::new(2)
+            .unwrap()
+            .replay_library(&sim16, &library)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Smarts(_)));
+    }
+
+    #[test]
+    fn driver_trait_delegates_to_the_executor() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 6);
+        let executor = Executor::new(2).unwrap();
+        let via_trait = sim.sample_parallel(&bench, &params, &executor).unwrap();
+        let direct = executor.sample(&sim, &bench, &params).unwrap();
+        assert_eq!(
+            via_trait.report.cpi().mean().to_bits(),
+            direct.report.cpi().mean().to_bits()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Parallel sampling execution for the SMARTS framework.
+//!
+//! SMARTS measures `n` mutually independent sampling units; the paper's
+//! conclusion points out that once fast-forwarding is replaced by
+//! checkpoints (the TurboSMARTS direction) those units become
+//! embarrassingly parallel. This crate is that execution subsystem:
+//!
+//! * an [`Executor`] with a configurable worker pool
+//!   (`std::thread` + a shared work queue, no external dependencies),
+//! * **parallel checkpoint replay** ([`ParallelMode::Checkpoint`]) — one
+//!   sequential functional-warming pass builds a
+//!   [`smarts_core::CheckpointLibrary`]; every unit then replays
+//!   concurrently,
+//! * **sharded leapfrog sampling** ([`ParallelMode::Sharded`]) — the
+//!   stream splits into one shard per worker with a configurable warming
+//!   run-in and no sequential pass, trading a measurable residual bias
+//!   ([`residual_bias`]) for zero up-front cost,
+//! * a **deterministic merge layer** — per-unit results are reduced in
+//!   stream order through [`smarts_core::SampleReport::from_units`], so a
+//!   checkpoint-mode run is *bit-identical* to the sequential
+//!   [`smarts_core::SmartsSim::sample_library`] at any worker count,
+//! * structured error propagation ([`ExecError::WorkerPanic`]) and
+//!   per-worker wall-clock/instruction accounting ([`WorkerStats`]) in
+//!   the paper's Table 6 mode categories.
+//!
+//! # Examples
+//!
+//! ```
+//! use smarts_exec::{Executor, ParallelDriver};
+//! use smarts_core::{SamplingParams, SmartsSim, Warming};
+//! use smarts_uarch::MachineConfig;
+//! use smarts_workloads::find;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sim = SmartsSim::new(MachineConfig::eight_way());
+//! let bench = find("branchy-1").unwrap().scaled(0.05);
+//! let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 10)?;
+//!
+//! // Sequential and 4-worker checkpoint replay agree bit-for-bit.
+//! let library = sim.build_library(&bench, &params)?;
+//! let sequential = sim.sample_library(&library)?;
+//! let parallel = sim.sample_parallel(&bench, &params, &Executor::new(4)?)?;
+//! assert_eq!(parallel.report.cpi().mean().to_bits(),
+//!            sequential.cpi().mean().to_bits());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bias;
+mod compare;
+mod error;
+mod executor;
+mod pool;
+mod shard;
+
+pub use bias::{residual_bias, BiasReport};
+pub use compare::{compare_machines_parallel, sample_two_step_parallel};
+pub use error::ExecError;
+pub use executor::{
+    Executor, ParallelDriver, ParallelMode, ParallelReport, WorkerStats, DEFAULT_SHARD_WARMUP,
+};

@@ -1,0 +1,279 @@
+//! Sharded leapfrog sampling: split the stream into one contiguous shard
+//! per worker, with no sequential pass at all.
+//!
+//! Each worker starts a cold engine, plain-fast-forwards (cheap, no
+//! warming) to a configurable functional-warming run-in before its
+//! shard's first unit, then proceeds exactly like the sequential driver
+//! within its shard. Units near a shard start therefore see warming
+//! history truncated to the run-in instead of the full stream prefix —
+//! the residual bias the paper's Section 4 cold/stale analysis predicts,
+//! measurable against a sequential run with [`crate::residual_bias`].
+//!
+//! Scalability note: worker `p` still executes the stream prefix
+//! functionally, so the critical path is bounded below by plain
+//! fast-forwarding `(P−1)/P` of the stream — the TurboSMARTS argument
+//! for checkpoint mode, which this mode exists to quantify.
+
+use std::time::Instant;
+
+use crate::error::ExecError;
+use crate::executor::{Executor, ParallelMode, ParallelReport, WorkerStats};
+use crate::pool::run_workers;
+use smarts_core::{
+    FunctionalEngine, ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim,
+    UnitSample, Warming,
+};
+use smarts_uarch::{Pipeline, WarmState};
+use smarts_workloads::Benchmark;
+use std::time::Duration;
+
+/// One worker's share of a sharded run.
+struct ShardOutput {
+    stats: WorkerStats,
+    units: Vec<UnitSample>,
+}
+
+/// The smallest unit index of the systematic grid `{j, j+k, j+2k, ...}`
+/// whose unit starts at or after `position` (in instructions).
+fn first_grid_index(params: &SamplingParams, position: u64) -> u64 {
+    let lowest_unit = position.div_ceil(params.unit_size);
+    if lowest_unit <= params.offset {
+        params.offset
+    } else {
+        let steps = (lowest_unit - params.offset).div_ceil(params.interval);
+        params.offset + steps * params.interval
+    }
+}
+
+fn run_shard(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+    worker: usize,
+    region_start: u64,
+    region_end: u64,
+) -> ShardOutput {
+    let start = Instant::now();
+    let u = params.unit_size;
+    let w = params.detailed_warming;
+    let mut engine = FunctionalEngine::new(bench.load());
+    let mut warm = WarmState::new(sim.config());
+    let mut instructions = ModeInstructions::default();
+    let mut units = Vec::new();
+
+    // Leapfrog: plain fast-forward (no warming) to the run-in point, so
+    // only the run-in itself pays the slower functional-warming rate.
+    if params.warming == Warming::Functional {
+        let warmup_start = region_start.saturating_sub(executor.shard_warmup());
+        instructions.fast_forwarded += engine.fast_forward(warmup_start);
+    }
+
+    let mut unit_index = first_grid_index(params, region_start);
+    loop {
+        let unit_start = unit_index * u;
+        if unit_start >= region_end {
+            break;
+        }
+        if engine.position() >= unit_start + u {
+            // Pipeline overshoot past this entire unit (tiny k); skip.
+            unit_index += params.interval;
+            continue;
+        }
+        let warm_start = unit_start.saturating_sub(w);
+        let ff = match params.warming {
+            Warming::None => engine.fast_forward(warm_start),
+            Warming::Functional => engine.fast_forward_warming(warm_start, &mut warm),
+        };
+        instructions.fast_forwarded += ff;
+        if engine.finished() {
+            break;
+        }
+        let mut pipeline = Pipeline::new(sim.config());
+        let warm_commits = unit_start.saturating_sub(engine.position());
+        let warm_run = pipeline.run(&mut warm, &mut engine, warm_commits, false);
+        let measured = pipeline.run(&mut warm, &mut engine, u, true);
+        instructions.detailed_warmed += warm_run.instructions;
+        instructions.measured += measured.instructions;
+        if measured.instructions < u {
+            break; // partial tail unit: consumed but not recorded
+        }
+        let cpi = measured.cpi();
+        let epi = sim
+            .energy()
+            .energy_per_instruction(&measured.counters, measured.cycles);
+        units.push(UnitSample {
+            start_instr: unit_start,
+            cycles: measured.cycles,
+            instructions: measured.instructions,
+            cpi,
+            epi,
+            counters: measured.counters,
+        });
+        unit_index += params.interval;
+    }
+
+    ShardOutput {
+        stats: WorkerStats {
+            worker,
+            units: units.len() as u64,
+            wall: start.elapsed(),
+            instructions,
+        },
+        units,
+    }
+}
+
+/// Runs one sharded-leapfrog sampling simulation (see the module docs).
+///
+/// The merged report accounts the *union* of all workers' simulated
+/// instructions — including the redundant fast-forward prefixes — so its
+/// mode breakdown states the true cost of the mode.
+pub(crate) fn sample_sharded(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+) -> Result<ParallelReport, ExecError> {
+    params.validate().map_err(ExecError::Smarts)?;
+    let jobs = executor.jobs();
+    let stream_len = bench.approx_len();
+    let t0 = Instant::now();
+    let outputs = run_workers(jobs, |worker| {
+        let region_start = stream_len * worker as u64 / jobs as u64;
+        // The last shard runs to the true stream end, not the estimate.
+        let region_end = if worker + 1 == jobs {
+            u64::MAX
+        } else {
+            stream_len * (worker as u64 + 1) / jobs as u64
+        };
+        run_shard(
+            executor,
+            sim,
+            bench,
+            params,
+            worker,
+            region_start,
+            region_end,
+        )
+    })?;
+    let parallel_wall = t0.elapsed();
+
+    let mut workers = Vec::with_capacity(jobs);
+    let mut units = Vec::new();
+    let mut instructions = ModeInstructions::default();
+    for output in outputs {
+        instructions.fast_forwarded += output.stats.instructions.fast_forwarded;
+        instructions.detailed_warmed += output.stats.instructions.detailed_warmed;
+        instructions.measured += output.stats.instructions.measured;
+        workers.push(output.stats);
+        units.extend(output.units);
+    }
+    // Deterministic merge: shards partition the stream, so sorting by
+    // start offset recovers the sequential measurement order exactly.
+    units.sort_unstable_by_key(|unit| unit.start_instr);
+    if let Some(max) = params.max_units {
+        units.truncate(max as usize);
+    }
+    if units.is_empty() {
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    let report =
+        SampleReport::from_units(*params, units, instructions, parallel_wall, Duration::ZERO);
+    Ok(ParallelReport {
+        report,
+        mode: ParallelMode::Sharded,
+        jobs,
+        workers,
+        build_wall: Duration::ZERO,
+        parallel_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::residual_bias;
+    use smarts_uarch::MachineConfig;
+    use smarts_workloads::find;
+
+    fn sim() -> SmartsSim {
+        SmartsSim::new(MachineConfig::eight_way())
+    }
+
+    fn design(bench: &Benchmark, n: u64) -> SamplingParams {
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, n, 1)
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_index_lands_on_the_systematic_grid() {
+        let params =
+            SamplingParams::for_sample_size(1_000_000, 1000, 2000, Warming::Functional, 10, 1)
+                .unwrap();
+        let k = params.interval;
+        for position in [0, 1, 999, 1000, 12_345, 500_000] {
+            let index = first_grid_index(&params, position);
+            assert_eq!((index - params.offset) % k, 0);
+            assert!(index * params.unit_size >= position || index == params.offset);
+        }
+        assert_eq!(first_grid_index(&params, 0), params.offset);
+    }
+
+    #[test]
+    fn shards_measure_the_same_grid_as_the_sequential_run() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.1);
+        let params = design(&bench, 12);
+        let sequential = sim.sample(&bench, &params).unwrap();
+        let sharded = Executor::new(3)
+            .unwrap()
+            .with_mode(ParallelMode::Sharded)
+            .sample(&sim, &bench, &params)
+            .unwrap();
+        let seq_starts: Vec<u64> = sequential.units.iter().map(|u| u.start_instr).collect();
+        let shard_starts: Vec<u64> = sharded.report.units.iter().map(|u| u.start_instr).collect();
+        assert_eq!(seq_starts, shard_starts, "unit grids must coincide");
+    }
+
+    #[test]
+    fn sharded_bias_is_small_with_generous_warmup() {
+        let sim = sim();
+        let bench = find("hashp-2").unwrap().scaled(0.1);
+        let params = design(&bench, 15);
+        let sequential = sim.sample(&bench, &params).unwrap();
+        let sharded = Executor::new(4)
+            .unwrap()
+            .with_mode(ParallelMode::Sharded)
+            .with_shard_warmup(200_000)
+            .sample(&sim, &bench, &params)
+            .unwrap();
+        let bias = residual_bias(&sharded.report, &sequential);
+        assert!(bias.matched_units >= 14);
+        assert!(
+            bias.cpi_bias.abs() < 0.05,
+            "residual CPI bias {} should be small with a 200k run-in",
+            bias.cpi_bias
+        );
+    }
+
+    #[test]
+    fn sharded_accounts_redundant_fast_forwarding() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.1);
+        let params = design(&bench, 10);
+        let sequential = sim.sample(&bench, &params).unwrap();
+        let sharded = Executor::new(4)
+            .unwrap()
+            .with_mode(ParallelMode::Sharded)
+            .sample(&sim, &bench, &params)
+            .unwrap();
+        // Leapfrog re-executes stream prefixes: total fast-forwarded work
+        // exceeds the sequential run's.
+        assert!(
+            sharded.report.instructions.fast_forwarded > sequential.instructions.fast_forwarded
+        );
+        assert_eq!(sharded.build_wall, Duration::ZERO);
+        assert_eq!(sharded.workers.len(), 4);
+    }
+}

@@ -76,7 +76,13 @@ impl Default for Cpu {
 impl Cpu {
     /// Creates a CPU with zeroed registers, starting at instruction 0.
     pub fn new() -> Self {
-        Cpu { regs: [0; 32], fregs: [0.0; 32], pc: 0, halted: false, retired: 0 }
+        Cpu {
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            pc: 0,
+            halted: false,
+            retired: 0,
+        }
     }
 
     /// Current program counter (an instruction index).
@@ -145,9 +151,10 @@ impl Cpu {
             return Err(IsaError::Halted);
         }
         let pc = self.pc;
-        let inst = *program
-            .get(pc)
-            .ok_or(IsaError::PcOutOfRange { pc, len: program.len() })?;
+        let inst = *program.get(pc).ok_or(IsaError::PcOutOfRange {
+            pc,
+            len: program.len(),
+        })?;
         let mut next_pc = pc + 1;
         let mut taken = false;
         let mut mem_access = None;
@@ -162,7 +169,7 @@ impl Cpu {
             Add => self.set_reg(inst.rd, rs1.wrapping_add(rs2)),
             Sub => self.set_reg(inst.rd, rs1.wrapping_sub(rs2)),
             Mul => self.set_reg(inst.rd, rs1.wrapping_mul(rs2)),
-            Div => self.set_reg(inst.rd, if rs2 == 0 { u64::MAX } else { rs1 / rs2 }),
+            Div => self.set_reg(inst.rd, rs1.checked_div(rs2).unwrap_or(u64::MAX)),
             Rem => self.set_reg(inst.rd, if rs2 == 0 { rs1 } else { rs1 % rs2 }),
             And => self.set_reg(inst.rd, rs1 & rs2),
             Or => self.set_reg(inst.rd, rs1 | rs2),
@@ -208,7 +215,11 @@ impl Cpu {
                     Lw | Lwu => 4,
                     _ => 8,
                 };
-                mem_access = Some(MemAccess { addr, size, is_store: false });
+                mem_access = Some(MemAccess {
+                    addr,
+                    size,
+                    is_store: false,
+                });
                 match inst.op {
                     Lb => self.set_reg(inst.rd, mem.read_u8(addr) as i8 as i64 as u64),
                     Lbu => self.set_reg(inst.rd, mem.read_u8(addr) as u64),
@@ -229,7 +240,11 @@ impl Cpu {
                     Sw => 4,
                     _ => 8,
                 };
-                mem_access = Some(MemAccess { addr, size, is_store: true });
+                mem_access = Some(MemAccess {
+                    addr,
+                    size,
+                    is_store: true,
+                });
                 match inst.op {
                     Sb => mem.write_u8(addr, rs2 as u8),
                     Sh => mem.write_u16(addr, rs2 as u16),
@@ -272,7 +287,13 @@ impl Cpu {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(ExecRecord { pc, inst, mem: mem_access, taken, next_pc })
+        Ok(ExecRecord {
+            pc,
+            inst,
+            mem: mem_access,
+            taken,
+            next_pc,
+        })
     }
 
     /// Runs at most `max_insts` instructions, stopping early on `halt`.
@@ -426,9 +447,23 @@ mod tests {
         cpu.step(&program, &mut mem).unwrap();
         cpu.step(&program, &mut mem).unwrap();
         let store = cpu.step(&program, &mut mem).unwrap();
-        assert_eq!(store.mem, Some(MemAccess { addr: 0x3010, size: 8, is_store: true }));
+        assert_eq!(
+            store.mem,
+            Some(MemAccess {
+                addr: 0x3010,
+                size: 8,
+                is_store: true
+            })
+        );
         let load = cpu.step(&program, &mut mem).unwrap();
-        assert_eq!(load.mem, Some(MemAccess { addr: 0x3010, size: 8, is_store: false }));
+        assert_eq!(
+            load.mem,
+            Some(MemAccess {
+                addr: 0x3010,
+                size: 8,
+                is_store: false
+            })
+        );
         assert_eq!(cpu.reg(reg::T1), 0x1234_5678_9ABC_DEF0);
     }
 

@@ -28,7 +28,10 @@ impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::PcOutOfRange { pc, len } => {
-                write!(f, "program counter {pc} outside program of {len} instructions")
+                write!(
+                    f,
+                    "program counter {pc} outside program of {len} instructions"
+                )
             }
             IsaError::Halted => write!(f, "cpu has halted"),
             IsaError::InvalidRegister(r) => write!(f, "register index {r} outside 0..=31"),

@@ -126,22 +126,75 @@ impl fmt::Display for ArchReg {
 #[allow(missing_docs)] // variants are conventional RISC mnemonics
 pub enum Opcode {
     // Integer register-register.
-    Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
     // Integer register-immediate.
-    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Li,
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    Li,
     // Floating point (f64) register-register.
-    FAdd, FSub, FMul, FDiv, FSqrt, FMin, FMax, FAbs, FNeg,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    FMin,
+    FMax,
+    FAbs,
+    FNeg,
     // Conversions / moves between files. FCvtIf: int→fp, FCvtFi: fp→int.
-    FCvtIf, FCvtFi, FMvIf, FMvFi, FLi,
+    FCvtIf,
+    FCvtFi,
+    FMvIf,
+    FMvFi,
+    FLi,
     // FP comparison writing an integer register.
-    FLt, FLe, FEq,
+    FLt,
+    FLe,
+    FEq,
     // Memory. Loads: rd ← mem[regs[rs1]+imm]; stores: mem[regs[rs1]+imm] ← rs2.
-    Lb, Lbu, Lh, Lhu, Lw, Lwu, Ld, Sb, Sh, Sw, Sd, FLd, FSd,
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Lwu,
+    Ld,
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+    FLd,
+    FSd,
     // Control. Conditional branches compare rs1, rs2 and jump to imm.
-    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
     // Unconditional: rd ← pc+1; pc ← imm (Jal) or regs[rs1]+imm (Jalr).
-    Jal, Jalr,
-    Nop, Halt,
+    Jal,
+    Jalr,
+    Nop,
+    Halt,
 }
 
 /// Instruction class used for functional-unit selection, timing, and
@@ -228,7 +281,13 @@ impl Inst {
     /// Creates an instruction; convenience constructor used by the
     /// assembler and by tests.
     pub fn new(op: Opcode, rd: u8, rs1: u8, rs2: u8, imm: i64) -> Self {
-        Inst { op, rd, rs1, rs2, imm }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// The canonical no-operation instruction.
@@ -280,11 +339,9 @@ impl Inst {
     pub fn defs(&self) -> Option<ArchReg> {
         use Opcode::*;
         let def = match self.op {
-            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
-            | Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | FCvtFi | FMvFi
-            | FLt | FLe | FEq | Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => {
-                Some(ArchReg::int(self.rd))
-            }
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi
+            | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | FCvtFi | FMvFi | FLt | FLe
+            | FEq | Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => Some(ArchReg::int(self.rd)),
             FAdd | FSub | FMul | FDiv | FSqrt | FMin | FMax | FAbs | FNeg | FCvtIf | FMvIf
             | FLi | FLd => Some(ArchReg::fp(self.rd)),
             Jal | Jalr => Some(ArchReg::int(self.rd)),
@@ -385,7 +442,10 @@ mod tests {
     fn fp_store_reads_both_files() {
         let fsd = Inst::new(Opcode::FSd, 0, reg::S0, 3, 8);
         assert_eq!(fsd.defs(), None);
-        assert_eq!(fsd.uses(), [Some(ArchReg::int(reg::S0)), Some(ArchReg::fp(3))]);
+        assert_eq!(
+            fsd.uses(),
+            [Some(ArchReg::int(reg::S0)), Some(ArchReg::fp(3))]
+        );
         assert_eq!(fsd.class(), OpClass::Store);
     }
 
@@ -400,10 +460,10 @@ mod tests {
         use Opcode::*;
         // Exercise class()/defs()/uses() for every opcode to catch panics.
         let all = [
-            Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori,
-            Xori, Slli, Srli, Srai, Slti, Li, FAdd, FSub, FMul, FDiv, FSqrt, FMin, FMax, FAbs,
-            FNeg, FCvtIf, FCvtFi, FMvIf, FMvFi, FLi, FLt, FLe, FEq, Lb, Lbu, Lh, Lhu, Lw, Lwu,
-            Ld, Sb, Sh, Sw, Sd, FLd, FSd, Beq, Bne, Blt, Bge, Bltu, Bgeu, Jal, Jalr, Nop, Halt,
+            Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori, Xori,
+            Slli, Srli, Srai, Slti, Li, FAdd, FSub, FMul, FDiv, FSqrt, FMin, FMax, FAbs, FNeg,
+            FCvtIf, FCvtFi, FMvIf, FMvFi, FLi, FLt, FLe, FEq, Lb, Lbu, Lh, Lhu, Lw, Lwu, Ld, Sb,
+            Sh, Sw, Sd, FLd, FSd, Beq, Bne, Blt, Bge, Bltu, Bgeu, Jal, Jalr, Nop, Halt,
         ];
         for op in all {
             let inst = Inst::new(op, 1, 2, 3, 4);

@@ -35,7 +35,9 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Memory { pages: HashMap::new() }
+        Memory {
+            pages: HashMap::new(),
+        }
     }
 
     /// Number of 4 KiB pages currently allocated.
@@ -49,7 +51,10 @@ impl Memory {
     }
 
     fn page(&mut self, page_index: u64) -> &mut [u8; PAGE_SIZE] {
-        let arc = self.pages.entry(page_index).or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+        let arc = self
+            .pages
+            .entry(page_index)
+            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
         Arc::make_mut(arc)
     }
 

@@ -27,7 +27,10 @@ impl BbVector {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -81,12 +84,20 @@ pub fn profile(loaded: LoadedBenchmark, interval: u64) -> BbvProfile {
         in_interval += 1;
         instructions += 1;
         if in_interval == interval {
-            vectors.push(BbVector { index, counts: std::mem::replace(&mut counts, vec![0; blocks]) });
+            vectors.push(BbVector {
+                index,
+                counts: std::mem::replace(&mut counts, vec![0; blocks]),
+            });
             in_interval = 0;
             index += 1;
         }
     }
-    BbvProfile { vectors, interval, blocks, instructions }
+    BbvProfile {
+        vectors,
+        interval,
+        blocks,
+        instructions,
+    }
 }
 
 #[cfg(test)]
@@ -138,8 +149,7 @@ mod tests {
         // Compare an early-phase interior vector with a late one.
         let a = mid(&profile.vectors[1]);
         let b = mid(&profile.vectors[profile.vectors.len() - 2]);
-        let dist: f64 =
-            a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         assert!(dist < 0.05, "manhattan distance {dist} should be tiny");
     }
 }

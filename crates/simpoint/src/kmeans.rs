@@ -129,7 +129,11 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> KMean
         inertia = new_inertia;
     }
 
-    KMeansResult { assignments, centroids, inertia }
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+    }
 }
 
 /// Bayesian information criterion of a clustering (X-means formulation),
@@ -151,7 +155,8 @@ pub fn bic(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
             continue;
         }
         let rn = size as f64;
-        log_likelihood += rn * rn.ln() - rn * r.ln()
+        log_likelihood += rn * rn.ln()
+            - rn * r.ln()
             - rn * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
             - (rn - 1.0) * d / 2.0;
     }
@@ -171,7 +176,10 @@ mod tests {
             data.push(vec![rng.next_f64() * 0.2, rng.next_f64() * 0.2]);
         }
         for _ in 0..20 {
-            data.push(vec![10.0 + rng.next_f64() * 0.2, 10.0 + rng.next_f64() * 0.2]);
+            data.push(vec![
+                10.0 + rng.next_f64() * 0.2,
+                10.0 + rng.next_f64() * 0.2,
+            ]);
         }
         data
     }
@@ -181,7 +189,11 @@ mod tests {
         let data = blobs();
         let result = kmeans(&data, 2, 3, 100);
         let first = result.assignments[0];
-        assert!(data.iter().zip(&result.assignments).take(20).all(|(_, &a)| a == first));
+        assert!(data
+            .iter()
+            .zip(&result.assignments)
+            .take(20)
+            .all(|(_, &a)| a == first));
         assert!(data
             .iter()
             .zip(&result.assignments)

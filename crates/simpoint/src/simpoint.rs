@@ -90,7 +90,11 @@ fn project(profile: &BbvProfile, dims: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = SplitMix64::new(seed);
     // matrix[block][dim] in {-1, +1}, generated row-by-row.
     let matrix: Vec<Vec<f64>> = (0..profile.blocks)
-        .map(|_| (0..dims).map(|_| if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 }).collect())
+        .map(|_| {
+            (0..dims)
+                .map(|_| if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 })
+                .collect()
+        })
         .collect();
     profile
         .vectors
@@ -242,7 +246,12 @@ mod tests {
     use smarts_workloads::find;
 
     fn config(interval: u64, seed: u64) -> SimPointConfig {
-        SimPointConfig { interval, max_k: 6, seed, ..SimPointConfig::default() }
+        SimPointConfig {
+            interval,
+            max_k: 6,
+            seed,
+            ..SimPointConfig::default()
+        }
     }
 
     #[test]
@@ -264,7 +273,11 @@ mod tests {
         let selection = select(&bench, &config(20_000, 1));
         // One phase for the loop; BIC may add a second cluster for the
         // prologue interval, but never more.
-        assert!(selection.k <= 2, "a steady loop is at most two phases, got {}", selection.k);
+        assert!(
+            selection.k <= 2,
+            "a steady loop is at most two phases, got {}",
+            selection.k
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -151,7 +151,10 @@ pub fn relative_half_width(cv: f64, n: u64, confidence: Confidence) -> Result<f6
         return Err(StatsError::InvalidVariation(cv));
     }
     if n == 0 {
-        return Err(StatsError::InsufficientSample { required: 1, actual: 0 });
+        return Err(StatsError::InsufficientSample {
+            required: 1,
+            actual: 0,
+        });
     }
     Ok(confidence.z() * cv / (n as f64).sqrt())
 }
@@ -224,7 +227,10 @@ pub fn proportion_half_width(
         return Err(StatsError::InvalidVariation(p_hat));
     }
     if n == 0 {
-        return Err(StatsError::InsufficientSample { required: 1, actual: 0 });
+        return Err(StatsError::InsufficientSample {
+            required: 1,
+            actual: 0,
+        });
     }
     Ok(confidence.z() * (p_hat * (1.0 - p_hat) / n as f64).sqrt())
 }
@@ -435,7 +441,10 @@ mod tests {
         let est = SampleEstimate::new(2.0, 0.8, 400);
         let (lo, hi) = est.interval(Confidence::NINETY_FIVE).unwrap();
         assert!(lo < 2.0 && 2.0 < hi);
-        assert!((hi - 2.0 - (2.0 - lo)).abs() < 1e-12, "interval is symmetric");
+        assert!(
+            (hi - 2.0 - (2.0 - lo)).abs() < 1e-12,
+            "interval is symmetric"
+        );
     }
 
     #[test]
@@ -457,7 +466,10 @@ mod tests {
         let conf = Confidence::THREE_SIGMA;
         let n = required_sample_size_proportion(0.3, 0.02, conf).unwrap();
         let achieved = proportion_half_width(0.3, n, conf).unwrap();
-        assert!(achieved <= 0.02 * (1.0 + 1e-9), "achieved {achieved} at n={n}");
+        assert!(
+            achieved <= 0.02 * (1.0 + 1e-9),
+            "achieved {achieved} at n={n}"
+        );
         assert_eq!(required_sample_size_proportion(0.0, 0.1, conf).unwrap(), 30);
         assert!(required_sample_size_proportion(0.3, 0.0, conf).is_err());
     }

@@ -55,7 +55,12 @@ impl SystematicDesign {
         if offset >= interval {
             return Err(StatsError::OffsetOutOfRange { offset, interval });
         }
-        Ok(SystematicDesign { unit_size, population, interval, offset })
+        Ok(SystematicDesign {
+            unit_size,
+            population,
+            interval,
+            offset,
+        })
     }
 
     /// Creates a design targeting a sample of `n` units: `k = ⌊N/n⌋`
@@ -197,7 +202,10 @@ impl RandomDesign {
             return Err(StatsError::ZeroDesignParameter("n"));
         }
         if n > population {
-            return Err(StatsError::InsufficientSample { required: n, actual: population });
+            return Err(StatsError::InsufficientSample {
+                required: n,
+                actual: population,
+            });
         }
         // Floyd's algorithm for sampling without replacement, driven by
         // splitmix64 so no external RNG dependency is needed here.
@@ -218,7 +226,11 @@ impl RandomDesign {
         }
         let mut indices: Vec<u64> = chosen.into_iter().collect();
         indices.sort_unstable();
-        Ok(RandomDesign { unit_size, population, indices })
+        Ok(RandomDesign {
+            unit_size,
+            population,
+            indices,
+        })
     }
 
     /// Sampling-unit size `U` in instructions.

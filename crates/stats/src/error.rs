@@ -37,22 +37,34 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::InvalidConfidenceLevel(level) => {
-                write!(f, "confidence level {level} is not in the open interval (0, 1)")
+                write!(
+                    f,
+                    "confidence level {level} is not in the open interval (0, 1)"
+                )
             }
             StatsError::InvalidErrorTarget(eps) => {
                 write!(f, "relative error target {eps} is not strictly positive")
             }
             StatsError::InvalidVariation(cv) => {
-                write!(f, "coefficient of variation {cv} is not finite and non-negative")
+                write!(
+                    f,
+                    "coefficient of variation {cv} is not finite and non-negative"
+                )
             }
             StatsError::InsufficientSample { required, actual } => {
-                write!(f, "operation requires at least {required} observations, got {actual}")
+                write!(
+                    f,
+                    "operation requires at least {required} observations, got {actual}"
+                )
             }
             StatsError::ZeroDesignParameter(name) => {
                 write!(f, "design parameter `{name}` must be nonzero")
             }
             StatsError::OffsetOutOfRange { offset, interval } => {
-                write!(f, "offset {offset} is not below the sampling interval {interval}")
+                write!(
+                    f,
+                    "offset {offset} is not below the sampling interval {interval}"
+                )
             }
         }
     }
@@ -70,9 +82,15 @@ mod tests {
             StatsError::InvalidConfidenceLevel(1.5),
             StatsError::InvalidErrorTarget(-0.1),
             StatsError::InvalidVariation(f64::NAN),
-            StatsError::InsufficientSample { required: 30, actual: 2 },
+            StatsError::InsufficientSample {
+                required: 30,
+                actual: 2,
+            },
             StatsError::ZeroDesignParameter("unit_size"),
-            StatsError::OffsetOutOfRange { offset: 9, interval: 4 },
+            StatsError::OffsetOutOfRange {
+                offset: 9,
+                interval: 4,
+            },
         ];
         for err in errors {
             let text = err.to_string();

@@ -134,8 +134,9 @@ mod tests {
 
     #[test]
     fn variation_curve_is_monotonically_damped_for_alternating_signal() {
-        let per_unit: Vec<f64> =
-            (0..1024).map(|i| if i % 2 == 0 { 0.5 } else { 2.5 }).collect();
+        let per_unit: Vec<f64> = (0..1024)
+            .map(|i| if i % 2 == 0 { 0.5 } else { 2.5 })
+            .collect();
         let curve = variation_curve(&per_unit, 10, &[1, 2, 4, 8]);
         assert_eq!(curve.len(), 4);
         assert_eq!(curve[0].unit_size, 10);
@@ -177,7 +178,9 @@ mod tests {
         let mut x = 123_456_789u64;
         let per_unit: Vec<f64> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as f64 / (1u64 << 31) as f64
             })
             .collect();

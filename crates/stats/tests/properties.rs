@@ -1,200 +1,271 @@
-//! Property-based tests of the statistical core.
+//! Randomized property tests of the statistical core, driven by a
+//! deterministic splitmix64 generator so the suite needs no external
+//! crates and every failure is reproducible from the fixed seeds.
 
-use proptest::prelude::*;
 use smarts_stats::{
-    bias, confidence_interval, intraclass_correlation, relative_half_width,
-    required_sample_size, systematic_sample_means, variation_curve, Confidence, RandomDesign,
-    RunningStats, SampleEstimate, SystematicDesign,
+    bias, confidence_interval, intraclass_correlation, relative_half_width, required_sample_size,
+    systematic_sample_means, variation_curve, Confidence, RandomDesign, RunningStats,
+    SampleEstimate, SystematicDesign,
 };
 
-fn observations() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, 2..200)
+/// Splitmix64, duplicated locally: `smarts-stats` sits below the crate
+/// that owns the shared generator in the dependency DAG.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in [lo, hi).
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    fn observations(&mut self, len_range: std::ops::Range<u64>, lo: f64, hi: f64) -> Vec<f64> {
+        let len = len_range.start + self.below(len_range.end - len_range.start);
+        (0..len).map(|_| self.uniform(lo, hi)).collect()
+    }
 }
 
-proptest! {
-    #[test]
-    fn running_stats_match_two_pass_reference(xs in observations()) {
+const CASES: u64 = 64;
+
+#[test]
+fn running_stats_match_two_pass_reference() {
+    let mut rng = Rng(11);
+    for _ in 0..CASES {
+        let xs = rng.observations(2..200, -1e6, 1e6);
         let stats: RunningStats = xs.iter().copied().collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
-        prop_assert!((stats.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((stats.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
-        prop_assert!(stats.min() <= stats.mean() + 1e-9);
-        prop_assert!(stats.max() >= stats.mean() - 1e-9);
+        assert!((stats.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((stats.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        assert!(stats.min() <= stats.mean() + 1e-9);
+        assert!(stats.max() >= stats.mean() - 1e-9);
     }
+}
 
-    #[test]
-    fn merge_is_equivalent_to_concatenation(
-        a in observations(),
-        b in observations(),
-    ) {
+#[test]
+fn merge_is_equivalent_to_concatenation() {
+    let mut rng = Rng(22);
+    for _ in 0..CASES {
+        let a = rng.observations(2..200, -1e6, 1e6);
+        let b = rng.observations(2..200, -1e6, 1e6);
         let mut left: RunningStats = a.iter().copied().collect();
         let right: RunningStats = b.iter().copied().collect();
         left.merge(&right);
         let both: RunningStats = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(left.count(), both.count());
-        prop_assert!((left.mean() - both.mean()).abs() <= 1e-6 * (1.0 + both.mean().abs()));
-        prop_assert!(
-            (left.variance() - both.variance()).abs()
-                <= 1e-5 * (1.0 + both.variance().abs())
+        assert_eq!(left.count(), both.count());
+        assert!((left.mean() - both.mean()).abs() <= 1e-6 * (1.0 + both.mean().abs()));
+        assert!((left.variance() - both.variance()).abs() <= 1e-5 * (1.0 + both.variance().abs()));
+        assert_eq!(left.min(), both.min());
+        assert_eq!(left.max(), both.max());
+    }
+}
+
+#[test]
+fn merge_is_associative_across_many_chunks() {
+    // Splitting one stream at arbitrary points and folding the chunk
+    // accumulators left-to-right agrees with one-pass accumulation —
+    // the property the parallel merge layer rests on.
+    let mut rng = Rng(33);
+    for _ in 0..CASES {
+        let xs = rng.observations(8..300, 0.1, 100.0);
+        let chunks = 1 + rng.below(7) as usize;
+        let mut folded = RunningStats::new();
+        for chunk in xs.chunks(xs.len().div_ceil(chunks)) {
+            let partial: RunningStats = chunk.iter().copied().collect();
+            folded.merge(&partial);
+        }
+        let whole: RunningStats = xs.iter().copied().collect();
+        assert_eq!(folded.count(), whole.count());
+        assert!((folded.mean() - whole.mean()).abs() <= 1e-9 * (1.0 + whole.mean().abs()));
+        assert!(
+            (folded.variance() - whole.variance()).abs() <= 1e-9 * (1.0 + whole.variance().abs())
         );
     }
+}
 
-    #[test]
-    fn required_n_achieves_the_target(
-        cv in 0.0f64..10.0,
-        eps in 0.001f64..0.5,
-        level in 0.5f64..0.999,
-    ) {
+#[test]
+fn required_n_achieves_the_target() {
+    let mut rng = Rng(44);
+    for _ in 0..CASES {
+        let cv = rng.uniform(0.0, 10.0);
+        let eps = rng.uniform(0.001, 0.5);
+        let level = rng.uniform(0.5, 0.999);
         let conf = Confidence::new(level).unwrap();
         let n = required_sample_size(cv, eps, conf).unwrap();
-        // The achieved half-width at the required n meets the target.
         let achieved = relative_half_width(cv, n, conf).unwrap();
-        prop_assert!(achieved <= eps * (1.0 + 1e-9),
-            "achieved {achieved} at n={n} for target {eps}");
-        // And n-1 (below the floor of 30 excepted) would not suffice.
+        assert!(
+            achieved <= eps * (1.0 + 1e-9),
+            "achieved {achieved} at n={n} for target {eps}"
+        );
         if n > 30 {
             let under = relative_half_width(cv, n - 1, conf).unwrap();
-            prop_assert!(under > eps);
+            assert!(under > eps);
         }
     }
+}
 
-    #[test]
-    fn half_width_monotonic_in_n_and_cv(
-        cv in 0.01f64..5.0,
-        n in 1u64..100_000,
-    ) {
+#[test]
+fn half_width_monotonic_in_n_and_cv() {
+    let mut rng = Rng(55);
+    for _ in 0..CASES {
+        let cv = rng.uniform(0.01, 5.0);
+        let n = 1 + rng.below(100_000);
         let conf = Confidence::NINETY_FIVE;
         let base = relative_half_width(cv, n, conf).unwrap();
-        prop_assert!(relative_half_width(cv, n + 1, conf).unwrap() <= base);
-        prop_assert!(relative_half_width(cv * 1.1, n, conf).unwrap() >= base);
+        assert!(relative_half_width(cv, n + 1, conf).unwrap() <= base);
+        assert!(relative_half_width(cv * 1.1, n, conf).unwrap() >= base);
     }
+}
 
-    #[test]
-    fn interval_is_symmetric_and_contains_mean(
-        mean in -1e3f64..1e3,
-        cv in 0.0f64..5.0,
-        n in 1u64..10_000,
-    ) {
+#[test]
+fn interval_is_symmetric_and_contains_mean() {
+    let mut rng = Rng(66);
+    for _ in 0..CASES {
+        let mean = rng.uniform(-1e3, 1e3);
+        let cv = rng.uniform(0.0, 5.0);
+        let n = 1 + rng.below(10_000);
         let est = SampleEstimate::new(mean, cv, n);
         let (lo, hi) = est.interval(Confidence::NINETY_FIVE).unwrap();
-        prop_assert!(lo <= mean && mean <= hi);
-        prop_assert!((hi - mean) - (mean - lo) <= 1e-9 * (1.0 + mean.abs()));
+        assert!(lo <= mean && mean <= hi);
+        assert!((hi - mean) - (mean - lo) <= 1e-9 * (1.0 + mean.abs()));
         let half = confidence_interval(mean, cv, n, Confidence::NINETY_FIVE).unwrap();
-        prop_assert!((hi - mean - half).abs() <= 1e-9 * (1.0 + half));
+        assert!((hi - mean - half).abs() <= 1e-9 * (1.0 + half));
     }
+}
 
-    #[test]
-    fn systematic_design_unit_count_is_consistent(
-        unit in 1u64..10_000,
-        population in 1u64..100_000,
-        interval in 1u64..1000,
-    ) {
+#[test]
+fn systematic_design_unit_count_is_consistent() {
+    let mut rng = Rng(77);
+    for _ in 0..CASES {
+        let unit = 1 + rng.below(10_000);
+        let population = 1 + rng.below(100_000);
+        let interval = 1 + rng.below(1000);
         let offset = interval - 1;
         let design = SystematicDesign::new(unit, population, interval, offset).unwrap();
         let count = design.unit_indices().count() as u64;
-        prop_assert_eq!(count, design.sample_size());
-        prop_assert_eq!(design.measured_instructions(), count * unit);
-        // Every index is in range and congruent to the offset.
+        assert_eq!(count, design.sample_size());
+        assert_eq!(design.measured_instructions(), count * unit);
         for idx in design.unit_indices() {
-            prop_assert!(idx < population);
-            prop_assert_eq!(idx % interval, offset);
+            assert!(idx < population);
+            assert_eq!(idx % interval, offset);
         }
     }
+}
 
-    #[test]
-    fn systematic_phases_partition_the_population(
-        population in 1u64..2000,
-        interval in 1u64..50,
-    ) {
+#[test]
+fn systematic_phases_partition_the_population() {
+    let mut rng = Rng(88);
+    for _ in 0..CASES {
+        let population = 1 + rng.below(2000);
+        let interval = 1 + rng.below(50);
         let design = SystematicDesign::new(1, population, interval, 0).unwrap();
         let mut seen = vec![false; population as usize];
         for j in 0..interval.min(population) {
             for idx in design.with_offset(j).unwrap().unit_indices() {
-                prop_assert!(!seen[idx as usize], "unit {idx} selected twice");
+                assert!(!seen[idx as usize], "unit {idx} selected twice");
                 seen[idx as usize] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "phases must cover the population");
+        assert!(seen.iter().all(|&s| s), "phases must cover the population");
     }
+}
 
-    #[test]
-    fn random_design_is_sorted_distinct_in_range(
-        population in 1u64..10_000,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn random_design_is_sorted_distinct_in_range() {
+    let mut rng = Rng(99);
+    for _ in 0..CASES {
+        let population = 1 + rng.below(10_000);
+        let seed = rng.below(1000);
         let n = (population / 2).max(1);
         let design = RandomDesign::draw(1, population, n, seed).unwrap();
         let idx: Vec<u64> = design.unit_indices().collect();
-        prop_assert_eq!(idx.len() as u64, n);
+        assert_eq!(idx.len() as u64, n);
         for pair in idx.windows(2) {
-            prop_assert!(pair[0] < pair[1]);
+            assert!(pair[0] < pair[1]);
         }
-        prop_assert!(idx.iter().all(|&i| i < population));
+        assert!(idx.iter().all(|&i| i < population));
     }
+}
 
-    #[test]
-    fn variation_curve_grand_mean_invariant(xs in proptest::collection::vec(0.1f64..10.0, 16..128)) {
-        // Aggregation preserves the grand mean (whole groups only).
+#[test]
+fn variation_curve_grand_mean_invariant() {
+    let mut rng = Rng(111);
+    for _ in 0..CASES {
+        let xs = rng.observations(16..128, 0.1, 10.0);
         let curve = variation_curve(&xs, 1, &[2]);
         if let Some(point) = curve.first() {
             let whole = (xs.len() / 2) * 2;
             let grand = xs[..whole].iter().sum::<f64>() / whole as f64;
-            let aggregated: Vec<f64> = xs[..whole]
-                .chunks(2)
-                .map(|c| (c[0] + c[1]) / 2.0)
-                .collect();
+            let aggregated: Vec<f64> = xs[..whole].chunks(2).map(|c| (c[0] + c[1]) / 2.0).collect();
             let agg_mean = aggregated.iter().sum::<f64>() / aggregated.len() as f64;
-            prop_assert!((grand - agg_mean).abs() < 1e-9);
-            prop_assert!(point.coefficient_of_variation >= 0.0);
+            assert!((grand - agg_mean).abs() < 1e-9);
+            assert!(point.coefficient_of_variation >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn aggregation_never_increases_variation(xs in proptest::collection::vec(0.1f64..10.0, 64..256)) {
-        // Pooling adjacent units smooths: V(2U) ≤ V(U) holds in expectation
-        // for weakly-correlated data; we assert the weaker sanity bound
-        // that both are finite and non-negative, and that V at the
-        // full-population aggregate is 0.
+#[test]
+fn aggregation_never_increases_variation() {
+    let mut rng = Rng(122);
+    for _ in 0..CASES {
+        let xs = rng.observations(64..256, 0.1, 10.0);
         let curve = variation_curve(&xs, 1, &[1, xs.len() / 2]);
         for point in &curve {
-            prop_assert!(point.coefficient_of_variation.is_finite());
-            prop_assert!(point.coefficient_of_variation >= 0.0);
+            assert!(point.coefficient_of_variation.is_finite());
+            assert!(point.coefficient_of_variation >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn systematic_means_average_to_population_mean(
-        xs in proptest::collection::vec(0.1f64..10.0, 10..200),
-        interval in 1usize..10,
-    ) {
-        // When the interval divides the population size exactly, the
-        // phase means weighted equally recover the grand mean.
+#[test]
+fn systematic_means_average_to_population_mean() {
+    let mut rng = Rng(133);
+    for _ in 0..CASES {
+        let xs = rng.observations(10..200, 0.1, 10.0);
+        let interval = 1 + rng.below(9) as usize;
         let whole = (xs.len() / interval) * interval;
         if whole >= interval {
             let xs = &xs[..whole];
             let means = systematic_sample_means(xs, interval);
             let recovered = means.iter().sum::<f64>() / means.len() as f64;
             let grand = xs.iter().sum::<f64>() / xs.len() as f64;
-            prop_assert!((recovered - grand).abs() < 1e-9);
+            assert!((recovered - grand).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn icc_bounded_below_by_minus_one_over_n_minus_1(
-        xs in proptest::collection::vec(0.0f64..10.0, 20..200),
-    ) {
+#[test]
+fn icc_bounded_below_by_minus_one_over_n_minus_1() {
+    let mut rng = Rng(144);
+    for _ in 0..CASES {
+        let xs = rng.observations(20..200, 0.0, 10.0);
         let delta = intraclass_correlation(&xs, 5);
         let n = xs.len() / 5;
         if n >= 2 {
-            prop_assert!(delta >= -1.0 / (n as f64 - 1.0) - 1e-6, "delta = {delta}");
-            prop_assert!(delta <= 1.0 + 1e-9);
+            assert!(delta >= -1.0 / (n as f64 - 1.0) - 1e-6, "delta = {delta}");
+            assert!(delta <= 1.0 + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn bias_of_exact_estimates_is_zero(truth in -100.0f64..100.0) {
-        prop_assert!(bias(&[truth, truth, truth], truth).abs() < 1e-12);
+#[test]
+fn bias_of_exact_estimates_is_zero() {
+    let mut rng = Rng(155);
+    for _ in 0..CASES {
+        let truth = rng.uniform(-100.0, 100.0);
+        assert!(bias(&[truth, truth, truth], truth).abs() < 1e-12);
     }
 }

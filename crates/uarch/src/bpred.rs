@@ -28,7 +28,7 @@ struct Btb {
 
 impl Btb {
     fn new(entries: u32, assoc: u32) -> Self {
-        assert!(entries > 0 && assoc > 0 && entries % assoc == 0);
+        assert!(entries > 0 && assoc > 0 && entries.is_multiple_of(assoc));
         let sets = (entries / assoc) as u64;
         let slots = entries as usize;
         Btb {
@@ -240,18 +240,30 @@ impl BranchPredictor {
             }
             OpClass::Jump => {
                 let target = direct_target.or_else(|| self.btb.lookup(pc));
-                Prediction { taken: true, target }
+                Prediction {
+                    taken: true,
+                    target,
+                }
             }
             OpClass::Call => {
                 self.ras_push(pc + 1);
                 let target = direct_target.or_else(|| self.btb.lookup(pc));
-                Prediction { taken: true, target }
+                Prediction {
+                    taken: true,
+                    target,
+                }
             }
             OpClass::Return => {
                 let target = self.ras_pop();
-                Prediction { taken: true, target }
+                Prediction {
+                    taken: true,
+                    target,
+                }
             }
-            _ => Prediction { taken: false, target: None },
+            _ => Prediction {
+                taken: false,
+                target: None,
+            },
         }
     }
 
@@ -412,7 +424,10 @@ mod tests {
 
     #[test]
     fn ras_overflows_circularly() {
-        let cfg = PredictorConfig { ras_entries: 2, ..MachineConfig::eight_way().bpred };
+        let cfg = PredictorConfig {
+            ras_entries: 2,
+            ..MachineConfig::eight_way().bpred
+        };
         let mut bp = BranchPredictor::new(cfg);
         let _ = bp.predict(1, OpClass::Call, None);
         let _ = bp.predict(2, OpClass::Call, None);

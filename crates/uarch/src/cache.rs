@@ -140,7 +140,10 @@ impl Cache {
                 if is_write {
                     self.dirty[way] = true;
                 }
-                return CacheOutcome { hit: true, writeback: false };
+                return CacheOutcome {
+                    hit: true,
+                    writeback: false,
+                };
             }
         }
 
@@ -163,7 +166,10 @@ impl Cache {
         self.tags[victim] = tag;
         self.dirty[victim] = is_write;
         self.lru[victim] = self.tick;
-        CacheOutcome { hit: false, writeback }
+        CacheOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Whether the line containing `addr` is resident, without touching
@@ -171,8 +177,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = (set * self.cfg.assoc as u64) as usize;
-        (base..base + self.cfg.assoc as usize)
-            .any(|way| self.valid[way] && self.tags[way] == tag)
+        (base..base + self.cfg.assoc as usize).any(|way| self.valid[way] && self.tags[way] == tag)
     }
 }
 
@@ -182,7 +187,12 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways × 64B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -238,7 +248,7 @@ mod tests {
         let d = 8 * 64;
         c.access(b, false);
         c.access(d, false); // evicts line 0
-        // Re-fill set so the dirty line must have been written back.
+                            // Re-fill set so the dirty line must have been written back.
         assert!(!c.probe(0));
     }
 

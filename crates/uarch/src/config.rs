@@ -22,7 +22,10 @@ impl CacheConfig {
     pub fn sets(&self) -> u64 {
         assert!(self.size_bytes > 0 && self.assoc > 0 && self.line_bytes > 0);
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines % self.assoc as u64 == 0, "cache geometry does not divide evenly");
+        assert!(
+            lines.is_multiple_of(self.assoc as u64),
+            "cache geometry does not divide evenly"
+        );
         lines / self.assoc as u64
     }
 }
@@ -81,7 +84,14 @@ pub struct OpLatencies {
 
 impl Default for OpLatencies {
     fn default() -> Self {
-        OpLatencies { int_alu: 1, int_mul: 3, int_div: 20, fp_alu: 2, fp_mul: 4, fp_div: 12 }
+        OpLatencies {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 20,
+            fp_alu: 2,
+            fp_mul: 4,
+            fp_div: 12,
+        }
     }
 }
 
@@ -175,14 +185,39 @@ impl MachineConfig {
             fp_alu_units: 2,
             fp_muldiv_units: 1,
             latencies: OpLatencies::default(),
-            l1i: CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 64, latency: 1 },
-            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 2, line_bytes: 64, latency: 1 },
-            l2: CacheConfig { size_bytes: 1 << 20, assoc: 4, line_bytes: 64, latency: 12 },
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 1 << 20,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 12,
+            },
             l1d_ports: 2,
             mshrs: 8,
             mem_latency: 100,
-            itlb: TlbConfig { entries: 128, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
-            dtlb: TlbConfig { entries: 256, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
+            itlb: TlbConfig {
+                entries: 128,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_penalty: 200,
+            },
+            dtlb: TlbConfig {
+                entries: 256,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_penalty: 200,
+            },
             bpred: PredictorConfig {
                 bimodal_entries: 2048,
                 gshare_entries: 2048,
@@ -215,14 +250,39 @@ impl MachineConfig {
             fp_alu_units: 8,
             fp_muldiv_units: 4,
             latencies: OpLatencies::default(),
-            l1i: CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 2 },
-            l1d: CacheConfig { size_bytes: 64 << 10, assoc: 2, line_bytes: 64, latency: 2 },
-            l2: CacheConfig { size_bytes: 2 << 20, assoc: 8, line_bytes: 64, latency: 16 },
+            l1i: CacheConfig {
+                size_bytes: 64 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 << 20,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 16,
+            },
             l1d_ports: 4,
             mshrs: 16,
             mem_latency: 100,
-            itlb: TlbConfig { entries: 128, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
-            dtlb: TlbConfig { entries: 256, assoc: 4, page_bytes: 4096, miss_penalty: 200 },
+            itlb: TlbConfig {
+                entries: 128,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_penalty: 200,
+            },
+            dtlb: TlbConfig {
+                entries: 256,
+                assoc: 4,
+                page_bytes: 4096,
+                miss_penalty: 200,
+            },
             bpred: PredictorConfig {
                 bimodal_entries: 8192,
                 gshare_entries: 8192,
@@ -268,7 +328,10 @@ mod tests {
         assert_eq!(cfg.l2.size_bytes, 1 << 20);
         assert_eq!(cfg.l2.assoc, 4);
         assert_eq!(cfg.store_buffer, 16);
-        assert_eq!((cfg.l1d.latency, cfg.l2.latency, cfg.mem_latency), (1, 12, 100));
+        assert_eq!(
+            (cfg.l1d.latency, cfg.l2.latency, cfg.mem_latency),
+            (1, 12, 100)
+        );
         assert_eq!(cfg.bpred.mispred_penalty, 7);
         assert_eq!(cfg.bpred.predictions_per_cycle, 1);
         assert_eq!(cfg.itlb.entries, 128);
@@ -289,7 +352,12 @@ mod tests {
         assert_eq!(cfg.bpred.mispred_penalty, 10);
         assert_eq!(cfg.bpred.predictions_per_cycle, 2);
         assert_eq!(
-            (cfg.int_alu_units, cfg.int_muldiv_units, cfg.fp_alu_units, cfg.fp_muldiv_units),
+            (
+                cfg.int_alu_units,
+                cfg.int_muldiv_units,
+                cfg.fp_alu_units,
+                cfg.fp_muldiv_units
+            ),
             (16, 8, 8, 4)
         );
     }
@@ -298,13 +366,22 @@ mod tests {
     fn warming_bound_matches_paper() {
         // Paper: 16 × 100 × 8 = 12,800 for the 8-way machine.
         assert_eq!(MachineConfig::eight_way().detailed_warming_bound(), 12_800);
-        assert_eq!(MachineConfig::sixteen_way().detailed_warming_bound(), 51_200);
+        assert_eq!(
+            MachineConfig::sixteen_way().detailed_warming_bound(),
+            51_200
+        );
     }
 
     #[test]
     fn recommended_warming_matches_paper() {
-        assert_eq!(MachineConfig::eight_way().recommended_detailed_warming(), 2000);
-        assert_eq!(MachineConfig::sixteen_way().recommended_detailed_warming(), 4000);
+        assert_eq!(
+            MachineConfig::eight_way().recommended_detailed_warming(),
+            2000
+        );
+        assert_eq!(
+            MachineConfig::sixteen_way().recommended_detailed_warming(),
+            4000
+        );
     }
 
     #[test]

@@ -78,7 +78,13 @@ impl CacheHierarchy {
         self.l1d.probe(addr)
     }
 
-    fn access(cache: &mut Cache, l2: &mut Cache, mem_latency: u64, addr: u64, is_write: bool) -> AccessResult {
+    fn access(
+        cache: &mut Cache,
+        l2: &mut Cache,
+        mem_latency: u64,
+        addr: u64,
+        is_write: bool,
+    ) -> AccessResult {
         let l1 = cache.access(addr, is_write);
         if l1.hit {
             return AccessResult {
@@ -108,7 +114,12 @@ impl CacheHierarchy {
             // its replacement state is not modelled for write-backs.)
             l2_accesses += 1;
         }
-        AccessResult { latency, l1_hit: false, l2_accesses, mem_accesses }
+        AccessResult {
+            latency,
+            l1_hit: false,
+            l2_accesses,
+            mem_accesses,
+        }
     }
 
     /// Instruction fetch of the line containing `addr`.
@@ -118,7 +129,13 @@ impl CacheHierarchy {
 
     /// Data access of the line containing `addr`.
     pub fn access_data(&mut self, addr: u64, is_store: bool) -> AccessResult {
-        Self::access(&mut self.l1d, &mut self.l2, self.mem_latency, addr, is_store)
+        Self::access(
+            &mut self.l1d,
+            &mut self.l2,
+            self.mem_latency,
+            addr,
+            is_store,
+        )
     }
 }
 
@@ -171,7 +188,11 @@ mod tests {
         h.access_data(0x4000, false);
         let out = h.access_data(0x8000, false); // evicts the dirty line
         assert!(!out.l1_hit);
-        assert!(out.l2_accesses >= 2, "demand fill + write-back, got {}", out.l2_accesses);
+        assert!(
+            out.l2_accesses >= 2,
+            "demand fill + write-back, got {}",
+            out.l2_accesses
+        );
     }
 
     #[test]

@@ -321,7 +321,8 @@ impl Pipeline {
             }
             let head = self.rob.pop_front().expect("head checked above");
             if class.is_control() {
-                warm.bpred.update(head.rec.pc, class, head.rec.taken, head.rec.next_pc);
+                warm.bpred
+                    .update(head.rec.pc, class, head.rec.taken, head.rec.next_pc);
                 if measure {
                     counters.bpred_updates += 1;
                 }
@@ -383,7 +384,9 @@ impl Pipeline {
         if !res.l1_hit {
             Self::mshr_allocate(&mut self.mshrs, cycle, cycle + res.latency);
         }
-        entry.state = SbState::InFlight { done: cycle + res.latency };
+        entry.state = SbState::InFlight {
+            done: cycle + res.latency,
+        };
         if measure {
             counters.l1d_accesses += 1;
             counters.l2_accesses += res.l2_accesses;
@@ -460,8 +463,7 @@ impl Pipeline {
             let om = other.rec.mem.expect("store has a memory access");
             let (b0, b1) = (om.addr, om.addr + om.size as u64);
             if a0 < b1 && b0 < a1 {
-                return if other.state == EntryState::Completed
-                    && other.complete_cycle <= self.cycle
+                return if other.state == EntryState::Completed && other.complete_cycle <= self.cycle
                 {
                     LoadPlan::Forward
                 } else {
@@ -482,7 +484,10 @@ impl Pipeline {
     fn fu_for(&self, class: OpClass) -> Option<(FuPool, u64, bool)> {
         let lat = &self.cfg.latencies;
         match class {
-            OpClass::IntAlu | OpClass::CondBranch | OpClass::Jump | OpClass::Call
+            OpClass::IntAlu
+            | OpClass::CondBranch
+            | OpClass::Jump
+            | OpClass::Call
             | OpClass::Return => Some((FuPool::IntAlu, lat.int_alu, true)),
             OpClass::IntMul => Some((FuPool::IntMulDiv, lat.int_mul, true)),
             OpClass::IntDiv => Some((FuPool::IntMulDiv, lat.int_div, false)),
@@ -507,45 +512,43 @@ impl Pipeline {
             let n_srcs = self.rob[idx].rec.inst.uses().iter().flatten().count() as u64;
 
             let complete_cycle = match class {
-                OpClass::Load => {
-                    match self.load_plan(idx) {
-                        LoadPlan::Blocked => continue,
-                        LoadPlan::Forward => {
-                            if measure {
-                                counters.lsq_searches += 1;
-                            }
-                            cycle + 1
+                OpClass::Load => match self.load_plan(idx) {
+                    LoadPlan::Blocked => continue,
+                    LoadPlan::Forward => {
+                        if measure {
+                            counters.lsq_searches += 1;
                         }
-                        LoadPlan::CacheAccess => {
-                            if self.ports_used >= self.cfg.l1d_ports {
-                                continue;
-                            }
-                            let addr = self.rob[idx].rec.mem.expect("load").addr;
-                            let resident = warm.hierarchy.l1d_resident(addr);
-                            if !resident && !Self::mshr_available(&self.mshrs, cycle) {
-                                continue;
-                            }
-                            let tlb_hit = warm.dtlb.access(addr);
-                            let res = warm.hierarchy.access_data(addr, false);
-                            self.ports_used += 1;
-                            if !res.l1_hit {
-                                Self::mshr_allocate(&mut self.mshrs, cycle, cycle + res.latency);
-                            }
-                            let mut latency = res.latency;
-                            if !tlb_hit {
-                                latency += self.cfg.dtlb.miss_penalty;
-                            }
-                            if measure {
-                                counters.lsq_searches += 1;
-                                counters.dtlb_accesses += 1;
-                                counters.l1d_accesses += 1;
-                                counters.l2_accesses += res.l2_accesses;
-                                counters.mem_accesses += res.mem_accesses;
-                            }
-                            cycle + latency
-                        }
+                        cycle + 1
                     }
-                }
+                    LoadPlan::CacheAccess => {
+                        if self.ports_used >= self.cfg.l1d_ports {
+                            continue;
+                        }
+                        let addr = self.rob[idx].rec.mem.expect("load").addr;
+                        let resident = warm.hierarchy.l1d_resident(addr);
+                        if !resident && !Self::mshr_available(&self.mshrs, cycle) {
+                            continue;
+                        }
+                        let tlb_hit = warm.dtlb.access(addr);
+                        let res = warm.hierarchy.access_data(addr, false);
+                        self.ports_used += 1;
+                        if !res.l1_hit {
+                            Self::mshr_allocate(&mut self.mshrs, cycle, cycle + res.latency);
+                        }
+                        let mut latency = res.latency;
+                        if !tlb_hit {
+                            latency += self.cfg.dtlb.miss_penalty;
+                        }
+                        if measure {
+                            counters.lsq_searches += 1;
+                            counters.dtlb_accesses += 1;
+                            counters.l1d_accesses += 1;
+                            counters.l2_accesses += res.l2_accesses;
+                            counters.mem_accesses += res.mem_accesses;
+                        }
+                        cycle + latency
+                    }
+                },
                 OpClass::Store => {
                     // Stores "execute" by computing address + reading data;
                     // the memory write happens post-commit from the store
@@ -555,7 +558,11 @@ impl Pipeline {
                     if measure {
                         counters.dtlb_accesses += 1;
                     }
-                    let penalty = if tlb_hit { 0 } else { self.cfg.dtlb.miss_penalty };
+                    let penalty = if tlb_hit {
+                        0
+                    } else {
+                        self.cfg.dtlb.miss_penalty
+                    };
                     cycle + 1 + penalty
                 }
                 OpClass::Nop | OpClass::Halt => cycle + 1,
@@ -566,7 +573,11 @@ impl Pipeline {
                     let Some(unit) = units.iter_mut().find(|busy| **busy <= cycle) else {
                         continue; // structural hazard
                     };
-                    *unit = if pipelined { cycle + 1 } else { cycle + latency };
+                    *unit = if pipelined {
+                        cycle + 1
+                    } else {
+                        cycle + latency
+                    };
                     if measure {
                         match class {
                             OpClass::IntMul => counters.int_mul_ops += 1,
@@ -699,7 +710,10 @@ impl Pipeline {
             let class = rec.class();
             let mut mispredicted = false;
             let mut predicted_taken = false;
-            let mut wrong_pred = Prediction { taken: false, target: None };
+            let mut wrong_pred = Prediction {
+                taken: false,
+                target: None,
+            };
             if class.is_control() {
                 let direct_target = match rec.inst.op {
                     Opcode::Jal => Some(rec.inst.imm as u64),
@@ -720,7 +734,11 @@ impl Pipeline {
                 wrong_pred = pred;
             }
 
-            self.ifq.push_back(IfqEntry { rec, avail, mispredicted });
+            self.ifq.push_back(IfqEntry {
+                rec,
+                avail,
+                mispredicted,
+            });
             fetched += 1;
 
             if mispredicted {
@@ -766,7 +784,9 @@ impl Pipeline {
         measure: bool,
         counters: &mut ActivityCounters,
     ) {
-        let Some(mut pc) = self.wrong_path_pc else { return };
+        let Some(mut pc) = self.wrong_path_pc else {
+            return;
+        };
         if self.fetch_stall_until > self.cycle {
             return;
         }
@@ -823,7 +843,11 @@ mod tests {
 
     impl CpuSource {
         fn new(program: Program) -> Self {
-            CpuSource { cpu: Cpu::new(), mem: Memory::new(), program }
+            CpuSource {
+                cpu: Cpu::new(),
+                mem: Memory::new(),
+                program,
+            }
         }
     }
 
@@ -875,7 +899,11 @@ mod tests {
         let top = a.label();
         a.bind(top).unwrap();
         for i in 0..body_len {
-            let r = if dependent { reg::T0 } else { reg::T0 + (i % 8) as u8 };
+            let r = if dependent {
+                reg::T0
+            } else {
+                reg::T0 + (i % 8) as u8
+            };
             a.addi(r, r, 1);
         }
         a.addi(reg::S0, reg::S0, 1);
@@ -952,7 +980,11 @@ mod tests {
         let m = run_program(a.finish().unwrap(), &cfg);
         // With forwarding, data-side traffic is the single cold-line fill
         // (mem accesses also include the handful of cold I-cache lines).
-        assert!(m.counters.mem_accesses <= 4, "mem = {}", m.counters.mem_accesses);
+        assert!(
+            m.counters.mem_accesses <= 4,
+            "mem = {}",
+            m.counters.mem_accesses
+        );
         assert!(m.cpi() < 3.0, "cpi = {}", m.cpi());
     }
 
@@ -1040,10 +1072,7 @@ mod tests {
         let first = pipe2.run(&mut warm2, &mut src2, 1500, true);
         let rest = pipe2.run(&mut warm2, &mut src2, u64::MAX, true);
         assert_eq!(first.instructions, 1500);
-        assert_eq!(
-            whole.instructions,
-            first.instructions + rest.instructions
-        );
+        assert_eq!(whole.instructions, first.instructions + rest.instructions);
         assert_eq!(whole.cycles, first.cycles + rest.cycles);
     }
 
@@ -1066,7 +1095,12 @@ mod tests {
         let program = counted_loop(3000);
         let m8 = run_program(program.clone(), &MachineConfig::eight_way());
         let m16 = run_program(program, &MachineConfig::sixteen_way());
-        assert!(m16.cycles <= m8.cycles * 11 / 10, "16-way {} vs 8-way {}", m16.cycles, m8.cycles);
+        assert!(
+            m16.cycles <= m8.cycles * 11 / 10,
+            "16-way {} vs 8-way {}",
+            m16.cycles,
+            m8.cycles
+        );
     }
 
     #[test]

@@ -41,12 +41,13 @@ impl Tlb {
     ///
     /// Panics if `entries` is not a multiple of `assoc`, or either is zero.
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.entries > 0 && cfg.assoc > 0 && cfg.entries % cfg.assoc == 0);
+        assert!(cfg.entries > 0 && cfg.assoc > 0 && cfg.entries.is_multiple_of(cfg.assoc));
         assert!(cfg.page_bytes.is_power_of_two());
         let sets = (cfg.entries / cfg.assoc) as u64;
         let slots = cfg.entries as usize;
-        let page_shift =
-            sets.is_power_of_two().then(|| cfg.page_bytes.trailing_zeros());
+        let page_shift = sets
+            .is_power_of_two()
+            .then(|| cfg.page_bytes.trailing_zeros());
         Tlb {
             cfg,
             tags: vec![0; slots],
@@ -125,8 +126,7 @@ impl Tlb {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = (set * self.cfg.assoc as u64) as usize;
-        (base..base + self.cfg.assoc as usize)
-            .any(|way| self.valid[way] && self.tags[way] == tag)
+        (base..base + self.cfg.assoc as usize).any(|way| self.valid[way] && self.tags[way] == tag)
     }
 }
 
@@ -135,7 +135,12 @@ mod tests {
     use super::*;
 
     fn small() -> Tlb {
-        Tlb::new(TlbConfig { entries: 4, assoc: 2, page_bytes: 4096, miss_penalty: 200 })
+        Tlb::new(TlbConfig {
+            entries: 4,
+            assoc: 2,
+            page_bytes: 4096,
+            miss_penalty: 200,
+        })
     }
 
     #[test]
@@ -150,7 +155,7 @@ mod tests {
     #[test]
     fn lru_within_set() {
         let mut tlb = small(); // 2 sets × 2 ways
-        // Pages 0, 2, 4 map to set 0.
+                               // Pages 0, 2, 4 map to set 0.
         let page = |n: u64| n * 4096;
         tlb.access(page(0));
         tlb.access(page(2));
@@ -173,6 +178,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn bad_geometry_panics() {
-        let _ = Tlb::new(TlbConfig { entries: 3, assoc: 2, page_bytes: 4096, miss_penalty: 1 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 3,
+            assoc: 2,
+            page_bytes: 4096,
+            miss_penalty: 1,
+        });
     }
 }

@@ -89,8 +89,20 @@ mod tests {
     use super::*;
     use smarts_isa::{Inst, MemAccess, OpClass, Opcode, Program};
 
-    fn record(pc: u64, inst: Inst, mem: Option<MemAccess>, taken: bool, next_pc: u64) -> ExecRecord {
-        ExecRecord { pc, inst, mem, taken, next_pc }
+    fn record(
+        pc: u64,
+        inst: Inst,
+        mem: Option<MemAccess>,
+        taken: bool,
+        next_pc: u64,
+    ) -> ExecRecord {
+        ExecRecord {
+            pc,
+            inst,
+            mem,
+            taken,
+            next_pc,
+        }
     }
 
     #[test]
@@ -112,7 +124,11 @@ mod tests {
         let cfg = MachineConfig::eight_way();
         let mut warm = WarmState::new(&cfg);
         let ld = Inst::new(Opcode::Ld, 4, 5, 0, 0);
-        let access = MemAccess { addr: 0x9000, size: 8, is_store: false };
+        let access = MemAccess {
+            addr: 0x9000,
+            size: 8,
+            is_store: false,
+        };
         warm.warm_record(&record(0, ld, Some(access), false, 1));
         assert_eq!(warm.hierarchy.l1d().accesses(), 1);
         assert_eq!(warm.dtlb.accesses(), 1);
@@ -150,13 +166,20 @@ mod tests {
         let cfg = MachineConfig::eight_way();
         let mut warm = WarmState::new(&cfg);
         let st = Inst::new(Opcode::Sd, 0, 5, 6, 0);
-        let access = MemAccess { addr: 0xA000, size: 8, is_store: true };
+        let access = MemAccess {
+            addr: 0xA000,
+            size: 8,
+            is_store: true,
+        };
         warm.warm_record(&record(0, st, Some(access), false, 1));
         // Evict the dirty line through its set; the eviction reports
         // write-back traffic, proving warming carried the dirty bit.
         let out1 = warm.hierarchy.access_data(0xA000 + 0x4000, false);
         let out2 = warm.hierarchy.access_data(0xA000 + 0x8000, false);
-        assert!(out1.l2_accesses + out2.l2_accesses >= 3, "a write-back occurred");
+        assert!(
+            out1.l2_accesses + out2.l2_accesses >= 3,
+            "a write-back occurred"
+        );
     }
 
     #[test]

@@ -1,14 +1,16 @@
-//! Property-based tests of the microarchitectural structures: caches
-//! against a reference LRU model, TLBs, the branch predictor, and
-//! pipeline timing invariants.
+//! Randomized tests of the microarchitectural structures: caches against
+//! a reference LRU model, TLBs, the branch predictor, and pipeline timing
+//! invariants. Cases come from the workload crate's `SplitMix64`, so the
+//! suite needs no external crates and failures reproduce from the fixed
+//! seeds.
 
-use proptest::prelude::*;
-use smarts_isa::{Inst, Memory, OpClass, Opcode, Program};
 use smarts_isa::{Cpu, ExecRecord};
+use smarts_isa::{Inst, Memory, OpClass, Opcode, Program};
 use smarts_uarch::{
     BranchPredictor, Cache, CacheConfig, MachineConfig, Pipeline, Tlb, TlbConfig, TraceSource,
     WarmState,
 };
+use smarts_workloads::SplitMix64;
 use std::collections::VecDeque;
 
 /// A straightforward reference model of a set-associative LRU cache.
@@ -44,79 +46,115 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn addresses(rng: &mut SplitMix64, len_bound: u64, addr_bound: u64) -> Vec<u64> {
+    let len = 1 + rng.next_below(len_bound);
+    (0..len).map(|_| rng.next_below(addr_bound)).collect()
+}
 
-    #[test]
-    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u64..1u64 << 16, 1..500)) {
-        let cfg = CacheConfig { size_bytes: 2048, assoc: 2, line_bytes: 64, latency: 1 };
+const CASES: u64 = 64;
+
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = SplitMix64::new(201);
+    for _ in 0..CASES {
+        let addrs = addresses(&mut rng, 499, 1u64 << 16);
+        let cfg = CacheConfig {
+            size_bytes: 2048,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
         let mut cache = Cache::new(cfg);
         let mut reference = RefLru::new(cfg);
         for &addr in &addrs {
             let got = cache.access(addr, false).hit;
             let want = reference.access(addr);
-            prop_assert_eq!(got, want, "divergence at address {:#x}", addr);
+            assert_eq!(got, want, "divergence at address {addr:#x}");
         }
-        prop_assert_eq!(cache.accesses(), addrs.len() as u64);
+        assert_eq!(cache.accesses(), addrs.len() as u64);
     }
+}
 
-    #[test]
-    fn cache_probe_agrees_with_access_hit(addrs in proptest::collection::vec(0u64..1u64 << 14, 1..300)) {
-        let cfg = CacheConfig { size_bytes: 1024, assoc: 4, line_bytes: 32, latency: 1 };
+#[test]
+fn cache_probe_agrees_with_access_hit() {
+    let mut rng = SplitMix64::new(202);
+    for _ in 0..CASES {
+        let addrs = addresses(&mut rng, 299, 1u64 << 14);
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            assoc: 4,
+            line_bytes: 32,
+            latency: 1,
+        };
         let mut cache = Cache::new(cfg);
         for &addr in &addrs {
             let resident = cache.probe(addr);
             let hit = cache.access(addr, false).hit;
-            prop_assert_eq!(resident, hit);
+            assert_eq!(resident, hit);
         }
     }
+}
 
-    #[test]
-    fn cache_stats_are_consistent(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..300)) {
+#[test]
+fn cache_stats_are_consistent() {
+    let mut rng = SplitMix64::new(203);
+    for _ in 0..CASES {
+        let addrs = addresses(&mut rng, 299, 1u64 << 20);
         let cfg = MachineConfig::eight_way().l1d;
         let mut cache = Cache::new(cfg);
         for &addr in &addrs {
             cache.access(addr, addr % 3 == 0);
         }
-        prop_assert!(cache.misses() <= cache.accesses());
-        prop_assert!((0.0..=1.0).contains(&cache.miss_ratio()));
+        assert!(cache.misses() <= cache.accesses());
+        assert!((0.0..=1.0).contains(&cache.miss_ratio()));
     }
+}
 
-    #[test]
-    fn tlb_same_page_always_hits_after_fill(
-        pages in proptest::collection::vec(0u64..256, 1..100),
-    ) {
-        let mut tlb = Tlb::new(TlbConfig { entries: 64, assoc: 4, page_bytes: 4096, miss_penalty: 200 });
+#[test]
+fn tlb_same_page_always_hits_after_fill() {
+    let mut rng = SplitMix64::new(204);
+    for _ in 0..CASES {
+        let pages = addresses(&mut rng, 99, 256);
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 64,
+            assoc: 4,
+            page_bytes: 4096,
+            miss_penalty: 200,
+        });
         for &p in &pages {
             let addr = p * 4096;
             tlb.access(addr);
             // Immediately after a fill, the same page must hit.
-            prop_assert!(tlb.access(addr + 123));
+            assert!(tlb.access(addr + 123));
         }
     }
+}
 
-    #[test]
-    fn predictor_converges_on_any_fixed_direction(
-        pc in 0u64..1_000_000,
-        taken: bool,
-    ) {
+#[test]
+fn predictor_converges_on_any_fixed_direction() {
+    let mut rng = SplitMix64::new(205);
+    for _ in 0..CASES {
+        let pc = rng.next_below(1_000_000);
+        let taken = rng.next_u64() & 1 == 1;
         let mut bp = BranchPredictor::new(MachineConfig::eight_way().bpred);
         for _ in 0..8 {
             bp.update(pc, OpClass::CondBranch, taken, pc + 5);
         }
         let p = bp.predict(pc, OpClass::CondBranch, None);
-        prop_assert_eq!(p.taken, taken);
+        assert_eq!(p.taken, taken);
     }
+}
 
-    #[test]
-    fn ras_is_lifo_within_capacity(depth in 1usize..12) {
+#[test]
+fn ras_is_lifo_within_capacity() {
+    for depth in 1usize..12 {
         let mut bp = BranchPredictor::new(MachineConfig::eight_way().bpred);
         for i in 0..depth as u64 {
             let _ = bp.predict(i * 10, OpClass::Call, Some(500 + i));
         }
         for i in (0..depth as u64).rev() {
             let p = bp.predict(999, OpClass::Return, None);
-            prop_assert_eq!(p.target, Some(i * 10 + 1));
+            assert_eq!(p.target, Some(i * 10 + 1));
         }
     }
 }
@@ -141,44 +179,59 @@ fn straightline_trace(ops: &[Opcode]) -> SyntheticTrace {
         .enumerate()
         .map(|(pc, &op)| {
             let inst = Inst::new(op, 5, 6, 7, 64);
-            ExecRecord { pc: pc as u64, inst, mem: None, taken: false, next_pc: pc as u64 + 1 }
+            ExecRecord {
+                pc: pc as u64,
+                inst,
+                mem: None,
+                taken: false,
+                next_pc: pc as u64 + 1,
+            }
         })
         .collect();
     SyntheticTrace { records, at: 0 }
 }
 
-fn arb_exec_op() -> impl Strategy<Value = Opcode> {
-    prop_oneof![
-        Just(Opcode::Add),
-        Just(Opcode::Mul),
-        Just(Opcode::Div),
-        Just(Opcode::FAdd),
-        Just(Opcode::FMul),
-        Just(Opcode::FDiv),
-        Just(Opcode::Nop),
-    ]
+const EXEC_OPS: [Opcode; 7] = [
+    Opcode::Add,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::FAdd,
+    Opcode::FMul,
+    Opcode::FDiv,
+    Opcode::Nop,
+];
+
+fn exec_ops(rng: &mut SplitMix64, lo: u64, hi: u64) -> Vec<Opcode> {
+    let len = lo + rng.next_below(hi - lo);
+    (0..len)
+        .map(|_| EXEC_OPS[rng.next_below(EXEC_OPS.len() as u64) as usize])
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const PIPE_CASES: u64 = 32;
 
-    #[test]
-    fn pipeline_commits_exactly_the_trace(ops in proptest::collection::vec(arb_exec_op(), 1..400)) {
+#[test]
+fn pipeline_commits_exactly_the_trace() {
+    let mut rng = SplitMix64::new(206);
+    for _ in 0..PIPE_CASES {
+        let ops = exec_ops(&mut rng, 1, 400);
         let cfg = MachineConfig::eight_way();
         let mut warm = WarmState::new(&cfg);
         let mut pipeline = Pipeline::new(&cfg);
         let mut source = straightline_trace(&ops);
         let m = pipeline.run(&mut warm, &mut source, u64::MAX, true);
-        prop_assert_eq!(m.instructions, ops.len() as u64);
-        prop_assert_eq!(m.counters.commits, ops.len() as u64);
-        prop_assert!(m.cycles >= m.instructions / cfg.commit_width as u64);
+        assert_eq!(m.instructions, ops.len() as u64);
+        assert_eq!(m.counters.commits, ops.len() as u64);
+        assert!(m.cycles >= m.instructions / cfg.commit_width as u64);
     }
+}
 
-    #[test]
-    fn cycle_count_is_additive_across_run_boundaries(
-        ops in proptest::collection::vec(arb_exec_op(), 20..300),
-        split in 1u64..19,
-    ) {
+#[test]
+fn cycle_count_is_additive_across_run_boundaries() {
+    let mut rng = SplitMix64::new(207);
+    for _ in 0..PIPE_CASES {
+        let ops = exec_ops(&mut rng, 20, 300);
+        let split = 1 + rng.next_below(18);
         let cfg = MachineConfig::eight_way();
         let whole = {
             let mut warm = WarmState::new(&cfg);
@@ -192,36 +245,42 @@ proptest! {
             let mut source = straightline_trace(&ops);
             let a = pipeline.run(&mut warm, &mut source, split, true);
             let b = pipeline.run(&mut warm, &mut source, u64::MAX, true);
-            prop_assert_eq!(a.instructions, split);
+            assert_eq!(a.instructions, split);
             a.cycles + b.cycles
         };
-        prop_assert_eq!(whole, split_total);
+        assert_eq!(whole, split_total);
     }
+}
 
-    #[test]
-    fn unpipelined_dividers_bound_throughput(n_divs in 10u64..100) {
+#[test]
+fn unpipelined_dividers_bound_throughput() {
+    let mut rng = SplitMix64::new(208);
+    for _ in 0..PIPE_CASES {
         // n dependent-free divides on 2 unpipelined units of latency 20:
         // at least n/2 × 20 cycles.
-        let ops: Vec<Opcode> = (0..n_divs).map(|_| Opcode::Div).collect();
+        let n_divs = 10 + rng.next_below(90);
         let cfg = MachineConfig::eight_way();
         let mut warm = WarmState::new(&cfg);
         let mut pipeline = Pipeline::new(&cfg);
         // Use distinct destination registers to remove data dependences.
-        let records: Vec<ExecRecord> = ops
-            .iter()
-            .enumerate()
-            .map(|(pc, &op)| {
-                let inst = Inst::new(op, (pc % 24) as u8 + 4, 1, 2, 0);
-                ExecRecord { pc: pc as u64, inst, mem: None, taken: false, next_pc: pc as u64 + 1 }
+        let records: Vec<ExecRecord> = (0..n_divs)
+            .map(|pc| {
+                let inst = Inst::new(Opcode::Div, (pc % 24) as u8 + 4, 1, 2, 0);
+                ExecRecord {
+                    pc,
+                    inst,
+                    mem: None,
+                    taken: false,
+                    next_pc: pc + 1,
+                }
             })
             .collect();
         let mut source = SyntheticTrace { records, at: 0 };
         let m = pipeline.run(&mut warm, &mut source, u64::MAX, true);
         let lower_bound = n_divs.div_ceil(2) * cfg.latencies.int_div - cfg.latencies.int_div;
-        prop_assert!(
+        assert!(
             m.cycles >= lower_bound,
-            "{} divides took only {} cycles (bound {lower_bound})",
-            n_divs,
+            "{n_divs} divides took only {} cycles (bound {lower_bound})",
             m.cycles
         );
     }

@@ -104,7 +104,10 @@ mod tests {
         // Sum of case payloads: average (1+2+3+5)/4 = 2.75 per iteration.
         let s1 = cpu.reg(reg::S1) as f64;
         let per_iter = s1 / iters as f64;
-        assert!((2.4..3.1).contains(&per_iter), "per-iter payload {per_iter}");
+        assert!(
+            (2.4..3.1).contains(&per_iter),
+            "per-iter payload {per_iter}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub(crate) mod testutil {
     ) -> Result<(Cpu, Memory), IsaError> {
         let mut cpu = Cpu::new();
         let executed = cpu.run(program, &mut memory, max_insts)?;
-        assert!(cpu.halted(), "kernel did not halt within {executed} instructions");
+        assert!(
+            cpu.halted(),
+            "kernel did not halt within {executed} instructions"
+        );
         Ok((cpu, memory))
     }
 }

@@ -108,7 +108,10 @@ mod tests {
                     expect += ma[i * n + k] * mb[k * n + j];
                 }
                 let got = mc[i * n + j];
-                assert!((got - expect).abs() < 1e-9, "C[{i}][{j}] = {got}, want {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "C[{i}][{j}] = {got}, want {expect}"
+                );
             }
         }
     }

@@ -43,7 +43,7 @@ pub fn build(n: usize, steps: u64, seed: u64) -> (Program, Memory) {
     a.bind(i_top).expect("label binds once");
     a.fld(0, reg::T0, 0); // xi
     a.fli(1, 0.0); // accumulated force
-    // Inner loop over bodies j: s1 = j countdown, t1/t2 = pos/mass cursors.
+                   // Inner loop over bodies j: s1 = j countdown, t1/t2 = pos/mass cursors.
     a.li(reg::S1, n as i64);
     a.li(reg::T1, pos as i64);
     a.li(reg::T2, mass as i64);
@@ -85,9 +85,12 @@ mod tests {
         let pos_base = DATA_BASE;
         let mass_base = pos_base + n as u64 * 8;
         let force_base = mass_base + n as u64 * 8;
-        let pos: Vec<f64> = (0..n as u64).map(|i| memory.read_f64(pos_base + i * 8)).collect();
-        let mass: Vec<f64> =
-            (0..n as u64).map(|i| memory.read_f64(mass_base + i * 8)).collect();
+        let pos: Vec<f64> = (0..n as u64)
+            .map(|i| memory.read_f64(pos_base + i * 8))
+            .collect();
+        let mass: Vec<f64> = (0..n as u64)
+            .map(|i| memory.read_f64(mass_base + i * 8))
+            .collect();
         let (_, memory) = run_to_halt(&program, memory, 100_000).unwrap();
         for i in 0..n {
             let mut expect = 0.0;

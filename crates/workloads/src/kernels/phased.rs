@@ -37,7 +37,10 @@ pub fn build(
     let large_base = DATA_BASE + (small_nodes as u64 + 16) * NODE_BYTES;
 
     let mut memory = Memory::new();
-    for (base, nodes, salt) in [(small_base, small_nodes, 0u64), (large_base, large_nodes, 1)] {
+    for (base, nodes, salt) in [
+        (small_base, small_nodes, 0u64),
+        (large_base, large_nodes, 1),
+    ] {
         let next = cyclic_permutation(nodes, seed ^ salt);
         for (i, &succ) in next.iter().enumerate() {
             memory.write_u64(

@@ -107,7 +107,9 @@ mod tests {
         let n = 200;
         let (program, memory) = build(n, 1, 8, 42);
         // Capture the source before running.
-        let src: Vec<u8> = (0..n as u64).map(|i| memory.read_u8(DATA_BASE + i)).collect();
+        let src: Vec<u8> = (0..n as u64)
+            .map(|i| memory.read_u8(DATA_BASE + i))
+            .collect();
         let (_, memory) = run_to_halt(&program, memory, 200_000).unwrap();
         let dst = DATA_BASE + n as u64 + 4096;
         let decoded = decode(&memory, dst, n);
@@ -148,6 +150,11 @@ mod tests {
         let (c1, _) = run_to_halt(&p1, m1, 100_000).unwrap();
         let (c2, _) = run_to_halt(&p2, m2, 100_000).unwrap();
         let per_rep = c1.retired() - 1; // minus halt
-        assert!(c2.retired() > 2 * per_rep, "{} vs {}", c2.retired(), c1.retired());
+        assert!(
+            c2.retired() > 2 * per_rep,
+            "{} vs {}",
+            c2.retired(),
+            c1.retired()
+        );
     }
 }

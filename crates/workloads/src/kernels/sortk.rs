@@ -89,7 +89,9 @@ mod tests {
     use crate::kernels::testutil::run_to_halt;
 
     fn read_array(memory: &Memory, n: usize) -> Vec<i64> {
-        (0..n as u64).map(|i| memory.read_u64(DATA_BASE + i * 8) as i64).collect()
+        (0..n as u64)
+            .map(|i| memory.read_u64(DATA_BASE + i * 8) as i64)
+            .collect()
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Small deterministic generators used for data initialization.
 //!
-//! Workload construction must be reproducible from a seed alone, so the
-//! crate uses splitmix64 directly instead of threading a `rand` RNG
-//! through every kernel builder (the `rand` dependency is used where
-//! distributions matter, e.g. shuffles).
+//! Workload construction must be reproducible from a seed alone, and the
+//! workspace builds offline, so the crate implements splitmix64 plus the
+//! few distributions kernels need (shuffles, weighted choice) directly
+//! instead of depending on `rand`.
 
 /// Splitmix64: a fast, well-distributed 64-bit mixer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,34 @@ impl SplitMix64 {
     /// A uniformly random f64 in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks an index in `0..weights.len()` with probability proportional
+    /// to its weight. Weights must be non-negative with a positive sum.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative with a positive sum"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        // Rounding can push the scan past the end; the last positive
+        // weight is the correct owner of the residual mass.
+        weights.iter().rposition(|&w| w > 0.0).unwrap()
     }
 }
 
@@ -78,6 +106,54 @@ mod tests {
             let x = rng.next_f64();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(9);
+        let mut items: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(items, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = SplitMix64::new(9);
+        let mut empty: [u32; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [7u32];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [7]);
+    }
+
+    #[test]
+    fn weighted_choice_respects_zero_weights() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..1000 {
+            let i = rng.weighted_choice(&[0.0, 3.0, 0.0, 1.0, 0.0]);
+            assert!(i == 1 || i == 3, "picked zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_choice_tracks_the_distribution() {
+        let mut rng = SplitMix64::new(13);
+        let weights = [1.0, 3.0];
+        let mut counts = [0u64; 2];
+        for _ in 0..10_000 {
+            counts[rng.weighted_choice(&weights)] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio} far from 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_choice_rejects_all_zero_weights() {
+        SplitMix64::new(1).weighted_choice(&[0.0, 0.0]);
     }
 
     #[test]

@@ -12,18 +12,65 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // parameter names match the kernel builders
 pub enum Spec {
-    Stream { n: usize, reps: u64, seed: u64 },
-    Mtx { n: usize, reps: u64, seed: u64 },
-    Chase { nodes: usize, steps: u64, seed: u64 },
-    HashProbe { table_words: usize, ops: u64, seed: u64 },
-    Branchy { iters: u64, seed: u64 },
-    SortK { n: usize, passes: u64, reps: u64, seed: u64, presorted: bool },
-    FpChain { iters: u64 },
-    Phased { small: usize, large: usize, steps_per_phase: u64, phases: u64, seed: u64 },
-    Loopy { iters: u64 },
-    Mixed { iters: u64, seed: u64 },
-    Rle { n: usize, reps: u64, mean_run_len: usize, seed: u64 },
-    NBody { n: usize, steps: u64, seed: u64 },
+    Stream {
+        n: usize,
+        reps: u64,
+        seed: u64,
+    },
+    Mtx {
+        n: usize,
+        reps: u64,
+        seed: u64,
+    },
+    Chase {
+        nodes: usize,
+        steps: u64,
+        seed: u64,
+    },
+    HashProbe {
+        table_words: usize,
+        ops: u64,
+        seed: u64,
+    },
+    Branchy {
+        iters: u64,
+        seed: u64,
+    },
+    SortK {
+        n: usize,
+        passes: u64,
+        reps: u64,
+        seed: u64,
+        presorted: bool,
+    },
+    FpChain {
+        iters: u64,
+    },
+    Phased {
+        small: usize,
+        large: usize,
+        steps_per_phase: u64,
+        phases: u64,
+        seed: u64,
+    },
+    Loopy {
+        iters: u64,
+    },
+    Mixed {
+        iters: u64,
+        seed: u64,
+    },
+    Rle {
+        n: usize,
+        reps: u64,
+        mean_run_len: usize,
+        seed: u64,
+    },
+    NBody {
+        n: usize,
+        steps: u64,
+        seed: u64,
+    },
 }
 
 /// A named, loadable benchmark: the unit the SMARTS driver and all
@@ -58,7 +105,10 @@ pub struct LoadedBenchmark {
 impl Benchmark {
     /// Creates a benchmark from a name and spec.
     pub fn new(name: impl Into<String>, spec: Spec) -> Self {
-        Benchmark { name: name.into(), spec }
+        Benchmark {
+            name: name.into(),
+            spec,
+        }
     }
 
     /// The benchmark's name.
@@ -83,7 +133,13 @@ impl Benchmark {
             Spec::Chase { steps, .. } => 3 * steps,
             Spec::HashProbe { ops, .. } => 13 * ops,
             Spec::Branchy { iters, .. } => 19 * iters,
-            Spec::SortK { n, passes, reps, presorted, .. } => {
+            Spec::SortK {
+                n,
+                passes,
+                reps,
+                presorted,
+                ..
+            } => {
                 // Scramble: 6 (presorted) or 9 (LCG) instructions/element;
                 // compare body: 6 without a swap, 8 with one (~half early on).
                 let scramble = if *presorted { 6 } else { 9 } * *n as u64;
@@ -91,7 +147,11 @@ impl Benchmark {
                 reps * (scramble + passes * per_compare * (*n as u64 - 1))
             }
             Spec::FpChain { iters } => 5 * iters,
-            Spec::Phased { steps_per_phase, phases, .. } => phases * (3 * steps_per_phase + 7),
+            Spec::Phased {
+                steps_per_phase,
+                phases,
+                ..
+            } => phases * (3 * steps_per_phase + 7),
             Spec::Loopy { iters } => 6 * iters,
             Spec::Mixed { iters, .. } => 490 * iters,
             Spec::Rle { n, reps, .. } => reps * 8 * *n as u64,
@@ -106,28 +166,87 @@ impl Benchmark {
         assert!(factor > 0.0, "scale factor must be positive");
         let mul = |x: u64| ((x as f64 * factor).round() as u64).max(1);
         let spec = match self.spec.clone() {
-            Spec::Stream { n, reps, seed } => Spec::Stream { n, reps: mul(reps), seed },
-            Spec::Mtx { n, reps, seed } => Spec::Mtx { n, reps: mul(reps), seed },
-            Spec::Chase { nodes, steps, seed } => Spec::Chase { nodes, steps: mul(steps), seed },
-            Spec::HashProbe { table_words, ops, seed } => {
-                Spec::HashProbe { table_words, ops: mul(ops), seed }
-            }
-            Spec::Branchy { iters, seed } => Spec::Branchy { iters: mul(iters), seed },
-            Spec::SortK { n, passes, reps, seed, presorted } => {
-                Spec::SortK { n, passes, reps: mul(reps), seed, presorted }
-            }
+            Spec::Stream { n, reps, seed } => Spec::Stream {
+                n,
+                reps: mul(reps),
+                seed,
+            },
+            Spec::Mtx { n, reps, seed } => Spec::Mtx {
+                n,
+                reps: mul(reps),
+                seed,
+            },
+            Spec::Chase { nodes, steps, seed } => Spec::Chase {
+                nodes,
+                steps: mul(steps),
+                seed,
+            },
+            Spec::HashProbe {
+                table_words,
+                ops,
+                seed,
+            } => Spec::HashProbe {
+                table_words,
+                ops: mul(ops),
+                seed,
+            },
+            Spec::Branchy { iters, seed } => Spec::Branchy {
+                iters: mul(iters),
+                seed,
+            },
+            Spec::SortK {
+                n,
+                passes,
+                reps,
+                seed,
+                presorted,
+            } => Spec::SortK {
+                n,
+                passes,
+                reps: mul(reps),
+                seed,
+                presorted,
+            },
             Spec::FpChain { iters } => Spec::FpChain { iters: mul(iters) },
-            Spec::Phased { small, large, steps_per_phase, phases, seed } => {
-                Spec::Phased { small, large, steps_per_phase, phases: mul(phases), seed }
-            }
+            Spec::Phased {
+                small,
+                large,
+                steps_per_phase,
+                phases,
+                seed,
+            } => Spec::Phased {
+                small,
+                large,
+                steps_per_phase,
+                phases: mul(phases),
+                seed,
+            },
             Spec::Loopy { iters } => Spec::Loopy { iters: mul(iters) },
-            Spec::Mixed { iters, seed } => Spec::Mixed { iters: mul(iters), seed },
-            Spec::Rle { n, reps, mean_run_len, seed } => {
-                Spec::Rle { n, reps: mul(reps), mean_run_len, seed }
-            }
-            Spec::NBody { n, steps, seed } => Spec::NBody { n, steps: mul(steps), seed },
+            Spec::Mixed { iters, seed } => Spec::Mixed {
+                iters: mul(iters),
+                seed,
+            },
+            Spec::Rle {
+                n,
+                reps,
+                mean_run_len,
+                seed,
+            } => Spec::Rle {
+                n,
+                reps: mul(reps),
+                mean_run_len,
+                seed,
+            },
+            Spec::NBody { n, steps, seed } => Spec::NBody {
+                n,
+                steps: mul(steps),
+                seed,
+            },
         };
-        Benchmark { name: self.name.clone(), spec }
+        Benchmark {
+            name: self.name.clone(),
+            spec,
+        }
     }
 
     /// Assembles the program and initializes memory.
@@ -136,31 +255,53 @@ impl Benchmark {
             Spec::Stream { n, reps, seed } => kernels::stream::build(*n, *reps, *seed),
             Spec::Mtx { n, reps, seed } => kernels::mtx::build(*n, *reps, *seed),
             Spec::Chase { nodes, steps, seed } => kernels::chase::build(*nodes, *steps, *seed),
-            Spec::HashProbe { table_words, ops, seed } => {
-                kernels::hashp::build(*table_words, *ops, *seed)
-            }
+            Spec::HashProbe {
+                table_words,
+                ops,
+                seed,
+            } => kernels::hashp::build(*table_words, *ops, *seed),
             Spec::Branchy { iters, seed } => kernels::branchy::build(*iters, *seed),
-            Spec::SortK { n, passes, reps, seed, presorted } => {
-                kernels::sortk::build(*n, *passes, *reps, *seed, *presorted)
-            }
+            Spec::SortK {
+                n,
+                passes,
+                reps,
+                seed,
+                presorted,
+            } => kernels::sortk::build(*n, *passes, *reps, *seed, *presorted),
             Spec::FpChain { iters } => kernels::fpchain::build(*iters),
-            Spec::Phased { small, large, steps_per_phase, phases, seed } => {
-                kernels::phased::build(*small, *large, *steps_per_phase, *phases, *seed)
-            }
+            Spec::Phased {
+                small,
+                large,
+                steps_per_phase,
+                phases,
+                seed,
+            } => kernels::phased::build(*small, *large, *steps_per_phase, *phases, *seed),
             Spec::Loopy { iters } => kernels::loopy::build(*iters),
             Spec::Mixed { iters, seed } => kernels::mixed::build(*iters, *seed),
-            Spec::Rle { n, reps, mean_run_len, seed } => {
-                kernels::rle::build(*n, *reps, *mean_run_len, *seed)
-            }
+            Spec::Rle {
+                n,
+                reps,
+                mean_run_len,
+                seed,
+            } => kernels::rle::build(*n, *reps, *mean_run_len, *seed),
             Spec::NBody { n, steps, seed } => kernels::nbody::build(*n, *steps, *seed),
         };
-        LoadedBenchmark { name: self.name.clone(), program, memory }
+        LoadedBenchmark {
+            name: self.name.clone(),
+            program,
+            memory,
+        }
     }
 }
 
 impl fmt::Display for Benchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (~{:.1}M instructions)", self.name, self.approx_len() as f64 / 1e6)
+        write!(
+            f,
+            "{} (~{:.1}M instructions)",
+            self.name,
+            self.approx_len() as f64 / 1e6
+        )
     }
 }
 
@@ -169,33 +310,113 @@ impl fmt::Display for Benchmark {
 /// million dynamic instructions at default scale.
 pub fn suite() -> Vec<Benchmark> {
     vec![
-        Benchmark::new("stream-1", Spec::Stream { n: 65_536, reps: 6, seed: 101 }),
-        Benchmark::new("stream-2", Spec::Stream { n: 2_048, reps: 190, seed: 102 }),
-        Benchmark::new("mtx-1", Spec::Mtx { n: 48, reps: 4, seed: 201 }),
-        Benchmark::new("mtx-2", Spec::Mtx { n: 20, reps: 55, seed: 202 }),
-        Benchmark::new("chase-1", Spec::Chase { nodes: 262_144, steps: 400_000, seed: 301 }),
-        Benchmark::new("chase-2", Spec::Chase { nodes: 8_192, steps: 1_000_000, seed: 302 }),
+        Benchmark::new(
+            "stream-1",
+            Spec::Stream {
+                n: 65_536,
+                reps: 6,
+                seed: 101,
+            },
+        ),
+        Benchmark::new(
+            "stream-2",
+            Spec::Stream {
+                n: 2_048,
+                reps: 190,
+                seed: 102,
+            },
+        ),
+        Benchmark::new(
+            "mtx-1",
+            Spec::Mtx {
+                n: 48,
+                reps: 4,
+                seed: 201,
+            },
+        ),
+        Benchmark::new(
+            "mtx-2",
+            Spec::Mtx {
+                n: 20,
+                reps: 55,
+                seed: 202,
+            },
+        ),
+        Benchmark::new(
+            "chase-1",
+            Spec::Chase {
+                nodes: 262_144,
+                steps: 400_000,
+                seed: 301,
+            },
+        ),
+        Benchmark::new(
+            "chase-2",
+            Spec::Chase {
+                nodes: 8_192,
+                steps: 1_000_000,
+                seed: 302,
+            },
+        ),
         Benchmark::new(
             "hashp-1",
-            Spec::HashProbe { table_words: 1 << 21, ops: 250_000, seed: 401 },
+            Spec::HashProbe {
+                table_words: 1 << 21,
+                ops: 250_000,
+                seed: 401,
+            },
         ),
         Benchmark::new(
             "hashp-2",
-            Spec::HashProbe { table_words: 1 << 15, ops: 300_000, seed: 402 },
+            Spec::HashProbe {
+                table_words: 1 << 15,
+                ops: 300_000,
+                seed: 402,
+            },
         ),
-        Benchmark::new("branchy-1", Spec::Branchy { iters: 220_000, seed: 501 }),
-        Benchmark::new("branchy-2", Spec::Branchy { iters: 220_000, seed: 502 }),
+        Benchmark::new(
+            "branchy-1",
+            Spec::Branchy {
+                iters: 220_000,
+                seed: 501,
+            },
+        ),
+        Benchmark::new(
+            "branchy-2",
+            Spec::Branchy {
+                iters: 220_000,
+                seed: 502,
+            },
+        ),
         Benchmark::new(
             "sortk-1",
-            Spec::SortK { n: 2_048, passes: 40, reps: 5, seed: 601, presorted: false },
+            Spec::SortK {
+                n: 2_048,
+                passes: 40,
+                reps: 5,
+                seed: 601,
+                presorted: false,
+            },
         ),
         Benchmark::new(
             "sortk-2",
-            Spec::SortK { n: 512, passes: 30, reps: 30, seed: 602, presorted: false },
+            Spec::SortK {
+                n: 512,
+                passes: 30,
+                reps: 30,
+                seed: 602,
+                presorted: false,
+            },
         ),
         Benchmark::new(
             "sortk-3",
-            Spec::SortK { n: 2_048, passes: 200, reps: 1, seed: 603, presorted: true },
+            Spec::SortK {
+                n: 2_048,
+                passes: 200,
+                reps: 1,
+                seed: 603,
+                presorted: true,
+            },
         ),
         Benchmark::new("fpchain-1", Spec::FpChain { iters: 500_000 }),
         Benchmark::new(
@@ -219,7 +440,13 @@ pub fn suite() -> Vec<Benchmark> {
             },
         ),
         Benchmark::new("loopy-1", Spec::Loopy { iters: 600_000 }),
-        Benchmark::new("mixed-1", Spec::Mixed { iters: 9_000, seed: 801 }),
+        Benchmark::new(
+            "mixed-1",
+            Spec::Mixed {
+                iters: 9_000,
+                seed: 801,
+            },
+        ),
     ]
 }
 
@@ -230,17 +457,54 @@ pub fn suite() -> Vec<Benchmark> {
 pub fn extended_suite() -> Vec<Benchmark> {
     let mut all = suite();
     all.extend([
-        Benchmark::new("stream-3", Spec::Stream { n: 16_384, reps: 24, seed: 103 }),
-        Benchmark::new("mtx-3", Spec::Mtx { n: 64, reps: 2, seed: 203 }),
-        Benchmark::new("chase-3", Spec::Chase { nodes: 65_536, steps: 500_000, seed: 303 }),
+        Benchmark::new(
+            "stream-3",
+            Spec::Stream {
+                n: 16_384,
+                reps: 24,
+                seed: 103,
+            },
+        ),
+        Benchmark::new(
+            "mtx-3",
+            Spec::Mtx {
+                n: 64,
+                reps: 2,
+                seed: 203,
+            },
+        ),
+        Benchmark::new(
+            "chase-3",
+            Spec::Chase {
+                nodes: 65_536,
+                steps: 500_000,
+                seed: 303,
+            },
+        ),
         Benchmark::new(
             "hashp-3",
-            Spec::HashProbe { table_words: 1 << 18, ops: 280_000, seed: 403 },
+            Spec::HashProbe {
+                table_words: 1 << 18,
+                ops: 280_000,
+                seed: 403,
+            },
         ),
-        Benchmark::new("branchy-3", Spec::Branchy { iters: 220_000, seed: 503 }),
+        Benchmark::new(
+            "branchy-3",
+            Spec::Branchy {
+                iters: 220_000,
+                seed: 503,
+            },
+        ),
         Benchmark::new(
             "sortk-4",
-            Spec::SortK { n: 8_192, passes: 12, reps: 4, seed: 604, presorted: false },
+            Spec::SortK {
+                n: 8_192,
+                passes: 12,
+                reps: 4,
+                seed: 604,
+                presorted: false,
+            },
         ),
         Benchmark::new("fpchain-2", Spec::FpChain { iters: 900_000 }),
         Benchmark::new(
@@ -254,17 +518,47 @@ pub fn extended_suite() -> Vec<Benchmark> {
             },
         ),
         Benchmark::new("loopy-2", Spec::Loopy { iters: 750_000 }),
-        Benchmark::new("mixed-2", Spec::Mixed { iters: 9_000, seed: 802 }),
+        Benchmark::new(
+            "mixed-2",
+            Spec::Mixed {
+                iters: 9_000,
+                seed: 802,
+            },
+        ),
         Benchmark::new(
             "rle-1",
-            Spec::Rle { n: 65_536, reps: 7, mean_run_len: 8, seed: 901 },
+            Spec::Rle {
+                n: 65_536,
+                reps: 7,
+                mean_run_len: 8,
+                seed: 901,
+            },
         ),
         Benchmark::new(
             "rle-2",
-            Spec::Rle { n: 65_536, reps: 7, mean_run_len: 1, seed: 902 },
+            Spec::Rle {
+                n: 65_536,
+                reps: 7,
+                mean_run_len: 1,
+                seed: 902,
+            },
         ),
-        Benchmark::new("nbody-1", Spec::NBody { n: 160, steps: 10, seed: 1001 }),
-        Benchmark::new("nbody-2", Spec::NBody { n: 48, steps: 110, seed: 1002 }),
+        Benchmark::new(
+            "nbody-1",
+            Spec::NBody {
+                n: 160,
+                steps: 10,
+                seed: 1001,
+            },
+        ),
+        Benchmark::new(
+            "nbody-2",
+            Spec::NBody {
+                n: 48,
+                steps: 110,
+                seed: 1002,
+            },
+        ),
     ]);
     all
 }
@@ -295,7 +589,10 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(before, names.len());
-        assert!(before >= 15, "suite should span many benchmark/input combos");
+        assert!(
+            before >= 15,
+            "suite should span many benchmark/input combos"
+        );
     }
 
     #[test]
@@ -330,7 +627,8 @@ mod tests {
             let loaded = bench.load();
             let mut cpu = Cpu::new();
             let mut mem = loaded.memory;
-            cpu.run(&loaded.program, &mut mem, bench.approx_len() * 3 + 10_000).unwrap();
+            cpu.run(&loaded.program, &mut mem, bench.approx_len() * 3 + 10_000)
+                .unwrap();
             assert!(cpu.halted(), "{} did not halt", bench.name());
         }
     }
@@ -345,7 +643,11 @@ mod tests {
             let mut mem = loaded.memory;
             let budget = bench.approx_len() * 3 + 10_000;
             cpu.run(&loaded.program, &mut mem, budget).unwrap();
-            assert!(cpu.halted(), "{} did not halt within {budget}", bench.name());
+            assert!(
+                cpu.halted(),
+                "{} did not halt within {budget}",
+                bench.name()
+            );
             let actual = cpu.retired();
             let approx = bench.approx_len();
             let ratio = actual as f64 / approx as f64;
@@ -376,8 +678,16 @@ mod tests {
         assert_eq!(s.name(), "chase-1");
         match (b.spec(), s.spec()) {
             (
-                Spec::Chase { nodes: n1, steps: s1, .. },
-                Spec::Chase { nodes: n2, steps: s2, .. },
+                Spec::Chase {
+                    nodes: n1,
+                    steps: s1,
+                    ..
+                },
+                Spec::Chase {
+                    nodes: n2,
+                    steps: s2,
+                    ..
+                },
             ) => {
                 assert_eq!(n1, n2, "dataset size unchanged");
                 assert_eq!(*s2, s1 / 2);

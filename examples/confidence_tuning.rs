@@ -35,7 +35,10 @@ fn main() -> Result<(), SmartsError> {
     );
 
     match &outcome.tuned {
-        None => println!("        target of ±{:.0}% met on the first run", epsilon * 100.0),
+        None => println!(
+            "        target of ±{:.0}% met on the first run",
+            epsilon * 100.0
+        ),
         Some(tuned) => {
             println!(
                 "step 2: n_tuned = {:>4}  CPI = {:.3}  V̂ = {:.3}  interval = ±{:.1}%",

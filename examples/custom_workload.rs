@@ -6,8 +6,8 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use smarts::prelude::*;
 use smarts::isa::IsaError;
+use smarts::prelude::*;
 
 /// A histogram kernel: random increments scattered over a table — a mix
 /// of hash-like loads, read-modify-write stores, and loop control.
@@ -39,7 +39,10 @@ fn histogram_kernel(buckets: u64, ops: i64) -> Result<Program, IsaError> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MachineConfig::eight_way();
-    for (label, buckets) in [("L1-resident (16 KiB)", 2048u64), ("L2-busting (32 MiB)", 1 << 22)] {
+    for (label, buckets) in [
+        ("L1-resident (16 KiB)", 2048u64),
+        ("L2-busting (32 MiB)", 1 << 22),
+    ] {
         let program = histogram_kernel(buckets, 200_000)?;
         let mut cpu = Cpu::new();
         let mut mem = Memory::new();

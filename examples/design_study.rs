@@ -17,8 +17,10 @@ fn main() -> Result<(), SmartsError> {
     let n = 40;
     let conf = Confidence::THREE_SIGMA;
 
-    let sims =
-        [SmartsSim::new(MachineConfig::eight_way()), SmartsSim::new(MachineConfig::sixteen_way())];
+    let sims = [
+        SmartsSim::new(MachineConfig::eight_way()),
+        SmartsSim::new(MachineConfig::sixteen_way()),
+    ];
 
     println!(
         "{:<12} {:>10} {:>8} {:>10} {:>8} {:>9}",

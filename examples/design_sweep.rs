@@ -20,8 +20,8 @@ fn main() -> Result<(), SmartsError> {
     let base_cfg = MachineConfig::eight_way();
     let sim = SmartsSim::new(base_cfg.clone());
     let bench = find("hashp-2").expect("suite benchmark exists").scaled(0.5);
-    let params = SamplingParams::paper_defaults(&base_cfg, bench.approx_len(), 40)?
-        .with_offset(1)?;
+    let params =
+        SamplingParams::paper_defaults(&base_cfg, bench.approx_len(), 40)?.with_offset(1)?;
 
     println!("building checkpoint library for {bench} ...");
     let library = sim.build_library(&bench, &params)?;
@@ -31,7 +31,10 @@ fn main() -> Result<(), SmartsError> {
         library.build_wall()
     );
 
-    println!("{:>12} {:>10} {:>10} {:>12}", "RUU/LSQ", "CPI", "±99.7%", "replay time");
+    println!(
+        "{:>12} {:>10} {:>10} {:>12}",
+        "RUU/LSQ", "CPI", "±99.7%", "replay time"
+    );
     let conf = Confidence::THREE_SIGMA;
     let mut total_replay = std::time::Duration::ZERO;
     for (ruu, lsq) in [(16u32, 8u32), (32, 16), (64, 32), (128, 64), (256, 128)] {

@@ -35,7 +35,10 @@ fn main() -> Result<(), SmartsError> {
 
     // Ground truth: simulate every instruction in detail.
     let reference = sim.reference(&bench, 1000);
-    println!("reference: CPI = {:.4}          EPI = {:.2} nJ", reference.cpi, reference.epi);
+    println!(
+        "reference: CPI = {:.4}          EPI = {:.2} nJ",
+        reference.cpi, reference.epi
+    );
     println!(
         "actual error: CPI {:+.2}%, EPI {:+.2}%",
         (cpi.mean() - reference.cpi) / reference.cpi * 100.0,

@@ -14,6 +14,8 @@
 //! * [`energy`] — the Wattch-like activity energy model for EPI.
 //! * [`core`] — the SMARTS framework itself: systematic sampling with
 //!   functional + detailed warming and the two-step confidence procedure.
+//! * [`exec`] — the parallel execution subsystem: multi-threaded
+//!   checkpoint replay and sharded sampling with a deterministic merge.
 //! * [`simpoint`] — the SimPoint baseline (Section 5.3).
 //!
 //! # Quick start
@@ -41,6 +43,7 @@
 
 pub use smarts_core as core;
 pub use smarts_energy as energy;
+pub use smarts_exec as exec;
 pub use smarts_isa as isa;
 pub use smarts_simpoint as simpoint;
 pub use smarts_stats as stats;
@@ -54,6 +57,7 @@ pub mod prelude {
         SamplingParams, SmartsError, SmartsSim, SpeedupModel, Warming,
     };
     pub use smarts_energy::EnergyModel;
+    pub use smarts_exec::{Executor, ParallelDriver, ParallelMode};
     pub use smarts_isa::{reg, Asm, Cpu, Memory, Program};
     pub use smarts_stats::{Confidence, RunningStats, SampleEstimate, SystematicDesign};
     pub use smarts_uarch::{MachineConfig, Pipeline, WarmState};

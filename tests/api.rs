@@ -28,7 +28,7 @@ fn key_types_are_send_and_sync() {
 fn suite_benchmarks_all_load() {
     for bench in scaled_suite(0.01) {
         let loaded = bench.load();
-        assert!(loaded.program.len() > 0, "{}", bench.name());
+        assert!(!loaded.program.is_empty(), "{}", bench.name());
     }
 }
 
@@ -57,8 +57,7 @@ fn parallel_sampling_runs_are_independent() {
     use std::sync::Arc;
     let sim = Arc::new(SmartsSim::new(MachineConfig::eight_way()));
     let bench = find("branchy-1").unwrap().scaled(0.03);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 8).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 8).unwrap();
     let handles: Vec<_> = (0..4)
         .map(|_| {
             let sim = Arc::clone(&sim);

@@ -28,11 +28,13 @@ fn assert_within_confidence(name: &str, estimate: f64, truth: f64, epsilon: f64)
 fn sampling_matches_reference_on_steady_benchmark() {
     let sim = sim();
     let bench = find("loopy-1").unwrap().scaled(0.1);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 20).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 20).unwrap();
     let report = sim.sample(&bench, &params).unwrap();
     let reference = sim.reference(&bench, 1000);
-    let epsilon = report.cpi().achieved_epsilon(Confidence::THREE_SIGMA).unwrap();
+    let epsilon = report
+        .cpi()
+        .achieved_epsilon(Confidence::THREE_SIGMA)
+        .unwrap();
     assert_within_confidence("loopy-1 CPI", report.cpi().mean(), reference.cpi, epsilon);
     assert_within_confidence("loopy-1 EPI", report.epi().mean(), reference.epi, epsilon);
 }
@@ -41,11 +43,13 @@ fn sampling_matches_reference_on_steady_benchmark() {
 fn sampling_matches_reference_on_branchy_benchmark() {
     let sim = sim();
     let bench = find("branchy-1").unwrap().scaled(0.08);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 25).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 25).unwrap();
     let report = sim.sample(&bench, &params).unwrap();
     let reference = sim.reference(&bench, 1000);
-    let epsilon = report.cpi().achieved_epsilon(Confidence::THREE_SIGMA).unwrap();
+    let epsilon = report
+        .cpi()
+        .achieved_epsilon(Confidence::THREE_SIGMA)
+        .unwrap();
     assert_within_confidence("branchy-1 CPI", report.cpi().mean(), reference.cpi, epsilon);
 }
 
@@ -53,13 +57,20 @@ fn sampling_matches_reference_on_branchy_benchmark() {
 fn sixteen_way_machine_runs_the_same_flow() {
     let sim = SmartsSim::new(MachineConfig::sixteen_way());
     let bench = find("stream-2").unwrap().scaled(0.05);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 15).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 15).unwrap();
     assert_eq!(params.detailed_warming, 4000, "16-way W per Section 4.4");
     let report = sim.sample(&bench, &params).unwrap();
     let reference = sim.reference(&bench, 1000);
-    let epsilon = report.cpi().achieved_epsilon(Confidence::THREE_SIGMA).unwrap();
-    assert_within_confidence("stream-2@16 CPI", report.cpi().mean(), reference.cpi, epsilon);
+    let epsilon = report
+        .cpi()
+        .achieved_epsilon(Confidence::THREE_SIGMA)
+        .unwrap();
+    assert_within_confidence(
+        "stream-2@16 CPI",
+        report.cpi().mean(),
+        reference.cpi,
+        epsilon,
+    );
 }
 
 #[test]
@@ -98,8 +109,7 @@ fn epi_tracks_but_damps_cpi_variation() {
     // CPI intervals because energy varies less than latency.
     let sim = sim();
     let bench = find("phased-2").unwrap().scaled(0.3);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 30).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 30).unwrap();
     let report = sim.sample(&bench, &params).unwrap();
     let v_cpi = report.cpi().coefficient_of_variation();
     let v_epi = report.epi().coefficient_of_variation();
@@ -111,15 +121,20 @@ fn epi_tracks_but_damps_cpi_variation() {
 fn two_step_procedure_tightens_wide_intervals() {
     let sim = sim();
     let bench = find("phased-2").unwrap().scaled(0.3);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 10).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 10).unwrap();
     let outcome = sim
         .sample_two_step(&bench, &params, 0.10, Confidence::NINETY_FIVE)
         .unwrap();
     if let Some(tuned) = &outcome.tuned {
-        let e_init =
-            outcome.initial.cpi().achieved_epsilon(Confidence::NINETY_FIVE).unwrap();
-        let e_tuned = tuned.cpi().achieved_epsilon(Confidence::NINETY_FIVE).unwrap();
+        let e_init = outcome
+            .initial
+            .cpi()
+            .achieved_epsilon(Confidence::NINETY_FIVE)
+            .unwrap();
+        let e_tuned = tuned
+            .cpi()
+            .achieved_epsilon(Confidence::NINETY_FIVE)
+            .unwrap();
         assert!(
             e_tuned < e_init,
             "tuned interval {e_tuned} should beat initial {e_init}"
@@ -131,8 +146,7 @@ fn two_step_procedure_tightens_wide_intervals() {
 fn sampling_is_deterministic() {
     let sim = sim();
     let bench = find("sortk-2").unwrap().scaled(0.05);
-    let params =
-        SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 10).unwrap();
+    let params = SamplingParams::paper_defaults(sim.config(), bench.approx_len(), 10).unwrap();
     let a = sim.sample(&bench, &params).unwrap();
     let b = sim.sample(&bench, &params).unwrap();
     assert_eq!(a.cpi().mean(), b.cpi().mean());
@@ -158,7 +172,10 @@ fn derived_metrics_estimate_with_confidence() {
     let mpki = report.branch_mpki();
     let truth_mpki =
         reference.counters.branch_mispredicts as f64 * 1000.0 / reference.instructions as f64;
-    assert!(truth_mpki > 1.0, "branchy workload mispredicts (got {truth_mpki})");
+    assert!(
+        truth_mpki > 1.0,
+        "branchy workload mispredicts (got {truth_mpki})"
+    );
     let err = (mpki.mean() - truth_mpki).abs() / truth_mpki;
     let eps = mpki.achieved_epsilon(Confidence::THREE_SIGMA).unwrap();
     assert!(
@@ -170,11 +187,13 @@ fn derived_metrics_estimate_with_confidence() {
 
     // Memory traffic on a miss-heavy workload is likewise estimable.
     let chase = find("chase-2").unwrap().scaled(0.05);
-    let chase_params =
-        SamplingParams::paper_defaults(sim.config(), chase.approx_len(), 15)
-            .unwrap()
-            .with_offset(1)
-            .unwrap();
+    let chase_params = SamplingParams::paper_defaults(sim.config(), chase.approx_len(), 15)
+        .unwrap()
+        .with_offset(1)
+        .unwrap();
     let chase_report = sim.sample(&chase, &chase_params).unwrap();
-    assert!(chase_report.memory_pki().mean() > 10.0, "chase misses to memory");
+    assert!(
+        chase_report.memory_pki().mean() > 10.0,
+        "chase misses to memory"
+    );
 }

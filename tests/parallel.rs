@@ -1,0 +1,98 @@
+//! End-to-end guarantee of the execution subsystem: a checkpoint-mode
+//! parallel run produces a bit-identical `SampleReport` to the
+//! sequential driver at any worker count.
+
+use smarts::exec::{Executor, ParallelDriver, ParallelMode};
+use smarts::prelude::*;
+
+fn params(bench: &Benchmark, n: u64) -> SamplingParams {
+    SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, n, 0)
+        .expect("valid sampling parameters")
+}
+
+fn assert_bit_identical(parallel: &SampleReport, sequential: &SampleReport, what: &str) {
+    assert_eq!(
+        parallel.sample_size(),
+        sequential.sample_size(),
+        "{what}: sample size"
+    );
+    for (p, s) in parallel.units.iter().zip(&sequential.units) {
+        assert_eq!(p.start_instr, s.start_instr, "{what}: unit placement");
+        assert_eq!(p.cycles, s.cycles, "{what}: unit cycles");
+        assert_eq!(p.cpi.to_bits(), s.cpi.to_bits(), "{what}: unit CPI bits");
+        assert_eq!(p.epi.to_bits(), s.epi.to_bits(), "{what}: unit EPI bits");
+    }
+    let pairs = [
+        (parallel.cpi(), sequential.cpi(), "CPI"),
+        (parallel.epi(), sequential.epi(), "EPI"),
+    ];
+    for (p, s, which) in pairs {
+        assert_eq!(
+            p.mean().to_bits(),
+            s.mean().to_bits(),
+            "{what}: {which} mean bits"
+        );
+        assert_eq!(
+            p.coefficient_of_variation().to_bits(),
+            s.coefficient_of_variation().to_bits(),
+            "{what}: {which} V̂ bits"
+        );
+        let (plo, phi) = p.interval(Confidence::THREE_SIGMA).expect("interval");
+        let (slo, shi) = s.interval(Confidence::THREE_SIGMA).expect("interval");
+        assert_eq!(plo.to_bits(), slo.to_bits(), "{what}: {which} CI low bits");
+        assert_eq!(phi.to_bits(), shi.to_bits(), "{what}: {which} CI high bits");
+    }
+    assert_eq!(
+        parallel.instructions, sequential.instructions,
+        "{what}: mode accounting"
+    );
+}
+
+#[test]
+fn checkpoint_replay_is_bit_identical_across_worker_counts() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    for name in ["branchy-1", "stream-2"] {
+        let bench = find(name).expect("suite benchmark").scaled(0.05);
+        let p = params(&bench, 10);
+        let library = sim.build_library(&bench, &p).expect("library builds");
+        let sequential = sim.sample_library(&library).expect("sequential replay");
+        for jobs in [1usize, 2, 8] {
+            let executor = Executor::new(jobs).expect("executor");
+            assert_eq!(executor.mode(), ParallelMode::Checkpoint);
+            let parallel = sim
+                .sample_parallel(&bench, &p, &executor)
+                .expect("parallel sampling");
+            assert_eq!(parallel.jobs, jobs);
+            assert_bit_identical(
+                &parallel.report,
+                &sequential,
+                &format!("{name} at {jobs} jobs"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_mode_stays_close_to_sequential() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let bench = find("hashp-2").expect("suite benchmark").scaled(0.1);
+    let p = params(&bench, 12);
+    let sequential = sim.sample(&bench, &p).expect("sequential run");
+    let executor = Executor::new(4)
+        .expect("executor")
+        .with_mode(ParallelMode::Sharded)
+        .with_shard_warmup(200_000);
+    let sharded = sim
+        .sample_parallel(&bench, &p, &executor)
+        .expect("sharded run");
+    let bias = smarts::exec::residual_bias(&sharded.report, &sequential);
+    assert!(
+        bias.matched_units > 0,
+        "shards must land on the sequential grid"
+    );
+    assert!(
+        bias.cpi_bias.abs() < 0.05,
+        "sharded CPI bias {} exceeds 5%",
+        bias.cpi_bias
+    );
+}

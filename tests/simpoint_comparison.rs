@@ -18,7 +18,10 @@ fn smarts_error(bench: &Benchmark, truth: f64, n: u64) -> f64 {
 }
 
 fn simpoint_error(bench: &Benchmark, truth: f64, interval: u64) -> f64 {
-    let config = SimPointConfig { interval, ..SimPointConfig::default() };
+    let config = SimPointConfig {
+        interval,
+        ..SimPointConfig::default()
+    };
     let estimate = estimate_cpi(&sim(), bench, &config);
     (estimate.cpi - truth).abs() / truth
 }
@@ -63,13 +66,20 @@ fn simpoint_offers_no_confidence_smarts_does() {
     let params =
         SamplingParams::paper_defaults(simulator.config(), bench.approx_len(), 10).unwrap();
     let report = simulator.sample(&bench, &params).unwrap();
-    let epsilon = report.cpi().achieved_epsilon(Confidence::THREE_SIGMA).unwrap();
+    let epsilon = report
+        .cpi()
+        .achieved_epsilon(Confidence::THREE_SIGMA)
+        .unwrap();
     assert!(epsilon.is_finite() && epsilon > 0.0);
 
-    let estimate = estimate_cpi(&simulator, &bench, &SimPointConfig {
-        interval: 10_000,
-        ..SimPointConfig::default()
-    });
+    let estimate = estimate_cpi(
+        &simulator,
+        &bench,
+        &SimPointConfig {
+            interval: 10_000,
+            ..SimPointConfig::default()
+        },
+    );
     // The SimPoint result type simply has no confidence accessor; assert
     // the weights at least form a distribution.
     let total: f64 = estimate.selection.intervals.iter().map(|s| s.weight).sum();

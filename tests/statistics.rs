@@ -25,7 +25,10 @@ fn variation_curve_falls_and_flattens() {
     }
     let first = curve.first().unwrap().coefficient_of_variation;
     let last = curve.last().unwrap().coefficient_of_variation;
-    assert!(last < first, "V should fall from {first} to below it, got {last}");
+    assert!(
+        last < first,
+        "V should fall from {first} to below it, got {last}"
+    );
 }
 
 #[test]
@@ -80,12 +83,9 @@ fn required_n_prediction_is_self_consistent() {
     let probe = simulator.sample(&bench, &probe_params).unwrap();
     let n_needed = probe.cpi().required_n(target, conf).unwrap();
 
-    let sized = SamplingParams::paper_defaults(
-        simulator.config(),
-        bench.approx_len(),
-        n_needed.min(200),
-    )
-    .unwrap();
+    let sized =
+        SamplingParams::paper_defaults(simulator.config(), bench.approx_len(), n_needed.min(200))
+            .unwrap();
     let run = simulator.sample(&bench, &sized).unwrap();
     let achieved = run.cpi().achieved_epsilon(conf).unwrap();
     // V̂ itself is noisy; allow 2× slack on the achieved interval.

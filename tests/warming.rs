@@ -77,7 +77,10 @@ fn functional_warming_with_bounded_w_is_accurate() {
         .unwrap();
         let report = sim().sample(&bench, &params).unwrap();
         let err = (report.cpi().mean() - truth).abs() / truth;
-        let epsilon = report.cpi().achieved_epsilon(Confidence::THREE_SIGMA).unwrap();
+        let epsilon = report
+            .cpi()
+            .achieved_epsilon(Confidence::THREE_SIGMA)
+            .unwrap();
         assert!(
             err < epsilon + 0.02,
             "{name}: functional-warming error {:.1}% vs interval ±{:.1}% + 2% bias",
