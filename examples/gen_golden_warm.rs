@@ -1,0 +1,47 @@
+//! Regenerates `tests/golden_sample_reports.txt`: one line per suite
+//! benchmark with a bit-exact fingerprint of its `SampleReport` under the
+//! paper's recommended sampling design.
+//!
+//! The golden file is the anchor of the warm-state equivalence suite
+//! (`tests/golden_warm.rs`): any change to cache/TLB/predictor layout or
+//! to the warming hot loop must reproduce these fingerprints exactly,
+//! because warmed state — and therefore every measured cycle count — is
+//! required to be bit-identical across layout changes. Run this only when
+//! *intentionally* changing simulated behaviour:
+//!
+//! ```text
+//! cargo run --release --example gen_golden_warm > tests/golden_sample_reports.txt
+//! ```
+
+use smarts::prelude::*;
+
+fn main() {
+    println!("# benchmark n cpi_mean_bits cpi_cv_bits epi_mean_bits unit_cycles ff dw m");
+    for bench in smarts_workloads::suite() {
+        let bench = bench.scaled(0.05);
+        let sim = SmartsSim::new(MachineConfig::eight_way());
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            10,
+            0,
+        )
+        .expect("valid sampling parameters");
+        let report = sim.sample(&bench, &params).expect("sampling run");
+        let unit_cycles: u64 = report.units.iter().map(|u| u.cycles).sum();
+        println!(
+            "{} {} {} {} {} {} {} {} {}",
+            bench.name(),
+            report.sample_size(),
+            report.cpi().mean().to_bits(),
+            report.cpi().coefficient_of_variation().to_bits(),
+            report.epi().mean().to_bits(),
+            unit_cycles,
+            report.instructions.fast_forwarded,
+            report.instructions.detailed_warmed,
+            report.instructions.measured,
+        );
+    }
+}
