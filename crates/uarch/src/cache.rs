@@ -45,6 +45,7 @@ pub struct Cache {
     // (true for every realistic geometry, including both Table 3
     // machines): division/modulo become shift/mask on the hot path.
     line_shift: Option<u32>,
+    set_shift: u32,
     set_mask: u64,
     accesses: u64,
     misses: u64,
@@ -70,6 +71,7 @@ impl Cache {
             tick: 0,
             sets,
             line_shift,
+            set_shift: sets.trailing_zeros(),
             set_mask: sets - 1,
             accesses: 0,
             misses: 0,
@@ -116,7 +118,7 @@ impl Cache {
     fn set_and_tag(&self, addr: u64) -> (u64, u64) {
         if let Some(shift) = self.line_shift {
             let line = addr >> shift;
-            (line & self.set_mask, line >> self.sets.trailing_zeros())
+            (line & self.set_mask, line >> self.set_shift)
         } else {
             let line = addr / self.cfg.line_bytes;
             (line % self.sets, line / self.sets)

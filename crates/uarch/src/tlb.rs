@@ -29,6 +29,7 @@ pub struct Tlb {
     // Shift/mask fast path when the geometry is power-of-two (always for
     // the Table 3 machines).
     page_shift: Option<u32>,
+    set_shift: u32,
     set_mask: u64,
     accesses: u64,
     misses: u64,
@@ -56,6 +57,7 @@ impl Tlb {
             tick: 0,
             sets,
             page_shift,
+            set_shift: sets.trailing_zeros(),
             set_mask: sets - 1,
             accesses: 0,
             misses: 0,
@@ -66,7 +68,7 @@ impl Tlb {
     fn set_and_tag(&self, addr: u64) -> (u64, u64) {
         if let Some(shift) = self.page_shift {
             let vpn = addr >> shift;
-            (vpn & self.set_mask, vpn >> self.sets.trailing_zeros())
+            (vpn & self.set_mask, vpn >> self.set_shift)
         } else {
             let vpn = addr / self.cfg.page_bytes;
             (vpn % self.sets, vpn / self.sets)
