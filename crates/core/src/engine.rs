@@ -86,29 +86,28 @@ impl FunctionalEngine {
     /// halts), updating architectural state only. Returns the number of
     /// instructions executed.
     pub fn fast_forward(&mut self, target: u64) -> u64 {
-        let mut executed = 0;
-        while self.cpu.retired() < target && !self.cpu.halted() {
-            if self.cpu.step(&self.program, &mut self.memory).is_err() {
-                break;
-            }
-            executed += 1;
-        }
-        executed
+        // The budget is computed once and the halt flag is the block
+        // loop's condition, so nothing per-instruction re-reads `target`.
+        let before = self.cpu.retired();
+        let remaining = target.saturating_sub(before);
+        let _ = self
+            .cpu
+            .step_block(&self.program, &mut self.memory, remaining, |_| {});
+        self.cpu.retired() - before
     }
 
     /// Functionally executes until `position() >= target` (or halt),
     /// applying functional warming to `warm` for every instruction.
     /// Returns the number of instructions executed.
     pub fn fast_forward_warming(&mut self, target: u64, warm: &mut WarmState) -> u64 {
-        let mut executed = 0;
-        while self.cpu.retired() < target && !self.cpu.halted() {
-            match self.cpu.step(&self.program, &mut self.memory) {
-                Ok(rec) => warm.warm_record(&rec),
-                Err(_) => break,
-            }
-            executed += 1;
-        }
-        executed
+        let before = self.cpu.retired();
+        let remaining = target.saturating_sub(before);
+        let _ = self
+            .cpu
+            .step_block(&self.program, &mut self.memory, remaining, |rec| {
+                warm.warm_record(rec)
+            });
+        self.cpu.retired() - before
     }
 }
 

@@ -150,6 +150,15 @@ impl Cpu {
         if self.halted {
             return Err(IsaError::Halted);
         }
+        self.exec_one(program, mem)
+    }
+
+    /// Executes one instruction assuming the caller has already checked
+    /// [`Cpu::halted`]. This is the interpreter body shared by [`Cpu::step`]
+    /// and the batched [`Cpu::step_block`] loop; `inline(always)` so the
+    /// opcode dispatch fuses into the caller's loop.
+    #[inline(always)]
+    fn exec_one(&mut self, program: &Program, mem: &mut Memory) -> Result<ExecRecord, IsaError> {
         let pc = self.pc;
         let inst = *program.get(pc).ok_or(IsaError::PcOutOfRange {
             pc,
@@ -296,6 +305,38 @@ impl Cpu {
         })
     }
 
+    /// Runs at most `max_insts` instructions, feeding each committed
+    /// [`ExecRecord`] to `sink`, stopping early on `halt`.
+    ///
+    /// This is the batched fast-forward hot loop: the halted flag is the
+    /// loop condition (not re-checked inside the interpreter), records are
+    /// passed to the sink by reference, and the interpreter body inlines
+    /// into the loop. Functional warming runs as
+    /// `cpu.step_block(.., |rec| warm.warm_record(rec))`.
+    ///
+    /// Returns the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (e.g. [`IsaError::PcOutOfRange`]);
+    /// starting from a halted CPU returns `Ok(0)`.
+    #[inline]
+    pub fn step_block(
+        &mut self,
+        program: &Program,
+        mem: &mut Memory,
+        max_insts: u64,
+        mut sink: impl FnMut(&ExecRecord),
+    ) -> Result<u64, IsaError> {
+        let mut executed = 0;
+        while executed < max_insts && !self.halted {
+            let rec = self.exec_one(program, mem)?;
+            sink(&rec);
+            executed += 1;
+        }
+        Ok(executed)
+    }
+
     /// Runs at most `max_insts` instructions, stopping early on `halt`.
     ///
     /// Returns the number of instructions executed. This is the hot
@@ -311,12 +352,7 @@ impl Cpu {
         mem: &mut Memory,
         max_insts: u64,
     ) -> Result<u64, IsaError> {
-        let mut executed = 0;
-        while executed < max_insts && !self.halted {
-            self.step(program, mem)?;
-            executed += 1;
-        }
-        Ok(executed)
+        self.step_block(program, mem, max_insts, |_| {})
     }
 }
 

@@ -1,10 +1,45 @@
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// Fibonacci-multiplicative hasher for page indices.
+///
+/// Page indices are small, trusted integers produced by the simulator
+/// itself (never attacker-controlled), so SipHash's DoS resistance buys
+/// nothing here while its latency sits on the load/store fast path of
+/// functional simulation. One multiply by the 64-bit golden-ratio
+/// constant spreads low-entropy indices across the high bits, which is
+/// exactly what `HashMap`'s bucket selection consumes. Behaviour is
+/// hash-order-independent by construction: the page map is only ever
+/// probed by key, never iterated.
+#[derive(Default)]
+pub struct PageIndexHasher(u64);
+
+impl Hasher for PageIndexHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (not used by u64 keys): fold bytes in.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PageMap = HashMap<u64, Arc<[u8; PAGE_SIZE]>, BuildHasherDefault<PageIndexHasher>>;
 
 /// Sparse, paged, byte-addressed memory.
 ///
@@ -29,14 +64,14 @@ const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
 /// ```
 #[derive(Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Arc<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
         Memory {
-            pages: HashMap::new(),
+            pages: PageMap::default(),
         }
     }
 

@@ -15,15 +15,28 @@ pub struct Prediction {
     pub target: Option<u64>,
 }
 
+/// One BTB entry, packed per-way so a set lookup walks one contiguous
+/// run (same layout treatment as [`crate::Cache`]'s lines).
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    lru: u64,
+    valid: bool,
+}
+
 #[derive(Debug, Clone)]
 struct Btb {
-    tags: Vec<u64>,
-    targets: Vec<u64>,
-    valid: Vec<bool>,
-    lru: Vec<u64>,
+    entries: Vec<BtbEntry>,
+    // Most-recently-touched way per set: a scan-order hint only.
+    mru: Vec<u32>,
     tick: u64,
     sets: u64,
     assoc: usize,
+    // Shift/mask fast path when the set count is a power of two (true for
+    // the Table 3 predictor); index math matches the divide path exactly.
+    set_shift: Option<u32>,
+    set_mask: u64,
 }
 
 impl Btb {
@@ -32,58 +45,92 @@ impl Btb {
         let sets = (entries / assoc) as u64;
         let slots = entries as usize;
         Btb {
-            tags: vec![0; slots],
-            targets: vec![0; slots],
-            valid: vec![false; slots],
-            lru: vec![0; slots],
+            entries: vec![BtbEntry::default(); slots],
+            mru: vec![0; sets as usize],
             tick: 0,
             sets,
             assoc: assoc as usize,
+            set_shift: sets.is_power_of_two().then(|| sets.trailing_zeros()),
+            set_mask: sets - 1,
         }
     }
 
+    #[inline]
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        match self.set_shift {
+            Some(shift) => ((pc & self.set_mask) as usize, pc >> shift),
+            None => ((pc % self.sets) as usize, pc / self.sets),
+        }
+    }
+
+    #[inline]
     fn lookup(&mut self, pc: u64) -> Option<u64> {
         self.tick += 1;
-        let set = pc % self.sets;
-        let tag = pc / self.sets;
-        let base = (set as usize) * self.assoc;
-        for way in base..base + self.assoc {
-            if self.valid[way] && self.tags[way] == tag {
-                self.lru[way] = self.tick;
-                return Some(self.targets[way]);
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        let base = set * self.assoc;
+        let set_entries = &mut self.entries[base..base + self.assoc];
+
+        let mru = self.mru[set] as usize;
+        if let Some(entry) = set_entries.get_mut(mru) {
+            if entry.valid && entry.tag == tag {
+                entry.lru = tick;
+                return Some(entry.target);
+            }
+        }
+        for (way, entry) in set_entries.iter_mut().enumerate() {
+            if entry.valid && entry.tag == tag {
+                entry.lru = tick;
+                self.mru[set] = way as u32;
+                return Some(entry.target);
             }
         }
         None
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, target: u64) {
         self.tick += 1;
-        let set = pc % self.sets;
-        let tag = pc / self.sets;
-        let base = (set as usize) * self.assoc;
-        for way in base..base + self.assoc {
-            if self.valid[way] && self.tags[way] == tag {
-                self.targets[way] = target;
-                self.lru[way] = self.tick;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        let base = set * self.assoc;
+        let set_entries = &mut self.entries[base..base + self.assoc];
+
+        let mru = self.mru[set] as usize;
+        if let Some(entry) = set_entries.get_mut(mru) {
+            if entry.valid && entry.tag == tag {
+                entry.target = target;
+                entry.lru = tick;
                 return;
             }
         }
-        let mut victim = base;
+        for (way, entry) in set_entries.iter_mut().enumerate() {
+            if entry.valid && entry.tag == tag {
+                entry.target = target;
+                entry.lru = tick;
+                self.mru[set] = way as u32;
+                return;
+            }
+        }
+        let mut victim = 0;
         let mut best = u64::MAX;
-        for way in base..base + self.assoc {
-            if !self.valid[way] {
+        for (way, entry) in set_entries.iter().enumerate() {
+            if !entry.valid {
                 victim = way;
                 break;
             }
-            if self.lru[way] < best {
-                best = self.lru[way];
+            if entry.lru < best {
+                best = entry.lru;
                 victim = way;
             }
         }
-        self.valid[victim] = true;
-        self.tags[victim] = tag;
-        self.targets[victim] = target;
-        self.lru[victim] = self.tick;
+        set_entries[victim] = BtbEntry {
+            tag,
+            target,
+            lru: tick,
+            valid: true,
+        };
+        self.mru[set] = victim as u32;
     }
 }
 

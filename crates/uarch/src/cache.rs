@@ -12,6 +12,20 @@ pub struct CacheOutcome {
     pub writeback: bool,
 }
 
+/// One cache line's bookkeeping, packed so a whole set is contiguous.
+///
+/// The warming hot loop reads every way of one set per access; keeping
+/// tag, recency, and state bits in one 24-byte record means a 2-way set
+/// spans 48 bytes (one host cache line) instead of the four separate
+/// heap arrays the original tags/valid/dirty/lru layout touched.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    dirty: bool,
+}
+
 /// A write-back, write-allocate, set-associative cache with LRU
 /// replacement.
 ///
@@ -20,6 +34,11 @@ pub struct CacheOutcome {
 /// detailed simulation and for functional warming, so warmed state is
 /// exactly the state detailed simulation would have produced for the same
 /// in-order access stream.
+///
+/// Replacement state is bit-identical to the historical four-parallel-Vec
+/// layout: hits and victim choice depend only on (valid, tag, lru) per
+/// way, which this layout preserves exactly (see the golden-state
+/// equivalence tests). The per-set MRU index is a scan-order hint only.
 ///
 /// # Examples
 ///
@@ -34,13 +53,14 @@ pub struct CacheOutcome {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    // ways[set * assoc + way]
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    lru: Vec<u64>,
+    // lines[set * assoc + way], one packed record per line.
+    lines: Vec<Line>,
+    // Most-recently-touched way per set: checked first on lookup. Purely
+    // a performance hint — replacement decisions never read it.
+    mru: Vec<u32>,
     tick: u64,
     sets: u64,
+    assoc: usize,
     // Fast-path indexing when line size and set count are powers of two
     // (true for every realistic geometry, including both Table 3
     // machines): division/modulo become shift/mask on the hot path.
@@ -59,17 +79,16 @@ impl Cache {
     /// Panics if the configuration geometry does not divide evenly.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        let ways = (sets * cfg.assoc as u64) as usize;
+        let lines = (sets * cfg.assoc as u64) as usize;
         let line_shift = (cfg.line_bytes.is_power_of_two() && sets.is_power_of_two())
             .then(|| cfg.line_bytes.trailing_zeros());
         Cache {
             cfg,
-            tags: vec![0; ways],
-            valid: vec![false; ways],
-            dirty: vec![false; ways],
-            lru: vec![0; ways],
+            lines: vec![Line::default(); lines],
+            mru: vec![0; sets as usize],
             tick: 0,
             sets,
+            assoc: cfg.assoc as usize,
             line_shift,
             set_shift: sets.trailing_zeros(),
             set_mask: sets - 1,
@@ -109,9 +128,14 @@ impl Cache {
     }
 
     /// Invalidates all lines (cold restart).
+    ///
+    /// Recency state is reset along with the valid bits: victim choice
+    /// among lines refilled after a flush must not be influenced by
+    /// pre-flush access order.
     pub fn flush(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
-        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.lines.fill(Line::default());
+        self.mru.fill(0);
+        self.tick = 0;
     }
 
     #[inline]
@@ -129,19 +153,34 @@ impl Cache {
     ///
     /// `is_write` marks the line dirty (write-allocate); a dirty eviction
     /// is reported via [`CacheOutcome::writeback`].
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
         self.accesses += 1;
         self.tick += 1;
+        let tick = self.tick;
         let (set, tag) = self.set_and_tag(addr);
-        let base = (set * self.cfg.assoc as u64) as usize;
-        let ways = self.cfg.assoc as usize;
+        let base = set as usize * self.assoc;
+        let set_lines = &mut self.lines[base..base + self.assoc];
 
-        for way in base..base + ways {
-            if self.valid[way] && self.tags[way] == tag {
-                self.lru[way] = self.tick;
-                if is_write {
-                    self.dirty[way] = true;
-                }
+        // MRU fast path: the way that hit last time hits again for any
+        // access stream with temporal locality — one compare, no scan.
+        let mru = self.mru[set as usize] as usize;
+        if let Some(line) = set_lines.get_mut(mru) {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                line.dirty |= is_write;
+                return CacheOutcome {
+                    hit: true,
+                    writeback: false,
+                };
+            }
+        }
+
+        for (way, line) in set_lines.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                line.dirty |= is_write;
+                self.mru[set as usize] = way as u32;
                 return CacheOutcome {
                     hit: true,
                     writeback: false,
@@ -151,23 +190,27 @@ impl Cache {
 
         self.misses += 1;
         // Choose victim: invalid way first, else true LRU.
-        let mut victim = base;
+        let mut victim = 0;
         let mut best = u64::MAX;
-        for way in base..base + ways {
-            if !self.valid[way] {
+        for (way, line) in set_lines.iter().enumerate() {
+            if !line.valid {
                 victim = way;
                 break;
             }
-            if self.lru[way] < best {
-                best = self.lru[way];
+            if line.lru < best {
+                best = line.lru;
                 victim = way;
             }
         }
-        let writeback = self.valid[victim] && self.dirty[victim];
-        self.valid[victim] = true;
-        self.tags[victim] = tag;
-        self.dirty[victim] = is_write;
-        self.lru[victim] = self.tick;
+        let line = &mut set_lines[victim];
+        let writeback = line.valid && line.dirty;
+        *line = Line {
+            tag,
+            lru: tick,
+            valid: true,
+            dirty: is_write,
+        };
+        self.mru[set as usize] = victim as u32;
         CacheOutcome {
             hit: false,
             writeback,
@@ -178,8 +221,10 @@ impl Cache {
     /// LRU state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        let base = (set * self.cfg.assoc as u64) as usize;
-        (base..base + self.cfg.assoc as usize).any(|way| self.valid[way] && self.tags[way] == tag)
+        let base = set as usize * self.assoc;
+        self.lines[base..base + self.assoc]
+            .iter()
+            .any(|line| line.valid && line.tag == tag)
     }
 }
 
@@ -276,6 +321,26 @@ mod tests {
     }
 
     #[test]
+    fn flush_resets_recency_state() {
+        let mut c = small();
+        let line = |n: u64| n * 4 * 64; // successive lines of set 0
+                                        // Build skewed pre-flush recency: way 1 (line 1) much more recent.
+        c.access(line(0), false);
+        c.access(line(1), false);
+        c.access(line(1), false);
+        c.flush();
+        // Refill both ways in order, then force an eviction: the victim
+        // must be the post-flush LRU (line 2, refilled first), never a
+        // choice influenced by pre-flush ticks.
+        c.access(line(2), false);
+        c.access(line(3), false);
+        c.access(line(4), false);
+        assert!(!c.probe(line(2)), "post-flush LRU way must be evicted");
+        assert!(c.probe(line(3)));
+        assert!(c.probe(line(4)));
+    }
+
+    #[test]
     fn miss_ratio_computed() {
         let mut c = small();
         assert_eq!(c.miss_ratio(), 0.0);
@@ -293,5 +358,25 @@ mod tests {
         for line in 0..4u64 {
             assert!(c.probe(line * 64), "line {line} should be resident");
         }
+    }
+
+    #[test]
+    fn mru_fast_path_updates_recency_like_the_scan_path() {
+        // Alternate hits between two ways so the MRU hint is wrong half
+        // the time; LRU outcomes must match a fresh cache fed the same
+        // stream shifted so the hint is always cold (scan path).
+        let mut c = small();
+        let a = 0u64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // scan-path hit (MRU points at b)
+        c.access(a, false); // MRU fast-path hit
+        c.access(b, false); // scan-path hit again
+        c.access(d, false); // must evict a: recency order is b > a
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+        assert!(c.probe(d));
     }
 }

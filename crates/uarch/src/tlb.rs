@@ -2,11 +2,23 @@
 
 use crate::config::TlbConfig;
 
+/// One TLB entry, packed so a whole set is contiguous (same rationale as
+/// the cache's line layout: one set lookup touches one run of memory
+/// instead of three parallel arrays).
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+}
+
 /// A set-associative TLB with LRU replacement.
 ///
 /// Models translation presence only; a miss costs
 /// [`TlbConfig::miss_penalty`] cycles (charged by the pipeline). The same
 /// `access` path serves functional warming and detailed simulation.
+/// Replacement behaviour is bit-identical to the historical parallel-Vec
+/// layout; the per-set MRU index only reorders the hit scan.
 ///
 /// # Examples
 ///
@@ -21,11 +33,13 @@ use crate::config::TlbConfig;
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    lru: Vec<u64>,
+    // entries[set * assoc + way].
+    entries: Vec<Entry>,
+    // Most-recently-hit way per set: a scan-order hint only.
+    mru: Vec<u32>,
     tick: u64,
     sets: u64,
+    assoc: usize,
     // Shift/mask fast path when the geometry is power-of-two (always for
     // the Table 3 machines).
     page_shift: Option<u32>,
@@ -51,11 +65,11 @@ impl Tlb {
             .then(|| cfg.page_bytes.trailing_zeros());
         Tlb {
             cfg,
-            tags: vec![0; slots],
-            valid: vec![false; slots],
-            lru: vec![0; slots],
+            entries: vec![Entry::default(); slots],
+            mru: vec![0; sets as usize],
             tick: 0,
             sets,
+            assoc: cfg.assoc as usize,
             page_shift,
             set_shift: sets.trailing_zeros(),
             set_mask: sets - 1,
@@ -92,34 +106,52 @@ impl Tlb {
 
     /// Looks up the page containing `addr`, filling the entry on a miss.
     /// Returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
         self.tick += 1;
+        let tick = self.tick;
         let (set, tag) = self.set_and_tag(addr);
-        let base = (set * self.cfg.assoc as u64) as usize;
-        let ways = self.cfg.assoc as usize;
-        for way in base..base + ways {
-            if self.valid[way] && self.tags[way] == tag {
-                self.lru[way] = self.tick;
+        let base = set as usize * self.assoc;
+        let set_entries = &mut self.entries[base..base + self.assoc];
+
+        // MRU fast path: repeated accesses to the same page hit in one
+        // compare (the overwhelmingly common case for 4 KiB pages).
+        let mru = self.mru[set as usize] as usize;
+        if let Some(entry) = set_entries.get_mut(mru) {
+            if entry.valid && entry.tag == tag {
+                entry.lru = tick;
                 return true;
             }
         }
+
+        for (way, entry) in set_entries.iter_mut().enumerate() {
+            if entry.valid && entry.tag == tag {
+                entry.lru = tick;
+                self.mru[set as usize] = way as u32;
+                return true;
+            }
+        }
+
         self.misses += 1;
-        let mut victim = base;
+        let mut victim = 0;
         let mut best = u64::MAX;
-        for way in base..base + ways {
-            if !self.valid[way] {
+        for (way, entry) in set_entries.iter().enumerate() {
+            if !entry.valid {
                 victim = way;
                 break;
             }
-            if self.lru[way] < best {
-                best = self.lru[way];
+            if entry.lru < best {
+                best = entry.lru;
                 victim = way;
             }
         }
-        self.valid[victim] = true;
-        self.tags[victim] = tag;
-        self.lru[victim] = self.tick;
+        set_entries[victim] = Entry {
+            tag,
+            lru: tick,
+            valid: true,
+        };
+        self.mru[set as usize] = victim as u32;
         false
     }
 
@@ -127,8 +159,10 @@ impl Tlb {
     /// state.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        let base = (set * self.cfg.assoc as u64) as usize;
-        (base..base + self.cfg.assoc as usize).any(|way| self.valid[way] && self.tags[way] == tag)
+        let base = set as usize * self.assoc;
+        self.entries[base..base + self.assoc]
+            .iter()
+            .any(|entry| entry.valid && entry.tag == tag)
     }
 }
 
@@ -175,6 +209,21 @@ mod tests {
         let acc = tlb.accesses();
         assert!(tlb.probe(100));
         assert_eq!(tlb.accesses(), acc);
+    }
+
+    #[test]
+    fn mru_fast_path_keeps_lru_order() {
+        let mut tlb = small();
+        let page = |n: u64| n * 4096;
+        tlb.access(page(0));
+        tlb.access(page(2)); // MRU now way 1
+        tlb.access(page(0)); // scan-path hit, MRU back to way 0
+        tlb.access(page(0)); // MRU fast-path hit
+        tlb.access(page(2)); // scan-path hit: page 2 most recent
+        tlb.access(page(4)); // must evict page 0
+        assert!(!tlb.probe(page(0)));
+        assert!(tlb.probe(page(2)));
+        assert!(tlb.probe(page(4)));
     }
 
     #[test]

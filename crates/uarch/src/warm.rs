@@ -39,6 +39,10 @@ pub struct WarmState {
     pub bpred: BranchPredictor,
     last_fetch_line: u64,
     line_bytes: u64,
+    // Shift fast path when the I-line size is a power of two (always for
+    // the Table 3 machines): the per-instruction line computation in the
+    // warming hot loop becomes one shift instead of a 64-bit divide.
+    line_shift: Option<u32>,
 }
 
 impl WarmState {
@@ -51,6 +55,11 @@ impl WarmState {
             bpred: BranchPredictor::new(cfg.bpred),
             last_fetch_line: u64::MAX,
             line_bytes: cfg.l1i.line_bytes,
+            line_shift: cfg
+                .l1i
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.l1i.line_bytes.trailing_zeros()),
         }
     }
 
@@ -63,7 +72,10 @@ impl WarmState {
         // Instruction side: one cache/TLB access per fetched line, as an
         // in-order front end would generate.
         let fetch_addr = rec.fetch_addr();
-        let line = fetch_addr / self.line_bytes;
+        let line = match self.line_shift {
+            Some(shift) => fetch_addr >> shift,
+            None => fetch_addr / self.line_bytes,
+        };
         if line != self.last_fetch_line {
             self.last_fetch_line = line;
             self.itlb.access(fetch_addr);

@@ -27,7 +27,10 @@ struct Fingerprint {
 }
 
 fn golden() -> Vec<Fingerprint> {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_sample_reports.txt");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden_sample_reports.txt"
+    );
     let text = std::fs::read_to_string(path).expect("golden file present");
     text.lines()
         .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
@@ -51,15 +54,9 @@ fn golden() -> Vec<Fingerprint> {
 
 fn fingerprint(bench: &Benchmark) -> Fingerprint {
     let sim = SmartsSim::new(MachineConfig::eight_way());
-    let params = SamplingParams::for_sample_size(
-        bench.approx_len(),
-        1000,
-        2000,
-        Warming::Functional,
-        10,
-        0,
-    )
-    .expect("valid sampling parameters");
+    let params =
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, 10, 0)
+            .expect("valid sampling parameters");
     let report = sim.sample(bench, &params).expect("sampling run");
     Fingerprint {
         name: bench.name().to_string(),
