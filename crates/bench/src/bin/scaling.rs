@@ -9,15 +9,47 @@
 //! * **sharded** — end-to-end wall-clock against the sequential driver
 //!   (no sequential pass at all) plus the residual cold-start bias of
 //!   the merged estimate, which checkpoint mode avoids by construction.
+//! * **pipeline** — streamed checkpoints: the warming producer overlaps
+//!   the replay consumers, so there is no sequential build pass and at
+//!   most `depth + jobs + 1` checkpoints are ever resident, versus the
+//!   whole library in checkpoint mode. Also bit-identical.
+//!
+//! Results (wall-clock splits plus the residency figures) are written to
+//! `results/bench_scaling.json`.
 
 use smarts_bench::{banner, pct, HarnessArgs};
 use smarts_core::{SamplingParams, SmartsSim, Warming};
 use smarts_exec::{residual_bias, Executor, ParallelDriver, ParallelMode};
 use smarts_uarch::MachineConfig;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 fn fmt(d: Duration) -> String {
     format!("{:.2?}", d)
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+struct JobsRow {
+    jobs: usize,
+    ckpt_total: Duration,
+    build: Duration,
+    replay: Duration,
+    shard_total: Duration,
+    pipe_total: Duration,
+    pipe_producer: Duration,
+    pipe_peak_checkpoints: usize,
+    pipe_peak_bytes: u64,
+}
+
+struct BenchResult {
+    name: String,
+    sample_size: u64,
+    seq_wall: Duration,
+    library_bytes: u64,
+    rows: Vec<JobsRow>,
 }
 
 fn main() {
@@ -53,6 +85,7 @@ fn main() {
             .collect()
     };
 
+    let mut bench_results = Vec::new();
     for bench in &benches {
         // Enough detailed work (n·(W+U)) that replay, not the build pass,
         // carries the run; the same design is used at every worker count.
@@ -74,6 +107,7 @@ fn main() {
         // library (a direct run's warm state differs per the checkpoint
         // module docs, so it is compared only for sharded-mode bias).
         let library = sim.build_library(bench, &params).expect("library");
+        let library_bytes = library.approx_resident_bytes();
         let replay_start = Instant::now();
         let seq_replay = sim.sample_library(&library).expect("sequential replay");
         let seq_replay_wall = replay_start.elapsed();
@@ -97,6 +131,7 @@ fn main() {
             "max-unit"
         );
 
+        let mut rows: Vec<JobsRow> = Vec::new();
         let mut replay_base: Option<Duration> = None;
         for &jobs in &job_counts {
             let executor = Executor::new(jobs).expect("executor");
@@ -126,6 +161,21 @@ fn main() {
             let shard_x = seq_wall.as_secs_f64() / shard_total.as_secs_f64().max(1e-9);
             let bias = residual_bias(&sharded.report, &sequential);
 
+            let pipeline_exec = Executor::new(jobs)
+                .expect("executor")
+                .with_mode(ParallelMode::Pipeline);
+            let start = Instant::now();
+            let pipe = sim
+                .sample_parallel(bench, &params, &pipeline_exec)
+                .expect("pipeline run");
+            let pipe_total = start.elapsed();
+            assert_eq!(
+                pipe.report.cpi().mean().to_bits(),
+                seq_replay.cpi().mean().to_bits(),
+                "pipeline merge must be bit-identical to sequential replay"
+            );
+            let stats = pipe.pipeline.expect("pipeline stats");
+
             println!(
                 "{:>5} {:>12} {:>12} {:>12} {:>9.2}x {:>12} {:>11.2}x {:>10} {:>10}",
                 jobs,
@@ -138,9 +188,135 @@ fn main() {
                 pct(bias.cpi_bias),
                 pct(bias.max_unit_cpi_error),
             );
+            rows.push(JobsRow {
+                jobs,
+                ckpt_total,
+                build: ckpt.build_wall,
+                replay,
+                shard_total,
+                pipe_total,
+                pipe_producer: stats.producer_wall,
+                pipe_peak_checkpoints: stats.peak_resident_checkpoints,
+                pipe_peak_bytes: stats.peak_resident_bytes,
+            });
+        }
+
+        println!(
+            "{:>5} {:>12} {:>12} {:>10} {:>10} {:>10}   (pipeline, depth {}; library {:.1} MiB)",
+            "jobs",
+            "pipe-total",
+            "producer",
+            "vs-ckpt",
+            "peak-ckpt",
+            "peak-MiB",
+            smarts_exec::DEFAULT_PIPELINE_DEPTH,
+            mib(library_bytes),
+        );
+        for row in &rows {
+            println!(
+                "{:>5} {:>12} {:>12} {:>9.2}x {:>10} {:>10.1}",
+                row.jobs,
+                fmt(row.pipe_total),
+                fmt(row.pipe_producer),
+                row.ckpt_total.as_secs_f64() / row.pipe_total.as_secs_f64().max(1e-9),
+                row.pipe_peak_checkpoints,
+                mib(row.pipe_peak_bytes),
+            );
         }
         println!();
+        bench_results.push(BenchResult {
+            name: bench.name().to_string(),
+            sample_size: sequential.sample_size(),
+            seq_wall,
+            library_bytes,
+            rows,
+        });
     }
-    println!("(checkpoint replay is bit-identical to sequential at every worker count;");
-    println!(" sharded trades the sequential build pass for the residual bias shown.)");
+    println!("(checkpoint and pipeline modes are bit-identical to sequential at every");
+    println!(" worker count; sharded trades the sequential build pass for the residual");
+    println!(" bias shown; pipeline keeps at most depth + jobs + 1 checkpoints resident.)");
+
+    write_json(&bench_results).expect("write results/bench_scaling.json");
+    println!("\nwrote results/bench_scaling.json");
+}
+
+/// Emits the machine-readable scaling results (hand-rolled JSON: the
+/// workspace builds offline, with no serde).
+fn write_json(benches: &[BenchResult]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/bench_scaling.json")?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"scaling\",")?;
+    writeln!(f, "  \"samples_per_case\": 1,")?;
+    writeln!(f, "  \"machine\": \"8-way\",")?;
+    writeln!(
+        f,
+        "  \"pipeline_depth\": {},",
+        smarts_exec::DEFAULT_PIPELINE_DEPTH
+    )?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, b) in benches.iter().enumerate() {
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"benchmark\": \"{}\",", b.name)?;
+        writeln!(f, "      \"sample_size\": {},", b.sample_size)?;
+        writeln!(
+            f,
+            "      \"sequential_wall_s\": {:.4},",
+            b.seq_wall.as_secs_f64()
+        )?;
+        writeln!(f, "      \"library_resident_bytes\": {},", b.library_bytes)?;
+        writeln!(f, "      \"jobs\": [")?;
+        for (j, row) in b.rows.iter().enumerate() {
+            let comma = if j + 1 < b.rows.len() { "," } else { "" };
+            writeln!(f, "        {{")?;
+            writeln!(f, "          \"jobs\": {},", row.jobs)?;
+            writeln!(
+                f,
+                "          \"checkpoint_total_s\": {:.4},",
+                row.ckpt_total.as_secs_f64()
+            )?;
+            writeln!(
+                f,
+                "          \"checkpoint_build_s\": {:.4},",
+                row.build.as_secs_f64()
+            )?;
+            writeln!(
+                f,
+                "          \"checkpoint_replay_s\": {:.4},",
+                row.replay.as_secs_f64()
+            )?;
+            writeln!(
+                f,
+                "          \"sharded_total_s\": {:.4},",
+                row.shard_total.as_secs_f64()
+            )?;
+            writeln!(
+                f,
+                "          \"pipeline_total_s\": {:.4},",
+                row.pipe_total.as_secs_f64()
+            )?;
+            writeln!(
+                f,
+                "          \"pipeline_producer_s\": {:.4},",
+                row.pipe_producer.as_secs_f64()
+            )?;
+            writeln!(
+                f,
+                "          \"pipeline_peak_resident_checkpoints\": {},",
+                row.pipe_peak_checkpoints
+            )?;
+            writeln!(
+                f,
+                "          \"pipeline_peak_resident_bytes\": {}",
+                row.pipe_peak_bytes
+            )?;
+            writeln!(f, "        }}{comma}")?;
+        }
+        writeln!(f, "      ]")?;
+        writeln!(f, "    }}{comma}")?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
 }

@@ -8,6 +8,9 @@
 //! * **functional** — plain fast-forward MIPS (architectural state only),
 //! * **warming** — fast-forward-with-functional-warming MIPS (caches,
 //!   TLBs, and branch predictor updated per instruction),
+//! * **warming+pt** — the same with the batched L2 pre-touch pass
+//!   enabled (off by default; measured in the same process so the two
+//!   warming figures are directly comparable),
 //! * the implied S_FW ratio (warming rate / functional rate) and the
 //!   warming overhead in ns/instruction.
 //!
@@ -35,6 +38,7 @@ struct Row {
     instructions: u64,
     functional: Duration,
     warming: Duration,
+    warming_pretouch: Duration,
 }
 
 impl Row {
@@ -44,6 +48,10 @@ impl Row {
 
     fn warming_mips(&self) -> f64 {
         self.instructions as f64 / self.warming.as_secs_f64() / 1e6
+    }
+
+    fn warming_pretouch_mips(&self) -> f64 {
+        self.instructions as f64 / self.warming_pretouch.as_secs_f64() / 1e6
     }
 
     fn s_fw(&self) -> f64 {
@@ -72,8 +80,8 @@ fn main() {
     };
 
     println!(
-        "{:<12} {:>12} {:>12} {:>8} {:>12}",
-        "benchmark", "func MIPS", "warm MIPS", "S_FW", "overhead/in"
+        "{:<12} {:>12} {:>12} {:>12} {:>8} {:>12}",
+        "benchmark", "func MIPS", "warm MIPS", "w+pt MIPS", "S_FW", "overhead/in"
     );
     let mut rows = Vec::new();
     for name in &probes {
@@ -91,18 +99,26 @@ fn main() {
             let mut warm = WarmState::new(&cfg);
             engine.fast_forward_warming(instructions, &mut warm)
         });
+        let warming_pretouch = time(|| {
+            let mut engine = FunctionalEngine::new(loaded.clone());
+            let mut warm = WarmState::new(&cfg);
+            warm.set_batch_pretouch(true);
+            engine.fast_forward_warming(instructions, &mut warm)
+        });
 
         let row = Row {
             name: name.clone(),
             instructions,
             functional,
             warming,
+            warming_pretouch,
         };
         println!(
-            "{:<12} {:>12.2} {:>12.2} {:>8.3} {:>9.1} ns",
+            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>8.3} {:>9.1} ns",
             row.name,
             row.functional_mips(),
             row.warming_mips(),
+            row.warming_pretouch_mips(),
             row.s_fw(),
             row.overhead_ns()
         );
@@ -143,6 +159,11 @@ fn write_json(rows: &[Row]) -> std::io::Result<()> {
             row.functional_mips()
         )?;
         writeln!(f, "      \"warming_mips\": {:.3},", row.warming_mips())?;
+        writeln!(
+            f,
+            "      \"warming_pretouch_mips\": {:.3},",
+            row.warming_pretouch_mips()
+        )?;
         writeln!(f, "      \"s_fw\": {:.4},", row.s_fw())?;
         writeln!(
             f,

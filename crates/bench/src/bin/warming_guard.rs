@@ -1,0 +1,151 @@
+//! CI warming-rate regression guard.
+//!
+//! Reads the checked-in reference `results/bench_warming.json` (this
+//! binary never writes it — the `warming` binary owns the file and CI
+//! runs this guard *before* re-generating it), re-measures the
+//! functional-warming MIPS of each reference probe with the same
+//! median-of-7 harness, and exits non-zero when any probe's warming rate
+//! has dropped more than [`TOLERANCE`] below its reference — the S_FW
+//! regression gate for the warming hot path.
+//!
+//! `--quick` checks only the first reference probe; `--bench <name>`
+//! restricts to one probe.
+
+use smarts_bench::timing::time;
+use smarts_core::FunctionalEngine;
+use smarts_uarch::{MachineConfig, WarmState};
+
+/// Largest tolerated drop of measured warming MIPS below the reference
+/// (machine-to-machine and load-induced noise stays well inside this;
+/// a real hot-path regression does not).
+const TOLERANCE: f64 = 0.20;
+
+struct Reference {
+    benchmark: String,
+    instructions: u64,
+    warming_mips: f64,
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let path = "results/bench_warming.json";
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read reference {path}: {e}")));
+    let mut references = parse_references(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse reference {path}: {e}")));
+    if references.is_empty() {
+        fail(&format!("reference {path} lists no probes"));
+    }
+    if args.quick {
+        references.truncate(1);
+    }
+    if let Some(name) = &args.bench {
+        references.retain(|r| &r.benchmark == name);
+        if references.is_empty() {
+            fail(&format!("reference {path} has no probe named {name}"));
+        }
+    }
+
+    smarts_bench::banner(
+        "Warming-rate guard",
+        &format!(
+            "fails if warming MIPS drops more than {:.0}% below results/bench_warming.json",
+            TOLERANCE * 100.0
+        ),
+    );
+    let cfg = MachineConfig::eight_way();
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "ref MIPS", "now MIPS", "ratio"
+    );
+    let mut regressed = false;
+    for reference in &references {
+        let bench = smarts_workloads::find(&reference.benchmark)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "reference probe {} is not in the suite",
+                    reference.benchmark
+                ))
+            })
+            .scaled(1.0);
+        let loaded = bench.load();
+        let instructions = reference.instructions;
+        let warming = time(|| {
+            let mut engine = FunctionalEngine::new(loaded.clone());
+            let mut warm = WarmState::new(&cfg);
+            engine.fast_forward_warming(instructions, &mut warm)
+        });
+        let mips = instructions as f64 / warming.as_secs_f64() / 1e6;
+        let ratio = mips / reference.warming_mips;
+        let ok = ratio >= 1.0 - TOLERANCE;
+        regressed |= !ok;
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>8.3}  {}",
+            reference.benchmark,
+            reference.warming_mips,
+            mips,
+            ratio,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+    if regressed {
+        eprintln!(
+            "\nwarming rate regressed beyond the {:.0}% guard",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\nwarming rate within the guard");
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("warming_guard: {msg}");
+    std::process::exit(1)
+}
+
+/// Extracts `(benchmark, instructions, warming_mips)` triples from the
+/// reference file. Hand-rolled (the workspace builds offline, no serde):
+/// scans for the three keys in order within each result object, which is
+/// exactly the shape the `warming` binary writes.
+fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
+    let mut references = Vec::new();
+    let mut benchmark: Option<String> = None;
+    let mut instructions: Option<u64> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(value) = key_value(line, "benchmark") {
+            benchmark = Some(value.trim_matches('"').to_string());
+        } else if let Some(value) = key_value(line, "instructions") {
+            instructions = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad instructions value `{value}`"))?,
+            );
+        } else if let Some(value) = key_value(line, "warming_mips") {
+            let mips: f64 = value
+                .parse()
+                .map_err(|_| format!("bad warming_mips value `{value}`"))?;
+            let benchmark = benchmark
+                .take()
+                .ok_or("warming_mips before its benchmark name")?;
+            let instructions = instructions
+                .take()
+                .ok_or("warming_mips before its instruction count")?;
+            if !(mips.is_finite() && mips > 0.0) {
+                return Err(format!("non-positive warming_mips for {benchmark}"));
+            }
+            references.push(Reference {
+                benchmark,
+                instructions,
+                warming_mips: mips,
+            });
+        }
+    }
+    Ok(references)
+}
+
+/// `"key": value,` → `value` (quotes kept, trailing comma stripped).
+fn key_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(&format!("\"{key}\":"))?;
+    Some(rest.trim().trim_end_matches(','))
+}

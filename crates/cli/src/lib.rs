@@ -44,6 +44,8 @@ pub struct Options {
     pub jobs: usize,
     /// Parallel decomposition when `jobs > 1`.
     pub parallel_mode: ParallelMode,
+    /// Bounded channel depth (checkpoints) for pipeline mode.
+    pub pipeline_depth: usize,
 }
 
 impl Default for Options {
@@ -61,6 +63,7 @@ impl Default for Options {
             confidence: 0.9973,
             jobs: 1,
             parallel_mode: ParallelMode::Checkpoint,
+            pipeline_depth: smarts_exec::DEFAULT_PIPELINE_DEPTH,
         }
     }
 }
@@ -91,8 +94,11 @@ pub fn usage() -> String {
      \x20 --epsilon <f>            two-step target (e.g. 0.03)\n\
      \x20 --confidence <f>         confidence level           [0.9973]\n\
      \x20 --jobs <count>           worker threads for sample/compare [1]\n\
-     \x20 --parallel-mode <mode>   checkpoint (bit-identical replay) or\n\
-     \x20                          sharded (leapfrog, small residual bias) [checkpoint]"
+     \x20 --parallel-mode <mode>   checkpoint (bit-identical replay),\n\
+     \x20                          pipeline (bit-identical, warming overlaps replay,\n\
+     \x20                          bounded memory), or sharded (leapfrog, small\n\
+     \x20                          residual bias) [checkpoint]\n\
+     \x20 --pipeline-depth <n>     pipeline-mode channel depth, in checkpoints [4]"
         .to_string()
 }
 
@@ -172,9 +178,16 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--jobs takes a worker count of at least 1".to_string())?;
             }
             "--parallel-mode" => {
-                options.parallel_mode = value("--parallel-mode")?
+                options.parallel_mode = value("--parallel-mode")?.parse().map_err(|_| {
+                    "--parallel-mode takes checkpoint, pipeline, or sharded".to_string()
+                })?;
+            }
+            "--pipeline-depth" => {
+                options.pipeline_depth = value("--pipeline-depth")?
                     .parse()
-                    .map_err(|_| "--parallel-mode takes checkpoint or sharded".to_string())?;
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--pipeline-depth takes a depth of at least 1".to_string())?;
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -252,10 +265,14 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
         }
     };
     let mut parallel: Option<ParallelReport> = None;
-    let report = if options.jobs > 1 {
+    // Pipeline mode runs through the executor even at one worker: the
+    // producer/consumer overlap is the point, not the worker count.
+    let use_executor = options.jobs > 1 || options.parallel_mode == ParallelMode::Pipeline;
+    let report = if use_executor {
         let executor = Executor::new(options.jobs)
             .map_err(|e| e.to_string())?
-            .with_mode(options.parallel_mode);
+            .with_mode(options.parallel_mode)
+            .with_pipeline_depth(options.pipeline_depth);
         match options.epsilon {
             None => {
                 let outcome = executor
@@ -321,10 +338,26 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
         report.wall_detailed
     );
     if let Some(pr) = &parallel {
-        println!(
-            "parallel      {} mode, {} workers: {:.2?} sequential build + {:.2?} parallel",
-            pr.mode, pr.jobs, pr.build_wall, pr.parallel_wall
-        );
+        match &pr.pipeline {
+            Some(ps) => {
+                println!(
+                    "parallel      {} mode, {} workers: {:.2?} overlapped \
+                     ({:.2?} producer warming, depth {})",
+                    pr.mode, pr.jobs, pr.parallel_wall, ps.producer_wall, ps.depth
+                );
+                println!(
+                    "residency     peak {} checkpoints, {:.1} MiB \
+                     ({} emitted in total)",
+                    ps.peak_resident_checkpoints,
+                    ps.peak_resident_bytes as f64 / (1024.0 * 1024.0),
+                    ps.emitted
+                );
+            }
+            None => println!(
+                "parallel      {} mode, {} workers: {:.2?} sequential build + {:.2?} parallel",
+                pr.mode, pr.jobs, pr.build_wall, pr.parallel_wall
+            ),
+        }
         for w in &pr.workers {
             let i = &w.instructions;
             println!(
@@ -358,10 +391,12 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
     let mut params = sampling_params(options, base.config(), &bench)?;
     params.detailed_warming = 0; // per-machine recommendation
     let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
-    let cmp = if options.jobs > 1 {
+    let use_executor = options.jobs > 1 || options.parallel_mode == ParallelMode::Pipeline;
+    let cmp = if use_executor {
         let executor = Executor::new(options.jobs)
             .map_err(|e| e.to_string())?
-            .with_mode(options.parallel_mode);
+            .with_mode(options.parallel_mode)
+            .with_pipeline_depth(options.pipeline_depth);
         compare_machines_parallel(&executor, &base, &alt, &bench, &params)
             .map_err(|e| e.to_string())?
     } else {
@@ -387,7 +422,7 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
         "pairing gain  {:.1}x tighter than independent runs",
         cmp.pairing_gain()
     );
-    if options.jobs > 1 {
+    if use_executor {
         println!(
             "parallel      {} mode, {} workers per machine",
             options.parallel_mode, options.jobs
@@ -553,6 +588,7 @@ mod tests {
         assert!(parse_options(&strings(&["--n"])).is_err());
         assert!(parse_options(&strings(&["--jobs", "0"])).is_err());
         assert!(parse_options(&strings(&["--parallel-mode", "magic"])).is_err());
+        assert!(parse_options(&strings(&["--pipeline-depth", "0"])).is_err());
     }
 
     #[test]
@@ -564,6 +600,16 @@ mod tests {
         let defaults = parse_options(&[]).unwrap();
         assert_eq!(defaults.jobs, 1);
         assert_eq!(defaults.parallel_mode, ParallelMode::Checkpoint);
+        assert_eq!(defaults.pipeline_depth, smarts_exec::DEFAULT_PIPELINE_DEPTH);
+        let piped = parse_options(&strings(&[
+            "--parallel-mode",
+            "pipeline",
+            "--pipeline-depth",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(piped.parallel_mode, ParallelMode::Pipeline);
+        assert_eq!(piped.pipeline_depth, 2);
     }
 
     #[test]
@@ -601,7 +647,7 @@ mod tests {
     }
 
     #[test]
-    fn sample_runs_parallel_in_both_modes() {
+    fn sample_runs_parallel_in_all_modes() {
         dispatch(&strings(&[
             "sample", "--bench", "loopy-1", "--scale", "0.02", "--n", "8", "--jobs", "2",
         ]))
@@ -618,6 +664,40 @@ mod tests {
             "2",
             "--parallel-mode",
             "sharded",
+        ]))
+        .unwrap();
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--jobs",
+            "2",
+            "--parallel-mode",
+            "pipeline",
+            "--pipeline-depth",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn pipeline_mode_runs_without_an_explicit_jobs_flag() {
+        // Pipeline mode routes through the executor even at jobs = 1:
+        // warming still overlaps the single replayer.
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--parallel-mode",
+            "pipeline",
         ]))
         .unwrap();
     }

@@ -28,17 +28,54 @@ use crate::error::SmartsError;
 use crate::sampler::{
     ModeInstructions, SampleReport, SamplingParams, SmartsSim, UnitSample, Warming,
 };
+use smarts_isa::Program;
 use smarts_uarch::{MachineConfig, Pipeline, WarmState};
-use smarts_workloads::Benchmark;
+use smarts_workloads::{Benchmark, LoadedBenchmark};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// One reconstitutable sampling unit: architectural state plus warm
 /// microarchitectural state at the unit's detailed-warming start.
+///
+/// Checkpoints are produced either in bulk by
+/// [`SmartsSim::build_library`] or one at a time by
+/// [`SmartsSim::stream_checkpoints`], and replayed with
+/// [`SmartsSim::replay_checkpoint`] (or [`SmartsSim::replay_unit`] via a
+/// library).
 #[derive(Debug, Clone)]
-struct UnitCheckpoint {
+pub struct UnitCheckpoint {
     unit_start: u64,
     snapshot: EngineSnapshot,
     warm: WarmState,
+}
+
+impl UnitCheckpoint {
+    /// The unit's start offset in the instruction stream.
+    pub fn unit_start(&self) -> u64 {
+        self.unit_start
+    }
+
+    /// Approximate bytes this checkpoint holds alive: its memory
+    /// snapshot's resident pages plus its warm-state copy.
+    ///
+    /// Pages shared copy-on-write with *other* checkpoints are counted
+    /// in full here (an upper bound on the marginal footprint); use
+    /// [`CheckpointLibrary::approx_resident_bytes`] for a deduplicated
+    /// total across a whole library.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        (self.snapshot.memory_resident_bytes() + self.warm.approx_bytes()) as u64
+    }
+}
+
+/// Summary of one [`SmartsSim::stream_checkpoints`] pass.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSummary {
+    /// Checkpoints offered to the consumer.
+    pub emitted: u64,
+    /// Wall-clock of the warming pass (the producer's critical path).
+    pub build_wall: Duration,
+    /// Whether the consumer stopped the stream before the natural end.
+    pub stopped: bool,
 }
 
 /// Outcome of replaying one checkpointed sampling unit in isolation.
@@ -64,6 +101,30 @@ pub enum UnitReplay {
         /// Instructions measured before the stream ended (`< U`).
         measured: u64,
     },
+}
+
+impl UnitReplay {
+    /// Adds this replay's consumed instructions to a mode breakdown —
+    /// the one accounting rule shared by the sequential replay loop and
+    /// every parallel worker/merge path.
+    pub fn account(&self, instructions: &mut ModeInstructions) {
+        match self {
+            UnitReplay::Complete {
+                sample,
+                detailed_warmed,
+            } => {
+                instructions.detailed_warmed += detailed_warmed;
+                instructions.measured += sample.instructions;
+            }
+            UnitReplay::Partial {
+                detailed_warmed,
+                measured,
+            } => {
+                instructions.detailed_warmed += detailed_warmed;
+                instructions.measured += measured;
+            }
+        }
+    }
 }
 
 /// A library of per-unit checkpoints for one benchmark and one sampling
@@ -105,6 +166,22 @@ impl CheckpointLibrary {
         self.checkpoints.iter().map(|c| c.unit_start)
     }
 
+    /// Approximate bytes the library holds alive: warm-state copies plus
+    /// memory snapshot pages, with pages shared copy-on-write between
+    /// checkpoints counted once (deduplicated by `Arc` identity).
+    ///
+    /// This is the O(n units) residency a streamed pipeline avoids by
+    /// holding only a bounded window of checkpoints at a time.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let mut seen = HashSet::new();
+        let mut total = 0u64;
+        for checkpoint in &self.checkpoints {
+            total += checkpoint.snapshot.memory_resident_bytes_dedup(&mut seen) as u64;
+            total += checkpoint.warm.approx_bytes() as u64;
+        }
+        total
+    }
+
     /// Whether a machine can replay this library: its warmable-state
     /// geometry (caches, TLBs, branch predictor, memory latency) must
     /// match the configuration the library was warmed for; the pipeline
@@ -142,18 +219,55 @@ impl SmartsSim {
         bench: &Benchmark,
         params: &SamplingParams,
     ) -> Result<CheckpointLibrary, SmartsError> {
-        params.validate()?;
-        let start = Instant::now();
         let loaded = bench.load();
         let program = loaded.program.clone();
+        let mut checkpoints = Vec::new();
+        let summary = self.stream_checkpoints(loaded, params, |checkpoint| {
+            checkpoints.push(checkpoint);
+            true
+        })?;
+        Ok(CheckpointLibrary {
+            params: *params,
+            program,
+            warm_geometry: self.config().clone(),
+            checkpoints,
+            build_wall: summary.build_wall,
+        })
+    }
+
+    /// Runs the single in-order functional-warming pass of
+    /// [`SmartsSim::build_library`], but hands each unit's checkpoint to
+    /// `emit` the moment its boundary is reached instead of materialising
+    /// the whole library — the producer side of a streamed
+    /// checkpoint-replay pipeline. Peak memory is whatever the consumer
+    /// retains, not O(n units).
+    ///
+    /// `emit` returns `false` to stop the stream early (e.g. when the
+    /// consuming side has gone away); the pass then ends with
+    /// [`StreamSummary::stopped`] set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters, or
+    /// [`SmartsError::EmptySample`] when the stream ends before the first
+    /// unit boundary.
+    pub fn stream_checkpoints(
+        &self,
+        loaded: LoadedBenchmark,
+        params: &SamplingParams,
+        mut emit: impl FnMut(UnitCheckpoint) -> bool,
+    ) -> Result<StreamSummary, SmartsError> {
+        params.validate()?;
+        let start = Instant::now();
         let mut engine = FunctionalEngine::new(loaded);
         let mut warm = WarmState::new(self.config());
-        let mut checkpoints = Vec::new();
+        let mut emitted: u64 = 0;
+        let mut stopped = false;
 
         let mut unit_index = params.offset;
         loop {
             if let Some(max) = params.max_units {
-                if checkpoints.len() as u64 >= max {
+                if emitted >= max {
                     break;
                 }
             }
@@ -174,22 +288,25 @@ impl SmartsSim {
             }
             // The unit (and its detailed warming) must fit in the stream;
             // probe cheaply by checkpointing now and validating on replay.
-            checkpoints.push(UnitCheckpoint {
+            let checkpoint = UnitCheckpoint {
                 unit_start,
                 snapshot: engine.snapshot(),
                 warm: warm.clone(),
-            });
+            };
+            if !emit(checkpoint) {
+                stopped = true;
+                break;
+            }
+            emitted += 1;
             unit_index += params.interval;
         }
-        if checkpoints.is_empty() {
+        if emitted == 0 && !stopped {
             return Err(SmartsError::EmptySample);
         }
-        Ok(CheckpointLibrary {
-            params: *params,
-            program,
-            warm_geometry: self.config().clone(),
-            checkpoints,
+        Ok(StreamSummary {
+            emitted,
             build_wall: start.elapsed(),
+            stopped,
         })
     }
 
@@ -211,23 +328,11 @@ impl SmartsSim {
         let mut instructions = ModeInstructions::default();
 
         for index in 0..library.len() {
-            match self.replay_unit(library, index)? {
-                UnitReplay::Complete {
-                    sample,
-                    detailed_warmed,
-                } => {
-                    instructions.detailed_warmed += detailed_warmed;
-                    instructions.measured += sample.instructions;
-                    units.push(*sample);
-                }
-                UnitReplay::Partial {
-                    detailed_warmed,
-                    measured,
-                } => {
-                    instructions.detailed_warmed += detailed_warmed;
-                    instructions.measured += measured;
-                    break; // partial tail unit
-                }
+            let replay = self.replay_unit(library, index)?;
+            replay.account(&mut instructions);
+            match replay {
+                UnitReplay::Complete { sample, .. } => units.push(*sample),
+                UnitReplay::Partial { .. } => break, // partial tail unit
             }
         }
         if units.is_empty() {
@@ -268,25 +373,44 @@ impl SmartsSim {
         let Some(checkpoint) = library.checkpoints.get(index) else {
             return Err(SmartsError::ZeroParameter("checkpoint index out of range"));
         };
-        let params = library.params;
+        Ok(self.replay_checkpoint(&library.program, &library.params, checkpoint))
+    }
+
+    /// Replays a single checkpoint without a materialised library: one
+    /// detailed `W + U` episode starting from the stored architectural
+    /// and warm state — the consumer side of a streamed pipeline.
+    ///
+    /// The checkpoint must have been produced for `program` by a
+    /// simulator with this simulator's warmable-state geometry (true by
+    /// construction when the checkpoint comes from
+    /// [`SmartsSim::stream_checkpoints`] on the same simulator; library
+    /// replays go through [`SmartsSim::replay_unit`], which checks).
+    /// The replay math is identical to [`SmartsSim::replay_unit`]'s, so
+    /// results are bit-identical however the checkpoint was delivered.
+    pub fn replay_checkpoint(
+        &self,
+        program: &Program,
+        params: &SamplingParams,
+        checkpoint: &UnitCheckpoint,
+    ) -> UnitReplay {
         let mut engine =
-            FunctionalEngine::from_snapshot(library.program.clone(), checkpoint.snapshot.clone());
+            FunctionalEngine::from_snapshot(program.clone(), checkpoint.snapshot.clone());
         let mut warm = checkpoint.warm.clone();
         let mut pipeline = Pipeline::new(self.config());
         let warm_commits = checkpoint.unit_start.saturating_sub(engine.position());
         let warm_run = pipeline.run(&mut warm, &mut engine, warm_commits, false);
         let measured = pipeline.run(&mut warm, &mut engine, params.unit_size, true);
         if measured.instructions < params.unit_size {
-            return Ok(UnitReplay::Partial {
+            return UnitReplay::Partial {
                 detailed_warmed: warm_run.instructions,
                 measured: measured.instructions,
-            });
+            };
         }
         let cpi = measured.cpi();
         let epi = self
             .energy()
             .energy_per_instruction(&measured.counters, measured.cycles);
-        Ok(UnitReplay::Complete {
+        UnitReplay::Complete {
             sample: Box::new(UnitSample {
                 start_instr: checkpoint.unit_start,
                 cycles: measured.cycles,
@@ -296,7 +420,7 @@ impl SmartsSim {
                 counters: measured.counters,
             }),
             detailed_warmed: warm_run.instructions,
-        })
+        }
     }
 }
 
@@ -397,6 +521,99 @@ mod tests {
         let sim16 = SmartsSim::new(MachineConfig::sixteen_way());
         assert!(!library.compatible_with(sim16.config()));
         assert!(sim16.sample_library(&library).is_err());
+    }
+
+    #[test]
+    fn streamed_checkpoints_replay_identically_to_the_library() {
+        let sim = sim();
+        let bench = find("branchy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 8);
+        let library = sim.build_library(&bench, &params).unwrap();
+
+        let loaded = bench.load();
+        let program = loaded.program.clone();
+        let mut streamed = Vec::new();
+        let summary = sim
+            .stream_checkpoints(loaded, &params, |c| {
+                streamed.push(c);
+                true
+            })
+            .unwrap();
+        assert_eq!(summary.emitted as usize, library.len());
+        assert!(!summary.stopped);
+        let starts: Vec<u64> = streamed.iter().map(|c| c.unit_start()).collect();
+        assert_eq!(starts, library.unit_starts().collect::<Vec<_>>());
+
+        // Every streamed checkpoint replays bit-identically to its
+        // library twin.
+        for (index, checkpoint) in streamed.iter().enumerate() {
+            let from_stream = sim.replay_checkpoint(&program, &params, checkpoint);
+            let from_library = sim.replay_unit(&library, index).unwrap();
+            match (from_stream, from_library) {
+                (
+                    UnitReplay::Complete { sample: a, .. },
+                    UnitReplay::Complete { sample: b, .. },
+                ) => {
+                    assert_eq!(a.cycles, b.cycles);
+                    assert_eq!(a.cpi.to_bits(), b.cpi.to_bits());
+                    assert_eq!(a.counters, b.counters);
+                }
+                (
+                    UnitReplay::Partial {
+                        measured: a,
+                        detailed_warmed: aw,
+                    },
+                    UnitReplay::Partial {
+                        measured: b,
+                        detailed_warmed: bw,
+                    },
+                ) => {
+                    assert_eq!((a, aw), (b, bw));
+                }
+                _ => panic!("variant mismatch at unit {index}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_stops_when_the_consumer_declines() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 8);
+        let mut taken = 0;
+        let summary = sim
+            .stream_checkpoints(bench.load(), &params, |_| {
+                taken += 1;
+                taken < 3
+            })
+            .unwrap();
+        assert!(summary.stopped);
+        assert_eq!(summary.emitted, 2, "the declined checkpoint is not counted");
+    }
+
+    #[test]
+    fn library_residency_dedups_shared_pages() {
+        let sim = sim();
+        let bench = find("stream-2").unwrap().scaled(0.05);
+        let params = design(&bench, 8);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let deduped = library.approx_resident_bytes();
+        // Summing per-checkpoint footprints ignores copy-on-write page
+        // sharing between snapshots, so it must exceed the deduped total
+        // for any multi-checkpoint library of this benchmark.
+        let mut naive = 0u64;
+        let mut per_unit_max = 0u64;
+        let loaded = bench.load();
+        sim.stream_checkpoints(loaded, &params, |c| {
+            naive += c.approx_resident_bytes();
+            per_unit_max = per_unit_max.max(c.approx_resident_bytes());
+            true
+        })
+        .unwrap();
+        assert!(deduped > 0);
+        assert!(naive > deduped, "naive {naive} vs deduped {deduped}");
+        // And a single checkpoint is far below the whole library.
+        assert!(per_unit_max < deduped);
     }
 
     #[test]

@@ -99,15 +99,51 @@ impl FunctionalEngine {
     /// Functionally executes until `position() >= target` (or halt),
     /// applying functional warming to `warm` for every instruction.
     /// Returns the number of instructions executed.
+    ///
+    /// Records are buffered and applied in [`WarmState::warm_batch`]
+    /// flushes, which warm in strict stream order (bit-identical to
+    /// per-record warming). When the warm state's batch pre-touch is
+    /// enabled, each flush first pre-touches its data accesses' L2 set
+    /// runs read-only so a host with memory-level parallelism can
+    /// overlap the fills that otherwise serialize on D-side-heavy
+    /// streams (pointer chasing).
     pub fn fast_forward_warming(&mut self, target: u64, warm: &mut WarmState) -> u64 {
+        // Sink flush granularity: big enough to give the pre-touch pass
+        // fills to overlap, small enough that the record buffer
+        // (24 B each) stays in the host L1.
+        const BATCH: usize = 64;
         let before = self.cpu.retired();
         let remaining = target.saturating_sub(before);
+        let mut batch: Vec<ExecRecord> = Vec::with_capacity(BATCH);
         let _ = self
             .cpu
             .step_block(&self.program, &mut self.memory, remaining, |rec| {
-                warm.warm_record(rec)
+                batch.push(*rec);
+                if batch.len() == BATCH {
+                    warm.warm_batch(&batch);
+                    batch.clear();
+                }
             });
+        warm.warm_batch(&batch);
         self.cpu.retired() - before
+    }
+}
+
+impl EngineSnapshot {
+    /// Bytes of memory backing store currently allocated to this
+    /// snapshot, with no copy-on-write sharing discounted.
+    pub fn memory_resident_bytes(&self) -> usize {
+        self.memory.resident_bytes()
+    }
+
+    /// Bytes of memory backing store not already counted in `seen` (page
+    /// identities accumulated across snapshots) — see
+    /// [`Memory::resident_bytes_dedup`].
+    pub fn memory_resident_bytes_dedup(
+        &self,
+        seen: &mut std::collections::HashSet<usize>,
+    ) -> usize {
+        self.memory.resident_bytes_dedup(seen)
     }
 }
 

@@ -4,11 +4,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::error::ExecError;
+use crate::pipeline;
 use crate::pool::run_workers;
 use crate::shard;
 use smarts_core::{
     CheckpointLibrary, ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim,
-    UnitReplay,
+    UnitReplay, UnitSample,
 };
 use smarts_workloads::Benchmark;
 
@@ -27,6 +28,16 @@ pub enum ParallelMode {
     /// all, but units near shard starts carry truncated warming history —
     /// a residual bias measurable with [`crate::residual_bias`].
     Sharded,
+    /// Streamed checkpoint pipeline: a producer thread runs the same
+    /// in-order functional-warming pass as [`ParallelMode::Checkpoint`]
+    /// but emits each unit's checkpoint into a bounded channel the moment
+    /// its boundary is reached; `jobs` consumers replay concurrently.
+    /// Warming and replay overlap (wall time tends to
+    /// `max(T_warm, T_detail/jobs)`), peak checkpoint residency is
+    /// bounded by the channel depth plus in-flight replays instead of
+    /// O(n units), and the merged report stays bit-identical to
+    /// sequential replay.
+    Pipeline,
 }
 
 impl std::fmt::Display for ParallelMode {
@@ -34,6 +45,7 @@ impl std::fmt::Display for ParallelMode {
         f.write_str(match self {
             ParallelMode::Checkpoint => "checkpoint",
             ParallelMode::Sharded => "sharded",
+            ParallelMode::Pipeline => "pipeline",
         })
     }
 }
@@ -45,8 +57,9 @@ impl std::str::FromStr for ParallelMode {
         match s {
             "checkpoint" => Ok(ParallelMode::Checkpoint),
             "sharded" => Ok(ParallelMode::Sharded),
+            "pipeline" => Ok(ParallelMode::Pipeline),
             other => Err(format!(
-                "unknown parallel mode `{other}` (checkpoint|sharded)"
+                "unknown parallel mode `{other}` (checkpoint|sharded|pipeline)"
             )),
         }
     }
@@ -88,16 +101,23 @@ pub struct ParallelReport {
     pub jobs: usize,
     /// Per-worker accounting, indexed by worker.
     pub workers: Vec<WorkerStats>,
-    /// Wall-clock of the sequential checkpoint-build pass (zero in
-    /// sharded mode, which has no sequential phase).
+    /// Wall-clock of the sequential checkpoint-build pass. Zero in
+    /// sharded mode (no sequential phase) and in pipeline mode, where
+    /// the warming pass overlaps the parallel phase and is reported in
+    /// [`PipelineStats::producer_wall`] instead.
     pub build_wall: Duration,
     /// Wall-clock of the parallel phase (the longest worker critical
-    /// path, as observed by the caller).
+    /// path, as observed by the caller). In pipeline mode this is the
+    /// whole overlapped run.
     pub parallel_wall: Duration,
+    /// Pipeline-mode accounting; `None` for the other modes.
+    pub pipeline: Option<PipelineStats>,
 }
 
 impl ParallelReport {
     /// Total wall-clock: sequential build pass plus parallel phase.
+    /// In pipeline mode the phases overlap, so this is simply the
+    /// end-to-end elapsed time.
     pub fn wall_total(&self) -> Duration {
         self.build_wall + self.parallel_wall
     }
@@ -114,6 +134,51 @@ impl ParallelReport {
         }
         total
     }
+}
+
+/// Accounting specific to [`ParallelMode::Pipeline`]: the overlapped
+/// producer pass and the bounded checkpoint residency that replaces the
+/// checkpoint library's O(n units) footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Configured channel capacity, in checkpoints.
+    pub depth: usize,
+    /// Wall-clock of the producer's functional-warming pass. It runs
+    /// concurrently with the consumers, so it is *not* added to
+    /// [`ParallelReport::wall_total`]; `parallel_wall` already covers it.
+    pub producer_wall: Duration,
+    /// Checkpoints the producer emitted.
+    pub emitted: u64,
+    /// Most checkpoints simultaneously alive (queued, being replayed,
+    /// plus the one the producer holds while offering it); bounded by
+    /// `depth + jobs + 1` by construction.
+    pub peak_resident_checkpoints: usize,
+    /// Peak bytes those resident checkpoints held (per-checkpoint
+    /// footprints, with copy-on-write page sharing between live
+    /// checkpoints not discounted — an upper bound).
+    pub peak_resident_bytes: u64,
+}
+
+/// Reduces per-unit replay outcomes in stream order, stopping at the
+/// first partial unit exactly as the sequential replay loop does — the
+/// deterministic merge shared by checkpoint and pipeline modes.
+///
+/// Every index must have been claimed exactly once, so after sorting the
+/// vector is a permutation-free `0..len`.
+pub(crate) fn merge_outcomes(
+    mut outcomes: Vec<(usize, UnitReplay)>,
+) -> (Vec<UnitSample>, ModeInstructions) {
+    outcomes.sort_unstable_by_key(|(index, _)| *index);
+    let mut units = Vec::with_capacity(outcomes.len());
+    let mut instructions = ModeInstructions::default();
+    for (_, replay) in outcomes {
+        replay.account(&mut instructions);
+        match replay {
+            UnitReplay::Complete { sample, .. } => units.push(*sample),
+            UnitReplay::Partial { .. } => break,
+        }
+    }
+    (units, instructions)
 }
 
 /// A parallel sampling executor: worker-pool size, work-distribution
@@ -144,6 +209,7 @@ pub struct Executor {
     jobs: usize,
     mode: ParallelMode,
     shard_warmup: u64,
+    pipeline_depth: usize,
 }
 
 /// Default functional-warming run-in before a shard's first unit, in
@@ -151,9 +217,15 @@ pub struct Executor {
 /// [`Executor::with_shard_warmup`].
 pub const DEFAULT_SHARD_WARMUP: u64 = 100_000;
 
+/// Default pipeline channel depth, in checkpoints. Deep enough to ride
+/// out replay-cost variance between units, shallow enough that resident
+/// checkpoints stay a small multiple of the worker count; tune with
+/// [`Executor::with_pipeline_depth`].
+pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
+
 impl Executor {
     /// Creates an executor with `jobs` workers, checkpoint mode, and the
-    /// default shard warm-up.
+    /// default shard warm-up and pipeline depth.
     ///
     /// # Errors
     ///
@@ -166,6 +238,7 @@ impl Executor {
             jobs,
             mode: ParallelMode::Checkpoint,
             shard_warmup: DEFAULT_SHARD_WARMUP,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         })
     }
 
@@ -179,6 +252,14 @@ impl Executor {
     /// before a shard's first unit).
     pub fn with_shard_warmup(mut self, instructions: u64) -> Self {
         self.shard_warmup = instructions;
+        self
+    }
+
+    /// Sets the pipeline-mode channel depth (bounded to at least one
+    /// checkpoint: a zero-capacity channel would deadlock the producer
+    /// against its own emission).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
         self
     }
 
@@ -197,6 +278,11 @@ impl Executor {
         self.shard_warmup
     }
 
+    /// Pipeline-mode channel depth, in checkpoints.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
     /// Runs one parallel sampling simulation in the configured mode.
     ///
     /// # Errors
@@ -212,6 +298,7 @@ impl Executor {
         match self.mode {
             ParallelMode::Checkpoint => self.sample_checkpoint(sim, bench, params),
             ParallelMode::Sharded => shard::sample_sharded(self, sim, bench, params),
+            ParallelMode::Pipeline => pipeline::sample_pipeline(self, sim, bench, params),
         }
     }
 
@@ -274,22 +361,7 @@ impl Executor {
                     break;
                 }
                 let replay = sim.replay_unit(library, index)?;
-                match &replay {
-                    UnitReplay::Complete {
-                        sample,
-                        detailed_warmed,
-                    } => {
-                        instructions.detailed_warmed += detailed_warmed;
-                        instructions.measured += sample.instructions;
-                    }
-                    UnitReplay::Partial {
-                        detailed_warmed,
-                        measured,
-                    } => {
-                        instructions.detailed_warmed += detailed_warmed;
-                        instructions.measured += measured;
-                    }
-                }
+                replay.account(&mut instructions);
                 outcomes.push((index, replay));
             }
             Ok(WorkerOutput {
@@ -312,33 +384,7 @@ impl Executor {
             outcomes.extend(output.outcomes);
         }
 
-        // Deterministic merge: reduce per-unit results in stream order,
-        // stopping at the first partial unit exactly as the sequential
-        // replay loop does. Every index in 0..count was claimed exactly
-        // once, so after sorting the vector is a permutation-free 0..count.
-        outcomes.sort_unstable_by_key(|(index, _)| *index);
-        let mut units = Vec::with_capacity(count);
-        let mut instructions = ModeInstructions::default();
-        for (_, replay) in outcomes {
-            match replay {
-                UnitReplay::Complete {
-                    sample,
-                    detailed_warmed,
-                } => {
-                    instructions.detailed_warmed += detailed_warmed;
-                    instructions.measured += sample.instructions;
-                    units.push(*sample);
-                }
-                UnitReplay::Partial {
-                    detailed_warmed,
-                    measured,
-                } => {
-                    instructions.detailed_warmed += detailed_warmed;
-                    instructions.measured += measured;
-                    break;
-                }
-            }
-        }
+        let (units, instructions) = merge_outcomes(outcomes);
         if units.is_empty() {
             return Err(ExecError::Smarts(SmartsError::EmptySample));
         }
@@ -356,6 +402,7 @@ impl Executor {
             workers,
             build_wall: library.build_wall(),
             parallel_wall,
+            pipeline: None,
         })
     }
 }

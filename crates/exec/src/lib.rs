@@ -15,6 +15,11 @@
 //!   stream splits into one shard per worker with a configurable warming
 //!   run-in and no sequential pass, trading a measurable residual bias
 //!   ([`residual_bias`]) for zero up-front cost,
+//! * a **streamed checkpoint pipeline** ([`ParallelMode::Pipeline`]) — a
+//!   producer thread runs the same warming pass but emits each checkpoint
+//!   into a bounded channel as its unit boundary is reached, so detailed
+//!   replay overlaps warming and peak checkpoint residency stays bounded
+//!   by the channel depth ([`PipelineStats`]) instead of O(n units),
 //! * a **deterministic merge layer** — per-unit results are reduced in
 //!   stream order through [`smarts_core::SampleReport::from_units`], so a
 //!   checkpoint-mode run is *bit-identical* to the sequential
@@ -53,6 +58,7 @@ mod bias;
 mod compare;
 mod error;
 mod executor;
+mod pipeline;
 mod pool;
 mod shard;
 
@@ -60,5 +66,6 @@ pub use bias::{residual_bias, BiasReport};
 pub use compare::{compare_machines_parallel, sample_two_step_parallel};
 pub use error::ExecError;
 pub use executor::{
-    Executor, ParallelDriver, ParallelMode, ParallelReport, WorkerStats, DEFAULT_SHARD_WARMUP,
+    Executor, ParallelDriver, ParallelMode, ParallelReport, PipelineStats, WorkerStats,
+    DEFAULT_PIPELINE_DEPTH, DEFAULT_SHARD_WARMUP,
 };

@@ -1,0 +1,456 @@
+//! The streamed checkpoint pipeline: one producer thread runs the
+//! in-order functional-warming pass and emits each unit's checkpoint
+//! into a bounded channel the moment its boundary is reached; `jobs`
+//! consumer workers pull checkpoints and replay them concurrently.
+//!
+//! Compared with [`crate::ParallelMode::Checkpoint`], which materialises
+//! the whole library before any replay starts, the pipeline overlaps the
+//! two phases — wall time tends to `max(T_warm, T_detail/jobs)` instead
+//! of `T_warm + T_detail/jobs` — and bounds peak checkpoint residency by
+//! the channel depth plus in-flight replays instead of O(n units).
+//!
+//! # Channel protocol
+//!
+//! The channel is a hand-rolled bounded MPMC queue (`Mutex<VecDeque>` +
+//! two condvars; the standard library's `sync_channel` cannot observe
+//! consumer death from the sending side):
+//!
+//! * `send` blocks while the queue is at capacity and returns `false`
+//!   once every consumer has left — the producer's signal to stop
+//!   warming early instead of deadlocking against a dead pool,
+//! * `recv` blocks while the queue is empty and returns `None` once the
+//!   producer has closed — the consumers' termination signal,
+//! * both the close (producer side) and the leave (consumer side) are
+//!   drop guards, so they fire even when a thread unwinds.
+//!
+//! # Bit-identity
+//!
+//! The producer runs [`smarts_core::SmartsSim::stream_checkpoints`] —
+//! the exact loop `build_library` uses — and consumers run
+//! [`smarts_core::SmartsSim::replay_checkpoint`] — the exact per-unit
+//! episode `sample_library` uses. Units are mutually independent given
+//! their checkpoints, and the merge reduces them in stream order, so the
+//! report is bit-identical to sequential replay at any `jobs`/`depth`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::error::ExecError;
+use crate::executor::{
+    merge_outcomes, Executor, ParallelMode, ParallelReport, PipelineStats, WorkerStats,
+};
+use crate::pool::panic_message;
+use smarts_core::{
+    ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim, UnitCheckpoint,
+    UnitReplay,
+};
+use smarts_workloads::Benchmark;
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    consumers: usize,
+}
+
+/// A bounded multi-consumer channel whose `send` can observe consumer
+/// death (returning `false`) and whose `recv` can observe producer
+/// completion (returning `None`).
+struct Channel<T> {
+    capacity: usize,
+    state: Mutex<ChannelState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Channel<T> {
+    fn new(capacity: usize, consumers: usize) -> Self {
+        Channel {
+            capacity,
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+                consumers,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is at capacity; delivers `item` and
+    /// returns `true`, or drops it and returns `false` once every
+    /// consumer has left.
+    fn send(&self, item: T) -> bool {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.consumers == 0 {
+                return false;
+            }
+            if state.queue.len() < self.capacity {
+                state.queue.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            state = self.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks while the queue is empty; returns `None` once the producer
+    /// has closed and the queue has drained.
+    fn recv(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn leave(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.consumers -= 1;
+        self.not_full.notify_all();
+    }
+}
+
+/// Closes the channel when dropped — fires even if the producer unwinds,
+/// so consumers never block on a stream that will not resume.
+struct CloseOnDrop<'a, T>(&'a Channel<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Deregisters one consumer when dropped — fires even if the consumer
+/// unwinds, so the producer never blocks sending to a dead pool.
+struct LeaveOnDrop<'a, T>(&'a Channel<T>);
+
+impl<T> Drop for LeaveOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.leave();
+    }
+}
+
+/// Live-checkpoint accounting: current and peak counts/bytes across the
+/// producer and all consumers. Per-checkpoint byte footprints do not
+/// discount copy-on-write sharing between live checkpoints, so the peaks
+/// are upper bounds.
+#[derive(Default)]
+struct Residency {
+    count: AtomicUsize,
+    bytes: AtomicU64,
+    peak_count: AtomicUsize,
+    peak_bytes: AtomicU64,
+}
+
+impl Residency {
+    fn add(&self, bytes: u64) {
+        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_count.fetch_max(count, Ordering::Relaxed);
+        let total = self.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(total, Ordering::Relaxed);
+    }
+
+    fn remove(&self, bytes: u64) {
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+struct ConsumerOutput {
+    stats: WorkerStats,
+    outcomes: Vec<(usize, UnitReplay)>,
+}
+
+/// Runs one pipelined sampling simulation: producer thread warming and
+/// emitting, `jobs` consumer threads replaying, deterministic merge.
+pub(crate) fn sample_pipeline(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+) -> Result<ParallelReport, ExecError> {
+    let jobs = executor.jobs();
+    let depth = executor.pipeline_depth();
+    let loaded = bench.load();
+    let program = loaded.program.clone();
+    let channel: Channel<(usize, u64, UnitCheckpoint)> = Channel::new(depth, jobs);
+    let residency = Residency::default();
+    let t0 = Instant::now();
+
+    let (producer_result, consumer_results) = thread::scope(|scope| {
+        let channel = &channel;
+        let residency = &residency;
+        let program = &program;
+
+        let producer = scope.spawn(move || {
+            let _close = CloseOnDrop(channel);
+            let mut next_index = 0usize;
+            sim.stream_checkpoints(loaded, params, |checkpoint| {
+                let bytes = checkpoint.approx_resident_bytes();
+                residency.add(bytes);
+                let index = next_index;
+                next_index += 1;
+                if channel.send((index, bytes, checkpoint)) {
+                    true
+                } else {
+                    residency.remove(bytes);
+                    false
+                }
+            })
+        });
+
+        let consumers: Vec<_> = (0..jobs)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let _leave = LeaveOnDrop(channel);
+                    let start = Instant::now();
+                    let mut outcomes = Vec::new();
+                    let mut instructions = ModeInstructions::default();
+                    while let Some((index, bytes, checkpoint)) = channel.recv() {
+                        let replay = sim.replay_checkpoint(program, params, &checkpoint);
+                        drop(checkpoint);
+                        residency.remove(bytes);
+                        replay.account(&mut instructions);
+                        outcomes.push((index, replay));
+                    }
+                    ConsumerOutput {
+                        stats: WorkerStats {
+                            worker,
+                            units: outcomes.len() as u64,
+                            wall: start.elapsed(),
+                            instructions,
+                        },
+                        outcomes,
+                    }
+                })
+            })
+            .collect();
+
+        let consumer_results: Vec<_> = consumers
+            .into_iter()
+            .enumerate()
+            .map(|(worker, handle)| {
+                handle.join().map_err(|payload| ExecError::WorkerPanic {
+                    worker,
+                    message: panic_message(payload),
+                })
+            })
+            .collect();
+        // The producer is reported as worker `jobs`, past the consumers.
+        let producer_result = producer.join().map_err(|payload| ExecError::WorkerPanic {
+            worker: jobs,
+            message: panic_message(payload),
+        });
+        (producer_result, consumer_results)
+    });
+    let parallel_wall = t0.elapsed();
+
+    // Consumer panics take precedence: they are the usual root cause of a
+    // producer that reports a stopped stream.
+    let mut workers = Vec::with_capacity(jobs);
+    let mut outcomes: Vec<(usize, UnitReplay)> = Vec::new();
+    for result in consumer_results {
+        let output = result?;
+        workers.push(output.stats);
+        outcomes.extend(output.outcomes);
+    }
+    let summary = producer_result??;
+
+    let (units, instructions) = merge_outcomes(outcomes);
+    if units.is_empty() {
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    let report =
+        SampleReport::from_units(*params, units, instructions, Duration::ZERO, parallel_wall);
+    Ok(ParallelReport {
+        report,
+        mode: ParallelMode::Pipeline,
+        jobs,
+        workers,
+        build_wall: Duration::ZERO,
+        parallel_wall,
+        pipeline: Some(PipelineStats {
+            depth,
+            producer_wall: summary.build_wall,
+            emitted: summary.emitted,
+            peak_resident_checkpoints: residency.peak_count.load(Ordering::Relaxed),
+            peak_resident_bytes: residency.peak_bytes.load(Ordering::Relaxed),
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_core::Warming;
+    use smarts_uarch::MachineConfig;
+    use smarts_workloads::find;
+
+    #[test]
+    fn channel_delivers_in_order_then_closes() {
+        let channel: Channel<u32> = Channel::new(4, 1);
+        assert!(channel.send(1));
+        assert!(channel.send(2));
+        assert!(channel.send(3));
+        channel.close();
+        assert_eq!(channel.recv(), Some(1));
+        assert_eq!(channel.recv(), Some(2));
+        assert_eq!(channel.recv(), Some(3));
+        assert_eq!(channel.recv(), None);
+        assert_eq!(channel.recv(), None);
+    }
+
+    #[test]
+    fn channel_send_fails_once_consumers_leave() {
+        let channel: Channel<u32> = Channel::new(2, 2);
+        channel.leave();
+        assert!(channel.send(7), "one consumer still registered");
+        channel.leave();
+        assert!(!channel.send(8), "no consumers left");
+    }
+
+    #[test]
+    fn channel_blocks_at_capacity_until_drained() {
+        let channel: Channel<u32> = Channel::new(1, 1);
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                // The second send must block until the main thread
+                // receives the first item.
+                assert!(channel.send(10));
+                assert!(channel.send(20));
+                channel.close();
+            });
+            assert_eq!(channel.recv(), Some(10));
+            assert_eq!(channel.recv(), Some(20));
+            assert_eq!(channel.recv(), None);
+        });
+    }
+
+    #[test]
+    fn channel_unblocks_a_full_send_when_consumers_die() {
+        let channel: Channel<u32> = Channel::new(1, 1);
+        thread::scope(|scope| {
+            let sender = scope.spawn(|| {
+                assert!(channel.send(1));
+                // Fills the queue; blocks until the consumer leaves,
+                // then reports failure instead of deadlocking.
+                channel.send(2)
+            });
+            // Wait for the first send to land before the consumer dies,
+            // so the sender is full (or about to block) when it does.
+            while channel.state.lock().unwrap().queue.is_empty() {
+                thread::yield_now();
+            }
+            let guard = LeaveOnDrop(&channel);
+            drop(guard);
+            assert!(!sender.join().unwrap());
+        });
+    }
+
+    fn sim() -> SmartsSim {
+        SmartsSim::new(MachineConfig::eight_way())
+    }
+
+    fn design(bench: &Benchmark, n: u64) -> SamplingParams {
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, n, 1)
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_is_bit_identical_to_sequential_replay() {
+        let sim = sim();
+        let bench = find("branchy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 8);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let sequential = sim.sample_library(&library).unwrap();
+        for (jobs, depth) in [(1, 1), (2, 4), (3, 2)] {
+            let outcome = Executor::new(jobs)
+                .unwrap()
+                .with_mode(ParallelMode::Pipeline)
+                .with_pipeline_depth(depth)
+                .sample(&sim, &bench, &params)
+                .unwrap();
+            assert_eq!(outcome.report.sample_size(), sequential.sample_size());
+            assert_eq!(
+                outcome.report.cpi().mean().to_bits(),
+                sequential.cpi().mean().to_bits(),
+                "CPI differs at jobs={jobs} depth={depth}"
+            );
+            assert_eq!(
+                outcome.report.epi().mean().to_bits(),
+                sequential.epi().mean().to_bits()
+            );
+            assert_eq!(outcome.report.instructions, sequential.instructions);
+        }
+    }
+
+    #[test]
+    fn pipeline_residency_is_bounded_by_depth_plus_workers() {
+        let sim = sim();
+        let bench = find("hashp-2").unwrap().scaled(0.05);
+        let params = design(&bench, 10);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let (jobs, depth) = (2, 2);
+        let outcome = Executor::new(jobs)
+            .unwrap()
+            .with_mode(ParallelMode::Pipeline)
+            .with_pipeline_depth(depth)
+            .sample(&sim, &bench, &params)
+            .unwrap();
+        let stats = outcome.pipeline.expect("pipeline stats present");
+        assert_eq!(stats.depth, depth);
+        assert_eq!(stats.emitted as usize, library.len());
+        // Queued (≤ depth) + replaying (≤ jobs) + the one the producer
+        // holds while offering it.
+        assert!(stats.peak_resident_checkpoints <= depth + jobs + 1);
+        assert!(stats.peak_resident_checkpoints >= 1);
+        assert!(stats.peak_resident_bytes > 0);
+        // And far below the materialised library's footprint when the
+        // library has many more units than the residency bound.
+        assert!(stats.peak_resident_bytes < library.approx_resident_bytes() * 2);
+        assert!(stats.producer_wall > Duration::ZERO);
+        assert_eq!(outcome.build_wall, Duration::ZERO);
+        assert_eq!(outcome.mode, ParallelMode::Pipeline);
+        assert_eq!(outcome.workers.len(), jobs);
+    }
+
+    #[test]
+    fn pipeline_propagates_an_empty_stream() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.02);
+        // A design for a stream 100× longer than the real one, phased so
+        // the first unit boundary lies past the benchmark's halt.
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len() * 100,
+            1000,
+            2000,
+            Warming::Functional,
+            10,
+            0,
+        )
+        .unwrap();
+        let params = params.with_offset(params.interval - 1).unwrap();
+        let err = Executor::new(2)
+            .unwrap()
+            .with_mode(ParallelMode::Pipeline)
+            .sample(&sim, &bench, &params)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Smarts(SmartsError::EmptySample)));
+    }
+}

@@ -7,7 +7,7 @@ use crate::error::ExecError;
 
 /// Renders a panic payload (the `Box<dyn Any>` from `JoinHandle::join`)
 /// as a readable message.
-fn panic_message(payload: Box<dyn Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -187,6 +187,7 @@ pub(crate) fn sample_sharded(
         workers,
         build_wall: Duration::ZERO,
         parallel_wall,
+        pipeline: None,
     })
 }
 

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
@@ -83,6 +83,23 @@ impl Memory {
     /// Bytes of backing store currently allocated.
     pub fn resident_bytes(&self) -> usize {
         self.pages.len() * PAGE_SIZE
+    }
+
+    /// Bytes of backing store not already counted in `seen`, which
+    /// accumulates page identities (`Arc` pointers) across calls.
+    ///
+    /// Clones share pages copy-on-write, so summing
+    /// [`Memory::resident_bytes`] over a set of snapshots overstates
+    /// their true footprint; folding each snapshot through one `seen`
+    /// set counts every physical page exactly once.
+    pub fn resident_bytes_dedup(&self, seen: &mut HashSet<usize>) -> usize {
+        let mut fresh = 0;
+        for page in self.pages.values() {
+            if seen.insert(Arc::as_ptr(page) as usize) {
+                fresh += PAGE_SIZE;
+            }
+        }
+        fresh
     }
 
     fn page(&mut self, page_index: u64) -> &mut [u8; PAGE_SIZE] {
@@ -260,6 +277,24 @@ mod tests {
         assert_eq!(snapshot.read_u64(0x10_0000), 0);
         assert_eq!(a.read_u64(0x100), 9);
         assert_eq!(a.read_u64(0x10_0000), 3);
+    }
+
+    #[test]
+    fn dedup_counts_shared_pages_once() {
+        let mut a = Memory::new();
+        a.write_u64(0x100, 7);
+        a.write_u64(0x10_0000, 3);
+        let b = a.clone(); // shares both pages
+        let mut c = a.clone();
+        c.write_u64(0x100, 9); // diverges on one page
+
+        let mut seen = HashSet::new();
+        let first = a.resident_bytes_dedup(&mut seen);
+        assert_eq!(first, 2 * PAGE_SIZE);
+        // b shares everything with a: nothing new.
+        assert_eq!(b.resident_bytes_dedup(&mut seen), 0);
+        // c rewrote one page copy-on-write: exactly one new page.
+        assert_eq!(c.resident_bytes_dedup(&mut seen), PAGE_SIZE);
     }
 
     #[test]

@@ -243,6 +243,17 @@ impl BranchPredictor {
         }
     }
 
+    /// Approximate bytes of backing store (direction tables, BTB, RAS),
+    /// for checkpoint footprint accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.bimodal.len()
+            + self.gshare.len()
+            + self.meta.len()
+            + self.btb.entries.len() * std::mem::size_of::<BtbEntry>()
+            + self.btb.mru.len() * std::mem::size_of::<u32>()
+            + self.ras.len() * std::mem::size_of::<u64>()
+    }
+
     #[inline]
     fn bimodal_index(&self, pc: u64) -> usize {
         // Table sizes are asserted powers of two; mask instead of modulo.

@@ -217,6 +217,33 @@ impl Cache {
         }
     }
 
+    /// Pre-touches the set run for `addr`: reads every way's packed
+    /// record so an imminent [`Cache::access`] scan finds the set in
+    /// host cache. Read-only (`&self`), so it cannot perturb replacement
+    /// state — issuing pre-touches for a batch of future accesses before
+    /// scanning them in order is bit-identical to not pre-touching.
+    #[inline]
+    pub fn prefetch_set(&self, addr: u64) {
+        let (set, _) = self.set_and_tag(addr);
+        let base = set as usize * self.assoc;
+        // One read per host cache line the set run spans (packed records
+        // are 24 B, so stride 2 lands on every 64-B line): enough to
+        // start the fills without re-doing the scan's work.
+        let mut touched = 0u64;
+        let mut way = 0;
+        while way < self.assoc {
+            touched ^= self.lines[base + way].lru;
+            way += 2;
+        }
+        std::hint::black_box(touched);
+    }
+
+    /// Approximate bytes of backing store (packed line records plus the
+    /// per-set MRU hints), for checkpoint footprint accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.lines.len() * std::mem::size_of::<Line>() + self.mru.len() * std::mem::size_of::<u32>()
+    }
+
     /// Whether the line containing `addr` is resident, without touching
     /// LRU state or statistics.
     pub fn probe(&self, addr: u64) -> bool {

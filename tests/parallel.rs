@@ -73,6 +73,62 @@ fn checkpoint_replay_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn pipeline_mode_is_bit_identical_across_the_suite() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    for bench in smarts::workloads::suite() {
+        // Small scale and design: the matrix below runs six pipeline
+        // configurations (plus three baselines) per suite benchmark.
+        let bench = bench.scaled(0.01);
+        let p = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            500,
+            500,
+            Warming::Functional,
+            4,
+            0,
+        )
+        .expect("valid sampling parameters");
+        let library = sim.build_library(&bench, &p).expect("library builds");
+        let sequential = sim.sample_library(&library).expect("sequential replay");
+        let checkpoint = sim
+            .sample_parallel(&bench, &p, &Executor::new(2).expect("executor"))
+            .expect("checkpoint run");
+        for jobs in [1usize, 2, 8] {
+            for depth in [1usize, 4] {
+                let executor = Executor::new(jobs)
+                    .expect("executor")
+                    .with_mode(ParallelMode::Pipeline)
+                    .with_pipeline_depth(depth);
+                let pipeline = sim
+                    .sample_parallel(&bench, &p, &executor)
+                    .expect("pipeline sampling");
+                let what = format!("{} at {jobs} jobs, depth {depth}", bench.name());
+                assert_bit_identical(&pipeline.report, &sequential, &what);
+                assert_bit_identical(&pipeline.report, &checkpoint.report, &what);
+                let stats = pipeline.pipeline.expect("pipeline stats");
+                assert_eq!(stats.depth, depth, "{what}: configured depth");
+                // Every measured unit was streamed; the producer may have
+                // emitted one extra checkpoint whose unit the stream's
+                // halt cut short (replayed as partial, excluded from the
+                // sample by the deterministic merge).
+                assert!(
+                    stats.emitted >= sequential.sample_size()
+                        && stats.emitted <= sequential.sample_size() + 1,
+                    "{what}: emitted {} vs sample size {}",
+                    stats.emitted,
+                    sequential.sample_size()
+                );
+                assert!(
+                    stats.peak_resident_checkpoints <= depth + jobs + 1,
+                    "{what}: residency peak {} exceeds depth + jobs + 1",
+                    stats.peak_resident_checkpoints
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn sharded_mode_stays_close_to_sequential() {
     let sim = SmartsSim::new(MachineConfig::eight_way());
     let bench = find("hashp-2").expect("suite benchmark").scaled(0.1);
