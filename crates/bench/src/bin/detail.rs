@@ -1,0 +1,226 @@
+//! Detailed-simulation throughput: the S_D hot path, measured directly.
+//!
+//! SMARTS's speedup model (Section 3.4) is far less sensitive to the
+//! detailed rate S_D than to S_FW — but only because detailed cycles are
+//! confined to tiny sampling units. This binary measures what the
+//! detailed engine actually delivers, via the in-tree median-of-7
+//! harness. For each probe benchmark it reports:
+//!
+//! * **functional** — plain fast-forward MIPS (the S_F ≡ 1 reference),
+//! * **scan** — detailed KIPS of the scan-per-cycle reference model
+//!   ([`smarts_uarch::ScanPipeline`], kept in-tree as the bit-identity
+//!   oracle),
+//! * **event** — detailed KIPS of the event-driven production model
+//!   ([`smarts_uarch::Pipeline`]: wakeup lists, a completion heap, and
+//!   dead-cycle skipping), plus the fraction of cycles it never stepped,
+//! * the event/scan speedup and the implied S_D (event rate /
+//!   functional rate), which feeds
+//!   `smarts_core::SpeedupModel::from_measured_rates`.
+//!
+//! Results are written to `results/bench_detail.json`, the baseline the
+//! `detail_guard` binary compares against in CI. Benchmark loading is
+//! hoisted out of the timed region; both models replay identical
+//! correct-path traces from cloned images.
+
+use smarts_bench::timing::{self, time};
+use smarts_core::{FunctionalEngine, SpeedupModel};
+use smarts_isa::{Cpu, ExecRecord, Memory, Program};
+use smarts_uarch::{MachineConfig, Pipeline, ScanPipeline, UnitMeasurement, WarmState};
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Same probe set as the warming bench: the Figure 4 probe plus one
+/// benchmark per pressure class (I-side, D-side long-history, branch
+/// predictor) — memory stalls, tight loops, and redirects all hit
+/// different parts of the detailed engine.
+const PROBES: [&str; 4] = ["hashp-2", "loopy-1", "chase-2", "branchy-1"];
+
+struct Row {
+    name: String,
+    instructions: u64,
+    functional: Duration,
+    scan: Duration,
+    event: Duration,
+    skipped_fraction: f64,
+}
+
+impl Row {
+    fn functional_mips(&self) -> f64 {
+        self.instructions as f64 / self.functional.as_secs_f64() / 1e6
+    }
+
+    fn scan_kips(&self) -> f64 {
+        self.instructions as f64 / self.scan.as_secs_f64() / 1e3
+    }
+
+    fn event_kips(&self) -> f64 {
+        self.instructions as f64 / self.event.as_secs_f64() / 1e3
+    }
+
+    fn speedup(&self) -> f64 {
+        self.scan.as_secs_f64() / self.event.as_secs_f64()
+    }
+
+    fn s_d(&self) -> f64 {
+        self.event_kips() / 1e3 / self.functional_mips()
+    }
+}
+
+/// A fresh functional CPU over the loaded image, as a trace source for a
+/// detailed model.
+fn trace_source<'a>(
+    program: &'a Program,
+    memory: &'a Memory,
+) -> impl FnMut() -> Option<ExecRecord> + 'a {
+    let mut cpu = Cpu::new();
+    let mut mem = memory.clone();
+    move || {
+        if cpu.halted() {
+            return None;
+        }
+        cpu.step(program, &mut mem).ok()
+    }
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let instructions: u64 = if args.quick { 60_000 } else { 400_000 };
+    smarts_bench::banner(
+        "Detailed throughput",
+        "scan-per-cycle reference vs event-driven detailed model (8-way machine)",
+    );
+
+    let cfg = MachineConfig::eight_way();
+    let probes: Vec<String> = match &args.bench {
+        Some(name) => vec![name.clone()],
+        None if args.quick => vec![PROBES[0].to_string()],
+        None => PROBES.iter().map(|s| s.to_string()).collect(),
+    };
+
+    println!(
+        "{:<12} {:>10} {:>11} {:>11} {:>8} {:>8} {:>8}",
+        "benchmark", "func MIPS", "scan KIPS", "event KIPS", "speedup", "skipped", "S_D"
+    );
+    let mut rows = Vec::new();
+    for name in &probes {
+        let bench = smarts_workloads::find(name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+            .scaled(1.0);
+        let loaded = bench.load();
+
+        let functional = time(|| {
+            let mut engine = FunctionalEngine::new(loaded.clone());
+            engine.fast_forward(instructions)
+        });
+        let mut scan_measure = UnitMeasurement::default();
+        let scan = time(|| {
+            let mut warm = WarmState::new(&cfg);
+            let mut pipeline = ScanPipeline::new(&cfg);
+            let mut source = trace_source(&loaded.program, &loaded.memory);
+            scan_measure = pipeline.run(&mut warm, &mut source, instructions, true);
+        });
+        let mut event_measure = UnitMeasurement::default();
+        let mut skipped_fraction = 0.0;
+        let event = time(|| {
+            let mut warm = WarmState::new(&cfg);
+            let mut pipeline = Pipeline::new(&cfg);
+            let mut source = trace_source(&loaded.program, &loaded.memory);
+            event_measure = pipeline.run(&mut warm, &mut source, instructions, true);
+            skipped_fraction = pipeline.skipped_cycles() as f64 / event_measure.cycles as f64;
+        });
+        assert_eq!(
+            event_measure, scan_measure,
+            "{name}: models diverged — the benchmark is only valid over identical work"
+        );
+
+        let row = Row {
+            name: name.clone(),
+            instructions,
+            functional,
+            scan,
+            event,
+            skipped_fraction,
+        };
+        println!(
+            "{:<12} {:>10.2} {:>11.1} {:>11.1} {:>7.2}x {:>7.1}% {:>8.5}",
+            row.name,
+            row.functional_mips(),
+            row.scan_kips(),
+            row.event_kips(),
+            row.speedup(),
+            row.skipped_fraction * 100.0,
+            row.s_d()
+        );
+        rows.push(row);
+    }
+    println!();
+    for row in &rows {
+        println!(
+            "{}: functional {} / scan {} / event {}",
+            row.name,
+            timing::pretty(row.functional),
+            timing::pretty(row.scan),
+            timing::pretty(row.event)
+        );
+    }
+
+    // The Section 3.4 projection at this host's measured operating point
+    // (paper parameters: n = 10_000 units of U = 1000 instructions with
+    // W = 2000 detailed-warming instructions, over a 10 G stream).
+    if let Some(worst) = rows
+        .iter()
+        .min_by(|a, b| a.s_d().total_cmp(&b.s_d()))
+        .filter(|r| r.functional_mips() > 0.0)
+    {
+        let model = SpeedupModel::from_measured_rates(
+            worst.functional_mips(),
+            worst.functional_mips(), // S_FW not measured here; S = 1 bound
+            worst.event_kips() / 1e3,
+        );
+        let rate = model.detailed_warming_rate(10_000.0, 1000.0, 2000.0, 10e9);
+        println!(
+            "\nworst-case measured S_D = {:.5} ({}): detailed-warming rate {:.4} of S_F \
+             at the paper's n=10k, U=1k, W=2k operating point",
+            model.s_d, worst.name, rate
+        );
+    }
+
+    write_json(&rows).expect("write results/bench_detail.json");
+    println!("\nwrote results/bench_detail.json");
+}
+
+/// Emits the machine-readable baseline (hand-rolled JSON: the workspace
+/// builds offline, with no serde).
+fn write_json(rows: &[Row]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/bench_detail.json")?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"detail\",")?;
+    writeln!(f, "  \"samples_per_case\": {},", timing::SAMPLES)?;
+    writeln!(f, "  \"machine\": \"8-way\",")?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"benchmark\": \"{}\",", row.name)?;
+        writeln!(f, "      \"instructions\": {},", row.instructions)?;
+        writeln!(
+            f,
+            "      \"functional_mips\": {:.3},",
+            row.functional_mips()
+        )?;
+        writeln!(f, "      \"scan_kips\": {:.3},", row.scan_kips())?;
+        writeln!(f, "      \"detailed_kips\": {:.3},", row.event_kips())?;
+        writeln!(f, "      \"event_over_scan\": {:.4},", row.speedup())?;
+        writeln!(
+            f,
+            "      \"skipped_cycle_fraction\": {:.4},",
+            row.skipped_fraction
+        )?;
+        writeln!(f, "      \"s_d\": {:.6}", row.s_d())?;
+        writeln!(f, "    }}{comma}")?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}

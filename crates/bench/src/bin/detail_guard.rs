@@ -1,0 +1,185 @@
+//! CI detailed-rate regression guard.
+//!
+//! Reads the checked-in reference `results/bench_detail.json` (this
+//! binary never writes it — the `detail` binary owns the file and CI
+//! runs this guard *before* re-generating it), re-measures the
+//! detailed-mode KIPS of each reference probe on the event-driven
+//! [`Pipeline`] with the same median-of-7 harness, and exits non-zero
+//! when any probe's detailed rate has dropped more than [`TOLERANCE`]
+//! below its reference — the S_D regression gate for the detailed
+//! engine.
+//!
+//! `--quick` checks only the first reference probe; `--bench <name>`
+//! restricts to one probe.
+
+use smarts_bench::timing::time;
+use smarts_isa::{Cpu, ExecRecord, Memory, Program};
+use smarts_uarch::{MachineConfig, Pipeline, WarmState};
+
+/// Largest tolerated drop of measured detailed KIPS below the reference
+/// (machine-to-machine and load-induced noise stays well inside this;
+/// a real hot-path regression does not).
+const TOLERANCE: f64 = 0.20;
+
+/// Total measurement attempts per probe. Between-invocation host noise
+/// (frequency scaling, co-tenant load) can depress a whole median-of-7
+/// batch; a probe only counts as regressed when *every* attempt lands
+/// below the tolerance, which a real hot-path regression still does.
+const ATTEMPTS: u32 = 3;
+
+struct Reference {
+    benchmark: String,
+    instructions: u64,
+    detailed_kips: f64,
+}
+
+/// A fresh functional CPU over the loaded image, as a trace source.
+fn trace_source<'a>(
+    program: &'a Program,
+    memory: &'a Memory,
+) -> impl FnMut() -> Option<ExecRecord> + 'a {
+    let mut cpu = Cpu::new();
+    let mut mem = memory.clone();
+    move || {
+        if cpu.halted() {
+            return None;
+        }
+        cpu.step(program, &mut mem).ok()
+    }
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let path = "results/bench_detail.json";
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read reference {path}: {e}")));
+    let mut references = parse_references(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse reference {path}: {e}")));
+    if references.is_empty() {
+        fail(&format!("reference {path} lists no probes"));
+    }
+    if args.quick {
+        references.truncate(1);
+    }
+    if let Some(name) = &args.bench {
+        references.retain(|r| &r.benchmark == name);
+        if references.is_empty() {
+            fail(&format!("reference {path} has no probe named {name}"));
+        }
+    }
+
+    smarts_bench::banner(
+        "Detailed-rate guard",
+        &format!(
+            "fails if detailed KIPS drops more than {:.0}% below results/bench_detail.json",
+            TOLERANCE * 100.0
+        ),
+    );
+    let cfg = MachineConfig::eight_way();
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "ref KIPS", "now KIPS", "ratio"
+    );
+    let mut regressed = false;
+    for reference in &references {
+        let bench = smarts_workloads::find(&reference.benchmark)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "reference probe {} is not in the suite",
+                    reference.benchmark
+                ))
+            })
+            .scaled(1.0);
+        let loaded = bench.load();
+        let instructions = reference.instructions;
+        let mut kips = 0.0f64;
+        let mut ratio = 0.0f64;
+        let mut ok = false;
+        for _ in 0..ATTEMPTS {
+            let detailed = time(|| {
+                let mut warm = WarmState::new(&cfg);
+                let mut pipeline = Pipeline::new(&cfg);
+                let mut source = trace_source(&loaded.program, &loaded.memory);
+                pipeline.run(&mut warm, &mut source, instructions, true)
+            });
+            let attempt_kips = instructions as f64 / detailed.as_secs_f64() / 1e3;
+            if attempt_kips > kips {
+                kips = attempt_kips;
+                ratio = kips / reference.detailed_kips;
+            }
+            if ratio >= 1.0 - TOLERANCE {
+                ok = true;
+                break;
+            }
+        }
+        regressed |= !ok;
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>8.3}  {}",
+            reference.benchmark,
+            reference.detailed_kips,
+            kips,
+            ratio,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+    if regressed {
+        eprintln!(
+            "\ndetailed rate regressed beyond the {:.0}% guard",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\ndetailed rate within the guard");
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("detail_guard: {msg}");
+    std::process::exit(1)
+}
+
+/// Extracts `(benchmark, instructions, detailed_kips)` triples from the
+/// reference file. Hand-rolled (the workspace builds offline, no serde):
+/// scans for the three keys in order within each result object, which is
+/// exactly the shape the `detail` binary writes.
+fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
+    let mut references = Vec::new();
+    let mut benchmark: Option<String> = None;
+    let mut instructions: Option<u64> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(value) = key_value(line, "benchmark") {
+            benchmark = Some(value.trim_matches('"').to_string());
+        } else if let Some(value) = key_value(line, "instructions") {
+            instructions = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad instructions value `{value}`"))?,
+            );
+        } else if let Some(value) = key_value(line, "detailed_kips") {
+            let kips: f64 = value
+                .parse()
+                .map_err(|_| format!("bad detailed_kips value `{value}`"))?;
+            let benchmark = benchmark
+                .take()
+                .ok_or("detailed_kips before its benchmark name")?;
+            let instructions = instructions
+                .take()
+                .ok_or("detailed_kips before its instruction count")?;
+            if !(kips.is_finite() && kips > 0.0) {
+                return Err(format!("non-positive detailed_kips for {benchmark}"));
+            }
+            references.push(Reference {
+                benchmark,
+                instructions,
+                detailed_kips: kips,
+            });
+        }
+    }
+    Ok(references)
+}
+
+/// `"key": value,` → `value` (quotes kept, trailing comma stripped).
+fn key_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(&format!("\"{key}\":"))?;
+    Some(rest.trim().trim_end_matches(','))
+}

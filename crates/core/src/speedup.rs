@@ -46,6 +46,35 @@ impl SpeedupModel {
         }
     }
 
+    /// A model built from rates measured on this host (the
+    /// `warming`/`detail` bench binaries): `S_D` and `S_FW` are the
+    /// detailed and functional-warming rates normalized to the measured
+    /// plain-functional rate, matching the paper's `S_F ≡ 1` convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three rates are positive and neither warming
+    /// nor detailed simulation is faster than plain functional
+    /// simulation (they do strictly more work per instruction).
+    pub fn from_measured_rates(
+        functional_mips: f64,
+        warming_mips: f64,
+        detailed_mips: f64,
+    ) -> Self {
+        assert!(
+            functional_mips > 0.0 && warming_mips > 0.0 && detailed_mips > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            warming_mips <= functional_mips && detailed_mips <= functional_mips,
+            "warming/detailed cannot outrun plain functional simulation"
+        );
+        SpeedupModel {
+            s_d: detailed_mips / functional_mips,
+            s_fw: warming_mips / functional_mips,
+        }
+    }
+
     /// SMARTS simulation rate with detailed warming only (no functional
     /// warming), from the paper:
     /// `S = S_F·[N − n(U+W)]/N + S_D·[n(U+W)]/N`.
@@ -135,6 +164,22 @@ mod tests {
         let r2 = future.functional_warming_rate(args.0, args.1, args.2, args.3);
         assert!((r1 - r2).abs() / r1 < 0.01, "r1={r1} r2={r2}");
         assert!((r1 - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn measured_rates_normalize_to_functional() {
+        let m = SpeedupModel::from_measured_rates(200.0, 44.0, 2.5);
+        assert!((m.s_fw - 0.22).abs() < 1e-12);
+        assert!((m.s_d - 0.0125).abs() < 1e-12);
+        // The measured model plugs straight into the Section 3.4 rates.
+        let rate = m.functional_warming_rate(10_000.0, 1000.0, 2000.0, STREAM);
+        assert!(rate > 0.9 * m.s_fw && rate <= m.s_fw);
+    }
+
+    #[test]
+    #[should_panic]
+    fn measured_rates_reject_impossible_ordering() {
+        let _ = SpeedupModel::from_measured_rates(100.0, 150.0, 2.0);
     }
 
     #[test]

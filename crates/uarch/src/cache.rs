@@ -26,6 +26,48 @@ struct Line {
     dirty: bool,
 }
 
+/// Mirror-array value for ways holding no line. A real tag is an address
+/// with at least the line-offset bits shifted off, so it can collide with
+/// this sentinel only in degenerate geometries — and even then the valid
+/// bit is consulted before a match is believed.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// First way whose mirrored tag equals `tag` and whose line is valid.
+///
+/// The mirror keeps the set's tags in one contiguous `u64` run, so the
+/// chunked compare below is a fixed-width `u64x4` operation LLVM lowers
+/// to one vector compare + mask per four ways (no nightly `std::simd`).
+/// Candidates are confirmed against the packed records in ascending way
+/// order, which is exactly the scalar scan's first-match choice: at most
+/// one valid way per set can carry a given tag (fills happen only on
+/// miss), and sentinel false-positives are rejected by the valid bit.
+#[inline]
+fn find_way(tags: &[u64], lines: &[Line], tag: u64) -> Option<usize> {
+    let mut chunks = tags.chunks_exact(4);
+    let mut way = 0usize;
+    for c in &mut chunks {
+        let mut mask = (c[0] == tag) as u8
+            | (((c[1] == tag) as u8) << 1)
+            | (((c[2] == tag) as u8) << 2)
+            | (((c[3] == tag) as u8) << 3);
+        while mask != 0 {
+            let w = way + mask.trailing_zeros() as usize;
+            if lines[w].valid {
+                debug_assert_eq!(lines[w].tag, tag);
+                return Some(w);
+            }
+            mask &= mask - 1;
+        }
+        way += 4;
+    }
+    for (i, &t) in chunks.remainder().iter().enumerate() {
+        if t == tag && lines[way + i].valid {
+            return Some(way + i);
+        }
+    }
+    None
+}
+
 /// A write-back, write-allocate, set-associative cache with LRU
 /// replacement.
 ///
@@ -55,6 +97,11 @@ pub struct Cache {
     cfg: CacheConfig,
     // lines[set * assoc + way], one packed record per line.
     lines: Vec<Line>,
+    // Contiguous tag mirror, same indexing as `lines`; invalid ways hold
+    // `INVALID_TAG`. Lookup compares against this dense run (see
+    // `find_way`), so the invariant is: `lines[i].valid` implies
+    // `tags[i] == lines[i].tag`. Maintained at fill and flush.
+    tags: Vec<u64>,
     // Most-recently-touched way per set: checked first on lookup. Purely
     // a performance hint — replacement decisions never read it.
     mru: Vec<u32>,
@@ -85,6 +132,7 @@ impl Cache {
         Cache {
             cfg,
             lines: vec![Line::default(); lines],
+            tags: vec![INVALID_TAG; lines],
             mru: vec![0; sets as usize],
             tick: 0,
             sets,
@@ -134,6 +182,7 @@ impl Cache {
     /// pre-flush access order.
     pub fn flush(&mut self) {
         self.lines.fill(Line::default());
+        self.tags.fill(INVALID_TAG);
         self.mru.fill(0);
         self.tick = 0;
     }
@@ -160,12 +209,11 @@ impl Cache {
         let tick = self.tick;
         let (set, tag) = self.set_and_tag(addr);
         let base = set as usize * self.assoc;
-        let set_lines = &mut self.lines[base..base + self.assoc];
 
         // MRU fast path: the way that hit last time hits again for any
         // access stream with temporal locality — one compare, no scan.
         let mru = self.mru[set as usize] as usize;
-        if let Some(line) = set_lines.get_mut(mru) {
+        if let Some(line) = self.lines[base..base + self.assoc].get_mut(mru) {
             if line.valid && line.tag == tag {
                 line.lru = tick;
                 line.dirty |= is_write;
@@ -176,19 +224,23 @@ impl Cache {
             }
         }
 
-        for (way, line) in set_lines.iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                line.lru = tick;
-                line.dirty |= is_write;
-                self.mru[set as usize] = way as u32;
-                return CacheOutcome {
-                    hit: true,
-                    writeback: false,
-                };
-            }
+        if let Some(way) = find_way(
+            &self.tags[base..base + self.assoc],
+            &self.lines[base..base + self.assoc],
+            tag,
+        ) {
+            let line = &mut self.lines[base + way];
+            line.lru = tick;
+            line.dirty |= is_write;
+            self.mru[set as usize] = way as u32;
+            return CacheOutcome {
+                hit: true,
+                writeback: false,
+            };
         }
 
         self.misses += 1;
+        let set_lines = &mut self.lines[base..base + self.assoc];
         // Choose victim: invalid way first, else true LRU.
         let mut victim = 0;
         let mut best = u64::MAX;
@@ -210,6 +262,7 @@ impl Cache {
             valid: true,
             dirty: is_write,
         };
+        self.tags[base + victim] = tag;
         self.mru[set as usize] = victim as u32;
         CacheOutcome {
             hit: false,
@@ -235,13 +288,30 @@ impl Cache {
             touched ^= self.lines[base + way].lru;
             way += 2;
         }
+        // The tag mirror is read first on lookup; one touch per 64-B run
+        // of eight 8-B tags starts that fill too.
+        way = 0;
+        while way < self.assoc {
+            touched ^= self.tags[base + way];
+            way += 8;
+        }
         std::hint::black_box(touched);
     }
 
-    /// Approximate bytes of backing store (packed line records plus the
-    /// per-set MRU hints), for checkpoint footprint accounting.
+    /// Approximate bytes of backing store (packed line records, the tag
+    /// mirror, and the per-set MRU hints), for checkpoint footprint
+    /// accounting.
     pub fn approx_bytes(&self) -> usize {
-        self.lines.len() * std::mem::size_of::<Line>() + self.mru.len() * std::mem::size_of::<u32>()
+        self.lines.len() * std::mem::size_of::<Line>()
+            + self.tags.len() * std::mem::size_of::<u64>()
+            + self.mru.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The set index `addr` maps to (for host-locality-aware pre-touch
+    /// ordering; carries no replacement state).
+    #[inline]
+    pub(crate) fn set_index(&self, addr: u64) -> u64 {
+        self.set_and_tag(addr).0
     }
 
     /// Whether the line containing `addr` is resident, without touching
@@ -249,9 +319,12 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = set as usize * self.assoc;
-        self.lines[base..base + self.assoc]
-            .iter()
-            .any(|line| line.valid && line.tag == tag)
+        find_way(
+            &self.tags[base..base + self.assoc],
+            &self.lines[base..base + self.assoc],
+            tag,
+        )
+        .is_some()
     }
 }
 
@@ -384,6 +457,29 @@ mod tests {
         }
         for line in 0..4u64 {
             assert!(c.probe(line * 64), "line {line} should be resident");
+        }
+    }
+
+    #[test]
+    fn high_assoc_vector_lookup_preserves_hit_and_victim_order() {
+        // 8-way × 2 sets: lookups go through two full 4-wide chunks.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 1,
+        });
+        let line = |n: u64| n * 2 * 64; // successive lines of set 0
+        for n in 0..8 {
+            assert!(!c.access(line(n), false).hit);
+        }
+        for n in 0..8 {
+            assert!(c.access(line(n), false).hit, "way {n} should hit");
+        }
+        assert!(!c.access(line(8), false).hit); // evicts line 0 (LRU)
+        assert!(!c.probe(line(0)));
+        for n in 1..9 {
+            assert!(c.probe(line(n)), "line {n} should be resident");
         }
     }
 

@@ -57,6 +57,7 @@ mod cache;
 mod config;
 mod hierarchy;
 mod pipeline;
+mod scan;
 mod tlb;
 mod warm;
 
@@ -65,5 +66,6 @@ pub use cache::{Cache, CacheOutcome};
 pub use config::{CacheConfig, MachineConfig, OpLatencies, PredictorConfig, TlbConfig};
 pub use hierarchy::{AccessResult, CacheHierarchy};
 pub use pipeline::{Pipeline, TraceSource, UnitMeasurement};
+pub use scan::ScanPipeline;
 pub use tlb::Tlb;
 pub use warm::WarmState;

@@ -1,4 +1,4 @@
-//! Trace-driven out-of-order superscalar timing model.
+//! Trace-driven out-of-order superscalar timing model, event-driven.
 //!
 //! The pipeline replays the correct-path [`ExecRecord`] stream produced by
 //! the functional CPU through a cycle-accurate model of the Table 3
@@ -7,13 +7,34 @@
 //! issue to typed functional units, a post-commit store buffer draining
 //! through MSHRs, and in-order commit.
 //!
+//! Earlier revisions re-scanned the whole RUU every cycle (once in
+//! writeback looking for due completions, once in issue re-evaluating
+//! operand readiness) and stepped every cycle even when the machine was
+//! provably stalled. This implementation is event-driven with the *same*
+//! cycle-level semantics, bit-identical to the scan model kept in
+//! [`crate::scan`]:
+//!
+//! - **Wakeup lists** — each in-flight producer keeps an intrusive list
+//!   of the consumers waiting on it; completion walks the list and moves
+//!   consumers whose last operand arrived into a ready queue ordered by
+//!   sequence number (the scan's oldest-first issue order).
+//! - **Completion events** — issued entries sit in a min-heap keyed on
+//!   `(complete_cycle, seq)`; writeback pops exactly the due entries
+//!   instead of scanning the window.
+//! - **Next-event jump** — when a cycle is provably dead (nothing to
+//!   commit, issue, complete, drain, dispatch, or fetch), the clock jumps
+//!   straight to the earliest pending event (completion, store-buffer
+//!   drain, MSHR release, IFQ-entry availability, or fetch refill)
+//!   instead of burning one `step_cycle` per stalled tick.
+//!
 //! Wrong-path instructions are modelled as lost fetch bandwidth: after a
 //! misprediction is fetched, the front end supplies nothing until the
 //! branch resolves plus the refill penalty. The paper (Section 3.1, citing
 //! Cain et al.) argues wrong-path effects on CPI are minimal; our Table 5
 //! analogue quantifies the residual bias this leaves.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::bpred::Prediction;
 use crate::config::MachineConfig;
@@ -75,6 +96,8 @@ impl UnitMeasurement {
 }
 
 const NO_PRODUCER: u64 = u64::MAX;
+/// Terminator for the intrusive consumer lists (`seq << 1 | slot` links).
+const NO_LINK: u64 = u64::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EntryState {
@@ -87,10 +110,19 @@ enum EntryState {
 struct RobEntry {
     seq: u64,
     rec: ExecRecord,
-    srcs: [u64; 2],
     state: EntryState,
     complete_cycle: u64,
     mispredicted: bool,
+    /// Unsatisfied source operands (0..=2); the entry enters the ready
+    /// queue when this reaches zero.
+    pending: u8,
+    /// Head of the intrusive list of consumers waiting on this entry's
+    /// result, encoded as `consumer_seq << 1 | src_slot`; [`NO_LINK`]
+    /// terminates.
+    consumer_head: u64,
+    /// Per-source-slot continuation of the producer's consumer list this
+    /// entry is threaded onto.
+    next_consumer: [u64; 2],
 }
 
 #[derive(Debug, Clone)]
@@ -147,6 +179,10 @@ pub struct Pipeline {
     lsq_used: u32,
     store_buffer: VecDeque<SbEntry>,
     mshrs: Vec<u64>,
+    /// Cached `min(mshrs)`: the earliest cycle at which some MSHR is
+    /// free, so the common no-free-MSHR probe is O(1) and the next-event
+    /// jump knows when a stalled store can start.
+    mshr_min_release: u64,
     fus: [Vec<u64>; 4],
     ports_used: u32,
     fetch_stall_until: u64,
@@ -157,7 +193,23 @@ pub struct Pipeline {
     halted: bool,
     source_done: bool,
     pulled: u64,
+    /// Waiting entries whose operands are all available, ordered by seq
+    /// (= the scan model's oldest-first issue order). Entries that fail a
+    /// structural check (port, FU, MSHR, blocked load) stay queued.
+    ready: BTreeSet<u64>,
+    /// Scratch for iterating `ready` while issuing (reused allocation).
+    issue_scratch: Vec<u64>,
+    /// Issued entries awaiting writeback, keyed `(complete_cycle, seq)`.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    skipped_cycles: u64,
+    /// First cycle at which the dead-cycle check runs again after it
+    /// last found work (see the backoff note in [`Pipeline::run`]).
+    next_skip_check: u64,
 }
+
+/// Cycles to wait before re-trying the dead-cycle check after it found
+/// work at the current cycle.
+const SKIP_RECHECK: u64 = 4;
 
 impl Pipeline {
     /// Creates an empty (cold) pipeline for the given machine.
@@ -172,6 +224,7 @@ impl Pipeline {
             lsq_used: 0,
             store_buffer: VecDeque::with_capacity(cfg.store_buffer as usize),
             mshrs: vec![0; cfg.mshrs as usize],
+            mshr_min_release: 0,
             fus: [
                 vec![0; cfg.int_alu_units as usize],
                 vec![0; cfg.int_muldiv_units as usize],
@@ -185,6 +238,11 @@ impl Pipeline {
             halted: false,
             source_done: false,
             pulled: 0,
+            ready: BTreeSet::new(),
+            issue_scratch: Vec::with_capacity(cfg.issue_width as usize * 2),
+            completions: BinaryHeap::with_capacity(cfg.ruu_size as usize),
+            skipped_cycles: 0,
+            next_skip_check: 0,
         }
     }
 
@@ -206,6 +264,13 @@ impl Pipeline {
     /// Whether the trace source reported end-of-stream.
     pub fn source_done(&self) -> bool {
         self.source_done
+    }
+
+    /// Cycles advanced by the next-event jump instead of being stepped
+    /// (a subset of [`Pipeline::cycle`]; diagnostic for tests and
+    /// benchmarks).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Runs detailed simulation until `commits` more instructions commit
@@ -237,6 +302,22 @@ impl Pipeline {
             if self.source_done && self.rob.is_empty() && self.ifq.is_empty() {
                 break;
             }
+            // Dead-cycle skip, with backoff: when the check finds work at
+            // the current cycle it tends to keep finding work for a few
+            // cycles (drains, back-to-back issue), so re-checking every
+            // cycle is pure overhead on busy code. Not checking is always
+            // safe — the engine just steps those cycles normally — and a
+            // deferred check forfeits at most `SKIP_RECHECK - 1` initial
+            // cycles of a stall window, noise against the ~100-cycle
+            // memory stalls skipping exists for.
+            if self.cycle >= self.next_skip_check {
+                if let Some(target) = self.skip_target(warm) {
+                    self.skipped_cycles += target - self.cycle;
+                    self.cycle = target;
+                } else {
+                    self.next_skip_check = self.cycle + SKIP_RECHECK;
+                }
+            }
             let committed = self.step_cycle(
                 warm,
                 source,
@@ -267,6 +348,148 @@ impl Pipeline {
             pulled: self.pulled - start_pulled,
             counters,
         }
+    }
+
+    // ---- next-event jump -------------------------------------------------
+
+    /// If the current cycle is provably dead — `step_cycle` would change
+    /// nothing but the clock — returns the earliest future cycle at which
+    /// an event can occur, to jump to directly. Returns `None` when any
+    /// stage might act this cycle (conservative: correctness never
+    /// depends on skipping).
+    ///
+    /// Every condition consulted is either an explicit future event time
+    /// (collected into the minimum) or pipeline state that cannot change
+    /// while no stage executes, so deadness is monotone across the whole
+    /// skipped span and the jump lands exactly on the first cycle where
+    /// something happens — never past a fetch refill, store drain, MSHR
+    /// release, completion, or IFQ availability.
+    fn skip_target(&self, warm: &WarmState) -> Option<u64> {
+        let cycle = self.cycle;
+        let mut next: Option<u64> = None;
+        let mut note = |at: u64| {
+            next = Some(next.map_or(at, |n: u64| n.min(at)));
+        };
+
+        // Issue: a ready entry that would pass its structural checks
+        // means the cycle must be stepped. Entries that would `continue`
+        // are re-checked against state that only a noted event can
+        // change: a blocked load's older store advances via completion
+        // events, an MSHR frees at `mshr_min_release`, a functional unit
+        // at its busy-until cycle. (These probes are all read-only; the
+        // mutating cache/TLB accesses happen only on a real issue.)
+        if !self.ready.is_empty() {
+            let front_seq = self.rob.front().expect("ready entries are in the ROB").seq;
+            for &seq in &self.ready {
+                let idx = (seq - front_seq) as usize;
+                let entry = &self.rob[idx];
+                match entry.rec.class() {
+                    OpClass::Load => match self.load_plan(idx) {
+                        // Unblocks only after its older store completes —
+                        // a completion event already noted below.
+                        LoadPlan::Blocked => {}
+                        LoadPlan::Forward => return None,
+                        LoadPlan::CacheAccess => {
+                            // The cache port is free in a dead cycle
+                            // (`ports_used` resets before any consumer and
+                            // the store buffer started nothing).
+                            let addr = entry.rec.mem.expect("load").addr;
+                            if warm.hierarchy.l1d_resident(addr) || self.mshr_min_release <= cycle {
+                                return None;
+                            }
+                            note(self.mshr_min_release);
+                        }
+                    },
+                    // Stores, nops, and halts issue unconditionally.
+                    OpClass::Store | OpClass::Nop | OpClass::Halt => return None,
+                    class => {
+                        let (pool, _, _) = self.fu_for(class).expect("execution class has a unit");
+                        let mut earliest = u64::MAX;
+                        for &busy in &self.fus[pool as usize] {
+                            if busy <= cycle {
+                                return None; // a unit is free: would issue
+                            }
+                            earliest = earliest.min(busy);
+                        }
+                        if earliest != u64::MAX {
+                            note(earliest);
+                        }
+                    }
+                }
+            }
+        }
+        // Commit: a completed head would retire this cycle.
+        if let Some(head) = self.rob.front() {
+            if head.state == EntryState::Completed {
+                return None;
+            }
+        }
+        // Writeback: due completions must be processed; future ones are
+        // events.
+        if let Some(&Reverse((due, _))) = self.completions.peek() {
+            if due <= cycle {
+                return None;
+            }
+            note(due);
+        }
+        // Store-buffer retire: only the front can pop (in-order drain).
+        if let Some(front) = self.store_buffer.front() {
+            if let SbState::InFlight { done } = front.state {
+                if done <= cycle {
+                    return None;
+                }
+                note(done);
+            }
+        }
+        // Store-buffer start: the first waiting store launches as soon as
+        // its line is resident or an MSHR frees (the cache port is always
+        // free at drain time — `ports_used` resets at the top of the
+        // step, before any consumer).
+        if let Some(entry) = self
+            .store_buffer
+            .iter()
+            .find(|e| matches!(e.state, SbState::Waiting))
+        {
+            if warm.hierarchy.l1d_resident(entry.addr) || self.mshr_min_release <= cycle {
+                return None;
+            }
+            note(self.mshr_min_release);
+        }
+        // Dispatch: the front IFQ entry either dispatches now, becomes
+        // available later (event), or is blocked on RUU/LSQ space — which
+        // only a commit (driven by a completion event) can free.
+        if let Some(front) = self.ifq.front() {
+            if front.avail > cycle {
+                note(front.avail);
+            } else {
+                let rob_full = self.rob.len() >= self.cfg.ruu_size as usize;
+                let lsq_full = front.rec.class().is_mem() && self.lsq_used >= self.cfg.lsq_size;
+                if !rob_full && !lsq_full {
+                    return None;
+                }
+            }
+        }
+        // Fetch.
+        if self.pending_redirect {
+            if self.wrong_path_pc.is_some() {
+                if self.fetch_stall_until > cycle {
+                    note(self.fetch_stall_until);
+                } else {
+                    return None; // wrong-path fetch touches the I-side
+                }
+            }
+            // No wrong-path modelling: the front end idles until the
+            // redirect, which writeback (a completion event) delivers.
+        } else if !self.halted && !self.source_done {
+            if self.fetch_stall_until > cycle {
+                note(self.fetch_stall_until);
+            } else if self.ifq.len() < self.cfg.ifq_size as usize {
+                return None; // fetch would pull records
+            }
+            // IFQ full: unblocks via dispatch, handled above.
+        }
+
+        next.filter(|&target| target > cycle)
     }
 
     fn step_cycle(
@@ -367,25 +590,25 @@ impl Pipeline {
         if self.ports_used >= self.cfg.l1d_ports {
             return;
         }
-        let cycle = self.cycle;
-        let Some(entry) = self
+        let Some(pos) = self
             .store_buffer
-            .iter_mut()
-            .find(|e| matches!(e.state, SbState::Waiting))
+            .iter()
+            .position(|e| matches!(e.state, SbState::Waiting))
         else {
             return;
         };
-        let resident = warm.hierarchy.l1d_resident(entry.addr);
-        if !resident && !Self::mshr_available(&self.mshrs, cycle) {
+        let addr = self.store_buffer[pos].addr;
+        let resident = warm.hierarchy.l1d_resident(addr);
+        if !resident && !self.mshr_available() {
             return;
         }
-        let res = warm.hierarchy.access_data(entry.addr, true);
+        let res = warm.hierarchy.access_data(addr, true);
         self.ports_used += 1;
         if !res.l1_hit {
-            Self::mshr_allocate(&mut self.mshrs, cycle, cycle + res.latency);
+            self.mshr_allocate(self.cycle + res.latency);
         }
-        entry.state = SbState::InFlight {
-            done: cycle + res.latency,
+        self.store_buffer[pos].state = SbState::InFlight {
+            done: self.cycle + res.latency,
         };
         if measure {
             counters.l1d_accesses += 1;
@@ -394,14 +617,24 @@ impl Pipeline {
         }
     }
 
-    fn mshr_available(mshrs: &[u64], cycle: u64) -> bool {
-        mshrs.iter().any(|&release| release <= cycle)
+    /// Whether some MSHR is free this cycle — O(1) via the cached
+    /// minimum busy-until cycle (free slots are interchangeable: any
+    /// release at or before the current cycle stays free until reused).
+    fn mshr_available(&self) -> bool {
+        self.mshr_min_release <= self.cycle
     }
 
-    fn mshr_allocate(mshrs: &mut [u64], cycle: u64, until: u64) {
-        if let Some(slot) = mshrs.iter_mut().find(|release| **release <= cycle) {
+    /// Claims a free MSHR until `until`. Callers check
+    /// [`Pipeline::mshr_available`] (or residency) first, so a free slot
+    /// exists. Which free slot is overwritten is unobservable — all free
+    /// slots remain free for every future query until reused — so the
+    /// first-free choice matches the scan model bit-for-bit.
+    fn mshr_allocate(&mut self, until: u64) {
+        let cycle = self.cycle;
+        if let Some(slot) = self.mshrs.iter_mut().find(|release| **release <= cycle) {
             *slot = until;
         }
+        self.mshr_min_release = self.mshrs.iter().copied().min().unwrap_or(0);
     }
 
     // ---- writeback -------------------------------------------------------
@@ -409,24 +642,43 @@ impl Pipeline {
     fn writeback(&mut self, measure: bool, counters: &mut ActivityCounters) {
         let cycle = self.cycle;
         let mut redirect_at: Option<u64> = None;
-        for entry in self.rob.iter_mut() {
-            if entry.state == EntryState::Issued && entry.complete_cycle <= cycle {
-                entry.state = EntryState::Completed;
-                if measure {
-                    counters.window_wakeups += 1;
-                    if entry.rec.inst.defs().is_some() {
-                        counters.regfile_writes += 1;
-                    }
+        while let Some(&Reverse((due, seq))) = self.completions.peek() {
+            if due > cycle {
+                break;
+            }
+            self.completions.pop();
+            let front_seq = self.rob.front().expect("issued entry is in the ROB").seq;
+            let idx = (seq - front_seq) as usize;
+            let entry = &mut self.rob[idx];
+            debug_assert_eq!(entry.state, EntryState::Issued);
+            entry.state = EntryState::Completed;
+            if measure {
+                counters.window_wakeups += 1;
+                if entry.rec.inst.defs().is_some() {
+                    counters.regfile_writes += 1;
                 }
-                if entry.mispredicted {
-                    if measure {
-                        counters.branch_mispredicts += 1;
-                    }
-                    redirect_at = Some(
-                        redirect_at
-                            .unwrap_or(0)
-                            .max(entry.complete_cycle + self.cfg.bpred.mispred_penalty),
-                    );
+            }
+            if entry.mispredicted {
+                if measure {
+                    counters.branch_mispredicts += 1;
+                }
+                redirect_at = Some(
+                    redirect_at
+                        .unwrap_or(0)
+                        .max(entry.complete_cycle + self.cfg.bpred.mispred_penalty),
+                );
+            }
+            // Wake the consumers waiting on this result. They are all
+            // younger than the producer, hence still in the ROB.
+            let mut link = std::mem::replace(&mut entry.consumer_head, NO_LINK);
+            while link != NO_LINK {
+                let consumer_seq = link >> 1;
+                let slot = (link & 1) as usize;
+                let consumer = &mut self.rob[(consumer_seq - front_seq) as usize];
+                link = consumer.next_consumer[slot];
+                consumer.pending -= 1;
+                if consumer.pending == 0 {
+                    self.ready.insert(consumer_seq);
                 }
             }
         }
@@ -438,18 +690,6 @@ impl Pipeline {
     }
 
     // ---- issue -----------------------------------------------------------
-
-    fn entry_ready(&self, idx: usize) -> bool {
-        let front_seq = self.rob.front().map_or(self.next_seq, |e| e.seq);
-        let entry = &self.rob[idx];
-        entry.srcs.iter().all(|&src| {
-            if src == NO_PRODUCER || src < front_seq {
-                return true;
-            }
-            let producer = &self.rob[(src - front_seq) as usize];
-            producer.state == EntryState::Completed && producer.complete_cycle <= self.cycle
-        })
-    }
 
     fn load_plan(&self, idx: usize) -> LoadPlan {
         let mem = self.rob[idx].rec.mem.expect("load has a memory access");
@@ -499,15 +739,28 @@ impl Pipeline {
     }
 
     fn issue(&mut self, warm: &mut WarmState, measure: bool, counters: &mut ActivityCounters) {
+        if self.ready.is_empty() {
+            return;
+        }
+        let Some(front) = self.rob.front() else {
+            return;
+        };
+        let front_seq = front.seq;
         let mut issued = 0u32;
         let cycle = self.cycle;
-        for idx in 0..self.rob.len() {
+        // The ready queue iterates in ascending seq = the scan model's
+        // oldest-first window order; entries that fail a structural check
+        // stay queued for the next cycle, consuming no issue slot —
+        // exactly the scan's `continue`.
+        let mut scratch = std::mem::take(&mut self.issue_scratch);
+        scratch.clear();
+        scratch.extend(self.ready.iter().copied());
+        for &seq in &scratch {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            if self.rob[idx].state != EntryState::Waiting || !self.entry_ready(idx) {
-                continue;
-            }
+            let idx = (seq - front_seq) as usize;
+            debug_assert_eq!(self.rob[idx].state, EntryState::Waiting);
             let class = self.rob[idx].rec.class();
             let n_srcs = self.rob[idx].rec.inst.uses().iter().flatten().count() as u64;
 
@@ -526,14 +779,14 @@ impl Pipeline {
                         }
                         let addr = self.rob[idx].rec.mem.expect("load").addr;
                         let resident = warm.hierarchy.l1d_resident(addr);
-                        if !resident && !Self::mshr_available(&self.mshrs, cycle) {
+                        if !resident && !self.mshr_available() {
                             continue;
                         }
                         let tlb_hit = warm.dtlb.access(addr);
                         let res = warm.hierarchy.access_data(addr, false);
                         self.ports_used += 1;
                         if !res.l1_hit {
-                            Self::mshr_allocate(&mut self.mshrs, cycle, cycle + res.latency);
+                            self.mshr_allocate(cycle + res.latency);
                         }
                         let mut latency = res.latency;
                         if !tlb_hit {
@@ -592,15 +845,18 @@ impl Pipeline {
                 }
             };
 
+            self.ready.remove(&seq);
             let entry = &mut self.rob[idx];
             entry.state = EntryState::Issued;
             entry.complete_cycle = complete_cycle;
+            self.completions.push(Reverse((complete_cycle, seq)));
             issued += 1;
             if measure {
                 counters.window_issues += 1;
                 counters.regfile_reads += n_srcs;
             }
         }
+        self.issue_scratch = scratch;
     }
 
     // ---- dispatch ----------------------------------------------------------
@@ -622,10 +878,28 @@ impl Pipeline {
             let ifq_entry = self.ifq.pop_front().expect("front checked above");
             let seq = self.next_seq;
             self.next_seq += 1;
-            let mut srcs = [NO_PRODUCER; 2];
-            for (slot, used) in srcs.iter_mut().zip(ifq_entry.rec.inst.uses()) {
-                if let Some(r) = used {
-                    *slot = self.reg_producer[r.flat()];
+            // Resolve each source: a producer that has left the ROB (or
+            // already completed) satisfies the operand immediately;
+            // otherwise thread this entry onto the producer's consumer
+            // list for wakeup at its completion.
+            let front_seq = self.rob.front().map(|e| e.seq);
+            let mut next_consumer = [NO_LINK; 2];
+            let mut pending = 0u8;
+            for (slot, used) in ifq_entry.rec.inst.uses().iter().enumerate() {
+                let Some(r) = used else { continue };
+                let src = self.reg_producer[r.flat()];
+                if src == NO_PRODUCER {
+                    continue;
+                }
+                let Some(front_seq) = front_seq else { continue };
+                if src < front_seq {
+                    continue; // producer already committed
+                }
+                let producer = &mut self.rob[(src - front_seq) as usize];
+                if producer.state != EntryState::Completed {
+                    pending += 1;
+                    next_consumer[slot] = producer.consumer_head;
+                    producer.consumer_head = (seq << 1) | slot as u64;
                 }
             }
             if let Some(def) = ifq_entry.rec.inst.defs() {
@@ -637,11 +911,16 @@ impl Pipeline {
             self.rob.push_back(RobEntry {
                 seq,
                 rec: ifq_entry.rec,
-                srcs,
                 state: EntryState::Waiting,
                 complete_cycle: 0,
                 mispredicted: ifq_entry.mispredicted,
+                pending,
+                consumer_head: NO_LINK,
+                next_consumer,
             });
+            if pending == 0 {
+                self.ready.insert(seq);
+            }
             if measure {
                 counters.decodes += 1;
                 counters.renames += 1;
@@ -761,19 +1040,7 @@ impl Pipeline {
             }
         }
     }
-}
 
-/// The first instruction index of the predicted-but-wrong path.
-fn wrong_path_start(rec: &smarts_isa::ExecRecord, pred: Prediction) -> u64 {
-    match pred.target {
-        // Predicted taken toward a concrete (wrong or stale) target.
-        Some(target) if pred.taken => target,
-        // Predicted not-taken (or no target available): fall through.
-        _ => rec.pc + 1,
-    }
-}
-
-impl Pipeline {
     /// Pursues the wrong path after a fetched misprediction: sequential
     /// fetch from the predicted (wrong) pc, touching the I-TLB and
     /// I-cache only — wrong-path instructions consume fetch bandwidth and
@@ -829,9 +1096,20 @@ impl Pipeline {
     }
 }
 
+/// The first instruction index of the predicted-but-wrong path.
+fn wrong_path_start(rec: &smarts_isa::ExecRecord, pred: Prediction) -> u64 {
+    match pred.target {
+        // Predicted taken toward a concrete (wrong or stale) target.
+        Some(target) if pred.taken => target,
+        // Predicted not-taken (or no target available): fall through.
+        _ => rec.pc + 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::ScanPipeline;
     use smarts_isa::{reg, Asm, Cpu, Memory, Program};
 
     /// Functional CPU wrapped as a trace source.
@@ -875,6 +1153,14 @@ mod tests {
     fn run_program(program: Program, cfg: &MachineConfig) -> UnitMeasurement {
         let mut warm = WarmState::new(cfg);
         let mut pipeline = Pipeline::new(cfg);
+        let mut source = CpuSource::new(program);
+        pipeline.run(&mut warm, &mut source, u64::MAX, true)
+    }
+
+    /// Runs `program` through the scan reference model.
+    fn run_scan(program: Program, cfg: &MachineConfig) -> UnitMeasurement {
+        let mut warm = WarmState::new(cfg);
+        let mut pipeline = ScanPipeline::new(cfg);
         let mut source = CpuSource::new(program);
         pipeline.run(&mut warm, &mut source, u64::MAX, true)
     }
@@ -1155,5 +1441,60 @@ mod tests {
         let m = run_program(a.finish().unwrap(), &cfg);
         // Store misses overlap through 8 MSHRs but still dominate runtime.
         assert!(m.cpi() > 2.0, "cpi = {}", m.cpi());
+    }
+
+    #[test]
+    fn cycle_skipping_engages_and_matches_scan_on_memory_stalls() {
+        // A miss-every-iteration load loop spends most of its cycles
+        // stalled on memory: the next-event jump must engage, and the
+        // total must stay bit-identical to the scan reference.
+        let cfg = MachineConfig::eight_way();
+        let program = load_loop(400, 1 << 20);
+
+        let mut warm = WarmState::new(&cfg);
+        let mut pipeline = Pipeline::new(&cfg);
+        let mut source = CpuSource::new(program.clone());
+        let event = pipeline.run(&mut warm, &mut source, u64::MAX, true);
+        assert!(
+            pipeline.skipped_cycles() > event.cycles / 4,
+            "skipped {} of {} cycles",
+            pipeline.skipped_cycles(),
+            event.cycles
+        );
+
+        let scanned = run_scan(program, &cfg);
+        assert_eq!(event, scanned);
+    }
+
+    #[test]
+    fn skip_never_jumps_past_fetch_refill_or_store_drain() {
+        // Store bursts keep the store buffer draining through MSHRs while
+        // strided code misses the I-cache, so the quiescent spans are
+        // bounded by store-drain, MSHR-release, and fetch-refill events.
+        // Bit-equality with the scan model (which steps every cycle)
+        // while skipping engaged proves no jump overshot an event.
+        let cfg = MachineConfig::eight_way();
+        let mut a = Asm::new();
+        a.li(reg::S0, 0x100_0000);
+        for i in 0..200 {
+            a.sd(reg::T0, reg::S0, (i as i64) << 20);
+            // Pad with dependent adds so commit outruns the drain and the
+            // buffer alternates between full and empty.
+            for _ in 0..8 {
+                a.addi(reg::T1, reg::T1, 1);
+            }
+        }
+        a.halt();
+        let program = a.finish().unwrap();
+
+        let mut warm = WarmState::new(&cfg);
+        let mut pipeline = Pipeline::new(&cfg);
+        let mut source = CpuSource::new(program.clone());
+        let event = pipeline.run(&mut warm, &mut source, u64::MAX, true);
+        assert!(pipeline.skipped_cycles() > 0, "skipping never engaged");
+
+        let scanned = run_scan(program, &cfg);
+        assert_eq!(event.cycles, scanned.cycles);
+        assert_eq!(event, scanned);
     }
 }

@@ -12,6 +12,42 @@ struct Entry {
     valid: bool,
 }
 
+/// Mirror-array value for ways holding no translation (see the cache's
+/// `INVALID_TAG` for the sentinel-collision argument).
+const INVALID_TAG: u64 = u64::MAX;
+
+/// First way whose mirrored tag equals `tag` and whose entry is valid —
+/// the TLB twin of the cache's `find_way`: a fixed-width 4-wide compare
+/// over the contiguous tag mirror that LLVM autovectorizes, with
+/// candidates confirmed in ascending way order so the first-match choice
+/// is bit-identical to the scalar scan.
+#[inline]
+fn find_way(tags: &[u64], entries: &[Entry], tag: u64) -> Option<usize> {
+    let mut chunks = tags.chunks_exact(4);
+    let mut way = 0usize;
+    for c in &mut chunks {
+        let mut mask = (c[0] == tag) as u8
+            | (((c[1] == tag) as u8) << 1)
+            | (((c[2] == tag) as u8) << 2)
+            | (((c[3] == tag) as u8) << 3);
+        while mask != 0 {
+            let w = way + mask.trailing_zeros() as usize;
+            if entries[w].valid {
+                debug_assert_eq!(entries[w].tag, tag);
+                return Some(w);
+            }
+            mask &= mask - 1;
+        }
+        way += 4;
+    }
+    for (i, &t) in chunks.remainder().iter().enumerate() {
+        if t == tag && entries[way + i].valid {
+            return Some(way + i);
+        }
+    }
+    None
+}
+
 /// A set-associative TLB with LRU replacement.
 ///
 /// Models translation presence only; a miss costs
@@ -35,6 +71,10 @@ pub struct Tlb {
     cfg: TlbConfig,
     // entries[set * assoc + way].
     entries: Vec<Entry>,
+    // Contiguous tag mirror, same indexing; invalid ways hold
+    // `INVALID_TAG`. Invariant: `entries[i].valid` implies
+    // `tags[i] == entries[i].tag`.
+    tags: Vec<u64>,
     // Most-recently-hit way per set: a scan-order hint only.
     mru: Vec<u32>,
     tick: u64,
@@ -66,6 +106,7 @@ impl Tlb {
         Tlb {
             cfg,
             entries: vec![Entry::default(); slots],
+            tags: vec![INVALID_TAG; slots],
             mru: vec![0; sets as usize],
             tick: 0,
             sets,
@@ -113,27 +154,29 @@ impl Tlb {
         let tick = self.tick;
         let (set, tag) = self.set_and_tag(addr);
         let base = set as usize * self.assoc;
-        let set_entries = &mut self.entries[base..base + self.assoc];
 
         // MRU fast path: repeated accesses to the same page hit in one
         // compare (the overwhelmingly common case for 4 KiB pages).
         let mru = self.mru[set as usize] as usize;
-        if let Some(entry) = set_entries.get_mut(mru) {
+        if let Some(entry) = self.entries[base..base + self.assoc].get_mut(mru) {
             if entry.valid && entry.tag == tag {
                 entry.lru = tick;
                 return true;
             }
         }
 
-        for (way, entry) in set_entries.iter_mut().enumerate() {
-            if entry.valid && entry.tag == tag {
-                entry.lru = tick;
-                self.mru[set as usize] = way as u32;
-                return true;
-            }
+        if let Some(way) = find_way(
+            &self.tags[base..base + self.assoc],
+            &self.entries[base..base + self.assoc],
+            tag,
+        ) {
+            self.entries[base + way].lru = tick;
+            self.mru[set as usize] = way as u32;
+            return true;
         }
 
         self.misses += 1;
+        let set_entries = &mut self.entries[base..base + self.assoc];
         let mut victim = 0;
         let mut best = u64::MAX;
         for (way, entry) in set_entries.iter().enumerate() {
@@ -151,6 +194,7 @@ impl Tlb {
             lru: tick,
             valid: true,
         };
+        self.tags[base + victim] = tag;
         self.mru[set as usize] = victim as u32;
         false
     }
@@ -168,6 +212,12 @@ impl Tlb {
             touched ^= self.entries[base + way].lru;
             way += 2;
         }
+        // Lookup reads the tag mirror first; start that fill as well.
+        way = 0;
+        while way < self.assoc {
+            touched ^= self.tags[base + way];
+            way += 8;
+        }
         std::hint::black_box(touched);
     }
 
@@ -175,6 +225,7 @@ impl Tlb {
     /// accounting.
     pub fn approx_bytes(&self) -> usize {
         self.entries.len() * std::mem::size_of::<Entry>()
+            + self.tags.len() * std::mem::size_of::<u64>()
             + self.mru.len() * std::mem::size_of::<u32>()
     }
 
@@ -183,9 +234,12 @@ impl Tlb {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = set as usize * self.assoc;
-        self.entries[base..base + self.assoc]
-            .iter()
-            .any(|entry| entry.valid && entry.tag == tag)
+        find_way(
+            &self.tags[base..base + self.assoc],
+            &self.entries[base..base + self.assoc],
+            tag,
+        )
+        .is_some()
     }
 }
 
@@ -247,6 +301,29 @@ mod tests {
         assert!(!tlb.probe(page(0)));
         assert!(tlb.probe(page(2)));
         assert!(tlb.probe(page(4)));
+    }
+
+    #[test]
+    fn four_way_vector_lookup_preserves_hit_and_victim_order() {
+        // 4-way × 2 sets: lookups take the full-chunk compare path.
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 8,
+            assoc: 4,
+            page_bytes: 4096,
+            miss_penalty: 200,
+        });
+        let page = |n: u64| n * 2 * 4096; // successive pages of set 0
+        for n in 0..4 {
+            assert!(!tlb.access(page(n)));
+        }
+        for n in 0..4 {
+            assert!(tlb.access(page(n)), "way {n} should hit");
+        }
+        assert!(!tlb.access(page(4))); // evicts page 0 (LRU)
+        assert!(!tlb.probe(page(0)));
+        for n in 1..5 {
+            assert!(tlb.probe(page(n)), "page {n} should be mapped");
+        }
     }
 
     #[test]

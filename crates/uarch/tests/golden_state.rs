@@ -318,50 +318,65 @@ fn drive_warm_paths(name: &str, scale: f64, instructions: u64) {
     assert!(records.len() > 10_000, "stream exercised the models");
 
     let cfg = MachineConfig::eight_way();
-    let mut batched = WarmState::new(&cfg);
     let mut direct = WarmState::new(&cfg);
-    for chunk in records.chunks(64) {
-        batched.warm_batch(chunk);
-    }
     for rec in &records {
         direct.warm_record(rec);
     }
 
-    let pairs = [
-        ("l1i", batched.hierarchy.l1i(), direct.hierarchy.l1i()),
-        ("l1d", batched.hierarchy.l1d(), direct.hierarchy.l1d()),
-        ("l2", batched.hierarchy.l2(), direct.hierarchy.l2()),
-    ];
-    for (what, a, b) in pairs {
-        assert_eq!(a.accesses(), b.accesses(), "{name} {what} accesses");
-        assert_eq!(a.misses(), b.misses(), "{name} {what} misses");
-    }
-    assert_eq!(batched.itlb.accesses(), direct.itlb.accesses(), "{name}");
-    assert_eq!(batched.itlb.misses(), direct.itlb.misses(), "{name}");
-    assert_eq!(batched.dtlb.accesses(), direct.dtlb.accesses(), "{name}");
-    assert_eq!(batched.dtlb.misses(), direct.dtlb.misses(), "{name}");
-    assert_eq!(
-        batched.bpred.cond_mispredicts(),
-        direct.bpred.cond_mispredicts(),
-        "{name}"
-    );
+    // Both pre-touch orders (record order and set-index-sorted) must be
+    // unobservable in the warmed state.
+    for (mode, pretouch_sorted) in [("in-order", false), ("set-sorted", true)] {
+        let mut batched = WarmState::new(&cfg);
+        batched.set_batch_pretouch(true);
+        batched.set_batch_pretouch_sorted(pretouch_sorted);
+        for chunk in records.chunks(64) {
+            batched.warm_batch(chunk);
+        }
 
-    // Identical residency everywhere the stream touched, not just
-    // identical counts.
-    for rec in &records {
-        if let Some(access) = rec.mem {
-            assert_eq!(
-                batched.hierarchy.l1d_resident(access.addr),
-                direct.hierarchy.l1d_resident(access.addr),
-                "{name} l1d residency at {:#x}",
-                access.addr
-            );
-            assert_eq!(
-                batched.dtlb.probe(access.addr),
-                direct.dtlb.probe(access.addr),
-                "{name} dtlb residency at {:#x}",
-                access.addr
-            );
+        let pairs = [
+            ("l1i", batched.hierarchy.l1i(), direct.hierarchy.l1i()),
+            ("l1d", batched.hierarchy.l1d(), direct.hierarchy.l1d()),
+            ("l2", batched.hierarchy.l2(), direct.hierarchy.l2()),
+        ];
+        for (what, a, b) in pairs {
+            assert_eq!(a.accesses(), b.accesses(), "{name} {mode} {what} accesses");
+            assert_eq!(a.misses(), b.misses(), "{name} {mode} {what} misses");
+        }
+        assert_eq!(
+            batched.itlb.accesses(),
+            direct.itlb.accesses(),
+            "{name} {mode}"
+        );
+        assert_eq!(batched.itlb.misses(), direct.itlb.misses(), "{name} {mode}");
+        assert_eq!(
+            batched.dtlb.accesses(),
+            direct.dtlb.accesses(),
+            "{name} {mode}"
+        );
+        assert_eq!(batched.dtlb.misses(), direct.dtlb.misses(), "{name} {mode}");
+        assert_eq!(
+            batched.bpred.cond_mispredicts(),
+            direct.bpred.cond_mispredicts(),
+            "{name} {mode}"
+        );
+
+        // Identical residency everywhere the stream touched, not just
+        // identical counts.
+        for rec in &records {
+            if let Some(access) = rec.mem {
+                assert_eq!(
+                    batched.hierarchy.l1d_resident(access.addr),
+                    direct.hierarchy.l1d_resident(access.addr),
+                    "{name} {mode} l1d residency at {:#x}",
+                    access.addr
+                );
+                assert_eq!(
+                    batched.dtlb.probe(access.addr),
+                    direct.dtlb.probe(access.addr),
+                    "{name} {mode} dtlb residency at {:#x}",
+                    access.addr
+                );
+            }
         }
     }
 }
