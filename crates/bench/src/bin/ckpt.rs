@@ -1,0 +1,212 @@
+//! Checkpoint-store throughput: the persistence cost of warm-once,
+//! replay-many.
+//!
+//! The store's value proposition is that one functional-warming pass is
+//! amortized across every later experiment — which only holds if writing
+//! the store is cheap next to warming and reading it back is cheap next
+//! to detailed replay. For each probe benchmark this binary warms once
+//! (untimed), then measures with the in-tree median-of-7 harness:
+//!
+//! * **write** — MiB/s appending every unit checkpoint (delta encoding
+//!   plus CRC; the producer-side overhead of `--save-checkpoints`),
+//! * **read** — MiB/s and units/s decoding the whole store back (the
+//!   producer's critical path under `--from-checkpoints`),
+//! * **compression** — resident checkpoint bytes
+//!   ([`UnitCheckpoint::approx_resident_bytes`]) over file bytes: what
+//!   delta + varint + RLE buy against the in-memory library footprint.
+//!
+//! Results are written to `results/bench_ckpt.json`, the baseline the
+//! `ckpt_guard` binary compares against in CI. The guard re-derives the
+//! same stores from each row's recorded scale and unit count.
+
+use smarts_bench::timing::{self, time};
+use smarts_ckpt::{CkptReader, CkptWriter, StoreMeta};
+use smarts_core::{SamplingParams, SmartsSim, UnitCheckpoint, Warming};
+use smarts_uarch::MachineConfig;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Same probe set as the warming and detail benches: the Figure 4 probe
+/// plus one benchmark per pressure class. Page-touching behaviour
+/// (hashing, pointer chasing, streaming, branching) is what stresses the
+/// delta encoder differently.
+const PROBES: [&str; 4] = ["hashp-2", "loopy-1", "chase-2", "branchy-1"];
+
+struct Row {
+    name: String,
+    scale: f64,
+    units: u64,
+    resident_bytes: u64,
+    file_bytes: u64,
+    write: Duration,
+    read: Duration,
+}
+
+impl Row {
+    fn compression(&self) -> f64 {
+        self.resident_bytes as f64 / self.file_bytes as f64
+    }
+
+    fn write_mibps(&self) -> f64 {
+        self.file_bytes as f64 / (1024.0 * 1024.0) / self.write.as_secs_f64()
+    }
+
+    fn read_mibps(&self) -> f64 {
+        self.file_bytes as f64 / (1024.0 * 1024.0) / self.read.as_secs_f64()
+    }
+
+    fn read_units_per_s(&self) -> f64 {
+        self.units as f64 / self.read.as_secs_f64()
+    }
+}
+
+fn store_path() -> PathBuf {
+    std::env::temp_dir().join(format!("smarts-bench-ckpt-{}.ckpt", std::process::id()))
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let (scale, n) = if args.quick { (0.02, 10) } else { (0.1, 50) };
+    smarts_bench::banner(
+        "Checkpoint-store throughput",
+        "delta-encoded store write/read bandwidth and compression vs the resident library",
+    );
+
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let probes: Vec<String> = match &args.bench {
+        Some(name) => vec![name.clone()],
+        None if args.quick => vec![PROBES[0].to_string()],
+        None => PROBES.iter().map(|s| s.to_string()).collect(),
+    };
+
+    println!(
+        "{:<12} {:>6} {:>12} {:>11} {:>8} {:>11} {:>11} {:>11}",
+        "benchmark", "units", "resident", "file", "ratio", "write MiB/s", "read MiB/s", "units/s"
+    );
+    let path = store_path();
+    let mut rows = Vec::new();
+    for name in &probes {
+        let bench = smarts_workloads::find(name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+            .scaled(scale);
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            n,
+            0,
+        )
+        .expect("valid sampling parameters");
+
+        // Warm once, outside the timed region: the store exists so this
+        // pass is *not* repeated, and the bench measures only its cost.
+        let mut checkpoints = Vec::new();
+        sim.stream_checkpoints(bench.load(), &params, |checkpoint| {
+            checkpoints.push(checkpoint);
+            true
+        })
+        .expect("warming pass");
+        let resident_bytes: u64 = checkpoints
+            .iter()
+            .map(UnitCheckpoint::approx_resident_bytes)
+            .sum();
+        let meta = StoreMeta {
+            params,
+            benchmark: name.clone(),
+            scale,
+        };
+
+        let mut file_bytes = 0u64;
+        let write = time(|| {
+            let mut writer = CkptWriter::create(&path, &cfg, &meta).expect("create store");
+            for checkpoint in &checkpoints {
+                writer.append(checkpoint).expect("append");
+            }
+            file_bytes = writer.finish().expect("finish").bytes;
+        });
+        let mut decoded = 0u64;
+        let read = time(|| {
+            let mut reader = CkptReader::open(&path, &cfg).expect("open store");
+            while let Some(next) = reader.next_checkpoint() {
+                next.expect("intact record");
+            }
+            decoded = reader.records_read();
+        });
+        assert_eq!(
+            decoded,
+            checkpoints.len() as u64,
+            "{name}: the bench is only valid over a full decode"
+        );
+
+        let row = Row {
+            name: name.clone(),
+            scale,
+            units: decoded,
+            resident_bytes,
+            file_bytes,
+            write,
+            read,
+        };
+        println!(
+            "{:<12} {:>6} {:>12} {:>11} {:>7.1}x {:>11.1} {:>11.1} {:>11.0}",
+            row.name,
+            row.units,
+            row.resident_bytes,
+            row.file_bytes,
+            row.compression(),
+            row.write_mibps(),
+            row.read_mibps(),
+            row.read_units_per_s()
+        );
+        rows.push(row);
+    }
+    std::fs::remove_file(&path).ok();
+    println!();
+    for row in &rows {
+        println!(
+            "{}: write {} / read {}",
+            row.name,
+            timing::pretty(row.write),
+            timing::pretty(row.read)
+        );
+    }
+
+    write_json(&rows).expect("write results/bench_ckpt.json");
+    println!("\nwrote results/bench_ckpt.json");
+}
+
+/// Emits the machine-readable baseline (hand-rolled JSON: the workspace
+/// builds offline, with no serde).
+fn write_json(rows: &[Row]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/bench_ckpt.json")?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"ckpt\",")?;
+    writeln!(f, "  \"samples_per_case\": {},", timing::SAMPLES)?;
+    writeln!(f, "  \"machine\": \"8-way\",")?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"benchmark\": \"{}\",", row.name)?;
+        writeln!(f, "      \"scale\": {},", row.scale)?;
+        writeln!(f, "      \"units\": {},", row.units)?;
+        writeln!(f, "      \"resident_bytes\": {},", row.resident_bytes)?;
+        writeln!(f, "      \"file_bytes\": {},", row.file_bytes)?;
+        writeln!(f, "      \"compression_ratio\": {:.3},", row.compression())?;
+        writeln!(f, "      \"write_mibps\": {:.3},", row.write_mibps())?;
+        writeln!(
+            f,
+            "      \"read_units_per_s\": {:.1},",
+            row.read_units_per_s()
+        )?;
+        writeln!(f, "      \"read_mibps\": {:.3}", row.read_mibps())?;
+        writeln!(f, "    }}{comma}")?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}

@@ -1,0 +1,250 @@
+//! CI checkpoint-store regression guard: read rate and bit-identity.
+//!
+//! Reads the checked-in reference `results/bench_ckpt.json` (this binary
+//! never writes it — the `ckpt` binary owns the file and CI runs this
+//! guard *before* re-generating it), rebuilds each reference store from
+//! its recorded scale and unit count, and fails when either
+//!
+//! * the store's decode rate (MiB/s) drops more than [`TOLERANCE`] below
+//!   its reference, or
+//! * replaying the store through the parallel executor is not
+//!   bit-identical to sequential in-memory library replay — the
+//!   correctness contract `--from-checkpoints` rests on.
+//!
+//! `--quick` checks only the first reference probe; `--bench <name>`
+//! restricts to one probe.
+
+use smarts_bench::timing::time;
+use smarts_ckpt::{CkptReader, CkptWriter, StoreMeta};
+use smarts_core::{SampleReport, SamplingParams, SmartsSim, Warming};
+use smarts_exec::{replay_store, Executor};
+use smarts_uarch::MachineConfig;
+
+/// Largest tolerated drop of measured decode MiB/s below the reference
+/// (machine-to-machine and load-induced noise stays well inside this; a
+/// real codec or I/O hot-path regression does not).
+const TOLERANCE: f64 = 0.20;
+
+/// Total measurement attempts per probe. Between-invocation host noise
+/// can depress a whole median-of-7 batch; a probe only counts as
+/// regressed when *every* attempt lands below the tolerance.
+const ATTEMPTS: u32 = 3;
+
+struct Reference {
+    benchmark: String,
+    scale: f64,
+    units: u64,
+    read_mibps: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ckpt_guard: {msg}");
+    std::process::exit(1)
+}
+
+fn assert_bit_identical(replayed: &SampleReport, sequential: &SampleReport, what: &str) {
+    let same = replayed.sample_size() == sequential.sample_size()
+        && replayed.cpi().mean().to_bits() == sequential.cpi().mean().to_bits()
+        && replayed.epi().mean().to_bits() == sequential.epi().mean().to_bits()
+        && replayed
+            .units
+            .iter()
+            .zip(&sequential.units)
+            .all(|(p, s)| p.cycles == s.cycles && p.cpi.to_bits() == s.cpi.to_bits());
+    if !same {
+        fail(&format!(
+            "{what}: store replay is not bit-identical to library replay \
+             (store CPI {} vs library CPI {})",
+            replayed.cpi().mean(),
+            sequential.cpi().mean()
+        ));
+    }
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let path = "results/bench_ckpt.json";
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read reference {path}: {e}")));
+    let mut references = parse_references(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse reference {path}: {e}")));
+    if references.is_empty() {
+        fail(&format!("reference {path} lists no probes"));
+    }
+    if args.quick {
+        references.truncate(1);
+    }
+    if let Some(name) = &args.bench {
+        references.retain(|r| &r.benchmark == name);
+        if references.is_empty() {
+            fail(&format!("reference {path} has no probe named {name}"));
+        }
+    }
+
+    smarts_bench::banner(
+        "Checkpoint-store guard",
+        &format!(
+            "fails if store decode MiB/s drops more than {:.0}% below \
+             results/bench_ckpt.json, or if store replay diverges from library replay",
+            TOLERANCE * 100.0
+        ),
+    );
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let store = std::env::temp_dir().join(format!("smarts-ckpt-guard-{}.ckpt", std::process::id()));
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "ref MiB/s", "now MiB/s", "ratio"
+    );
+    let mut regressed = false;
+    for reference in &references {
+        let bench = smarts_workloads::find(&reference.benchmark)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "reference probe {} is not in the suite",
+                    reference.benchmark
+                ))
+            })
+            .scaled(reference.scale);
+        let params = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            1000,
+            2000,
+            Warming::Functional,
+            reference.units,
+            0,
+        )
+        .unwrap_or_else(|e| fail(&format!("{}: bad parameters: {e}", reference.benchmark)));
+
+        // Rebuild the reference store (untimed: the guard measures
+        // decode, not warming).
+        let meta = StoreMeta {
+            params,
+            benchmark: reference.benchmark.clone(),
+            scale: reference.scale,
+        };
+        let mut writer = CkptWriter::create(&store, &cfg, &meta)
+            .unwrap_or_else(|e| fail(&format!("cannot create scratch store: {e}")));
+        sim.stream_checkpoints(bench.load(), &params, |checkpoint| {
+            writer.append(&checkpoint).is_ok()
+        })
+        .unwrap_or_else(|e| fail(&format!("{}: warming failed: {e}", reference.benchmark)));
+        let summary = writer
+            .finish()
+            .unwrap_or_else(|e| fail(&format!("cannot finish scratch store: {e}")));
+        let mib = summary.bytes as f64 / (1024.0 * 1024.0);
+
+        // Bit-identity: executor replay from disk vs sequential
+        // in-memory library replay.
+        let library = sim
+            .build_library(&bench, &params)
+            .unwrap_or_else(|e| fail(&format!("{}: library build: {e}", reference.benchmark)));
+        let sequential = sim
+            .sample_library(&library)
+            .unwrap_or_else(|e| fail(&format!("{}: library replay: {e}", reference.benchmark)));
+        let executor = Executor::new(2).unwrap_or_else(|e| fail(&format!("executor: {e}")));
+        let replayed = replay_store(&executor, &sim, &store)
+            .unwrap_or_else(|e| fail(&format!("{}: store replay: {e}", reference.benchmark)));
+        if let Some(damage) = &replayed.damage {
+            fail(&format!(
+                "{}: fresh store reported damage: {damage}",
+                reference.benchmark
+            ));
+        }
+        assert_bit_identical(&replayed.report.report, &sequential, &reference.benchmark);
+
+        // Decode-rate regression gate.
+        let mut mibps = 0.0f64;
+        let mut ratio = 0.0f64;
+        let mut ok = false;
+        for _ in 0..ATTEMPTS {
+            let read = time(|| {
+                let mut reader = CkptReader::open(&store, &cfg).expect("open scratch store");
+                while let Some(next) = reader.next_checkpoint() {
+                    next.expect("intact record");
+                }
+            });
+            let attempt = mib / read.as_secs_f64();
+            if attempt > mibps {
+                mibps = attempt;
+                ratio = mibps / reference.read_mibps;
+            }
+            if ratio >= 1.0 - TOLERANCE {
+                ok = true;
+                break;
+            }
+        }
+        regressed |= !ok;
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>8.3}  {}",
+            reference.benchmark,
+            reference.read_mibps,
+            mibps,
+            ratio,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+    std::fs::remove_file(&store).ok();
+    if regressed {
+        eprintln!(
+            "\nstore decode rate regressed beyond the {:.0}% guard",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\nstore decode rate within the guard, replay bit-identical");
+}
+
+/// Extracts `(benchmark, scale, units, read_mibps)` from the reference
+/// file. Hand-rolled (the workspace builds offline, no serde): scans for
+/// the keys in order within each result object, which is exactly the
+/// shape the `ckpt` binary writes.
+fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
+    let mut references = Vec::new();
+    let mut benchmark: Option<String> = None;
+    let mut scale: Option<f64> = None;
+    let mut units: Option<u64> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(value) = key_value(line, "benchmark") {
+            benchmark = Some(value.trim_matches('"').to_string());
+        } else if let Some(value) = key_value(line, "scale") {
+            scale = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad scale value `{value}`"))?,
+            );
+        } else if let Some(value) = key_value(line, "units") {
+            units = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad units value `{value}`"))?,
+            );
+        } else if let Some(value) = key_value(line, "read_mibps") {
+            let mibps: f64 = value
+                .parse()
+                .map_err(|_| format!("bad read_mibps value `{value}`"))?;
+            let benchmark = benchmark
+                .take()
+                .ok_or("read_mibps before its benchmark name")?;
+            let scale = scale.take().ok_or("read_mibps before its scale")?;
+            let units = units.take().ok_or("read_mibps before its unit count")?;
+            if !(mibps.is_finite() && mibps > 0.0) {
+                return Err(format!("non-positive read_mibps for {benchmark}"));
+            }
+            references.push(Reference {
+                benchmark,
+                scale,
+                units,
+                read_mibps: mibps,
+            });
+        }
+    }
+    Ok(references)
+}
+
+/// `"key": value,` → `value` (quotes kept, trailing comma stripped).
+fn key_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(&format!("\"{key}\":"))?;
+    Some(rest.trim().trim_end_matches(','))
+}

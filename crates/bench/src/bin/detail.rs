@@ -18,14 +18,16 @@
 //!   `smarts_core::SpeedupModel::from_measured_rates`.
 //!
 //! Results are written to `results/bench_detail.json`, the baseline the
-//! `detail_guard` binary compares against in CI. Benchmark loading is
+//! `detail_guard` binary compares against in CI; each row names its
+//! machine, and `--config <8|16|both>` selects which Table 3 machines to
+//! measure (the checked-in baseline carries both). Benchmark loading is
 //! hoisted out of the timed region; both models replay identical
 //! correct-path traces from cloned images.
 
 use smarts_bench::timing::{self, time};
 use smarts_core::{FunctionalEngine, SpeedupModel};
 use smarts_isa::{Cpu, ExecRecord, Memory, Program};
-use smarts_uarch::{MachineConfig, Pipeline, ScanPipeline, UnitMeasurement, WarmState};
+use smarts_uarch::{Pipeline, ScanPipeline, UnitMeasurement, WarmState};
 use std::io::Write as _;
 use std::time::Duration;
 
@@ -37,6 +39,7 @@ const PROBES: [&str; 4] = ["hashp-2", "loopy-1", "chase-2", "branchy-1"];
 
 struct Row {
     name: String,
+    machine: &'static str,
     instructions: u64,
     functional: Duration,
     scan: Duration,
@@ -87,10 +90,10 @@ fn main() {
     let instructions: u64 = if args.quick { 60_000 } else { 400_000 };
     smarts_bench::banner(
         "Detailed throughput",
-        "scan-per-cycle reference vs event-driven detailed model (8-way machine)",
+        "scan-per-cycle reference vs event-driven detailed model",
     );
 
-    let cfg = MachineConfig::eight_way();
+    let machines = args.config.configs();
     let probes: Vec<String> = match &args.bench {
         Some(name) => vec![name.clone()],
         None if args.quick => vec![PROBES[0].to_string()],
@@ -98,8 +101,8 @@ fn main() {
     };
 
     println!(
-        "{:<12} {:>10} {:>11} {:>11} {:>8} {:>8} {:>8}",
-        "benchmark", "func MIPS", "scan KIPS", "event KIPS", "speedup", "skipped", "S_D"
+        "{:<12} {:<8} {:>10} {:>11} {:>11} {:>8} {:>8} {:>8}",
+        "benchmark", "machine", "func MIPS", "scan KIPS", "event KIPS", "speedup", "skipped", "S_D"
     );
     let mut rows = Vec::new();
     for name in &probes {
@@ -112,52 +115,59 @@ fn main() {
             let mut engine = FunctionalEngine::new(loaded.clone());
             engine.fast_forward(instructions)
         });
-        let mut scan_measure = UnitMeasurement::default();
-        let scan = time(|| {
-            let mut warm = WarmState::new(&cfg);
-            let mut pipeline = ScanPipeline::new(&cfg);
-            let mut source = trace_source(&loaded.program, &loaded.memory);
-            scan_measure = pipeline.run(&mut warm, &mut source, instructions, true);
-        });
-        let mut event_measure = UnitMeasurement::default();
-        let mut skipped_fraction = 0.0;
-        let event = time(|| {
-            let mut warm = WarmState::new(&cfg);
-            let mut pipeline = Pipeline::new(&cfg);
-            let mut source = trace_source(&loaded.program, &loaded.memory);
-            event_measure = pipeline.run(&mut warm, &mut source, instructions, true);
-            skipped_fraction = pipeline.skipped_cycles() as f64 / event_measure.cycles as f64;
-        });
-        assert_eq!(
-            event_measure, scan_measure,
-            "{name}: models diverged — the benchmark is only valid over identical work"
-        );
+        for cfg in &machines {
+            let mut scan_measure = UnitMeasurement::default();
+            let scan = time(|| {
+                let mut warm = WarmState::new(cfg);
+                let mut pipeline = ScanPipeline::new(cfg);
+                let mut source = trace_source(&loaded.program, &loaded.memory);
+                scan_measure = pipeline.run(&mut warm, &mut source, instructions, true);
+            });
+            let mut event_measure = UnitMeasurement::default();
+            let mut skipped_fraction = 0.0;
+            let event = time(|| {
+                let mut warm = WarmState::new(cfg);
+                let mut pipeline = Pipeline::new(cfg);
+                let mut source = trace_source(&loaded.program, &loaded.memory);
+                event_measure = pipeline.run(&mut warm, &mut source, instructions, true);
+                skipped_fraction = pipeline.skipped_cycles() as f64 / event_measure.cycles as f64;
+            });
+            assert_eq!(
+                event_measure, scan_measure,
+                "{name} on {}: models diverged — the benchmark is only valid over \
+                 identical work",
+                cfg.name
+            );
 
-        let row = Row {
-            name: name.clone(),
-            instructions,
-            functional,
-            scan,
-            event,
-            skipped_fraction,
-        };
-        println!(
-            "{:<12} {:>10.2} {:>11.1} {:>11.1} {:>7.2}x {:>7.1}% {:>8.5}",
-            row.name,
-            row.functional_mips(),
-            row.scan_kips(),
-            row.event_kips(),
-            row.speedup(),
-            row.skipped_fraction * 100.0,
-            row.s_d()
-        );
-        rows.push(row);
+            let row = Row {
+                name: name.clone(),
+                machine: cfg.name,
+                instructions,
+                functional,
+                scan,
+                event,
+                skipped_fraction,
+            };
+            println!(
+                "{:<12} {:<8} {:>10.2} {:>11.1} {:>11.1} {:>7.2}x {:>7.1}% {:>8.5}",
+                row.name,
+                row.machine,
+                row.functional_mips(),
+                row.scan_kips(),
+                row.event_kips(),
+                row.speedup(),
+                row.skipped_fraction * 100.0,
+                row.s_d()
+            );
+            rows.push(row);
+        }
     }
     println!();
     for row in &rows {
         println!(
-            "{}: functional {} / scan {} / event {}",
+            "{} on {}: functional {} / scan {} / event {}",
             row.name,
+            row.machine,
             timing::pretty(row.functional),
             timing::pretty(row.scan),
             timing::pretty(row.event)
@@ -197,12 +207,12 @@ fn write_json(rows: &[Row]) -> std::io::Result<()> {
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"detail\",")?;
     writeln!(f, "  \"samples_per_case\": {},", timing::SAMPLES)?;
-    writeln!(f, "  \"machine\": \"8-way\",")?;
     writeln!(f, "  \"results\": [")?;
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(f, "    {{")?;
         writeln!(f, "      \"benchmark\": \"{}\",", row.name)?;
+        writeln!(f, "      \"machine\": \"{}\",", row.machine)?;
         writeln!(f, "      \"instructions\": {},", row.instructions)?;
         writeln!(
             f,

@@ -29,6 +29,7 @@ const ATTEMPTS: u32 = 3;
 
 struct Reference {
     benchmark: String,
+    machine: String,
     instructions: u64,
     detailed_kips: f64,
 }
@@ -75,13 +76,17 @@ fn main() {
             TOLERANCE * 100.0
         ),
     );
-    let cfg = MachineConfig::eight_way();
     println!(
-        "{:<12} {:>12} {:>12} {:>8}  verdict",
-        "benchmark", "ref KIPS", "now KIPS", "ratio"
+        "{:<12} {:<8} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "machine", "ref KIPS", "now KIPS", "ratio"
     );
     let mut regressed = false;
     for reference in &references {
+        let cfg = match reference.machine.as_str() {
+            "8-way" => MachineConfig::eight_way(),
+            "16-way" => MachineConfig::sixteen_way(),
+            other => fail(&format!("reference row names unknown machine `{other}`")),
+        };
         let bench = smarts_workloads::find(&reference.benchmark)
             .unwrap_or_else(|| {
                 fail(&format!(
@@ -114,8 +119,9 @@ fn main() {
         }
         regressed |= !ok;
         println!(
-            "{:<12} {:>12.1} {:>12.1} {:>8.3}  {}",
+            "{:<12} {:<8} {:>12.1} {:>12.1} {:>8.3}  {}",
             reference.benchmark,
+            reference.machine,
             reference.detailed_kips,
             kips,
             ratio,
@@ -144,11 +150,14 @@ fn fail(msg: &str) -> ! {
 fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
     let mut references = Vec::new();
     let mut benchmark: Option<String> = None;
+    let mut machine: Option<String> = None;
     let mut instructions: Option<u64> = None;
     for line in text.lines() {
         let line = line.trim();
         if let Some(value) = key_value(line, "benchmark") {
             benchmark = Some(value.trim_matches('"').to_string());
+        } else if let Some(value) = key_value(line, "machine") {
+            machine = Some(value.trim_matches('"').to_string());
         } else if let Some(value) = key_value(line, "instructions") {
             instructions = Some(
                 value
@@ -162,6 +171,9 @@ fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
             let benchmark = benchmark
                 .take()
                 .ok_or("detailed_kips before its benchmark name")?;
+            // Rows predating per-machine baselines carried an implicit
+            // 8-way machine.
+            let machine = machine.take().unwrap_or_else(|| "8-way".to_string());
             let instructions = instructions
                 .take()
                 .ok_or("detailed_kips before its instruction count")?;
@@ -170,6 +182,7 @@ fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
             }
             references.push(Reference {
                 benchmark,
+                machine,
                 instructions,
                 detailed_kips: kips,
             });

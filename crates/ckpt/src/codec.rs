@@ -1,0 +1,245 @@
+//! Hand-rolled byte-level codecs for the checkpoint store: LEB128
+//! varints, zigzag mapping, run-length encoding of zero runs, and IEEE
+//! CRC-32 — everything the on-disk format needs, with no dependencies
+//! (the workspace builds offline).
+
+/// Appends `value` as an unsigned LEB128 varint (7 payload bits per
+/// byte, high bit = continuation).
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `input` at `*pos`, advancing `*pos`.
+/// Returns `None` on truncation or a value that overflows 64 bits.
+pub fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte & 0x7E != 0) {
+            return None;
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed delta so small-magnitude values of either sign
+/// get small codes: 0 → 0, -1 → 1, 1 → 2, -2 → 3, …
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Streams a run of word deltas as varint tokens with zero runs
+/// collapsed: token `0` marks a zero run and is followed by the varint
+/// run length (≥ 1); any token `t ≥ 1` is one word with delta
+/// `unzigzag(t)`. The scheme is unambiguous because a nonzero delta
+/// zigzag-maps to a value ≥ 1.
+pub struct RleEncoder<'a> {
+    out: &'a mut Vec<u8>,
+    zero_run: u64,
+}
+
+impl<'a> RleEncoder<'a> {
+    /// Starts an encoder appending tokens to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        RleEncoder { out, zero_run: 0 }
+    }
+
+    /// Encodes one word delta (a wrapping difference reinterpreted as
+    /// signed for the zigzag mapping).
+    pub fn push(&mut self, delta: u64) {
+        if delta == 0 {
+            self.zero_run += 1;
+            return;
+        }
+        self.flush_run();
+        write_varint(self.out, zigzag(delta as i64));
+    }
+
+    fn flush_run(&mut self) {
+        if self.zero_run > 0 {
+            write_varint(self.out, 0);
+            write_varint(self.out, self.zero_run);
+            self.zero_run = 0;
+        }
+    }
+
+    /// Flushes any pending zero run. Must be called once per delta
+    /// stream (streams are length-delimited by the decoder's word
+    /// count, so no terminator is written).
+    pub fn finish(mut self) {
+        self.flush_run();
+    }
+}
+
+/// Decodes exactly `count` word deltas from `input` at `*pos`. Returns
+/// `None` on truncation, a zero-length run, or a run overshooting
+/// `count` — every way a corrupted stream can disagree with the fixed
+/// word count the caller derives from the machine geometry.
+pub fn decode_deltas(input: &[u8], pos: &mut usize, count: usize) -> Option<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let token = read_varint(input, pos)?;
+        if token == 0 {
+            let run = read_varint(input, pos)?;
+            if run == 0 || run > (count - out.len()) as u64 {
+                return None;
+            }
+            out.resize(out.len() + run as usize, 0);
+        } else {
+            out.push(unzigzag(token) as u64);
+        }
+    }
+    Some(out)
+}
+
+/// IEEE CRC-32 lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes` (the zlib/PNG checksum).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(value));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80], &mut pos),
+            None,
+            "dangling continuation"
+        );
+        // 11 continuation bytes overflow 64 bits.
+        let overlong = [0xFFu8; 11];
+        pos = 0;
+        assert_eq!(read_varint(&overlong, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for value in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1234567, -7654321] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn rle_round_trips_mixed_stream() {
+        let deltas: Vec<u64> = vec![0, 0, 0, 5, 0, u64::MAX, 0, 0, 1, 0];
+        let mut buf = Vec::new();
+        let mut enc = RleEncoder::new(&mut buf);
+        for &d in &deltas {
+            enc.push(d);
+        }
+        enc.finish();
+        let mut pos = 0;
+        let decoded = decode_deltas(&buf, &mut pos, deltas.len()).unwrap();
+        assert_eq!(decoded, deltas);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn rle_collapses_long_zero_runs() {
+        let mut buf = Vec::new();
+        let mut enc = RleEncoder::new(&mut buf);
+        for _ in 0..100_000 {
+            enc.push(0);
+        }
+        enc.finish();
+        assert!(
+            buf.len() < 8,
+            "zero run should be a few bytes, got {}",
+            buf.len()
+        );
+        let mut pos = 0;
+        let decoded = decode_deltas(&buf, &mut pos, 100_000).unwrap();
+        assert!(decoded.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn rle_decoder_rejects_overshooting_runs() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 0);
+        write_varint(&mut buf, 10); // run of 10 into a 5-word stream
+        let mut pos = 0;
+        assert_eq!(decode_deltas(&buf, &mut pos, 5), None);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

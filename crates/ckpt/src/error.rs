@@ -1,0 +1,86 @@
+//! Typed errors for the on-disk checkpoint store.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, reading, or writing a
+/// checkpoint store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CkptError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the store magic — not a checkpoint
+    /// store at all.
+    BadMagic,
+    /// The store was written by an incompatible format version.
+    UnsupportedVersion(u32),
+    /// The header failed its CRC or could not be parsed.
+    HeaderCorrupted,
+    /// The store was warmed for a different functional-warming geometry
+    /// (caches, TLBs, predictor, memory latency) than the machine trying
+    /// to replay it.
+    FingerprintMismatch {
+        /// Fingerprint of the machine attempting the replay.
+        expected: u64,
+        /// Fingerprint recorded in the store header.
+        found: u64,
+    },
+    /// A record failed its CRC or decoded inconsistently. Every record
+    /// before it is intact and has already been (or can be) replayed.
+    Corrupted {
+        /// Zero-based index of the bad record.
+        record: u64,
+        /// What specifically failed.
+        detail: &'static str,
+    },
+    /// The file ends mid-record. Every record before the tear is intact;
+    /// `recovered` counts them — truncation-tolerant readers replay that
+    /// prefix and surface this error for the rest.
+    Truncated {
+        /// Zero-based index of the torn record.
+        record: u64,
+        /// Intact records before the tear.
+        recovered: u64,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint store (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint store format version {v}")
+            }
+            CkptError::HeaderCorrupted => write!(f, "checkpoint store header is corrupted"),
+            CkptError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint store was warmed for a different machine geometry \
+                 (store fingerprint {found:#018x}, this machine {expected:#018x})"
+            ),
+            CkptError::Corrupted { record, detail } => {
+                write!(f, "checkpoint record {record} is corrupted: {detail}")
+            }
+            CkptError::Truncated { record, recovered } => write!(
+                f,
+                "checkpoint store is truncated at record {record} \
+                 ({recovered} intact records recovered)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}

@@ -1,0 +1,277 @@
+//! Flattening a [`UnitCheckpoint`] to word streams and delta-encoding
+//! consecutive flats against each other.
+//!
+//! A checkpoint flattens into two parts:
+//!
+//! * a **fixed section** — unit start offset, architectural CPU state,
+//!   and the full warm microarchitectural state. Its word count is a
+//!   pure function of the machine geometry, so consecutive units'
+//!   sections align positionally and delta-encode word-for-word.
+//! * a **page set** — the memory snapshot's allocated 4 KiB pages,
+//!   sorted by page index. Each page deltas against the *previous
+//!   unit's page with the same index* (zeros when absent). Consecutive
+//!   snapshots share unmodified pages copy-on-write, so most page
+//!   deltas are all-zero and run-length-collapse to a few bytes.
+//!
+//! Warm state between nearby units differs only where the stream
+//! touched new sets/counters, so the fixed-section deltas are sparse
+//! too — this is what makes the on-disk store far smaller than the
+//! resident library.
+
+use crate::codec::{decode_deltas, read_varint, write_varint, RleEncoder};
+use smarts_core::{EngineSnapshot, UnitCheckpoint};
+use smarts_isa::{Cpu, Memory};
+use smarts_uarch::{MachineConfig, WarmState};
+
+/// Words per memory page (4 KiB of little-endian `u64`s).
+pub(crate) const PAGE_WORDS: usize = Memory::PAGE_BYTES / 8;
+
+/// A checkpoint flattened to delta-friendly word streams.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatCheckpoint {
+    /// Unit start, CPU state, warm state — geometry-determined length.
+    pub fixed: Vec<u64>,
+    /// `(page_index, contents)` sorted ascending by index.
+    pub pages: Vec<(u64, Vec<u64>)>,
+}
+
+impl FlatCheckpoint {
+    /// Flattens a checkpoint into word streams.
+    pub fn flatten(checkpoint: &UnitCheckpoint) -> Self {
+        let mut fixed = vec![checkpoint.unit_start()];
+        checkpoint.snapshot().cpu().save_state(&mut fixed);
+        checkpoint.warm().save_state(&mut fixed);
+        let pages = checkpoint
+            .snapshot()
+            .memory()
+            .pages_sorted()
+            .into_iter()
+            .map(|(index, bytes)| {
+                let words = bytes
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect();
+                (index, words)
+            })
+            .collect();
+        FlatCheckpoint { fixed, pages }
+    }
+
+    /// Rebuilds the checkpoint for a machine of the geometry the store
+    /// was written for. Fails (with a diagnostic) when the word stream
+    /// does not parse against that geometry — the corrupted-record path.
+    pub fn rebuild(&self, cfg: &MachineConfig) -> Result<UnitCheckpoint, &'static str> {
+        let (&unit_start, rest) = self.fixed.split_first().ok_or("fixed section is empty")?;
+        let mut cpu = Cpu::new();
+        let mut used = cpu
+            .load_state(rest)
+            .ok_or("fixed section too short for CPU state")?;
+        let mut warm = WarmState::new(cfg);
+        used += warm
+            .load_state(
+                rest.get(used..)
+                    .ok_or("fixed section ends inside CPU state")?,
+            )
+            .ok_or("fixed section too short for warm state")?;
+        if used != rest.len() {
+            return Err("fixed section longer than the machine geometry requires");
+        }
+        let mut memory = Memory::new();
+        let mut bytes = vec![0u8; Memory::PAGE_BYTES];
+        for (index, words) in &self.pages {
+            if words.len() != PAGE_WORDS {
+                return Err("page has the wrong word count");
+            }
+            for (chunk, word) in bytes.chunks_exact_mut(8).zip(words) {
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+            memory.insert_page(*index, &bytes);
+        }
+        Ok(UnitCheckpoint::from_parts(
+            unit_start,
+            EngineSnapshot::from_parts(cpu, memory),
+            warm,
+        ))
+    }
+
+    /// The page contents stored for `index`, if any (pages are sorted,
+    /// so this is a binary search).
+    fn page(&self, index: u64) -> Option<&[u64]> {
+        self.pages
+            .binary_search_by_key(&index, |&(i, _)| i)
+            .ok()
+            .map(|k| self.pages[k].1.as_slice())
+    }
+}
+
+/// Encodes one record payload: `self` delta-encoded against `prev`
+/// (record 0 deltas against all-zeros).
+pub(crate) fn encode_record(curr: &FlatCheckpoint, prev: Option<&FlatCheckpoint>) -> Vec<u8> {
+    if let Some(prev) = prev {
+        debug_assert_eq!(
+            prev.fixed.len(),
+            curr.fixed.len(),
+            "fixed-section length is a pure function of the geometry"
+        );
+    }
+    let mut out = Vec::new();
+    write_varint(&mut out, curr.fixed.len() as u64);
+    let mut enc = RleEncoder::new(&mut out);
+    for (i, &word) in curr.fixed.iter().enumerate() {
+        let reference = prev.map_or(0, |p| p.fixed[i]);
+        enc.push(word.wrapping_sub(reference));
+    }
+    enc.finish();
+
+    write_varint(&mut out, curr.pages.len() as u64);
+    let mut last_index = 0u64;
+    for (k, (index, words)) in curr.pages.iter().enumerate() {
+        let delta = if k == 0 { *index } else { index - last_index };
+        write_varint(&mut out, delta);
+        last_index = *index;
+        let reference = prev.and_then(|p| p.page(*index));
+        let mut enc = RleEncoder::new(&mut out);
+        for (j, &word) in words.iter().enumerate() {
+            let base = reference.map_or(0, |r| r[j]);
+            enc.push(word.wrapping_sub(base));
+        }
+        enc.finish();
+    }
+    out
+}
+
+/// Upper bounds on decoded sizes, so a corrupted length field cannot
+/// drive a multi-gigabyte allocation before the mismatch is noticed.
+const MAX_FIXED_WORDS: u64 = 1 << 28;
+const MAX_PAGES: u64 = 1 << 24;
+
+/// Decodes one record payload against the previous flat (record 0
+/// decodes against all-zeros). Returns a diagnostic on any structural
+/// inconsistency.
+pub(crate) fn decode_record(
+    payload: &[u8],
+    prev: Option<&FlatCheckpoint>,
+) -> Result<FlatCheckpoint, &'static str> {
+    let mut pos = 0usize;
+    let fixed_len = read_varint(payload, &mut pos).ok_or("truncated fixed-section length")?;
+    if fixed_len == 0 || fixed_len > MAX_FIXED_WORDS {
+        return Err("implausible fixed-section length");
+    }
+    if let Some(prev) = prev {
+        if prev.fixed.len() as u64 != fixed_len {
+            return Err("fixed-section length changed between records");
+        }
+    }
+    let deltas = decode_deltas(payload, &mut pos, fixed_len as usize)
+        .ok_or("undecodable fixed-section deltas")?;
+    let fixed = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| d.wrapping_add(prev.map_or(0, |p| p.fixed[i])))
+        .collect();
+
+    let page_count = read_varint(payload, &mut pos).ok_or("truncated page count")?;
+    if page_count > MAX_PAGES {
+        return Err("implausible page count");
+    }
+    let mut pages = Vec::with_capacity(page_count as usize);
+    let mut last_index = 0u64;
+    for k in 0..page_count {
+        let delta = read_varint(payload, &mut pos).ok_or("truncated page index")?;
+        if k > 0 && delta == 0 {
+            return Err("page indices are not strictly ascending");
+        }
+        let index = last_index
+            .checked_add(delta)
+            .ok_or("page index overflows")?;
+        last_index = index;
+        let deltas =
+            decode_deltas(payload, &mut pos, PAGE_WORDS).ok_or("undecodable page deltas")?;
+        let reference = prev.and_then(|p| p.page(index));
+        let words = deltas
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| d.wrapping_add(reference.map_or(0, |r| r[j])))
+            .collect();
+        pages.push((index, words));
+    }
+    if pos != payload.len() {
+        return Err("trailing bytes after the last page");
+    }
+    Ok(FlatCheckpoint { fixed, pages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(fixed: Vec<u64>, pages: Vec<(u64, Vec<u64>)>) -> FlatCheckpoint {
+        FlatCheckpoint { fixed, pages }
+    }
+
+    fn page_of(value: u64) -> Vec<u64> {
+        let mut p = vec![0u64; PAGE_WORDS];
+        p[7] = value;
+        p
+    }
+
+    #[test]
+    fn record_round_trips_without_predecessor() {
+        let a = flat(
+            vec![10, 20, 0, 0, 30],
+            vec![(3, page_of(9)), (17, page_of(4))],
+        );
+        let payload = encode_record(&a, None);
+        let decoded = decode_record(&payload, None).unwrap();
+        assert_eq!(decoded.fixed, a.fixed);
+        assert_eq!(decoded.pages, a.pages);
+    }
+
+    #[test]
+    fn record_round_trips_against_predecessor() {
+        let a = flat(
+            vec![10, 20, 0, 0, 30],
+            vec![(3, page_of(9)), (17, page_of(4))],
+        );
+        // b shares page 3 verbatim, modifies page 17, adds page 40.
+        let b = flat(
+            vec![11, 20, 0, 5, 30],
+            vec![(3, page_of(9)), (17, page_of(5)), (40, page_of(1))],
+        );
+        let payload_a = encode_record(&a, None);
+        let payload_b = encode_record(&b, Some(&a));
+        // The shared page collapses: b's payload is dominated by the two
+        // non-shared pages, a's by both of its pages.
+        assert!(payload_b.len() < payload_a.len() + 64);
+        let da = decode_record(&payload_a, None).unwrap();
+        let db = decode_record(&payload_b, Some(&da)).unwrap();
+        assert_eq!(db.fixed, b.fixed);
+        assert_eq!(db.pages, b.pages);
+    }
+
+    #[test]
+    fn identical_flats_encode_to_almost_nothing() {
+        let a = flat(vec![7; 1000], vec![(5, page_of(2))]);
+        let payload = encode_record(&a, Some(&a));
+        // All deltas zero: one length varint, one zero-run token pair per
+        // stream, one page-index varint.
+        assert!(payload.len() < 24, "got {} bytes", payload.len());
+    }
+
+    #[test]
+    fn decode_rejects_structural_damage() {
+        let a = flat(vec![1, 2, 3], vec![(0, page_of(1))]);
+        let payload = encode_record(&a, None);
+        // Truncated payload.
+        assert!(decode_record(&payload[..payload.len() - 1], None).is_err());
+        // Trailing garbage.
+        let mut longer = payload.clone();
+        longer.push(0x55);
+        assert!(decode_record(&longer, None).is_err());
+        // Fixed-length change between records.
+        let b = flat(vec![1, 2, 3, 4], vec![]);
+        let pb = encode_record(&b, None);
+        let da = decode_record(&payload, None).unwrap();
+        assert!(decode_record(&pb, Some(&da)).is_err());
+    }
+}

@@ -1,0 +1,531 @@
+//! The on-disk store: versioned header, fingerprint, streaming writer
+//! and truncation-tolerant reader.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! header:  magic "SMARTSCK" | version u32 | fingerprint u64
+//!          | unit_size u64 | detailed_warming u64 | warming u8
+//!          | interval u64 | offset u64 | max_units u8 [+ u64]
+//!          | scale f64-bits u64 | name_len u32 | name bytes
+//!          | crc32 u32 (over everything above)
+//! record:  payload_len u32 | crc32 u32 (over payload) | payload
+//! ```
+//!
+//! Records are the delta-encoded flats of [`crate::flat`], each
+//! independently CRC-checked so corruption is localized: the reader
+//! yields every intact prefix record and then surfaces a typed error
+//! for the first bad one.
+
+use crate::codec::crc32;
+use crate::error::CkptError;
+use crate::flat::{decode_record, encode_record, FlatCheckpoint};
+use smarts_core::{SamplingParams, UnitCheckpoint, Warming};
+use smarts_uarch::{CacheConfig, MachineConfig, PredictorConfig, TlbConfig};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Store magic: the first eight bytes of every checkpoint store.
+pub const MAGIC: [u8; 8] = *b"SMARTSCK";
+
+/// On-disk format version this build writes and accepts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Largest record payload the reader will allocate for; anything bigger
+/// is treated as corruption (a real record is a few MiB at most).
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// SplitMix64 finalizer folded over a running hash — the same mixing
+/// the workloads RNG uses, applied as a one-way fingerprint.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix_cache(h: u64, c: &CacheConfig) -> u64 {
+    let h = mix(h, c.size_bytes);
+    let h = mix(h, c.assoc as u64);
+    let h = mix(h, c.line_bytes);
+    mix(h, c.latency)
+}
+
+fn mix_tlb(h: u64, t: &TlbConfig) -> u64 {
+    let h = mix(h, t.entries as u64);
+    let h = mix(h, t.assoc as u64);
+    let h = mix(h, t.page_bytes);
+    mix(h, t.miss_penalty)
+}
+
+fn mix_bpred(h: u64, b: &PredictorConfig) -> u64 {
+    let h = mix(h, b.bimodal_entries as u64);
+    let h = mix(h, b.gshare_entries as u64);
+    let h = mix(h, b.meta_entries as u64);
+    let h = mix(h, b.btb_entries as u64);
+    let h = mix(h, b.btb_assoc as u64);
+    let h = mix(h, b.ras_entries as u64);
+    let h = mix(h, b.mispred_penalty);
+    mix(h, b.predictions_per_cycle as u64)
+}
+
+/// Fingerprint of a machine's functional-warming geometry: exactly the
+/// fields [`smarts_core::CheckpointLibrary::compatible_with`] compares
+/// (caches, TLBs, predictor, memory latency). Machines that differ only
+/// in pipeline-core parameters (widths, window, FUs) fingerprint
+/// identically — that is the warm-once/replay-many-configs contract.
+pub fn warm_fingerprint(cfg: &MachineConfig) -> u64 {
+    let h = mix(0x534D_4152_5453_434B, FORMAT_VERSION as u64); // "SMARTSCK"
+    let h = mix_cache(h, &cfg.l1i);
+    let h = mix_cache(h, &cfg.l1d);
+    let h = mix_cache(h, &cfg.l2);
+    let h = mix_tlb(h, &cfg.itlb);
+    let h = mix_tlb(h, &cfg.dtlb);
+    let h = mix_bpred(h, &cfg.bpred);
+    mix(h, cfg.mem_latency)
+}
+
+/// Everything a replay needs to know about how the store was produced:
+/// the sampling design plus the benchmark identity, so
+/// `--from-checkpoints` needs no `--bench`/`--scale`/`--n` repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMeta {
+    /// The sampling design the warming pass ran with.
+    pub params: SamplingParams,
+    /// Benchmark name (e.g. `"hashp-2"`).
+    pub benchmark: String,
+    /// Scale factor the benchmark was loaded with.
+    pub scale: f64,
+}
+
+fn encode_header(fingerprint: u64, meta: &StoreMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&meta.params.unit_size.to_le_bytes());
+    out.extend_from_slice(&meta.params.detailed_warming.to_le_bytes());
+    out.push(match meta.params.warming {
+        Warming::None => 0,
+        Warming::Functional => 1,
+    });
+    out.extend_from_slice(&meta.params.interval.to_le_bytes());
+    out.extend_from_slice(&meta.params.offset.to_le_bytes());
+    match meta.params.max_units {
+        None => out.push(0),
+        Some(max) => {
+            out.push(1);
+            out.extend_from_slice(&max.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&meta.scale.to_bits().to_le_bytes());
+    let name = meta.benchmark.as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Incremental header parser: reads fields while accumulating the raw
+/// bytes so the trailing CRC can be checked over exactly what was read.
+struct HeaderReader<'a, R: Read> {
+    inner: &'a mut R,
+    raw: Vec<u8>,
+}
+
+impl<'a, R: Read> HeaderReader<'a, R> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], CkptError> {
+        let mut buf = [0u8; N];
+        self.inner
+            .read_exact(&mut buf)
+            .map_err(|_| CkptError::HeaderCorrupted)?;
+        self.raw.extend_from_slice(&buf);
+        Ok(buf)
+    }
+
+    fn take_vec(&mut self, n: usize) -> Result<Vec<u8>, CkptError> {
+        let mut buf = vec![0u8; n];
+        self.inner
+            .read_exact(&mut buf)
+            .map_err(|_| CkptError::HeaderCorrupted)?;
+        self.raw.extend_from_slice(&buf);
+        Ok(buf)
+    }
+
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+}
+
+fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta), CkptError> {
+    let mut h = HeaderReader {
+        inner: reader,
+        raw: Vec::new(),
+    };
+    let magic = h.take::<8>().map_err(|_| CkptError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = h.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CkptError::UnsupportedVersion(version));
+    }
+    let fingerprint = h.u64()?;
+    let unit_size = h.u64()?;
+    let detailed_warming = h.u64()?;
+    let warming = match h.u8()? {
+        0 => Warming::None,
+        1 => Warming::Functional,
+        _ => return Err(CkptError::HeaderCorrupted),
+    };
+    let interval = h.u64()?;
+    let offset = h.u64()?;
+    let max_units = match h.u8()? {
+        0 => None,
+        1 => Some(h.u64()?),
+        _ => return Err(CkptError::HeaderCorrupted),
+    };
+    let scale = f64::from_bits(h.u64()?);
+    let name_len = h.u32()?;
+    if name_len > 4096 {
+        return Err(CkptError::HeaderCorrupted);
+    }
+    let name_bytes = h.take_vec(name_len as usize)?;
+    let benchmark = String::from_utf8(name_bytes).map_err(|_| CkptError::HeaderCorrupted)?;
+    let expected_crc = crc32(&h.raw);
+    let stored_crc = u32::from_le_bytes(h.take::<4>()?);
+    if stored_crc != expected_crc {
+        return Err(CkptError::HeaderCorrupted);
+    }
+    Ok((
+        fingerprint,
+        StoreMeta {
+            params: SamplingParams {
+                unit_size,
+                detailed_warming,
+                warming,
+                interval,
+                offset,
+                max_units,
+            },
+            benchmark,
+            scale,
+        },
+    ))
+}
+
+/// Summary of a completed write pass.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteSummary {
+    /// Records written.
+    pub records: u64,
+    /// Total file bytes (header plus all records).
+    pub bytes: u64,
+}
+
+/// Streaming checkpoint-store writer: appends each checkpoint as a
+/// delta-encoded, CRC-protected record the moment the warming pass
+/// emits it, so persisting overlaps warming instead of following it.
+pub struct CkptWriter {
+    file: BufWriter<File>,
+    prev: Option<FlatCheckpoint>,
+    records: u64,
+    bytes: u64,
+}
+
+impl CkptWriter {
+    /// Creates (truncating) a store at `path` for a machine's warming
+    /// geometry and a sampling design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] when the file cannot be created or the
+    /// header cannot be written.
+    pub fn create(
+        path: impl AsRef<Path>,
+        cfg: &MachineConfig,
+        meta: &StoreMeta,
+    ) -> Result<Self, CkptError> {
+        let mut file = BufWriter::new(File::create(path)?);
+        let header = encode_header(warm_fingerprint(cfg), meta);
+        file.write_all(&header)?;
+        Ok(CkptWriter {
+            file,
+            prev: None,
+            records: 0,
+            bytes: header.len() as u64,
+        })
+    }
+
+    /// Appends one checkpoint, delta-encoded against the previously
+    /// appended one. Checkpoints must be appended in stream order (the
+    /// order the warming pass emits them) — that is what the reader
+    /// decodes against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] on a write failure.
+    pub fn append(&mut self, checkpoint: &UnitCheckpoint) -> Result<(), CkptError> {
+        let flat = FlatCheckpoint::flatten(checkpoint);
+        let payload = encode_record(&flat, self.prev.as_ref());
+        let crc = crc32(&payload);
+        self.file
+            .write_all(&(u32::try_from(payload.len()).expect("record fits u32")).to_le_bytes())?;
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.write_all(&payload)?;
+        self.bytes += 8 + payload.len() as u64;
+        self.records += 1;
+        self.prev = Some(flat);
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and closes the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] when the final flush fails.
+    pub fn finish(mut self) -> Result<WriteSummary, CkptError> {
+        self.file.flush()?;
+        Ok(WriteSummary {
+            records: self.records,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// Streaming checkpoint-store reader.
+///
+/// Opening validates the header (magic, version, CRC) and the warming
+/// geometry fingerprint against the replaying machine — a store warmed
+/// for different caches/TLBs/predictor is rejected with
+/// [`CkptError::FingerprintMismatch`] before any record is read.
+///
+/// Reading is truncation-tolerant: every intact prefix record is
+/// yielded, and the first damaged or torn record surfaces as a typed
+/// error ([`CkptError::Corrupted`] / [`CkptError::Truncated`]), after
+/// which the stream ends.
+pub struct CkptReader {
+    file: BufReader<File>,
+    meta: StoreMeta,
+    cfg: MachineConfig,
+    prev: Option<FlatCheckpoint>,
+    record: u64,
+    done: bool,
+}
+
+impl CkptReader {
+    /// Opens a store for replay on machine `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::BadMagic`], [`CkptError::UnsupportedVersion`], or
+    /// [`CkptError::HeaderCorrupted`] when the header does not parse;
+    /// [`CkptError::FingerprintMismatch`] when `cfg`'s warming geometry
+    /// differs from the one the store was built with; [`CkptError::Io`]
+    /// on filesystem errors.
+    pub fn open(path: impl AsRef<Path>, cfg: &MachineConfig) -> Result<Self, CkptError> {
+        let mut file = BufReader::new(File::open(path)?);
+        let (found, meta) = decode_header(&mut file)?;
+        let expected = warm_fingerprint(cfg);
+        if found != expected {
+            return Err(CkptError::FingerprintMismatch { expected, found });
+        }
+        Ok(CkptReader {
+            file,
+            meta,
+            cfg: cfg.clone(),
+            prev: None,
+            record: 0,
+            done: false,
+        })
+    }
+
+    /// The store's sampling design and benchmark identity.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Intact records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.record
+    }
+
+    /// Reads `buf.len()` bytes; `Ok(false)` on clean EOF at offset 0,
+    /// `Err` (typed as truncation) on a partial read.
+    fn read_exact_or_eof(&mut self, buf: &mut [u8]) -> Result<bool, CkptError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.file.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(false),
+                Ok(0) => {
+                    return Err(CkptError::Truncated {
+                        record: self.record,
+                        recovered: self.record,
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Decodes the next checkpoint. `None` after the last record (or
+    /// after any error — errors are terminal for the stream). Intact
+    /// records before a tear or a corrupted record have all been
+    /// yielded by earlier calls.
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next_checkpoint(&mut self) -> Option<Result<UnitCheckpoint, CkptError>> {
+        if self.done {
+            return None;
+        }
+        let result = self.read_one();
+        match &result {
+            Some(Ok(_)) => {}
+            _ => self.done = true,
+        }
+        result
+    }
+
+    fn read_one(&mut self) -> Option<Result<UnitCheckpoint, CkptError>> {
+        let mut prefix = [0u8; 8];
+        match self.read_exact_or_eof(&mut prefix) {
+            Ok(false) => return None, // clean end of store
+            Ok(true) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        let payload_len = u32::from_le_bytes(prefix[..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(prefix[4..].try_into().expect("4 bytes"));
+        if payload_len > MAX_PAYLOAD {
+            return Some(Err(CkptError::Corrupted {
+                record: self.record,
+                detail: "implausible record length",
+            }));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        match self.read_exact_or_eof(&mut payload) {
+            Ok(true) => {}
+            // A zero-length tail read or partial payload is a tear
+            // either way.
+            Ok(false) | Err(CkptError::Truncated { .. }) => {
+                return Some(Err(CkptError::Truncated {
+                    record: self.record,
+                    recovered: self.record,
+                }))
+            }
+            Err(e) => return Some(Err(e)),
+        }
+        if crc32(&payload) != stored_crc {
+            return Some(Err(CkptError::Corrupted {
+                record: self.record,
+                detail: "CRC mismatch",
+            }));
+        }
+        let flat = match decode_record(&payload, self.prev.as_ref()) {
+            Ok(flat) => flat,
+            Err(detail) => {
+                return Some(Err(CkptError::Corrupted {
+                    record: self.record,
+                    detail,
+                }))
+            }
+        };
+        let checkpoint = match flat.rebuild(&self.cfg) {
+            Ok(checkpoint) => checkpoint,
+            Err(detail) => {
+                return Some(Err(CkptError::Corrupted {
+                    record: self.record,
+                    detail,
+                }))
+            }
+        };
+        self.prev = Some(flat);
+        self.record += 1;
+        Some(Ok(checkpoint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_pipeline_core_but_not_warm_geometry() {
+        let base = MachineConfig::eight_way();
+        let mut narrow = base.clone();
+        narrow.issue_width = 2;
+        narrow.fetch_width = 2;
+        narrow.decode_width = 2;
+        narrow.commit_width = 2;
+        narrow.ruu_size = 32;
+        assert_eq!(warm_fingerprint(&base), warm_fingerprint(&narrow));
+
+        let sixteen = MachineConfig::sixteen_way();
+        assert_ne!(warm_fingerprint(&base), warm_fingerprint(&sixteen));
+
+        let mut bigger_l2 = base.clone();
+        bigger_l2.l2.size_bytes *= 2;
+        assert_ne!(warm_fingerprint(&base), warm_fingerprint(&bigger_l2));
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let meta = StoreMeta {
+            params: SamplingParams {
+                unit_size: 1000,
+                detailed_warming: 2000,
+                warming: Warming::Functional,
+                interval: 37,
+                offset: 3,
+                max_units: Some(12),
+            },
+            benchmark: "hashp-2".to_string(),
+            scale: 0.25,
+        };
+        let bytes = encode_header(0xDEAD_BEEF, &meta);
+        let mut cursor = &bytes[..];
+        let (fp, decoded) = decode_header(&mut cursor).unwrap();
+        assert_eq!(fp, 0xDEAD_BEEF);
+        assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn header_crc_catches_flips() {
+        let meta = StoreMeta {
+            params: SamplingParams {
+                unit_size: 1000,
+                detailed_warming: 2000,
+                warming: Warming::None,
+                interval: 5,
+                offset: 0,
+                max_units: None,
+            },
+            benchmark: "loopy-1".to_string(),
+            scale: 1.0,
+        };
+        let mut bytes = encode_header(7, &meta);
+        let flip = bytes.len() / 2;
+        bytes[flip] ^= 0x40;
+        let mut cursor = &bytes[..];
+        assert!(matches!(
+            decode_header(&mut cursor),
+            Err(CkptError::HeaderCorrupted)
+        ));
+    }
+}

@@ -1,0 +1,337 @@
+//! End-to-end store tests against real warming checkpoints: bit-exact
+//! round-trips, randomized corruption/truncation recovery, and
+//! compatibility gating (version, fingerprint).
+
+use std::fs;
+use std::path::PathBuf;
+
+use smarts_ckpt::{CkptError, CkptReader, CkptWriter, StoreMeta};
+use smarts_core::{SamplingParams, SmartsSim, UnitCheckpoint, Warming};
+use smarts_uarch::MachineConfig;
+use smarts_workloads::{find, Benchmark};
+
+/// Deterministic pseudo-random stream for the corruption property tests.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "smarts-ckpt-test-{tag}-{}.ckpt",
+        std::process::id()
+    ))
+}
+
+fn small_bench() -> Benchmark {
+    find("loopy-1").expect("suite benchmark").scaled(0.02)
+}
+
+fn small_params(bench: &Benchmark) -> SamplingParams {
+    SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, 10, 0)
+        .expect("valid params")
+}
+
+fn collect_checkpoints(
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+) -> Vec<UnitCheckpoint> {
+    let mut out = Vec::new();
+    sim.stream_checkpoints(bench.load(), params, |checkpoint| {
+        out.push(checkpoint);
+        true
+    })
+    .expect("warming pass");
+    out
+}
+
+fn write_store(path: &PathBuf, cfg: &MachineConfig, checkpoints: &[UnitCheckpoint]) -> StoreMeta {
+    let bench = small_bench();
+    let meta = StoreMeta {
+        params: small_params(&bench),
+        benchmark: bench.name().to_string(),
+        scale: 0.02,
+    };
+    let mut writer = CkptWriter::create(path, cfg, &meta).expect("create store");
+    for checkpoint in checkpoints {
+        writer.append(checkpoint).expect("append");
+    }
+    writer.finish().expect("finish");
+    meta
+}
+
+/// Every observable word of a checkpoint, via the public state-stream
+/// API — the equality notion the store must preserve exactly:
+/// `(unit_start, cpu words, warm words, sorted pages)`.
+type StateWords = (u64, Vec<u64>, Vec<u64>, Vec<(u64, Vec<u8>)>);
+
+fn state_words(c: &UnitCheckpoint) -> StateWords {
+    let mut cpu = Vec::new();
+    c.snapshot().cpu().save_state(&mut cpu);
+    let mut warm = Vec::new();
+    c.warm().save_state(&mut warm);
+    let pages = c
+        .snapshot()
+        .memory()
+        .pages_sorted()
+        .into_iter()
+        .map(|(index, page)| (index, page.to_vec()))
+        .collect();
+    (c.unit_start(), cpu, warm, pages)
+}
+
+#[test]
+fn store_round_trips_every_checkpoint_bit_exactly() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    assert!(originals.len() >= 8, "want a non-trivial unit count");
+
+    let path = temp_path("roundtrip");
+    let meta = write_store(&path, &cfg, &originals);
+
+    let mut reader = CkptReader::open(&path, &cfg).expect("open store");
+    assert_eq!(reader.meta(), &meta);
+    let mut decoded = Vec::new();
+    while let Some(next) = reader.next_checkpoint() {
+        decoded.push(next.expect("intact record"));
+    }
+    assert_eq!(decoded.len(), originals.len());
+    assert_eq!(reader.records_read(), originals.len() as u64);
+    for (original, restored) in originals.iter().zip(&decoded) {
+        assert_eq!(state_words(original), state_words(restored));
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn delta_encoding_compresses_below_resident_footprint() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let resident: u64 = originals
+        .iter()
+        .map(UnitCheckpoint::approx_resident_bytes)
+        .sum();
+
+    let path = temp_path("compression");
+    write_store(&path, &cfg, &originals);
+    let file_bytes = fs::metadata(&path).expect("store exists").len();
+    assert!(
+        file_bytes * 2 < resident,
+        "delta encoding should at least halve the footprint: \
+         {file_bytes} on disk vs {resident} resident"
+    );
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn any_flipped_record_byte_surfaces_a_typed_error() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let path = temp_path("fliprand");
+    write_store(&path, &cfg, &originals);
+    let pristine = fs::read(&path).expect("read store");
+
+    // The header's extent: a store with zero records is header-only.
+    let empty = temp_path("fliprand-header");
+    let summary = CkptWriter::create(
+        &empty,
+        &cfg,
+        &StoreMeta {
+            params,
+            benchmark: bench.name().to_string(),
+            scale: 0.02,
+        },
+    )
+    .expect("create")
+    .finish()
+    .expect("finish");
+    fs::remove_file(&empty).ok();
+    let header_len = summary.bytes as usize;
+    assert!(pristine.len() > header_len);
+
+    let mut rng = SplitMix64(0xC0FF_EE00_5EED);
+    for _ in 0..40 {
+        let offset = header_len + rng.below((pristine.len() - header_len) as u64) as usize;
+        let bit = rng.below(8) as u32;
+        let mut bytes = pristine.clone();
+        bytes[offset] ^= 1 << bit;
+        fs::write(&path, &bytes).expect("write corrupted copy");
+
+        let mut reader = CkptReader::open(&path, &cfg).expect("header is intact");
+        let mut intact = 0usize;
+        let mut failure = None;
+        while let Some(next) = reader.next_checkpoint() {
+            match next {
+                Ok(_) => intact += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // A single flipped bit can never decode cleanly: the per-record
+        // CRC covers the payload, and the length/CRC prefix fields fail
+        // as implausible lengths, tears, or CRC mismatches.
+        let failure = failure
+            .unwrap_or_else(|| panic!("flip at byte {offset} bit {bit} was swallowed silently"));
+        assert!(
+            matches!(
+                failure,
+                CkptError::Corrupted { .. } | CkptError::Truncated { .. }
+            ),
+            "unexpected error class for flip at byte {offset}: {failure:?}"
+        );
+        assert!(
+            intact < originals.len(),
+            "damage must cost at least one record"
+        );
+        // Errors are terminal: the stream stays ended.
+        assert!(reader.next_checkpoint().is_none());
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncation_recovers_the_intact_prefix() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let path = temp_path("truncrand");
+    write_store(&path, &cfg, &originals);
+    let pristine = fs::read(&path).expect("read store");
+    let reference: Vec<_> = originals.iter().map(state_words).collect();
+
+    let empty = temp_path("truncrand-header");
+    let header_len = CkptWriter::create(
+        &empty,
+        &cfg,
+        &StoreMeta {
+            params,
+            benchmark: bench.name().to_string(),
+            scale: 0.02,
+        },
+    )
+    .expect("create")
+    .finish()
+    .expect("finish")
+    .bytes as usize;
+    fs::remove_file(&empty).ok();
+
+    let mut rng = SplitMix64(0x7A11_FEED);
+    for _ in 0..25 {
+        let cut = header_len + rng.below((pristine.len() - header_len) as u64) as usize;
+        fs::write(&path, &pristine[..cut]).expect("write truncated copy");
+
+        let mut reader = CkptReader::open(&path, &cfg).expect("header is intact");
+        let mut intact = 0usize;
+        let mut tear = None;
+        while let Some(next) = reader.next_checkpoint() {
+            match next {
+                Ok(checkpoint) => {
+                    // The prefix is not merely decodable — it is the
+                    // original data, bit for bit.
+                    assert_eq!(state_words(&checkpoint), reference[intact]);
+                    intact += 1;
+                }
+                Err(e) => {
+                    tear = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(intact < originals.len());
+        match tear {
+            // A cut on a record boundary reads as a short, clean store.
+            None => {}
+            Some(CkptError::Truncated { record, recovered }) => {
+                assert_eq!(record, intact as u64);
+                assert_eq!(recovered, intact as u64);
+            }
+            Some(other) => panic!("truncation surfaced as {other:?}"),
+        }
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn incompatible_stores_are_rejected_before_replay() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let path = temp_path("gating");
+    write_store(&path, &cfg, &originals[..2]);
+    let pristine = fs::read(&path).expect("read store");
+
+    // Bad magic: first byte damaged.
+    let mut bytes = pristine.clone();
+    bytes[0] ^= 0xFF;
+    fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        CkptReader::open(&path, &cfg),
+        Err(CkptError::BadMagic)
+    ));
+
+    // Future format version (byte 8 is the version LSB; the version is
+    // checked before the header CRC so old readers fail informatively).
+    let mut bytes = pristine.clone();
+    bytes[8] = 0x2A;
+    fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        CkptReader::open(&path, &cfg),
+        Err(CkptError::UnsupportedVersion(0x2A))
+    ));
+
+    // Header torn mid-way.
+    fs::write(&path, &pristine[..20]).expect("write");
+    assert!(matches!(
+        CkptReader::open(&path, &cfg),
+        Err(CkptError::HeaderCorrupted)
+    ));
+
+    // Warm-geometry change: fingerprint rejects the store.
+    fs::write(&path, &pristine).expect("write");
+    let mut bigger_l2 = cfg.clone();
+    bigger_l2.l2.size_bytes *= 2;
+    assert!(matches!(
+        CkptReader::open(&path, &bigger_l2),
+        Err(CkptError::FingerprintMismatch { .. })
+    ));
+
+    // Pipeline-core change: same warm geometry, so the store opens and
+    // replays — the whole point of warm-once/replay-many.
+    let mut narrow = cfg.clone();
+    narrow.issue_width = 2;
+    narrow.fetch_width = 2;
+    narrow.decode_width = 2;
+    narrow.commit_width = 2;
+    narrow.ruu_size = 32;
+    let mut reader = CkptReader::open(&path, &narrow).expect("compatible core variant");
+    assert!(reader.next_checkpoint().expect("record").is_ok());
+
+    fs::remove_file(&path).ok();
+}

@@ -7,9 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use smarts_core::{compare_machines, FunctionalEngine, SamplingParams, SmartsSim, Warming};
+use smarts_core::{
+    compare_machines, FunctionalEngine, SampleReport, SamplingParams, SmartsSim, Warming,
+};
 use smarts_exec::{
-    compare_machines_parallel, sample_two_step_parallel, Executor, ParallelMode, ParallelReport,
+    compare_machines_parallel, replay_store, sample_pipeline_saving, sample_two_step_parallel,
+    Executor, ParallelMode, ParallelReport,
 };
 use smarts_simpoint::{estimate_cpi, SimPointConfig};
 use smarts_stats::Confidence;
@@ -46,6 +49,10 @@ pub struct Options {
     pub parallel_mode: ParallelMode,
     /// Bounded channel depth (checkpoints) for pipeline mode.
     pub pipeline_depth: usize,
+    /// Persist unit checkpoints to this store while sampling.
+    pub save_checkpoints: Option<String>,
+    /// Replay a persisted checkpoint store instead of warming.
+    pub from_checkpoints: Option<String>,
 }
 
 impl Default for Options {
@@ -64,6 +71,8 @@ impl Default for Options {
             jobs: 1,
             parallel_mode: ParallelMode::Checkpoint,
             pipeline_depth: smarts_exec::DEFAULT_PIPELINE_DEPTH,
+            save_checkpoints: None,
+            from_checkpoints: None,
         }
     }
 }
@@ -98,7 +107,12 @@ pub fn usage() -> String {
      \x20                          pipeline (bit-identical, warming overlaps replay,\n\
      \x20                          bounded memory), or sharded (leapfrog, small\n\
      \x20                          residual bias) [checkpoint]\n\
-     \x20 --pipeline-depth <n>     pipeline-mode channel depth, in checkpoints [4]"
+     \x20 --pipeline-depth <n>     pipeline-mode channel depth, in checkpoints [4]\n\
+     \x20 --save-checkpoints <p>   persist unit checkpoints to a store at <p> while\n\
+     \x20                          sampling (implies pipeline mode; not with --epsilon)\n\
+     \x20 --from-checkpoints <p>   replay a saved store, skipping functional warming;\n\
+     \x20                          benchmark and sampling design come from the store\n\
+     \x20                          (--bench is ignored; not with --epsilon)"
         .to_string()
 }
 
@@ -189,6 +203,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| "--pipeline-depth takes a depth of at least 1".to_string())?;
             }
+            "--save-checkpoints" => {
+                options.save_checkpoints = Some(value("--save-checkpoints")?);
+            }
+            "--from-checkpoints" => {
+                options.from_checkpoints = Some(value("--from-checkpoints")?);
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -247,7 +267,30 @@ fn cmd_list() {
     }
 }
 
+fn executor_for(options: &Options) -> Result<Executor, String> {
+    Ok(Executor::new(options.jobs)
+        .map_err(|e| e.to_string())?
+        .with_mode(options.parallel_mode)
+        .with_pipeline_depth(options.pipeline_depth))
+}
+
 fn cmd_sample(options: &Options) -> Result<(), String> {
+    if options.epsilon.is_some()
+        && (options.save_checkpoints.is_some() || options.from_checkpoints.is_some())
+    {
+        return Err(
+            "--epsilon tunes the sampling design between runs and cannot be combined \
+             with --save-checkpoints/--from-checkpoints (a store fixes the design)"
+                .into(),
+        );
+    }
+    if options.save_checkpoints.is_some() && options.from_checkpoints.is_some() {
+        return Err("--save-checkpoints and --from-checkpoints are mutually exclusive".into());
+    }
+    if let Some(path) = &options.from_checkpoints {
+        return cmd_sample_from_store(options, path);
+    }
+
     let cfg = machine(options);
     let bench = benchmark(options)?;
     let sim = SmartsSim::new(cfg.clone());
@@ -267,12 +310,24 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
     let mut parallel: Option<ParallelReport> = None;
     // Pipeline mode runs through the executor even at one worker: the
     // producer/consumer overlap is the point, not the worker count.
-    let use_executor = options.jobs > 1 || options.parallel_mode == ParallelMode::Pipeline;
-    let report = if use_executor {
-        let executor = Executor::new(options.jobs)
-            .map_err(|e| e.to_string())?
-            .with_mode(options.parallel_mode)
-            .with_pipeline_depth(options.pipeline_depth);
+    // Saving checkpoints is pipeline-shaped by construction.
+    let use_executor = options.jobs > 1
+        || options.parallel_mode == ParallelMode::Pipeline
+        || options.save_checkpoints.is_some();
+    let report = if let Some(path) = &options.save_checkpoints {
+        let executor = executor_for(options)?;
+        let saved = sample_pipeline_saving(&executor, &sim, &bench, options.scale, &params, path)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "store         {} records, {:.2} MiB written to {path}",
+            saved.write.records,
+            saved.write.bytes as f64 / (1024.0 * 1024.0)
+        );
+        let report = saved.report.report.clone();
+        parallel = Some(saved.report);
+        report
+    } else if use_executor {
+        let executor = executor_for(options)?;
         match options.epsilon {
             None => {
                 let outcome = executor
@@ -302,11 +357,65 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
         }
     };
 
+    print_sample_report(
+        &bench.to_string(),
+        &cfg,
+        &params,
+        &report,
+        conf,
+        parallel.as_ref(),
+    );
+    Ok(())
+}
+
+/// Replays a persisted checkpoint store: the store's own benchmark and
+/// sampling design apply, and functional warming is skipped entirely.
+fn cmd_sample_from_store(options: &Options, path: &str) -> Result<(), String> {
+    let cfg = machine(options);
+    let sim = SmartsSim::new(cfg.clone());
+    let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
+    let executor = executor_for(options)?;
+    let replayed = replay_store(&executor, &sim, path).map_err(|e| e.to_string())?;
+    let meta = &replayed.meta;
+    let label = match find(&meta.benchmark) {
+        Some(b) => b.scaled(meta.scale).to_string(),
+        None => meta.benchmark.clone(),
+    };
+    println!(
+        "store         {path}: {} records (bench {}, scale {})",
+        replayed.records, meta.benchmark, meta.scale
+    );
+    if let Some(damage) = &replayed.damage {
+        println!(
+            "WARNING       store damaged past record {}: {damage}; \
+             the intact prefix above was still replayed",
+            replayed.records
+        );
+    }
+    print_sample_report(
+        &label,
+        &cfg,
+        &meta.params,
+        &replayed.report.report,
+        conf,
+        Some(&replayed.report),
+    );
+    Ok(())
+}
+
+fn print_sample_report(
+    bench_label: &str,
+    cfg: &MachineConfig,
+    params: &SamplingParams,
+    report: &SampleReport,
+    conf: Confidence,
+    parallel: Option<&ParallelReport>,
+) {
     let cpi = report.cpi();
     let epi = report.epi();
     let mpki = report.branch_mpki();
     let mem = report.memory_pki();
-    println!("benchmark     {}", bench);
+    println!("benchmark     {}", bench_label);
     println!(
         "machine       {} (U={}, W={}, k={}, j={})",
         cfg.name, params.unit_size, params.detailed_warming, params.interval, params.offset
@@ -337,7 +446,7 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
         report.wall_functional,
         report.wall_detailed
     );
-    if let Some(pr) = &parallel {
+    if let Some(pr) = parallel {
         match &pr.pipeline {
             Some(ps) => {
                 println!(
@@ -366,7 +475,6 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
             );
         }
     }
-    Ok(())
 }
 
 fn cmd_reference(options: &Options) -> Result<(), String> {
@@ -724,6 +832,75 @@ mod tests {
             "0.02",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn save_and_replay_checkpoints_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "smarts-cli-ckpt-roundtrip-{}.ckpt",
+            std::process::id()
+        ));
+        let path_s = path.to_string_lossy().to_string();
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--save-checkpoints",
+            &path_s,
+        ]))
+        .unwrap();
+        // Replay skips warming; the store supplies benchmark and design,
+        // so no --bench is needed.
+        dispatch(&strings(&[
+            "sample",
+            "--from-checkpoints",
+            &path_s,
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_flags_reject_bad_combinations() {
+        let err = dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--epsilon",
+            "0.03",
+            "--save-checkpoints",
+            "ignored.ckpt",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--epsilon"));
+        let err = dispatch(&strings(&[
+            "sample",
+            "--save-checkpoints",
+            "a.ckpt",
+            "--from-checkpoints",
+            "b.ckpt",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"));
+        assert!(parse_options(&strings(&["--save-checkpoints"])).is_err());
+        assert!(parse_options(&strings(&["--from-checkpoints"])).is_err());
+    }
+
+    #[test]
+    fn replay_of_a_missing_store_is_a_clean_error() {
+        let err = dispatch(&strings(&[
+            "sample",
+            "--from-checkpoints",
+            "/nonexistent/smarts-no-such-store.ckpt",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("checkpoint store"));
     }
 
     #[test]

@@ -50,9 +50,32 @@ pub struct UnitCheckpoint {
 }
 
 impl UnitCheckpoint {
+    /// Assembles a checkpoint from decoded parts (the checkpoint-store
+    /// load path). The parts must describe one coherent warming-pass
+    /// state — the store guarantees this by construction, serializing
+    /// exactly what [`SmartsSim::stream_checkpoints`] emitted.
+    pub fn from_parts(unit_start: u64, snapshot: EngineSnapshot, warm: WarmState) -> Self {
+        UnitCheckpoint {
+            unit_start,
+            snapshot,
+            warm,
+        }
+    }
+
     /// The unit's start offset in the instruction stream.
     pub fn unit_start(&self) -> u64 {
         self.unit_start
+    }
+
+    /// The architectural snapshot at the unit's warming-start point.
+    pub fn snapshot(&self) -> &EngineSnapshot {
+        &self.snapshot
+    }
+
+    /// The warm microarchitectural state at the unit's warming-start
+    /// point.
+    pub fn warm(&self) -> &WarmState {
+        &self.warm
     }
 
     /// Approximate bytes this checkpoint holds alive: its memory
@@ -164,6 +187,12 @@ impl CheckpointLibrary {
     /// stream order.
     pub fn unit_starts(&self) -> impl Iterator<Item = u64> + '_ {
         self.checkpoints.iter().map(|c| c.unit_start)
+    }
+
+    /// The checkpoints themselves, in stream order — the serialization
+    /// source for a persistent checkpoint store.
+    pub fn checkpoints(&self) -> &[UnitCheckpoint] {
+        &self.checkpoints
     }
 
     /// Approximate bytes the library holds alive: warm-state copies plus

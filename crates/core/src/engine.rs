@@ -130,6 +130,22 @@ impl FunctionalEngine {
 }
 
 impl EngineSnapshot {
+    /// Assembles a snapshot from decoded parts (the checkpoint-store
+    /// load path).
+    pub fn from_parts(cpu: Cpu, memory: Memory) -> Self {
+        EngineSnapshot { cpu, memory }
+    }
+
+    /// The architectural CPU state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The architectural memory state.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
     /// Bytes of memory backing store currently allocated to this
     /// snapshot, with no copy-on-write sharing discounted.
     pub fn memory_resident_bytes(&self) -> usize {

@@ -1,15 +1,25 @@
 use std::error::Error;
 use std::fmt;
 
+use smarts_ckpt::CkptError;
 use smarts_core::SmartsError;
 
 /// Error type for parallel sampling execution.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Not `Clone`/`PartialEq`: the [`ExecError::Ckpt`] variant carries a
+/// [`CkptError`], which may wrap an [`std::io::Error`].
+#[derive(Debug)]
 #[non_exhaustive]
 pub enum ExecError {
     /// An underlying sampling error (invalid parameters, empty sample,
     /// incompatible checkpoint geometry, ...).
     Smarts(SmartsError),
+    /// A checkpoint-store error while saving or replaying persisted
+    /// checkpoints (I/O, corruption, fingerprint mismatch, ...).
+    Ckpt(CkptError),
+    /// A checkpoint store names a benchmark the workload suite does not
+    /// know, so its program cannot be reconstructed for replay.
+    UnknownBenchmark(String),
     /// A worker thread panicked; the panic payload is preserved so the
     /// failure is attributable instead of tearing down the process.
     WorkerPanic {
@@ -26,6 +36,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Smarts(e) => write!(f, "sampling error: {e}"),
+            ExecError::Ckpt(e) => write!(f, "checkpoint store error: {e}"),
+            ExecError::UnknownBenchmark(name) => {
+                write!(f, "checkpoint store names unknown benchmark `{name}`")
+            }
             ExecError::WorkerPanic { worker, message } => {
                 write!(f, "worker {worker} panicked: {message}")
             }
@@ -38,6 +52,7 @@ impl Error for ExecError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExecError::Smarts(e) => Some(e),
+            ExecError::Ckpt(e) => Some(e),
             _ => None,
         }
     }
@@ -47,6 +62,13 @@ impl Error for ExecError {
 impl From<SmartsError> for ExecError {
     fn from(e: SmartsError) -> Self {
         ExecError::Smarts(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<CkptError> for ExecError {
+    fn from(e: CkptError) -> Self {
+        ExecError::Ckpt(e)
     }
 }
 
@@ -67,5 +89,16 @@ mod tests {
         assert!(p.to_string().contains("boom"));
         assert!(p.source().is_none());
         assert!(ExecError::ZeroJobs.to_string().contains("at least one"));
+        let u = ExecError::UnknownBenchmark("ghost-9".into());
+        assert!(u.to_string().contains("ghost-9"));
+        assert!(u.source().is_none());
+    }
+
+    #[test]
+    fn ckpt_errors_convert_and_chain() {
+        let e = ExecError::from(CkptError::UnsupportedVersion(7));
+        assert!(matches!(e, ExecError::Ckpt(_)));
+        assert!(e.to_string().contains("checkpoint store"));
+        assert!(e.source().is_some());
     }
 }

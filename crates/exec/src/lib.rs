@@ -58,6 +58,7 @@ mod bias;
 mod compare;
 mod error;
 mod executor;
+mod persist;
 mod pipeline;
 mod pool;
 mod shard;
@@ -69,3 +70,4 @@ pub use executor::{
     Executor, ParallelDriver, ParallelMode, ParallelReport, PipelineStats, WorkerStats,
     DEFAULT_PIPELINE_DEPTH, DEFAULT_SHARD_WARMUP,
 };
+pub use persist::{replay_store, sample_pipeline_saving, SavedSample, StoreReplay};

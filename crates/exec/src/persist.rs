@@ -1,0 +1,189 @@
+//! Persistence glue between the streamed pipeline and the on-disk
+//! checkpoint store: warm once while saving ([`sample_pipeline_saving`]),
+//! then replay the store under any compatible machine without re-warming
+//! ([`replay_store`]).
+//!
+//! Both entry points reuse the producer/consumer engine from
+//! [`crate::ParallelMode::Pipeline`], so their reports are bit-identical
+//! to sequential [`smarts_core::SmartsSim::sample_library`] replay at any
+//! `jobs`/`depth`:
+//!
+//! * **saving** tees the producer — every checkpoint is appended to a
+//!   [`CkptWriter`] *before* it enters the channel, so persistence
+//!   overlaps both warming and detailed replay and costs no extra pass;
+//! * **replaying** swaps the warming producer for a [`CkptReader`] —
+//!   the expensive functional-warming pass is skipped entirely, and the
+//!   producer's critical path becomes decode bandwidth.
+//!
+//! A store records its functional-warming geometry fingerprint, so the
+//! warm-once/replay-many contract is checked, not assumed: replaying
+//! under a machine with a different warm geometry fails with
+//! [`CkptError::FingerprintMismatch`](smarts_ckpt::CkptError::FingerprintMismatch),
+//! while machines differing only in detailed-core parameters (widths,
+//! window, FUs) replay the same store freely.
+
+use std::path::Path;
+use std::time::Instant;
+
+use crate::error::ExecError;
+use crate::executor::{Executor, ParallelReport};
+use crate::pipeline::{finish_pipeline_report, run_pipeline};
+use smarts_ckpt::{CkptError, CkptReader, CkptWriter, StoreMeta, WriteSummary};
+use smarts_core::{SamplingParams, SmartsSim};
+use smarts_workloads::{find, Benchmark};
+
+/// Result of a warm-and-save run: the live sampling report plus the
+/// write-side accounting of the store that now holds the warm state.
+#[derive(Debug)]
+pub struct SavedSample {
+    /// The merged sampling report — bit-identical to a run without
+    /// `--save-checkpoints`.
+    pub report: ParallelReport,
+    /// Records and bytes written to the store.
+    pub write: WriteSummary,
+}
+
+/// Result of replaying a persisted checkpoint store.
+#[derive(Debug)]
+pub struct StoreReplay {
+    /// The merged sampling report — bit-identical to the run that saved
+    /// the store (for the same detailed machine).
+    pub report: ParallelReport,
+    /// The store's self-describing identity (benchmark, scale, sampling
+    /// design).
+    pub meta: StoreMeta,
+    /// Records decoded and replayed.
+    pub records: u64,
+    /// Damage encountered mid-store, if any: the intact prefix above was
+    /// still replayed, and this holds the typed error for the rest
+    /// (corruption or truncation). `None` for a clean read.
+    pub damage: Option<CkptError>,
+}
+
+/// Runs a pipelined sampling simulation exactly like
+/// [`Executor::sample`](crate::ParallelDriver) in pipeline mode, while
+/// persisting every unit checkpoint to a store at `path`.
+///
+/// `scale` is the factor the benchmark was scaled by relative to the
+/// default suite entry (1.0 if unscaled); it is recorded in the store
+/// header so [`replay_store`] can reconstruct the program.
+///
+/// The writer is created before any thread spawns, so an unwritable path
+/// fails fast. A mid-stream write error stops warming and surfaces as
+/// [`ExecError::Ckpt`]; nothing is silently dropped.
+pub fn sample_pipeline_saving(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    scale: f64,
+    params: &SamplingParams,
+    path: impl AsRef<Path>,
+) -> Result<SavedSample, ExecError> {
+    let jobs = executor.jobs();
+    let depth = executor.pipeline_depth();
+    let meta = StoreMeta {
+        params: *params,
+        benchmark: bench.name().to_string(),
+        scale,
+    };
+    let mut writer = CkptWriter::create(path, sim.config(), &meta)?;
+    let loaded = bench.load();
+    let program = loaded.program.clone();
+
+    let run = run_pipeline(
+        jobs,
+        depth,
+        move |emit| {
+            let mut write_error: Option<CkptError> = None;
+            let summary = sim.stream_checkpoints(loaded, params, |checkpoint| {
+                if let Err(e) = writer.append(&checkpoint) {
+                    write_error = Some(e);
+                    return false;
+                }
+                emit(checkpoint)
+            });
+            (summary, writer, write_error)
+        },
+        |checkpoint| sim.replay_checkpoint(&program, params, checkpoint),
+    )?;
+    let ((summary, writer, write_error), run) = run.split();
+    if let Some(e) = write_error {
+        return Err(ExecError::Ckpt(e));
+    }
+    let summary = summary.map_err(ExecError::Smarts)?;
+    let write = writer.finish()?;
+    let report = finish_pipeline_report(
+        run,
+        params,
+        jobs,
+        depth,
+        summary.build_wall,
+        summary.emitted,
+    )?;
+    Ok(SavedSample { report, write })
+}
+
+/// Replays a persisted checkpoint store under `sim`'s machine, skipping
+/// functional warming entirely.
+///
+/// The store is self-describing: benchmark, scale and sampling design
+/// come from its header, and the program is reconstructed from the
+/// workload suite ([`ExecError::UnknownBenchmark`] if the suite no
+/// longer knows the name). Opening validates magic, version, header CRC
+/// and the warm-geometry fingerprint against `sim.config()` — those are
+/// hard errors. Record-level damage is tolerated: the intact prefix is
+/// replayed and the first typed error is reported in
+/// [`StoreReplay::damage`]. A store whose intact prefix is empty yields
+/// [`ExecError::Ckpt`] with that first error.
+pub fn replay_store(
+    executor: &Executor,
+    sim: &SmartsSim,
+    path: impl AsRef<Path>,
+) -> Result<StoreReplay, ExecError> {
+    let jobs = executor.jobs();
+    let depth = executor.pipeline_depth();
+    let mut reader = CkptReader::open(path, sim.config())?;
+    let meta = reader.meta().clone();
+    let bench = find(&meta.benchmark)
+        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
+        .scaled(meta.scale);
+    let program = bench.load().program;
+    let params = meta.params;
+
+    let run = run_pipeline(
+        jobs,
+        depth,
+        move |emit| {
+            let start = Instant::now();
+            let mut damage = None;
+            while let Some(next) = reader.next_checkpoint() {
+                match next {
+                    Ok(checkpoint) => {
+                        if !emit(checkpoint) {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        damage = Some(e);
+                        break;
+                    }
+                }
+            }
+            (reader.records_read(), damage, start.elapsed())
+        },
+        |checkpoint| sim.replay_checkpoint(&program, &params, checkpoint),
+    )?;
+    let ((records, damage, read_wall), run) = run.split();
+    if run.outcomes.is_empty() {
+        if let Some(e) = damage {
+            return Err(ExecError::Ckpt(e));
+        }
+    }
+    let report = finish_pipeline_report(run, &params, jobs, depth, read_wall, records)?;
+    Ok(StoreReplay {
+        report,
+        meta,
+        records,
+        damage,
+    })
+}

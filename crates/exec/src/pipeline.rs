@@ -177,18 +177,60 @@ struct ConsumerOutput {
     outcomes: Vec<(usize, UnitReplay)>,
 }
 
-/// Runs one pipelined sampling simulation: producer thread warming and
-/// emitting, `jobs` consumer threads replaying, deterministic merge.
-pub(crate) fn sample_pipeline(
-    executor: &Executor,
-    sim: &SmartsSim,
-    bench: &Benchmark,
-    params: &SamplingParams,
-) -> Result<ParallelReport, ExecError> {
-    let jobs = executor.jobs();
-    let depth = executor.pipeline_depth();
-    let loaded = bench.load();
-    let program = loaded.program.clone();
+/// Everything one pipeline run produced, before the deterministic merge:
+/// whatever the producer returned, per-worker accounting, the indexed
+/// replay outcomes, and the residency peaks.
+pub(crate) struct PipelineRun<S> {
+    pub produced: S,
+    pub workers: Vec<WorkerStats>,
+    pub outcomes: Vec<(usize, UnitReplay)>,
+    pub parallel_wall: Duration,
+    pub peak_resident_checkpoints: usize,
+    pub peak_resident_bytes: u64,
+}
+
+impl<S> PipelineRun<S> {
+    /// Splits off the producer's return value so the rest of the run can
+    /// flow into [`finish_pipeline_report`] without a partial move.
+    pub fn split(self) -> (S, PipelineRun<()>) {
+        let PipelineRun {
+            produced,
+            workers,
+            outcomes,
+            parallel_wall,
+            peak_resident_checkpoints,
+            peak_resident_bytes,
+        } = self;
+        (
+            produced,
+            PipelineRun {
+                produced: (),
+                workers,
+                outcomes,
+                parallel_wall,
+                peak_resident_checkpoints,
+                peak_resident_bytes,
+            },
+        )
+    }
+}
+
+/// The producer/consumer engine shared by every checkpoint source: live
+/// warming ([`sample_pipeline`]), warm-and-persist, and replay-from-disk
+/// (`crate::persist`). `produce` is handed an `emit` callback (returning
+/// `false` once every consumer has left) and runs on its own thread;
+/// `replay` runs on each of the `jobs` consumer threads.
+pub(crate) fn run_pipeline<S, P, R>(
+    jobs: usize,
+    depth: usize,
+    produce: P,
+    replay: R,
+) -> Result<PipelineRun<S>, ExecError>
+where
+    S: Send,
+    P: FnOnce(&mut dyn FnMut(UnitCheckpoint) -> bool) -> S + Send,
+    R: Fn(&UnitCheckpoint) -> UnitReplay + Sync,
+{
     let channel: Channel<(usize, u64, UnitCheckpoint)> = Channel::new(depth, jobs);
     let residency = Residency::default();
     let t0 = Instant::now();
@@ -196,12 +238,12 @@ pub(crate) fn sample_pipeline(
     let (producer_result, consumer_results) = thread::scope(|scope| {
         let channel = &channel;
         let residency = &residency;
-        let program = &program;
+        let replay = &replay;
 
         let producer = scope.spawn(move || {
             let _close = CloseOnDrop(channel);
             let mut next_index = 0usize;
-            sim.stream_checkpoints(loaded, params, |checkpoint| {
+            let mut emit = |checkpoint: UnitCheckpoint| {
                 let bytes = checkpoint.approx_resident_bytes();
                 residency.add(bytes);
                 let index = next_index;
@@ -212,7 +254,8 @@ pub(crate) fn sample_pipeline(
                     residency.remove(bytes);
                     false
                 }
-            })
+            };
+            produce(&mut emit)
         });
 
         let consumers: Vec<_> = (0..jobs)
@@ -223,11 +266,11 @@ pub(crate) fn sample_pipeline(
                     let mut outcomes = Vec::new();
                     let mut instructions = ModeInstructions::default();
                     while let Some((index, bytes, checkpoint)) = channel.recv() {
-                        let replay = sim.replay_checkpoint(program, params, &checkpoint);
+                        let outcome = replay(&checkpoint);
                         drop(checkpoint);
                         residency.remove(bytes);
-                        replay.account(&mut instructions);
-                        outcomes.push((index, replay));
+                        outcome.account(&mut instructions);
+                        outcomes.push((index, outcome));
                     }
                     ConsumerOutput {
                         stats: WorkerStats {
@@ -270,29 +313,86 @@ pub(crate) fn sample_pipeline(
         workers.push(output.stats);
         outcomes.extend(output.outcomes);
     }
-    let summary = producer_result??;
+    let produced = producer_result?;
 
-    let (units, instructions) = merge_outcomes(outcomes);
+    Ok(PipelineRun {
+        produced,
+        workers,
+        outcomes,
+        parallel_wall,
+        peak_resident_checkpoints: residency.peak_count.load(Ordering::Relaxed),
+        peak_resident_bytes: residency.peak_bytes.load(Ordering::Relaxed),
+    })
+}
+
+/// Merges one [`PipelineRun`] into the final [`ParallelReport`] — the
+/// deterministic stream-order reduction shared by every pipeline-shaped
+/// mode.
+pub(crate) fn finish_pipeline_report<S>(
+    run: PipelineRun<S>,
+    params: &SamplingParams,
+    jobs: usize,
+    depth: usize,
+    producer_wall: Duration,
+    emitted: u64,
+) -> Result<ParallelReport, ExecError> {
+    let (units, instructions) = merge_outcomes(run.outcomes);
     if units.is_empty() {
         return Err(ExecError::Smarts(SmartsError::EmptySample));
     }
-    let report =
-        SampleReport::from_units(*params, units, instructions, Duration::ZERO, parallel_wall);
+    let report = SampleReport::from_units(
+        *params,
+        units,
+        instructions,
+        Duration::ZERO,
+        run.parallel_wall,
+    );
     Ok(ParallelReport {
         report,
         mode: ParallelMode::Pipeline,
         jobs,
-        workers,
+        workers: run.workers,
         build_wall: Duration::ZERO,
-        parallel_wall,
+        parallel_wall: run.parallel_wall,
         pipeline: Some(PipelineStats {
             depth,
-            producer_wall: summary.build_wall,
-            emitted: summary.emitted,
-            peak_resident_checkpoints: residency.peak_count.load(Ordering::Relaxed),
-            peak_resident_bytes: residency.peak_bytes.load(Ordering::Relaxed),
+            producer_wall,
+            emitted,
+            peak_resident_checkpoints: run.peak_resident_checkpoints,
+            peak_resident_bytes: run.peak_resident_bytes,
         }),
     })
+}
+
+/// Runs one pipelined sampling simulation: producer thread warming and
+/// emitting, `jobs` consumer threads replaying, deterministic merge.
+pub(crate) fn sample_pipeline(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    params: &SamplingParams,
+) -> Result<ParallelReport, ExecError> {
+    let jobs = executor.jobs();
+    let depth = executor.pipeline_depth();
+    let loaded = bench.load();
+    let program = loaded.program.clone();
+
+    let run = run_pipeline(
+        jobs,
+        depth,
+        move |emit| sim.stream_checkpoints(loaded, params, emit),
+        |checkpoint| sim.replay_checkpoint(&program, params, checkpoint),
+    )?;
+    let (summary, run) = run.split();
+    let summary = summary.map_err(ExecError::Smarts)?;
+    finish_pipeline_report(
+        run,
+        params,
+        jobs,
+        depth,
+        summary.build_wall,
+        summary.emitted,
+    )
 }
 
 #[cfg(test)]

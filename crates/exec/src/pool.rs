@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn zero_jobs_is_an_error() {
-        assert_eq!(run_workers(0, |w| w), Err(ExecError::ZeroJobs));
+        assert!(matches!(run_workers(0, |w| w), Err(ExecError::ZeroJobs)));
     }
 
     #[test]

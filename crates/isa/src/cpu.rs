@@ -138,6 +138,37 @@ impl Cpu {
         self.fregs[index as usize] = value;
     }
 
+    /// Number of words [`Cpu::save_state`] appends: 32 integer registers,
+    /// 32 FP register bit patterns, pc, halt flag, retired count.
+    pub const STATE_WORDS: usize = 32 + 32 + 3;
+
+    /// Appends the architectural state as fixed-width words (FP registers
+    /// as IEEE-754 bit patterns, so the round trip is bit-exact even for
+    /// NaNs) for the checkpoint store.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(&self.regs);
+        out.extend(self.fregs.iter().map(|f| f.to_bits()));
+        out.push(self.pc);
+        out.push(self.halted as u64);
+        out.push(self.retired);
+    }
+
+    /// Restores state written by [`Cpu::save_state`], returning the number
+    /// of words consumed, or `None` if `words` is too short.
+    pub fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let words = words.get(..Self::STATE_WORDS)?;
+        for (reg, &word) in self.regs.iter_mut().zip(&words[..32]) {
+            *reg = word;
+        }
+        for (freg, &word) in self.fregs.iter_mut().zip(&words[32..64]) {
+            *freg = f64::from_bits(word);
+        }
+        self.pc = words[64];
+        self.halted = words[65] != 0;
+        self.retired = words[66];
+        Some(Self::STATE_WORDS)
+    }
+
     /// Executes one instruction, updating architectural state.
     ///
     /// # Errors

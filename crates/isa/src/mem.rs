@@ -102,6 +102,38 @@ impl Memory {
         fresh
     }
 
+    /// Page size in bytes: the granularity of allocation, copy-on-write
+    /// sharing, and checkpoint-store serialization.
+    pub const PAGE_BYTES: usize = PAGE_SIZE;
+
+    /// Allocated pages as `(page_index, contents)`, sorted ascending by
+    /// index. Sorting makes the view deterministic (the backing map is
+    /// hash-ordered), which checkpoint serialization requires.
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u8])> {
+        let mut pages: Vec<(u64, &[u8])> = self.pages.iter().map(|(&i, p)| (i, &p[..])).collect();
+        pages.sort_unstable_by_key(|&(index, _)| index);
+        pages
+    }
+
+    /// Installs a whole page at `page_index`, replacing any existing
+    /// page — the checkpoint-store decode path. The page is inserted even
+    /// when all-zero: pages allocate on first write, so an all-zero page
+    /// is real state and the exact page set must round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`Memory::PAGE_BYTES`] long.
+    pub fn insert_page(&mut self, page_index: u64, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            PAGE_SIZE,
+            "a page is exactly {PAGE_SIZE} bytes"
+        );
+        let mut page = [0u8; PAGE_SIZE];
+        page.copy_from_slice(bytes);
+        self.pages.insert(page_index, Arc::new(page));
+    }
+
     fn page(&mut self, page_index: u64) -> &mut [u8; PAGE_SIZE] {
         let arc = self
             .pages

@@ -25,9 +25,51 @@ struct BtbEntry {
     valid: bool,
 }
 
+/// Mirror-array value for ways holding no entry (see [`crate::Cache`]'s
+/// `INVALID_TAG` for the sentinel-collision argument).
+const INVALID_TAG: u64 = u64::MAX;
+
+/// First way whose mirrored tag equals `tag` and whose entry is valid —
+/// the BTB twin of the cache/TLB `find_way`: a fixed-width 4-wide compare
+/// over the contiguous tag mirror that LLVM autovectorizes, with
+/// candidates confirmed in ascending way order so the first-match choice
+/// is bit-identical to the scalar scan it replaced (proven against the
+/// parallel-Vec reference model in `tests/golden_state.rs`).
+#[inline]
+fn find_way(tags: &[u64], entries: &[BtbEntry], tag: u64) -> Option<usize> {
+    let mut chunks = tags.chunks_exact(4);
+    let mut way = 0usize;
+    for c in &mut chunks {
+        let mut mask = (c[0] == tag) as u8
+            | (((c[1] == tag) as u8) << 1)
+            | (((c[2] == tag) as u8) << 2)
+            | (((c[3] == tag) as u8) << 3);
+        while mask != 0 {
+            let w = way + mask.trailing_zeros() as usize;
+            if entries[w].valid {
+                debug_assert_eq!(entries[w].tag, tag);
+                return Some(w);
+            }
+            mask &= mask - 1;
+        }
+        way += 4;
+    }
+    for (i, &t) in chunks.remainder().iter().enumerate() {
+        if t == tag && entries[way + i].valid {
+            return Some(way + i);
+        }
+    }
+    None
+}
+
 #[derive(Debug, Clone)]
 struct Btb {
     entries: Vec<BtbEntry>,
+    // Contiguous tag mirror, same indexing as `entries`; invalid ways
+    // hold `INVALID_TAG`. Invariant: `entries[i].valid` implies
+    // `tags[i] == entries[i].tag`. Maintained at fill (the BTB never
+    // invalidates).
+    tags: Vec<u64>,
     // Most-recently-touched way per set: a scan-order hint only.
     mru: Vec<u32>,
     tick: u64,
@@ -46,6 +88,7 @@ impl Btb {
         let slots = entries as usize;
         Btb {
             entries: vec![BtbEntry::default(); slots],
+            tags: vec![INVALID_TAG; slots],
             mru: vec![0; sets as usize],
             tick: 0,
             sets,
@@ -69,21 +112,23 @@ impl Btb {
         let tick = self.tick;
         let (set, tag) = self.set_and_tag(pc);
         let base = set * self.assoc;
-        let set_entries = &mut self.entries[base..base + self.assoc];
 
         let mru = self.mru[set] as usize;
-        if let Some(entry) = set_entries.get_mut(mru) {
+        if let Some(entry) = self.entries[base..base + self.assoc].get_mut(mru) {
             if entry.valid && entry.tag == tag {
                 entry.lru = tick;
                 return Some(entry.target);
             }
         }
-        for (way, entry) in set_entries.iter_mut().enumerate() {
-            if entry.valid && entry.tag == tag {
-                entry.lru = tick;
-                self.mru[set] = way as u32;
-                return Some(entry.target);
-            }
+        if let Some(way) = find_way(
+            &self.tags[base..base + self.assoc],
+            &self.entries[base..base + self.assoc],
+            tag,
+        ) {
+            let entry = &mut self.entries[base + way];
+            entry.lru = tick;
+            self.mru[set] = way as u32;
+            return Some(entry.target);
         }
         None
     }
@@ -94,24 +139,27 @@ impl Btb {
         let tick = self.tick;
         let (set, tag) = self.set_and_tag(pc);
         let base = set * self.assoc;
-        let set_entries = &mut self.entries[base..base + self.assoc];
 
         let mru = self.mru[set] as usize;
-        if let Some(entry) = set_entries.get_mut(mru) {
+        if let Some(entry) = self.entries[base..base + self.assoc].get_mut(mru) {
             if entry.valid && entry.tag == tag {
                 entry.target = target;
                 entry.lru = tick;
                 return;
             }
         }
-        for (way, entry) in set_entries.iter_mut().enumerate() {
-            if entry.valid && entry.tag == tag {
-                entry.target = target;
-                entry.lru = tick;
-                self.mru[set] = way as u32;
-                return;
-            }
+        if let Some(way) = find_way(
+            &self.tags[base..base + self.assoc],
+            &self.entries[base..base + self.assoc],
+            tag,
+        ) {
+            let entry = &mut self.entries[base + way];
+            entry.target = target;
+            entry.lru = tick;
+            self.mru[set] = way as u32;
+            return;
         }
+        let set_entries = &mut self.entries[base..base + self.assoc];
         let mut victim = 0;
         let mut best = u64::MAX;
         for (way, entry) in set_entries.iter().enumerate() {
@@ -130,7 +178,45 @@ impl Btb {
             lru: tick,
             valid: true,
         };
+        self.tags[base + victim] = tag;
         self.mru[set] = victim as u32;
+    }
+
+    /// Appends the BTB's dynamic state as fixed-width words (geometry is
+    /// reconstructed from the config; the tag mirror is rebuilt on load).
+    fn save_state(&self, out: &mut Vec<u64>) {
+        for entry in &self.entries {
+            out.push(entry.tag);
+            out.push(entry.target);
+            out.push(entry.lru);
+            out.push(entry.valid as u64);
+        }
+        out.extend(self.mru.iter().map(|&m| m as u64));
+        out.push(self.tick);
+    }
+
+    /// Restores state written by [`Btb::save_state`]; returns the words
+    /// consumed, or `None` if `words` is too short.
+    fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let needed = 4 * self.entries.len() + self.mru.len() + 1;
+        let words = words.get(..needed)?;
+        let (entry_words, rest) = words.split_at(4 * self.entries.len());
+        for (i, chunk) in entry_words.chunks_exact(4).enumerate() {
+            let valid = chunk[3] & 1 != 0;
+            self.entries[i] = BtbEntry {
+                tag: chunk[0],
+                target: chunk[1],
+                lru: chunk[2],
+                valid,
+            };
+            self.tags[i] = if valid { chunk[0] } else { INVALID_TAG };
+        }
+        let (mru_words, tail) = rest.split_at(self.mru.len());
+        for (m, &w) in self.mru.iter_mut().zip(mru_words) {
+            *m = w as u32;
+        }
+        self.tick = tail[0];
+        Some(needed)
     }
 }
 
@@ -243,15 +329,63 @@ impl BranchPredictor {
         }
     }
 
-    /// Approximate bytes of backing store (direction tables, BTB, RAS),
-    /// for checkpoint footprint accounting.
+    /// Approximate bytes of backing store (direction tables, BTB with its
+    /// tag mirror, RAS), for checkpoint footprint accounting.
     pub fn approx_bytes(&self) -> usize {
         self.bimodal.len()
             + self.gshare.len()
             + self.meta.len()
             + self.btb.entries.len() * std::mem::size_of::<BtbEntry>()
+            + self.btb.tags.len() * std::mem::size_of::<u64>()
             + self.btb.mru.len() * std::mem::size_of::<u32>()
             + self.ras.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Appends all predictor state (direction tables, global history,
+    /// BTB, RAS, statistics) as fixed-width words for the checkpoint
+    /// store. One word per 2-bit counter is wasteful as raw storage, but
+    /// the store delta-encodes against the previous unit and run-length
+    /// compresses, so unchanged counters cost ~nothing on disk.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.bimodal.iter().map(|&c| c as u64));
+        out.extend(self.gshare.iter().map(|&c| c as u64));
+        out.extend(self.meta.iter().map(|&c| c as u64));
+        out.push(self.history);
+        self.btb.save_state(out);
+        out.extend_from_slice(&self.ras);
+        out.push(self.ras_top as u64);
+        out.push(self.ras_depth as u64);
+        out.push(self.lookups);
+        out.push(self.cond_lookups);
+        out.push(self.cond_mispredicts);
+    }
+
+    /// Restores state written by [`BranchPredictor::save_state`] into a
+    /// predictor of the same configuration. Returns the number of words
+    /// consumed, or `None` if `words` is too short.
+    pub fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let mut used = 0;
+        for table in [&mut self.bimodal, &mut self.gshare, &mut self.meta] {
+            let src = words.get(used..used + table.len())?;
+            for (counter, &word) in table.iter_mut().zip(src) {
+                *counter = word as u8;
+            }
+            used += table.len();
+        }
+        self.history = *words.get(used)?;
+        used += 1;
+        used += self.btb.load_state(words.get(used..)?)?;
+        let src = words.get(used..used + self.ras.len())?;
+        self.ras.copy_from_slice(src);
+        used += self.ras.len();
+        let tail = words.get(used..used + 5)?;
+        self.ras_top = tail[0] as usize;
+        self.ras_depth = tail[1] as usize;
+        self.lookups = tail[2];
+        self.cond_lookups = tail[3];
+        self.cond_mispredicts = tail[4];
+        used += 5;
+        Some(used)
     }
 
     #[inline]

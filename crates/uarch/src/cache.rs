@@ -307,6 +307,51 @@ impl Cache {
             + self.mru.len() * std::mem::size_of::<u32>()
     }
 
+    /// Appends replacement state, recency hints, and statistics as
+    /// fixed-width words for the checkpoint store. Geometry (the config
+    /// and its derived shifts) is not written — the loader reconstructs
+    /// a cache from the same config and restores only dynamic state, so
+    /// the word count is a pure function of the geometry.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        for line in &self.lines {
+            out.push(line.tag);
+            out.push(line.lru);
+            out.push(line.valid as u64 | ((line.dirty as u64) << 1));
+        }
+        out.extend(self.mru.iter().map(|&m| m as u64));
+        out.push(self.tick);
+        out.push(self.accesses);
+        out.push(self.misses);
+    }
+
+    /// Restores state written by [`Cache::save_state`] into a cache of
+    /// the same geometry, rebuilding the contiguous tag mirror from the
+    /// restored lines. Returns the number of words consumed, or `None`
+    /// if `words` is too short.
+    pub fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let needed = 3 * self.lines.len() + self.mru.len() + 3;
+        let words = words.get(..needed)?;
+        let (line_words, rest) = words.split_at(3 * self.lines.len());
+        for (i, chunk) in line_words.chunks_exact(3).enumerate() {
+            let valid = chunk[2] & 1 != 0;
+            self.lines[i] = Line {
+                tag: chunk[0],
+                lru: chunk[1],
+                valid,
+                dirty: chunk[2] & 2 != 0,
+            };
+            self.tags[i] = if valid { chunk[0] } else { INVALID_TAG };
+        }
+        let (mru_words, tail) = rest.split_at(self.mru.len());
+        for (m, &w) in self.mru.iter_mut().zip(mru_words) {
+            *m = w as u32;
+        }
+        self.tick = tail[0];
+        self.accesses = tail[1];
+        self.misses = tail[2];
+        Some(needed)
+    }
+
     /// The set index `addr` maps to (for host-locality-aware pre-touch
     /// ordering; carries no replacement state).
     #[inline]

@@ -148,6 +148,25 @@ impl CacheHierarchy {
         self.l1i.approx_bytes() + self.l1d.approx_bytes() + self.l2.approx_bytes()
     }
 
+    /// Appends all three caches' dynamic state as fixed-width words for
+    /// the checkpoint store (L1I, L1D, L2 in that order).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.l1i.save_state(out);
+        self.l1d.save_state(out);
+        self.l2.save_state(out);
+    }
+
+    /// Restores state written by [`CacheHierarchy::save_state`] into a
+    /// hierarchy of the same geometry. Returns the words consumed, or
+    /// `None` if `words` is too short.
+    pub fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let mut used = 0;
+        for cache in [&mut self.l1i, &mut self.l1d, &mut self.l2] {
+            used += cache.load_state(words.get(used..)?)?;
+        }
+        Some(used)
+    }
+
     /// Instruction fetch of the line containing `addr`.
     pub fn access_instr(&mut self, addr: u64) -> AccessResult {
         Self::access(&mut self.l1i, &mut self.l2, self.mem_latency, addr, false)

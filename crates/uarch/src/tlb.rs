@@ -229,6 +229,47 @@ impl Tlb {
             + self.mru.len() * std::mem::size_of::<u32>()
     }
 
+    /// Appends replacement state, recency hints, and statistics as
+    /// fixed-width words for the checkpoint store (geometry is not
+    /// written; see [`crate::Cache::save_state`]).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        for entry in &self.entries {
+            out.push(entry.tag);
+            out.push(entry.lru);
+            out.push(entry.valid as u64);
+        }
+        out.extend(self.mru.iter().map(|&m| m as u64));
+        out.push(self.tick);
+        out.push(self.accesses);
+        out.push(self.misses);
+    }
+
+    /// Restores state written by [`Tlb::save_state`] into a TLB of the
+    /// same geometry, rebuilding the tag mirror. Returns the number of
+    /// words consumed, or `None` if `words` is too short.
+    pub fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let needed = 3 * self.entries.len() + self.mru.len() + 3;
+        let words = words.get(..needed)?;
+        let (entry_words, rest) = words.split_at(3 * self.entries.len());
+        for (i, chunk) in entry_words.chunks_exact(3).enumerate() {
+            let valid = chunk[2] & 1 != 0;
+            self.entries[i] = Entry {
+                tag: chunk[0],
+                lru: chunk[1],
+                valid,
+            };
+            self.tags[i] = if valid { chunk[0] } else { INVALID_TAG };
+        }
+        let (mru_words, tail) = rest.split_at(self.mru.len());
+        for (m, &w) in self.mru.iter_mut().zip(mru_words) {
+            *m = w as u32;
+        }
+        self.tick = tail[0];
+        self.accesses = tail[1];
+        self.misses = tail[2];
+        Some(needed)
+    }
+
     /// Whether the page containing `addr` is mapped, without perturbing
     /// state.
     pub fn probe(&self, addr: u64) -> bool {

@@ -184,6 +184,35 @@ impl WarmState {
             + self.dtlb.approx_bytes()
             + self.bpred.approx_bytes()
     }
+
+    /// Appends all warmable state as fixed-width words for the checkpoint
+    /// store: hierarchy, both TLBs, the branch predictor, and the
+    /// last-fetched-line filter (part of the warming stream's dynamic
+    /// state — dropping it would double-count an I-access on resume).
+    /// Host-performance knobs and config-derived fields are not written:
+    /// the loader builds a fresh [`WarmState::new`] from the same config,
+    /// which restores them exactly. The word count is a pure function of
+    /// the machine geometry.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        self.hierarchy.save_state(out);
+        self.itlb.save_state(out);
+        self.dtlb.save_state(out);
+        self.bpred.save_state(out);
+        out.push(self.last_fetch_line);
+    }
+
+    /// Restores state written by [`WarmState::save_state`] into warm
+    /// state of the same machine geometry. Returns the number of words
+    /// consumed, or `None` if `words` is too short.
+    pub fn load_state(&mut self, words: &[u64]) -> Option<usize> {
+        let mut used = self.hierarchy.load_state(words)?;
+        used += self.itlb.load_state(words.get(used..)?)?;
+        used += self.dtlb.load_state(words.get(used..)?)?;
+        used += self.bpred.load_state(words.get(used..)?)?;
+        self.last_fetch_line = *words.get(used)?;
+        used += 1;
+        Some(used)
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@
 //!   functional + detailed warming and the two-step confidence procedure.
 //! * [`exec`] — the parallel execution subsystem: multi-threaded
 //!   checkpoint replay and sharded sampling with a deterministic merge.
+//! * [`ckpt`] — the persistent on-disk checkpoint store (delta-encoded,
+//!   CRC-checked): warm once, replay many detailed configurations.
 //! * [`simpoint`] — the SimPoint baseline (Section 5.3).
 //!
 //! # Quick start
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use smarts_ckpt as ckpt;
 pub use smarts_core as core;
 pub use smarts_energy as energy;
 pub use smarts_exec as exec;
@@ -52,6 +55,7 @@ pub use smarts_workloads as workloads;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use smarts_ckpt::{CkptReader, CkptWriter, StoreMeta};
     pub use smarts_core::{
         compare_machines, CheckpointLibrary, PairedComparison, ReferenceRun, SampleReport,
         SamplingParams, SmartsError, SmartsSim, SpeedupModel, Warming,

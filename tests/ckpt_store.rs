@@ -1,0 +1,195 @@
+//! End-to-end guarantees of the persistent checkpoint store: replaying
+//! a store from disk is bit-identical to in-memory library replay at
+//! any worker count, one store serves many detailed machines, and tail
+//! damage costs only the damaged suffix.
+
+use std::path::PathBuf;
+
+use smarts::exec::{replay_store, sample_pipeline_saving, Executor, ParallelMode};
+use smarts::prelude::*;
+
+fn store_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smarts-store-{tag}-{}.ckpt", std::process::id()))
+}
+
+fn assert_bit_identical(replayed: &SampleReport, sequential: &SampleReport, what: &str) {
+    assert_eq!(
+        replayed.sample_size(),
+        sequential.sample_size(),
+        "{what}: sample size"
+    );
+    for (p, s) in replayed.units.iter().zip(&sequential.units) {
+        assert_eq!(p.start_instr, s.start_instr, "{what}: unit placement");
+        assert_eq!(p.cycles, s.cycles, "{what}: unit cycles");
+        assert_eq!(p.cpi.to_bits(), s.cpi.to_bits(), "{what}: unit CPI bits");
+        assert_eq!(p.epi.to_bits(), s.epi.to_bits(), "{what}: unit EPI bits");
+    }
+    let pairs = [
+        (replayed.cpi(), sequential.cpi(), "CPI"),
+        (replayed.epi(), sequential.epi(), "EPI"),
+    ];
+    for (p, s, which) in pairs {
+        assert_eq!(
+            p.mean().to_bits(),
+            s.mean().to_bits(),
+            "{what}: {which} mean bits"
+        );
+        assert_eq!(
+            p.coefficient_of_variation().to_bits(),
+            s.coefficient_of_variation().to_bits(),
+            "{what}: {which} V̂ bits"
+        );
+        let (plo, phi) = p.interval(Confidence::THREE_SIGMA).expect("interval");
+        let (slo, shi) = s.interval(Confidence::THREE_SIGMA).expect("interval");
+        assert_eq!(plo.to_bits(), slo.to_bits(), "{what}: {which} CI low bits");
+        assert_eq!(phi.to_bits(), shi.to_bits(), "{what}: {which} CI high bits");
+    }
+    assert_eq!(
+        replayed.instructions, sequential.instructions,
+        "{what}: mode accounting"
+    );
+}
+
+#[test]
+fn store_replay_is_bit_identical_across_the_suite() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let scale = 0.01;
+    for bench in smarts::workloads::suite() {
+        let bench = bench.scaled(scale);
+        let p = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            500,
+            500,
+            Warming::Functional,
+            4,
+            0,
+        )
+        .expect("valid sampling parameters");
+        let library = sim.build_library(&bench, &p).expect("library builds");
+        let sequential = sim.sample_library(&library).expect("sequential replay");
+
+        let path = store_path(bench.name());
+        let saver = Executor::new(2)
+            .expect("executor")
+            .with_mode(ParallelMode::Pipeline);
+        let saved = sample_pipeline_saving(&saver, &sim, &bench, scale, &p, &path)
+            .expect("warm-and-save run");
+        assert_bit_identical(
+            &saved.report.report,
+            &sequential,
+            &format!("{} while saving", bench.name()),
+        );
+        assert!(saved.write.records >= sequential.sample_size());
+
+        for jobs in [1usize, 2, 8] {
+            let executor = Executor::new(jobs).expect("executor");
+            let replayed = replay_store(&executor, &sim, &path).expect("store replay");
+            assert!(
+                replayed.damage.is_none(),
+                "{}: clean store reported damage",
+                bench.name()
+            );
+            assert_eq!(replayed.meta.benchmark, bench.name());
+            assert_bit_identical(
+                &replayed.report.report,
+                &sequential,
+                &format!("{} from disk at {jobs} jobs", bench.name()),
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn one_store_serves_many_detailed_machines() {
+    // The warm-once/replay-many contract: the store fingerprints only
+    // the functional-warming geometry, so machines differing in the
+    // detailed core (widths, window) replay the same store.
+    let wide = MachineConfig::eight_way();
+    let mut narrow = wide.clone();
+    narrow.issue_width = 2;
+    narrow.fetch_width = 2;
+    narrow.decode_width = 2;
+    narrow.commit_width = 2;
+    narrow.ruu_size = 32;
+
+    let sim_wide = SmartsSim::new(wide);
+    let sim_narrow = SmartsSim::new(narrow);
+    let scale = 0.05;
+    let bench = find("branchy-1").expect("suite benchmark").scaled(scale);
+    let p =
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, 10, 0)
+            .expect("valid sampling parameters");
+
+    // One warming pass, persisted by the wide machine.
+    let path = store_path("many-configs");
+    let saver = Executor::new(2)
+        .expect("executor")
+        .with_mode(ParallelMode::Pipeline);
+    sample_pipeline_saving(&saver, &sim_wide, &bench, scale, &p, &path).expect("warm-and-save run");
+
+    // Both machines replay it with zero warming, each bit-identical to
+    // its own sequential library replay.
+    let executor = Executor::new(4).expect("executor");
+    let mut means = Vec::new();
+    for (label, sim) in [("8-way", &sim_wide), ("narrow", &sim_narrow)] {
+        let library = sim.build_library(&bench, &p).expect("library builds");
+        let sequential = sim.sample_library(&library).expect("sequential replay");
+        let replayed = replay_store(&executor, sim, &path).expect("store replay");
+        assert!(replayed.damage.is_none());
+        assert_bit_identical(
+            &replayed.report.report,
+            &sequential,
+            &format!("{label} from the shared store"),
+        );
+        means.push(replayed.report.report.cpi().mean());
+    }
+    // The detailed cores genuinely differ, and the narrowed core cannot
+    // be faster than the 8-wide one on the same warm state.
+    assert!(
+        means[1] > means[0],
+        "narrow core CPI {} should exceed 8-way CPI {}",
+        means[1],
+        means[0]
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tail_damage_costs_only_the_damaged_suffix() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let scale = 0.05;
+    let bench = find("stream-2").expect("suite benchmark").scaled(scale);
+    let p =
+        SamplingParams::for_sample_size(bench.approx_len(), 1000, 2000, Warming::Functional, 8, 0)
+            .expect("valid sampling parameters");
+    let path = store_path("tail-damage");
+    let saver = Executor::new(2)
+        .expect("executor")
+        .with_mode(ParallelMode::Pipeline);
+    let saved =
+        sample_pipeline_saving(&saver, &sim, &bench, scale, &p, &path).expect("warm-and-save run");
+
+    // Tear the last record: the intact prefix must still replay, with
+    // the damage surfaced as a typed error instead of a failure.
+    let bytes = std::fs::read(&path).expect("read store");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate store");
+
+    let executor = Executor::new(2).expect("executor");
+    let replayed = replay_store(&executor, &sim, &path).expect("prefix replay");
+    assert_eq!(replayed.records, saved.write.records - 1);
+    assert!(
+        matches!(
+            replayed.damage,
+            Some(smarts::ckpt::CkptError::Truncated { .. })
+        ),
+        "expected a truncation report, got {:?}",
+        replayed.damage
+    );
+    assert_eq!(
+        replayed.report.report.sample_size() as u64,
+        replayed.records,
+        "every intact record becomes a sample unit"
+    );
+    std::fs::remove_file(&path).ok();
+}
