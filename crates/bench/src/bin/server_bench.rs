@@ -1,0 +1,194 @@
+//! Job-server latency: what warm-once, replay-many buys over the wire.
+//!
+//! The server's value proposition is amortisation — the first job
+//! against a (workload, warm geometry) pays the functional-warming
+//! pass, every later job replays the committed store, and a repeat of
+//! the *exact* same configuration is answered from the results cache
+//! without simulating at all. This binary measures the submit→result
+//! latency of all three paths on the same spec, in process (ephemeral
+//! server, loopback TCP), with the in-tree median-of-7 harness:
+//!
+//! * **cold** — fresh store directory and fresh server per sample: the
+//!   job warms, saves the store, and replays.
+//! * **store** — pre-warmed directory, fresh server per sample: the
+//!   in-memory results cache is empty, so the job replays the
+//!   persistent store (the steady state of a new configuration against
+//!   a shared store).
+//! * **cache** — one server, repeated identical submissions: answered
+//!   from the results cache in O(lookup), no simulation.
+//!
+//! Results are written to `results/bench_server.json`. Latencies
+//! include the full protocol round trips (submit, status polls,
+//! result), so the cache row is an upper bound on pure lookup cost.
+
+use smarts_bench::timing::{self, time};
+use smarts_server::{Client, JobSpec, Server, ServerConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The Figure 4 probe benchmark: large pages, hashing access pattern —
+/// a representative (not best-case) store to warm and replay.
+const PROBE: &str = "hashp-2";
+
+struct Row {
+    name: String,
+    spec: JobSpec,
+    cold: Duration,
+    store: Duration,
+    cache: Duration,
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smarts-bench-server-{tag}-{}", std::process::id()))
+}
+
+/// One submit→result round trip against a running server, asserting the
+/// path actually exercised matches `expect`.
+fn run_job(addr: &str, spec: &JobSpec, expect: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    run_job_on(&mut client, spec, expect);
+}
+
+/// Same, over an already-open connection (the cache path reuses one so
+/// the accept latency of a fresh connection is not billed to a lookup).
+fn run_job_on(client: &mut Client, spec: &JobSpec, expect: &str) {
+    let id = client.submit(spec).expect("submit");
+    let end = client.watch(&id, |_| {}).expect("watch");
+    assert_eq!(
+        end.get("state").and_then(smarts_server::json::Json::as_str),
+        Some("done")
+    );
+    let (source, _raw) = client.result(&id).expect("result");
+    assert_eq!(source, expect, "bench must measure the {expect} path");
+}
+
+/// Binds a fresh server over `dir`, runs `f` against it, shuts it down.
+fn with_server<R>(dir: &Path, f: impl FnOnce(&str) -> R) -> R {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: dir.to_path_buf(),
+        workers: 2,
+    })
+    .expect("bind server");
+    let addr = server.local_addr().to_string();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.serve());
+    let out = f(&addr);
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("server thread").expect("clean drain");
+    out
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let (scale, n) = if args.quick { (0.05, 10) } else { (1.0, 30) };
+    smarts_bench::banner(
+        "Job-server latency",
+        "submit→result wall time: cold warm vs persistent-store replay vs results-cache hit",
+    );
+
+    let name = args.bench.clone().unwrap_or_else(|| PROBE.to_string());
+    let spec = JobSpec {
+        bench: name.clone(),
+        scale,
+        n,
+        unit: 1000,
+        jobs: 2,
+        ..JobSpec::default()
+    };
+
+    // Cold: every sample starts from nothing — empty directory, empty
+    // in-memory cache — so the warming pass is inside the timed region.
+    let cold_dir = temp_store("cold");
+    let cold = time(|| {
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        with_server(&cold_dir, |addr| run_job(addr, &spec, "cold"));
+    });
+    let _ = std::fs::remove_dir_all(&cold_dir);
+
+    // Store hit: the directory is warmed once outside the timed region;
+    // each sample restarts the server so the results cache is empty and
+    // the job must replay the persistent store.
+    let store_dir = temp_store("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    with_server(&store_dir, |addr| run_job(addr, &spec, "cold"));
+    let store = time(|| {
+        with_server(&store_dir, |addr| run_job(addr, &spec, "store"));
+    });
+
+    // Cache hit: one long-lived server, the first submission (untimed,
+    // a store hit) populates the results cache, repeats are lookups.
+    let cache = with_server(&store_dir, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        run_job_on(&mut client, &spec, "store");
+        time(|| run_job_on(&mut client, &spec, "cache"))
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let row = Row {
+        name,
+        spec,
+        cold,
+        store,
+        cache,
+    };
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "cold", "store", "cache", "store ×", "cache ×"
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>8.1}x {:>8.1}x",
+        row.name,
+        timing::pretty(row.cold),
+        timing::pretty(row.store),
+        timing::pretty(row.cache),
+        row.cold.as_secs_f64() / row.store.as_secs_f64(),
+        row.cold.as_secs_f64() / row.cache.as_secs_f64(),
+    );
+
+    write_json(&row).expect("write results/bench_server.json");
+    println!("\nwrote results/bench_server.json");
+}
+
+/// Emits the machine-readable baseline (hand-rolled JSON: the workspace
+/// builds offline, with no serde).
+fn write_json(row: &Row) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/bench_server.json")?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"server\",")?;
+    writeln!(f, "  \"samples_per_case\": {},", timing::SAMPLES)?;
+    writeln!(f, "  \"machine\": \"8-way\",")?;
+    writeln!(f, "  \"results\": [")?;
+    writeln!(f, "    {{")?;
+    writeln!(f, "      \"benchmark\": \"{}\",", row.name)?;
+    writeln!(f, "      \"scale\": {},", row.spec.scale)?;
+    writeln!(f, "      \"n\": {},", row.spec.n)?;
+    writeln!(f, "      \"unit\": {},", row.spec.unit)?;
+    writeln!(f, "      \"cold_ms\": {:.3},", row.cold.as_secs_f64() * 1e3)?;
+    writeln!(
+        f,
+        "      \"store_hit_ms\": {:.3},",
+        row.store.as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        f,
+        "      \"cache_hit_ms\": {:.3},",
+        row.cache.as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        f,
+        "      \"store_speedup\": {:.2},",
+        row.cold.as_secs_f64() / row.store.as_secs_f64()
+    )?;
+    writeln!(
+        f,
+        "      \"cache_speedup\": {:.2}",
+        row.cold.as_secs_f64() / row.cache.as_secs_f64()
+    )?;
+    writeln!(f, "    }}")?;
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}

@@ -85,5 +85,6 @@ mod store;
 
 pub use error::CkptError;
 pub use store::{
-    warm_fingerprint, CkptReader, CkptWriter, StoreMeta, WriteSummary, FORMAT_VERSION, MAGIC,
+    check_fingerprint, read_store_meta, warm_fingerprint, CkptReader, CkptWriter, StoreMeta,
+    WriteSummary, FORMAT_VERSION, MAGIC,
 };

@@ -86,6 +86,23 @@ pub fn warm_fingerprint(cfg: &MachineConfig) -> u64 {
     mix(h, cfg.mem_latency)
 }
 
+/// Checks a store's recorded warm-geometry fingerprint against the
+/// machine that wants to replay it — the one shared gate used by
+/// [`CkptReader::open`] and by callers that manage stores without
+/// opening them (the `smarts-server` store manager).
+///
+/// # Errors
+///
+/// Returns [`CkptError::FingerprintMismatch`] when `cfg`'s warming
+/// geometry differs from `found`.
+pub fn check_fingerprint(cfg: &MachineConfig, found: u64) -> Result<(), CkptError> {
+    let expected = warm_fingerprint(cfg);
+    if found != expected {
+        return Err(CkptError::FingerprintMismatch { expected, found });
+    }
+    Ok(())
+}
+
 /// Everything a replay needs to know about how the store was produced:
 /// the sampling design plus the benchmark identity, so
 /// `--from-checkpoints` needs no `--bench`/`--scale`/`--n` repetition.
@@ -97,6 +114,56 @@ pub struct StoreMeta {
     pub benchmark: String,
     /// Scale factor the benchmark was loaded with.
     pub scale: f64,
+}
+
+impl StoreMeta {
+    /// Full store-identity fingerprint: the warm-geometry
+    /// [`warm_fingerprint`] folded with the benchmark name, scale, and
+    /// every sampling-design field. Two stores fingerprint identically
+    /// exactly when one warming pass could serve both — this is the key
+    /// the `smarts-server` store manager maps to a store path and the
+    /// results cache keys on.
+    pub fn fingerprint(&self, cfg: &MachineConfig) -> u64 {
+        let h = warm_fingerprint(cfg);
+        let h = self
+            .benchmark
+            .as_bytes()
+            .iter()
+            .fold(h, |h, &b| mix(h, b as u64));
+        let h = mix(h, self.benchmark.len() as u64);
+        let h = mix(h, self.scale.to_bits());
+        let h = mix(h, self.params.unit_size);
+        let h = mix(h, self.params.detailed_warming);
+        let h = mix(
+            h,
+            match self.params.warming {
+                Warming::None => 0,
+                Warming::Functional => 1,
+            },
+        );
+        let h = mix(h, self.params.interval);
+        let h = mix(h, self.params.offset);
+        match self.params.max_units {
+            None => mix(h, u64::MAX),
+            Some(max) => mix(mix(h, 1), max),
+        }
+    }
+}
+
+/// Reads just the header of a store: its warm-geometry fingerprint and
+/// self-describing [`StoreMeta`], without decoding any record and
+/// without requiring a machine to check against. This is how a store
+/// directory can be inventoried (or a candidate store validated) in
+/// O(header) instead of O(replay).
+///
+/// # Errors
+///
+/// As for [`CkptReader::open`] minus the fingerprint check:
+/// [`CkptError::BadMagic`], [`CkptError::UnsupportedVersion`],
+/// [`CkptError::HeaderCorrupted`], or [`CkptError::Io`].
+pub fn read_store_meta(path: impl AsRef<Path>) -> Result<(u64, StoreMeta), CkptError> {
+    let mut file = BufReader::new(File::open(path)?);
+    decode_header(&mut file)
 }
 
 fn encode_header(fingerprint: u64, meta: &StoreMeta) -> Vec<u8> {
@@ -238,6 +305,7 @@ pub struct WriteSummary {
 /// emits it, so persisting overlaps warming instead of following it.
 pub struct CkptWriter {
     file: BufWriter<File>,
+    fingerprint: u64,
     prev: Option<FlatCheckpoint>,
     records: u64,
     bytes: u64,
@@ -257,14 +325,21 @@ impl CkptWriter {
         meta: &StoreMeta,
     ) -> Result<Self, CkptError> {
         let mut file = BufWriter::new(File::create(path)?);
-        let header = encode_header(warm_fingerprint(cfg), meta);
+        let fingerprint = warm_fingerprint(cfg);
+        let header = encode_header(fingerprint, meta);
         file.write_all(&header)?;
         Ok(CkptWriter {
             file,
+            fingerprint,
             prev: None,
             records: 0,
             bytes: header.len() as u64,
         })
+    }
+
+    /// The warm-geometry fingerprint written into the store header.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Appends one checkpoint, delta-encoded against the previously
@@ -322,6 +397,7 @@ impl CkptWriter {
 pub struct CkptReader {
     file: BufReader<File>,
     meta: StoreMeta,
+    fingerprint: u64,
     cfg: MachineConfig,
     prev: Option<FlatCheckpoint>,
     record: u64,
@@ -341,13 +417,11 @@ impl CkptReader {
     pub fn open(path: impl AsRef<Path>, cfg: &MachineConfig) -> Result<Self, CkptError> {
         let mut file = BufReader::new(File::open(path)?);
         let (found, meta) = decode_header(&mut file)?;
-        let expected = warm_fingerprint(cfg);
-        if found != expected {
-            return Err(CkptError::FingerprintMismatch { expected, found });
-        }
+        check_fingerprint(cfg, found)?;
         Ok(CkptReader {
             file,
             meta,
+            fingerprint: found,
             cfg: cfg.clone(),
             prev: None,
             record: 0,
@@ -358,6 +432,12 @@ impl CkptReader {
     /// The store's sampling design and benchmark identity.
     pub fn meta(&self) -> &StoreMeta {
         &self.meta
+    }
+
+    /// The warm-geometry fingerprint recorded in the store header, so
+    /// callers can compare stores without reopening them.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Intact records decoded so far.
@@ -482,6 +562,86 @@ mod tests {
         let mut bigger_l2 = base.clone();
         bigger_l2.l2.size_bytes *= 2;
         assert_ne!(warm_fingerprint(&base), warm_fingerprint(&bigger_l2));
+    }
+
+    #[test]
+    fn check_fingerprint_gates_on_warm_geometry() {
+        let cfg = MachineConfig::eight_way();
+        assert!(check_fingerprint(&cfg, warm_fingerprint(&cfg)).is_ok());
+        let err = check_fingerprint(&cfg, warm_fingerprint(&cfg) ^ 1).unwrap_err();
+        assert!(matches!(err, CkptError::FingerprintMismatch { .. }));
+    }
+
+    #[test]
+    fn store_meta_fingerprint_covers_every_identity_field() {
+        let cfg = MachineConfig::eight_way();
+        let meta = StoreMeta {
+            params: SamplingParams {
+                unit_size: 1000,
+                detailed_warming: 2000,
+                warming: Warming::Functional,
+                interval: 37,
+                offset: 3,
+                max_units: None,
+            },
+            benchmark: "hashp-2".to_string(),
+            scale: 0.25,
+        };
+        let base = meta.fingerprint(&cfg);
+        assert_eq!(base, meta.fingerprint(&cfg), "fingerprint is deterministic");
+
+        let mut other_bench = meta.clone();
+        other_bench.benchmark = "hashp-3".to_string();
+        assert_ne!(base, other_bench.fingerprint(&cfg));
+
+        let mut other_scale = meta.clone();
+        other_scale.scale = 0.5;
+        assert_ne!(base, other_scale.fingerprint(&cfg));
+
+        let mut other_interval = meta.clone();
+        other_interval.params.interval = 38;
+        assert_ne!(base, other_interval.fingerprint(&cfg));
+
+        let mut capped = meta.clone();
+        capped.params.max_units = Some(12);
+        assert_ne!(base, capped.fingerprint(&cfg));
+
+        assert_ne!(base, meta.fingerprint(&MachineConfig::sixteen_way()));
+
+        // Pipeline-core-only differences share the fingerprint — the
+        // warm-once/replay-many-configs contract carries over.
+        let mut narrow = cfg.clone();
+        narrow.issue_width = 2;
+        assert_eq!(base, meta.fingerprint(&narrow));
+    }
+
+    #[test]
+    fn read_store_meta_peeks_the_header_without_a_machine() {
+        let cfg = MachineConfig::eight_way();
+        let meta = StoreMeta {
+            params: SamplingParams {
+                unit_size: 500,
+                detailed_warming: 1000,
+                warming: Warming::Functional,
+                interval: 11,
+                offset: 0,
+                max_units: None,
+            },
+            benchmark: "loopy-1".to_string(),
+            scale: 0.1,
+        };
+        let path = std::env::temp_dir().join(format!(
+            "smarts-ckpt-peek-{}-{:x}.ckpt",
+            std::process::id(),
+            meta.fingerprint(&cfg)
+        ));
+        let writer = CkptWriter::create(&path, &cfg, &meta).unwrap();
+        assert_eq!(writer.fingerprint(), warm_fingerprint(&cfg));
+        writer.finish().unwrap();
+        let (found, peeked) = read_store_meta(&path).unwrap();
+        assert_eq!(found, warm_fingerprint(&cfg));
+        assert_eq!(peeked, meta);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

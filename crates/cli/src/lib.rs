@@ -14,6 +14,9 @@ use smarts_exec::{
     compare_machines_parallel, replay_store, sample_pipeline_saving, sample_two_step_parallel,
     Executor, ParallelMode, ParallelReport,
 };
+use smarts_server::{
+    canonical_report_line, report_from_json, Client, JobSpec, Server, ServerConfig,
+};
 use smarts_simpoint::{estimate_cpi, SimPointConfig};
 use smarts_stats::Confidence;
 use smarts_uarch::MachineConfig;
@@ -53,6 +56,22 @@ pub struct Options {
     pub save_checkpoints: Option<String>,
     /// Replay a persisted checkpoint store instead of warming.
     pub from_checkpoints: Option<String>,
+    /// Emit the canonical bit-exact report JSON instead of prose.
+    pub json: bool,
+    /// Server address for the client subcommands.
+    pub addr: String,
+    /// Job id for `status`/`result`/`cancel`.
+    pub job: Option<String>,
+    /// Block `submit` until the job finishes and print its report.
+    pub wait: bool,
+    /// Listen address for `serve`.
+    pub listen: String,
+    /// Store directory for `serve`.
+    pub store_dir: String,
+    /// Scheduler worker threads for `serve`.
+    pub server_workers: usize,
+    /// Write the bound port here after `serve` binds.
+    pub port_file: Option<String>,
 }
 
 impl Default for Options {
@@ -73,6 +92,14 @@ impl Default for Options {
             pipeline_depth: smarts_exec::DEFAULT_PIPELINE_DEPTH,
             save_checkpoints: None,
             from_checkpoints: None,
+            json: false,
+            addr: "127.0.0.1:4617".to_string(),
+            job: None,
+            wait: false,
+            listen: "127.0.0.1:4617".to_string(),
+            store_dir: "smarts-store".to_string(),
+            server_workers: 2,
+            port_file: None,
         }
     }
 }
@@ -89,6 +116,12 @@ pub fn usage() -> String {
      \x20 simpoint                 SimPoint baseline estimate\n\
      \x20 cachesim                 functional cache/TLB simulation (sim-cache analogue)\n\
      \x20 bpredsim                 functional branch-predictor simulation (sim-bpred analogue)\n\
+     \x20 serve                    run the sampling-as-a-service job server\n\
+     \x20 submit                   submit a sampling job to a running server\n\
+     \x20 status                   list server jobs (or one with --job)\n\
+     \x20 result                   fetch a finished job's report (--job)\n\
+     \x20 cancel                   cancel a queued or running job (--job)\n\
+     \x20 shutdown                 ask the server to drain and exit\n\
      \x20 help                     this message\n\
      \n\
      options:\n\
@@ -112,7 +145,18 @@ pub fn usage() -> String {
      \x20                          sampling (implies pipeline mode; not with --epsilon)\n\
      \x20 --from-checkpoints <p>   replay a saved store, skipping functional warming;\n\
      \x20                          benchmark and sampling design come from the store\n\
-     \x20                          (--bench is ignored; not with --epsilon)"
+     \x20                          (--bench is ignored; not with --epsilon)\n\
+     \x20 --json                   emit the canonical bit-exact report JSON (sample,\n\
+     \x20                          submit --wait, result)\n\
+     \n\
+     server options:\n\
+     \x20 --addr <host:port>       server to contact           [127.0.0.1:4617]\n\
+     \x20 --job <id>               job id for status/result/cancel\n\
+     \x20 --wait                   submit: block until done and print the report\n\
+     \x20 --listen <host:port>     serve: listen address       [127.0.0.1:4617]\n\
+     \x20 --store-dir <dir>        serve: checkpoint-store directory [smarts-store]\n\
+     \x20 --server-workers <n>     serve: concurrent jobs      [2]\n\
+     \x20 --port-file <path>       serve: write the bound port here"
         .to_string()
 }
 
@@ -209,6 +253,20 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--from-checkpoints" => {
                 options.from_checkpoints = Some(value("--from-checkpoints")?);
             }
+            "--json" => options.json = true,
+            "--addr" => options.addr = value("--addr")?,
+            "--job" => options.job = Some(value("--job")?),
+            "--wait" => options.wait = true,
+            "--listen" => options.listen = value("--listen")?,
+            "--store-dir" => options.store_dir = value("--store-dir")?,
+            "--server-workers" => {
+                options.server_workers = value("--server-workers")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=256).contains(&n))
+                    .ok_or_else(|| "--server-workers takes a count in 1..=256".to_string())?;
+            }
+            "--port-file" => options.port_file = Some(value("--port-file")?),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -357,6 +415,10 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
         }
     };
 
+    if options.json {
+        println!("{}", canonical_report_line(&report));
+        return Ok(());
+    }
     print_sample_report(
         &bench.to_string(),
         &cfg,
@@ -376,6 +438,10 @@ fn cmd_sample_from_store(options: &Options, path: &str) -> Result<(), String> {
     let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
     let executor = executor_for(options)?;
     let replayed = replay_store(&executor, &sim, path).map_err(|e| e.to_string())?;
+    if options.json {
+        println!("{}", canonical_report_line(&replayed.report.report));
+        return Ok(());
+    }
     let meta = &replayed.meta;
     let label = match find(&meta.benchmark) {
         Some(b) => b.scaled(meta.scale).to_string(),
@@ -615,6 +681,177 @@ fn cmd_bpredsim(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The job spec the sampling options describe, for `submit`.
+fn job_spec(options: &Options) -> Result<JobSpec, String> {
+    Ok(JobSpec {
+        bench: options
+            .bench
+            .clone()
+            .ok_or("--bench is required to submit a job")?,
+        config: options.config,
+        scale: options.scale,
+        n: options.n,
+        unit: options.unit,
+        warming_len: options.warming_len,
+        functional_warming: !options.no_functional_warming,
+        offset: options.offset,
+        jobs: options.jobs,
+        depth: options.pipeline_depth,
+    })
+}
+
+/// Prints a job's report fetched from a server: raw canonical bytes
+/// with `--json`, the usual prose report otherwise.
+fn print_fetched_result(
+    options: &Options,
+    job: &str,
+    source: &str,
+    raw_report: &str,
+) -> Result<(), String> {
+    if options.json {
+        println!("{raw_report}");
+        return Ok(());
+    }
+    let value = smarts_server::json::parse(raw_report).map_err(|e| format!("bad report: {e}"))?;
+    let report = report_from_json(&value)?;
+    let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
+    println!("job           {job} (result from {source})");
+    let label = options
+        .bench
+        .clone()
+        .unwrap_or_else(|| "<server job>".to_string());
+    print_sample_report(
+        &label,
+        &machine(options),
+        &report.params,
+        &report,
+        conf,
+        None,
+    );
+    Ok(())
+}
+
+fn cmd_serve(options: &Options) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: options.listen.clone(),
+        store_dir: std::path::PathBuf::from(&options.store_dir),
+        workers: options.server_workers,
+    };
+    let server = Server::bind(&config)?;
+    let addr = server.local_addr();
+    if let Some(path) = &options.port_file {
+        std::fs::write(path, format!("{}\n", addr.port()))
+            .map_err(|e| format!("cannot write port file {path}: {e}"))?;
+    }
+    println!(
+        "serving on {addr} (stores in {}, {} workers); send {{\"cmd\":\"shutdown\"}} to drain",
+        options.store_dir, options.server_workers
+    );
+    let summary = server.serve()?;
+    if summary.abandoned.is_empty() {
+        println!("drained cleanly");
+        Ok(())
+    } else {
+        Err(format!(
+            "abandoned {} queued job(s): {}",
+            summary.abandoned.len(),
+            summary.abandoned.join(", ")
+        ))
+    }
+}
+
+fn cmd_submit(options: &Options) -> Result<(), String> {
+    let spec = job_spec(options)?;
+    let mut client = Client::connect(&options.addr)?;
+    let id = client.submit(&spec)?;
+    if !options.wait {
+        println!("submitted {id} to {}", options.addr);
+        return Ok(());
+    }
+    let state = client.wait(&id)?;
+    if state != "done" {
+        let record = client.status(Some(&id))?;
+        let detail = record
+            .get("error")
+            .and_then(smarts_server::json::Json::as_str)
+            .unwrap_or("no detail");
+        return Err(format!("job {id} ended {state}: {detail}"));
+    }
+    let (source, raw) = client.result(&id)?;
+    print_fetched_result(options, &id, &source, &raw)
+}
+
+fn cmd_status(options: &Options) -> Result<(), String> {
+    let mut client = Client::connect(&options.addr)?;
+    let response = client.status(options.job.as_deref())?;
+    if options.json {
+        println!("{}", response.to_line());
+        return Ok(());
+    }
+    let print_one = |v: &smarts_server::json::Json| {
+        let text = |k: &str| {
+            v.get(k)
+                .and_then(smarts_server::json::Json::as_str)
+                .unwrap_or("-")
+                .to_string()
+        };
+        let count = |k: &str| {
+            v.get(k)
+                .and_then(smarts_server::json::Json::as_u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "{:<8} {:<10} {:<10} {:<7} emitted {:>6}  replayed {:>6}  {}",
+            text("job"),
+            text("bench"),
+            text("state"),
+            text("source"),
+            count("emitted"),
+            count("replayed"),
+            v.get("error")
+                .and_then(smarts_server::json::Json::as_str)
+                .unwrap_or("")
+        );
+    };
+    match response
+        .get("jobs")
+        .and_then(smarts_server::json::Json::as_arr)
+    {
+        Some(jobs) => {
+            for job in jobs {
+                print_one(job);
+            }
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+        }
+        None => print_one(&response),
+    }
+    Ok(())
+}
+
+fn cmd_result(options: &Options) -> Result<(), String> {
+    let id = options.job.clone().ok_or("--job is required")?;
+    let mut client = Client::connect(&options.addr)?;
+    let (source, raw) = client.result(&id)?;
+    print_fetched_result(options, &id, &source, &raw)
+}
+
+fn cmd_cancel(options: &Options) -> Result<(), String> {
+    let id = options.job.clone().ok_or("--job is required")?;
+    let mut client = Client::connect(&options.addr)?;
+    let was = client.cancel(&id)?;
+    println!("cancellation requested for {id} (was {was})");
+    Ok(())
+}
+
+fn cmd_shutdown(options: &Options) -> Result<(), String> {
+    let mut client = Client::connect(&options.addr)?;
+    client.shutdown()?;
+    println!("server at {} is draining", options.addr);
+    Ok(())
+}
+
 /// Entry point: dispatches a raw argument vector to a subcommand.
 ///
 /// # Errors
@@ -636,6 +873,12 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "simpoint" => cmd_simpoint(&parse_options(rest)?),
         "cachesim" => cmd_cachesim(&parse_options(rest)?),
         "bpredsim" => cmd_bpredsim(&parse_options(rest)?),
+        "serve" => cmd_serve(&parse_options(rest)?),
+        "submit" => cmd_submit(&parse_options(rest)?),
+        "status" => cmd_status(&parse_options(rest)?),
+        "result" => cmd_result(&parse_options(rest)?),
+        "cancel" => cmd_cancel(&parse_options(rest)?),
+        "shutdown" => cmd_shutdown(&parse_options(rest)?),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -1,0 +1,85 @@
+//! Cooperative cancellation and progress observation for pipeline runs.
+//!
+//! Long-lived callers (the `smarts-server` job scheduler, a ctrl-c
+//! handler) need two hooks into a running pipeline that a one-shot CLI
+//! run never did:
+//!
+//! * a way to *stop* a run that is no longer wanted — [`CancelToken`] is
+//!   a shared flag the producer polls before emitting each checkpoint,
+//!   so cancellation latency is bounded by one unit of warming plus the
+//!   drain of already-queued checkpoints (at most `depth + jobs` unit
+//!   replays), and
+//! * a way to *watch* a run from outside — [`PipelineProgress`]
+//!   snapshots are pushed to an observer callback each time the producer
+//!   emits or a consumer finishes a unit.
+//!
+//! Both are carried by [`crate::Executor`] so every pipeline-shaped
+//! entry point (live warming, warm-and-save, replay-from-store) honors
+//! them without signature churn.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag: cloning hands out another handle to the
+/// same flag, so a scheduler can keep one half and give the run the
+/// other.
+///
+/// Cancellation is cooperative and one-way: once [`CancelToken::cancel`]
+/// is called every pipeline run holding a clone stops emitting new work
+/// at the next unit boundary and returns
+/// [`ExecError::Cancelled`](crate::ExecError::Cancelled).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A progress snapshot from a running pipeline: how many unit
+/// checkpoints the producer has emitted and how many units the consumers
+/// have finished replaying. `replayed` trails `emitted` by at most the
+/// channel depth plus in-flight replays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineProgress {
+    /// Checkpoints the producer has emitted so far.
+    pub emitted: u64,
+    /// Units the consumers have finished replaying so far.
+    pub replayed: u64,
+}
+
+/// The observer callback type: invoked from producer and consumer
+/// threads, so it must be `Send + Sync` and should be cheap (bump a
+/// counter, notify a condvar — not I/O).
+pub type ProgressFn = Arc<dyn Fn(PipelineProgress) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+}

@@ -30,6 +30,9 @@ pub enum ExecError {
     },
     /// The executor was configured with zero workers.
     ZeroJobs,
+    /// The run was cancelled through its [`crate::CancelToken`] before
+    /// completing; any partial results were discarded.
+    Cancelled,
 }
 
 impl fmt::Display for ExecError {
@@ -44,6 +47,7 @@ impl fmt::Display for ExecError {
                 write!(f, "worker {worker} panicked: {message}")
             }
             ExecError::ZeroJobs => write!(f, "executor needs at least one worker"),
+            ExecError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }
@@ -89,6 +93,8 @@ mod tests {
         assert!(p.to_string().contains("boom"));
         assert!(p.source().is_none());
         assert!(ExecError::ZeroJobs.to_string().contains("at least one"));
+        assert!(ExecError::Cancelled.to_string().contains("cancelled"));
+        assert!(ExecError::Cancelled.source().is_none());
         let u = ExecError::UnknownBenchmark("ghost-9".into());
         assert!(u.to_string().contains("ghost-9"));
         assert!(u.source().is_none());

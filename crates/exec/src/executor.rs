@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::cancel::{CancelToken, ProgressFn};
 use crate::error::ExecError;
 use crate::pipeline;
 use crate::pool::run_workers;
@@ -204,12 +205,27 @@ pub(crate) fn merge_outcomes(
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Executor {
     jobs: usize,
     mode: ParallelMode,
     shard_warmup: u64,
     pipeline_depth: usize,
+    cancel: CancelToken,
+    progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("jobs", &self.jobs)
+            .field("mode", &self.mode)
+            .field("shard_warmup", &self.shard_warmup)
+            .field("pipeline_depth", &self.pipeline_depth)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("progress", &self.progress.as_ref().map(|_| "<observer>"))
+            .finish()
+    }
 }
 
 /// Default functional-warming run-in before a shard's first unit, in
@@ -239,7 +255,40 @@ impl Executor {
             mode: ParallelMode::Checkpoint,
             shard_warmup: DEFAULT_SHARD_WARMUP,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            cancel: CancelToken::new(),
+            progress: None,
         })
+    }
+
+    /// Attaches a cancellation token: pipeline-shaped runs stop emitting
+    /// new units once the token is cancelled and return
+    /// [`ExecError::Cancelled`]. The caller keeps a clone of the token
+    /// and may cancel from any thread.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attaches a progress observer: pipeline-shaped runs push a
+    /// [`crate::PipelineProgress`] snapshot each time the producer emits a
+    /// checkpoint or a consumer finishes a unit. The callback runs on
+    /// producer/consumer threads, so it must be cheap and non-blocking.
+    pub fn with_progress(mut self, observer: ProgressFn) -> Self {
+        self.progress = Some(observer);
+        self
+    }
+
+    /// The cancellation token pipeline-shaped runs poll.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Bundles the cancellation and progress hooks for a pipeline run.
+    pub(crate) fn control(&self) -> pipeline::RunControl {
+        pipeline::RunControl {
+            cancel: self.cancel.clone(),
+            progress: self.progress.clone(),
+        }
     }
 
     /// Selects the work-distribution mode.

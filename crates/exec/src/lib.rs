@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod bias;
+mod cancel;
 mod compare;
 mod error;
 mod executor;
@@ -64,6 +65,7 @@ mod pool;
 mod shard;
 
 pub use bias::{residual_bias, BiasReport};
+pub use cancel::{CancelToken, PipelineProgress, ProgressFn};
 pub use compare::{compare_machines_parallel, sample_two_step_parallel};
 pub use error::ExecError;
 pub use executor::{

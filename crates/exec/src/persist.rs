@@ -93,6 +93,7 @@ pub fn sample_pipeline_saving(
     let run = run_pipeline(
         jobs,
         depth,
+        &executor.control(),
         move |emit| {
             let mut write_error: Option<CkptError> = None;
             let summary = sim.stream_checkpoints(loaded, params, |checkpoint| {
@@ -110,8 +111,15 @@ pub fn sample_pipeline_saving(
     if let Some(e) = write_error {
         return Err(ExecError::Ckpt(e));
     }
-    let summary = summary.map_err(ExecError::Smarts)?;
+    // A cancelled run still flushes the writer: every record already
+    // appended is CRC-intact on disk, so the partial store is a valid
+    // salvageable prefix rather than a torn file — but the run itself
+    // reports cancellation, not a (partial) sample.
     let write = writer.finish()?;
+    if executor.cancel_token().is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
+    let summary = summary.map_err(ExecError::Smarts)?;
     let report = finish_pipeline_report(
         run,
         params,
@@ -153,6 +161,7 @@ pub fn replay_store(
     let run = run_pipeline(
         jobs,
         depth,
+        &executor.control(),
         move |emit| {
             let start = Instant::now();
             let mut damage = None;
@@ -173,6 +182,9 @@ pub fn replay_store(
         },
         |checkpoint| sim.replay_checkpoint(&program, &params, checkpoint),
     )?;
+    if executor.cancel_token().is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
     let ((records, damage, read_wall), run) = run.split();
     if run.outcomes.is_empty() {
         if let Some(e) = damage {

@@ -38,6 +38,7 @@ use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::cancel::{CancelToken, PipelineProgress, ProgressFn};
 use crate::error::ExecError;
 use crate::executor::{
     merge_outcomes, Executor, ParallelMode, ParallelReport, PipelineStats, WorkerStats,
@@ -215,14 +216,47 @@ impl<S> PipelineRun<S> {
     }
 }
 
+/// Cancellation and progress hooks one pipeline run honors, bundled by
+/// [`Executor::control`](crate::Executor). The producer polls `cancel`
+/// before emitting each checkpoint; both sides push
+/// [`PipelineProgress`] snapshots to `progress` when set.
+pub(crate) struct RunControl {
+    pub(crate) cancel: CancelToken,
+    pub(crate) progress: Option<ProgressFn>,
+}
+
+/// Shared emit/replay counters behind the progress observer.
+#[derive(Default)]
+struct ProgressCounters {
+    emitted: AtomicU64,
+    replayed: AtomicU64,
+}
+
+impl ProgressCounters {
+    fn snapshot(&self) -> PipelineProgress {
+        PipelineProgress {
+            emitted: self.emitted.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The producer/consumer engine shared by every checkpoint source: live
 /// warming ([`sample_pipeline`]), warm-and-persist, and replay-from-disk
 /// (`crate::persist`). `produce` is handed an `emit` callback (returning
-/// `false` once every consumer has left) and runs on its own thread;
-/// `replay` runs on each of the `jobs` consumer threads.
+/// `false` once every consumer has left *or* cancellation was requested)
+/// and runs on its own thread; `replay` runs on each of the `jobs`
+/// consumer threads.
+///
+/// Cancellation stops the stream at the next unit boundary; consumers
+/// still drain whatever was already queued, so a cancelled run returns
+/// `Ok` with partial outcomes and the *caller* decides whether partial
+/// state is worth flushing before surfacing
+/// [`ExecError::Cancelled`](crate::ExecError::Cancelled).
 pub(crate) fn run_pipeline<S, P, R>(
     jobs: usize,
     depth: usize,
+    control: &RunControl,
     produce: P,
     replay: R,
 ) -> Result<PipelineRun<S>, ExecError>
@@ -233,22 +267,33 @@ where
 {
     let channel: Channel<(usize, u64, UnitCheckpoint)> = Channel::new(depth, jobs);
     let residency = Residency::default();
+    let counters = ProgressCounters::default();
     let t0 = Instant::now();
 
     let (producer_result, consumer_results) = thread::scope(|scope| {
         let channel = &channel;
         let residency = &residency;
         let replay = &replay;
+        let counters = &counters;
+        let cancel = &control.cancel;
+        let progress = control.progress.as_deref();
 
         let producer = scope.spawn(move || {
             let _close = CloseOnDrop(channel);
             let mut next_index = 0usize;
             let mut emit = |checkpoint: UnitCheckpoint| {
+                if cancel.is_cancelled() {
+                    return false;
+                }
                 let bytes = checkpoint.approx_resident_bytes();
                 residency.add(bytes);
                 let index = next_index;
                 next_index += 1;
                 if channel.send((index, bytes, checkpoint)) {
+                    counters.emitted.fetch_add(1, Ordering::Relaxed);
+                    if let Some(observe) = progress {
+                        observe(counters.snapshot());
+                    }
                     true
                 } else {
                     residency.remove(bytes);
@@ -271,6 +316,10 @@ where
                         residency.remove(bytes);
                         outcome.account(&mut instructions);
                         outcomes.push((index, outcome));
+                        counters.replayed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(observe) = progress {
+                            observe(counters.snapshot());
+                        }
                     }
                     ConsumerOutput {
                         stats: WorkerStats {
@@ -380,9 +429,13 @@ pub(crate) fn sample_pipeline(
     let run = run_pipeline(
         jobs,
         depth,
+        &executor.control(),
         move |emit| sim.stream_checkpoints(loaded, params, emit),
         |checkpoint| sim.replay_checkpoint(&program, params, checkpoint),
     )?;
+    if executor.cancel_token().is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
     let (summary, run) = run.split();
     let summary = summary.map_err(ExecError::Smarts)?;
     finish_pipeline_report(
@@ -528,6 +581,67 @@ mod tests {
         assert_eq!(outcome.build_wall, Duration::ZERO);
         assert_eq!(outcome.mode, ParallelMode::Pipeline);
         assert_eq!(outcome.workers.len(), jobs);
+    }
+
+    #[test]
+    fn pre_cancelled_pipeline_reports_cancelled() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.02);
+        let params = design(&bench, 8);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Executor::new(2)
+            .unwrap()
+            .with_mode(ParallelMode::Pipeline)
+            .with_cancel(token)
+            .sample(&sim, &bench, &params)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled));
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_at_a_unit_boundary() {
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.05);
+        let params = design(&bench, 10);
+        let token = CancelToken::new();
+        let observer_token = token.clone();
+        // Cancel from inside the progress observer after the first emit —
+        // exactly how a server-side watcher would pull the plug.
+        let executor = Executor::new(2)
+            .unwrap()
+            .with_mode(ParallelMode::Pipeline)
+            .with_cancel(token)
+            .with_progress(std::sync::Arc::new(move |p: PipelineProgress| {
+                if p.emitted >= 1 {
+                    observer_token.cancel();
+                }
+            }));
+        let err = executor.sample(&sim, &bench, &params).unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled));
+    }
+
+    #[test]
+    fn progress_observer_sees_every_emit_and_replay() {
+        let sim = sim();
+        let bench = find("hashp-2").unwrap().scaled(0.05);
+        let params = design(&bench, 10);
+        let last = std::sync::Arc::new(Mutex::new(PipelineProgress::default()));
+        let sink = last.clone();
+        let outcome = Executor::new(2)
+            .unwrap()
+            .with_mode(ParallelMode::Pipeline)
+            .with_progress(std::sync::Arc::new(move |p: PipelineProgress| {
+                let mut guard = sink.lock().unwrap();
+                guard.emitted = guard.emitted.max(p.emitted);
+                guard.replayed = guard.replayed.max(p.replayed);
+            }))
+            .sample(&sim, &bench, &params)
+            .unwrap();
+        let stats = outcome.pipeline.expect("pipeline stats present");
+        let seen = *last.lock().unwrap();
+        assert_eq!(seen.emitted, stats.emitted);
+        assert_eq!(seen.replayed, stats.emitted, "every emitted unit replays");
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! The job table: ids, states, progress, and the scheduler hand-off.
+//!
+//! One shared [`JobTable`] sits between connection handlers (which
+//! submit, query, watch, and cancel) and scheduler workers (which claim
+//! queued jobs and drive them to a terminal state). All coordination is
+//! a single mutex plus one condvar; every mutation bumps a sequence
+//! number so watchers can block for "anything changed since seq X"
+//! without polling.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use smarts_exec::CancelToken;
+
+use crate::proto::JobSpec;
+
+/// Lifecycle of a job. Legal transitions:
+/// `Queued → Warming → Replaying → Done`, with `Failed` reachable from
+/// any live state and `Cancelled` from `Queued`/`Warming`/`Replaying`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is fast-forwarding/functionally warming (producing
+    /// checkpoints, or waiting on another job's warming pass).
+    Warming,
+    /// Checkpoints exist; detailed replay is consuming them.
+    Replaying,
+    /// Finished; the result is available.
+    Done,
+    /// Terminated with an error (recorded in the job's `error`).
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Protocol name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Warming => "warming",
+            JobState::Replaying => "replaying",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Where a finished job's report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultSource {
+    /// This job ran the warming pass itself.
+    Cold,
+    /// Replayed from a store another job (or prior run) warmed.
+    Store,
+    /// Served from the in-memory results cache without any simulation.
+    Cache,
+}
+
+impl ResultSource {
+    /// Protocol name of the source.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResultSource::Cold => "cold",
+            ResultSource::Store => "store",
+            ResultSource::Cache => "cache",
+        }
+    }
+}
+
+/// One job's full record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Server-assigned id (`j-1`, `j-2`, …).
+    pub id: String,
+    /// What was submitted.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Checkpoints emitted so far by this job's pipeline.
+    pub emitted: u64,
+    /// Units replayed so far by this job's pipeline.
+    pub replayed: u64,
+    /// Terminal error message, for `Failed`.
+    pub error: Option<String>,
+    /// Where the result came from, once `Done`.
+    pub source: Option<ResultSource>,
+    /// Canonical report line, once `Done`. Shared so serving a result
+    /// to N watchers is N reference bumps, not N copies.
+    pub result: Option<Arc<String>>,
+    /// Cancellation flag shared with the running pipeline.
+    pub cancel: CancelToken,
+}
+
+struct TableInner {
+    jobs: HashMap<String, JobRecord>,
+    /// Submission order of still-queued job ids (FIFO claim order).
+    queue: VecDeque<String>,
+    next_id: u64,
+    /// Bumped on every mutation; watchers block on it.
+    seq: u64,
+    /// Set once shutdown begins: submissions are refused and
+    /// `claim_next` returns `None` immediately so workers exit.
+    closed: bool,
+}
+
+/// Shared, thread-safe job registry.
+pub struct JobTable {
+    inner: Mutex<TableInner>,
+    changed: Condvar,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        JobTable {
+            inner: Mutex::new(TableInner {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+                seq: 0,
+                closed: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn bump(&self, inner: &mut TableInner) {
+        inner.seq += 1;
+        self.changed.notify_all();
+    }
+
+    /// Accepts a job, returning its id, or `None` if shutting down.
+    pub fn submit(&self, spec: JobSpec) -> Option<String> {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        if inner.closed {
+            return None;
+        }
+        let id = format!("j-{}", inner.next_id);
+        inner.next_id += 1;
+        let record = JobRecord {
+            id: id.clone(),
+            spec,
+            state: JobState::Queued,
+            emitted: 0,
+            replayed: 0,
+            error: None,
+            source: None,
+            result: None,
+            cancel: CancelToken::new(),
+        };
+        inner.jobs.insert(id.clone(), record);
+        inner.queue.push_back(id.clone());
+        self.bump(&mut inner);
+        Some(id)
+    }
+
+    /// Blocks until a queued job is available (returning a claim) or the
+    /// table closes (returning `None`). Cancelled-while-queued jobs are
+    /// finalized here rather than handed to a worker.
+    pub fn claim_next(&self) -> Option<(String, JobSpec, CancelToken)> {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        loop {
+            while let Some(id) = inner.queue.pop_front() {
+                let Some(record) = inner.jobs.get_mut(&id) else {
+                    continue;
+                };
+                if record.cancel.is_cancelled() {
+                    record.state = JobState::Cancelled;
+                    self.bump(&mut inner);
+                    continue;
+                }
+                record.state = JobState::Warming;
+                let claim = (id, record.spec.clone(), record.cancel.clone());
+                self.bump(&mut inner);
+                return Some(claim);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.changed.wait(inner).expect("job table poisoned");
+        }
+    }
+
+    /// Applies a mutation to one job and wakes watchers. Returns `false`
+    /// for an unknown id.
+    pub fn update<F: FnOnce(&mut JobRecord)>(&self, id: &str, mutate: F) -> bool {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        let Some(record) = inner.jobs.get_mut(id) else {
+            return false;
+        };
+        mutate(record);
+        self.bump(&mut inner);
+        true
+    }
+
+    /// Requests cancellation. Idempotent: cancelling a terminal or
+    /// already-cancelled job succeeds without effect. Returns the state
+    /// observed at the time of the request, or `None` for an unknown id.
+    pub fn cancel(&self, id: &str) -> Option<JobState> {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        let record = inner.jobs.get_mut(id)?;
+        let observed = record.state;
+        if !observed.is_terminal() {
+            record.cancel.cancel();
+            if observed == JobState::Queued {
+                // Finalize immediately; claim_next also handles the race
+                // where a worker claims it first.
+                record.state = JobState::Cancelled;
+            }
+            self.bump(&mut inner);
+        }
+        Some(observed)
+    }
+
+    /// A snapshot of one job, or `None` for an unknown id.
+    pub fn get(&self, id: &str) -> Option<JobRecord> {
+        let inner = self.inner.lock().expect("job table poisoned");
+        inner.jobs.get(id).cloned()
+    }
+
+    /// Snapshots of every job, in id order.
+    pub fn list(&self) -> Vec<JobRecord> {
+        let inner = self.inner.lock().expect("job table poisoned");
+        let mut jobs: Vec<JobRecord> = inner.jobs.values().cloned().collect();
+        jobs.sort_by_key(|r| {
+            r.id.strip_prefix("j-")
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(u64::MAX)
+        });
+        jobs
+    }
+
+    /// The current change sequence number.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().expect("job table poisoned").seq
+    }
+
+    /// Blocks until the sequence number advances past `seen` or the
+    /// timeout lapses; returns the latest sequence number.
+    pub fn wait_change(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        while inner.seq <= seen {
+            let (guard, result) = self
+                .changed
+                .wait_timeout(inner, timeout)
+                .expect("job table poisoned");
+            inner = guard;
+            if result.timed_out() {
+                break;
+            }
+        }
+        inner.seq
+    }
+
+    /// Begins shutdown: refuses new submissions, wakes idle workers, and
+    /// cancels+finalizes still-queued jobs. Returns the ids of the jobs
+    /// abandoned in the queue.
+    pub fn close(&self) -> Vec<String> {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        inner.closed = true;
+        let abandoned: Vec<String> = inner.queue.drain(..).collect();
+        for id in &abandoned {
+            if let Some(record) = inner.jobs.get_mut(id) {
+                record.cancel.cancel();
+                record.state = JobState::Cancelled;
+            }
+        }
+        self.bump(&mut inner);
+        abandoned
+    }
+
+    /// Whether `close` has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("job table poisoned").closed
+    }
+}
+
+impl std::fmt::Debug for JobTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("job table poisoned");
+        f.debug_struct("JobTable")
+            .field("jobs", &inner.jobs.len())
+            .field("queued", &inner.queue.len())
+            .field("seq", &inner.seq)
+            .field("closed", &inner.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(bench: &str) -> JobSpec {
+        JobSpec {
+            bench: bench.to_string(),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn submit_claim_and_finish_walk_the_state_machine() {
+        let table = JobTable::new();
+        let id = table.submit(spec("loopy-1")).unwrap();
+        assert_eq!(table.get(&id).unwrap().state, JobState::Queued);
+
+        let (claimed, claimed_spec, _token) = table.claim_next().unwrap();
+        assert_eq!(claimed, id);
+        assert_eq!(claimed_spec.bench, "loopy-1");
+        assert_eq!(table.get(&id).unwrap().state, JobState::Warming);
+
+        table.update(&id, |r| {
+            r.state = JobState::Done;
+            r.source = Some(ResultSource::Cold);
+            r.result = Some(Arc::new("{}".to_string()));
+        });
+        let record = table.get(&id).unwrap();
+        assert!(record.state.is_terminal());
+        assert_eq!(record.source, Some(ResultSource::Cold));
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_finalizes_queued_jobs() {
+        let table = JobTable::new();
+        let id = table.submit(spec("hashp-2")).unwrap();
+        assert_eq!(table.cancel(&id), Some(JobState::Queued));
+        assert_eq!(table.get(&id).unwrap().state, JobState::Cancelled);
+        // Double-cancel: still answered, no state change.
+        assert_eq!(table.cancel(&id), Some(JobState::Cancelled));
+        assert_eq!(table.cancel("j-404"), None);
+    }
+
+    #[test]
+    fn cancelled_queued_jobs_are_not_handed_to_workers() {
+        let table = JobTable::new();
+        let doomed = table.submit(spec("a")).unwrap();
+        let live = table.submit(spec("b")).unwrap();
+        table.cancel(&doomed);
+        let (claimed, _, _) = table.claim_next().unwrap();
+        assert_eq!(claimed, live);
+    }
+
+    #[test]
+    fn close_abandons_the_queue_and_unblocks_claimers() {
+        let table = Arc::new(JobTable::new());
+        let id = table.submit(spec("a")).unwrap();
+        let abandoned = table.close();
+        assert_eq!(abandoned, vec![id.clone()]);
+        assert_eq!(table.get(&id).unwrap().state, JobState::Cancelled);
+        assert!(table.submit(spec("b")).is_none());
+        assert!(table.claim_next().is_none());
+    }
+
+    #[test]
+    fn wait_change_sees_mutations_and_times_out_quietly() {
+        let table = Arc::new(JobTable::new());
+        let seen = table.seq();
+        // No mutation: times out at the same sequence number.
+        assert_eq!(table.wait_change(seen, Duration::from_millis(10)), seen);
+
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || table.wait_change(seen, Duration::from_secs(5)))
+        };
+        table.submit(spec("a")).unwrap();
+        assert!(waiter.join().unwrap() > seen);
+    }
+}

@@ -1,0 +1,313 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one (or, for `watch`, many) response line(s)
+//! back. The grammar is deliberately tiny — every message is a JSON
+//! object, requests carry a `"cmd"` discriminator, responses carry
+//! `"ok"` (and `"error"` when `false`); `watch` responses carry
+//! `"event"` instead. See DESIGN.md §3.6d for the full grammar.
+//!
+//! Request lines are bounded by [`MAX_LINE`]: a peer that streams an
+//! unbounded line cannot make the server buffer unbounded memory — the
+//! connection is answered with an error and closed.
+
+use crate::json::Json;
+
+/// Longest request line the server will buffer, in bytes. Submit
+/// requests are a few hundred bytes; the bound exists to keep a hostile
+/// peer from ballooning connection memory.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// A sampling job as submitted over the wire: workload × machine config
+/// × sampling design × per-job pipeline parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name (see `smarts list`).
+    pub bench: String,
+    /// Machine configuration: 8 or 16.
+    pub config: u32,
+    /// Benchmark length multiplier.
+    pub scale: f64,
+    /// Target sample size `n`.
+    pub n: u64,
+    /// Sampling unit size `U`.
+    pub unit: u64,
+    /// Detailed warming `W` (`None` = the machine's recommendation).
+    pub warming_len: Option<u64>,
+    /// Functional warming on fast-forward (off = cold-start bias).
+    pub functional_warming: bool,
+    /// Systematic phase offset `j`.
+    pub offset: u64,
+    /// Replay worker threads inside this job's pipeline.
+    pub jobs: usize,
+    /// Pipeline channel depth, in checkpoints.
+    pub depth: usize,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            bench: String::new(),
+            config: 8,
+            scale: 1.0,
+            n: 100,
+            unit: 1000,
+            warming_len: None,
+            functional_warming: true,
+            offset: 0,
+            jobs: 1,
+            depth: 4,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Serializes the spec as the `submit` request's field set.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str(self.bench.clone())),
+            ("config", Json::U64(self.config as u64)),
+            ("scale", Json::F64(self.scale)),
+            ("n", Json::U64(self.n)),
+            ("unit", Json::U64(self.unit)),
+            (
+                "warming_len",
+                match self.warming_len {
+                    None => Json::Null,
+                    Some(w) => Json::U64(w),
+                },
+            ),
+            ("functional_warming", Json::Bool(self.functional_warming)),
+            ("offset", Json::U64(self.offset)),
+            ("jobs", Json::U64(self.jobs as u64)),
+            ("depth", Json::U64(self.depth as u64)),
+        ])
+    }
+
+    /// Reads a spec from a request object, applying defaults for absent
+    /// fields and validating the present ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn from_json(value: &Json) -> Result<JobSpec, String> {
+        let mut spec = JobSpec {
+            bench: value
+                .get("bench")
+                .and_then(Json::as_str)
+                .ok_or("submit requires a string `bench`")?
+                .to_string(),
+            ..JobSpec::default()
+        };
+        if let Some(v) = value.get("config") {
+            spec.config = v
+                .as_u64()
+                .filter(|&c| c == 8 || c == 16)
+                .ok_or("`config` takes 8 or 16")? as u32;
+        }
+        if let Some(v) = value.get("scale") {
+            spec.scale = v
+                .as_f64()
+                .filter(|&s| s > 0.0 && s.is_finite())
+                .ok_or("`scale` takes a positive number")?;
+        }
+        if let Some(v) = value.get("n") {
+            spec.n = v.as_u64().filter(|&n| n > 0).ok_or("`n` takes a count")?;
+        }
+        if let Some(v) = value.get("unit") {
+            spec.unit = v
+                .as_u64()
+                .filter(|&u| u > 0)
+                .ok_or("`unit` takes a count")?;
+        }
+        match value.get("warming_len") {
+            None | Some(Json::Null) => {}
+            Some(v) => {
+                spec.warming_len = Some(v.as_u64().ok_or("`warming_len` takes a count")?);
+            }
+        }
+        if let Some(v) = value.get("functional_warming") {
+            spec.functional_warming = v.as_bool().ok_or("`functional_warming` takes a bool")?;
+        }
+        if let Some(v) = value.get("offset") {
+            spec.offset = v.as_u64().ok_or("`offset` takes a count")?;
+        }
+        if let Some(v) = value.get("jobs") {
+            spec.jobs = v
+                .as_u64()
+                .filter(|&j| (1..=256).contains(&j))
+                .ok_or("`jobs` takes a worker count in 1..=256")? as usize;
+        }
+        if let Some(v) = value.get("depth") {
+            spec.depth =
+                v.as_u64()
+                    .filter(|&d| (1..=1024).contains(&d))
+                    .ok_or("`depth` takes a channel depth in 1..=1024")? as usize;
+        }
+        Ok(spec)
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enqueue a sampling job.
+    Submit(JobSpec),
+    /// One job's status (`Some`) or a summary of every job (`None`).
+    Status(Option<String>),
+    /// A finished job's full canonical report.
+    Result(String),
+    /// Stream state/progress events until the job reaches a terminal
+    /// state.
+    Watch(String),
+    /// Request cancellation of a queued or running job.
+    Cancel(String),
+    /// Server counters: warm passes, store hits, cache hits.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight jobs, refuse new ones.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a message suitable for the `error` field of a refusal
+/// response: malformed JSON, a missing/unknown `cmd`, or bad fields.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = crate::json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string `cmd` field")?;
+    let job_field = || -> Result<String, String> {
+        Ok(value
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or("a string `job` id is required")?
+            .to_string())
+    };
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "submit" => Ok(Request::Submit(JobSpec::from_json(&value)?)),
+        "status" => match value.get("job") {
+            None | Some(Json::Null) => Ok(Request::Status(None)),
+            Some(v) => Ok(Request::Status(Some(
+                v.as_str().ok_or("`job` takes a string id")?.to_string(),
+            ))),
+        },
+        "result" => Ok(Request::Result(job_field()?)),
+        "watch" => Ok(Request::Watch(job_field()?)),
+        "cancel" => Ok(Request::Cancel(job_field()?)),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+/// Builds a success response line (without the trailing newline).
+pub fn ok_response(fields: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.extend(fields);
+    Json::obj(pairs).to_line()
+}
+
+/// Builds a refusal response line (without the trailing newline).
+pub fn err_response(message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+    .to_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_json() {
+        let spec = JobSpec {
+            bench: "hashp-2".into(),
+            config: 16,
+            scale: 0.25,
+            n: 42,
+            unit: 500,
+            warming_len: Some(3000),
+            functional_warming: false,
+            offset: 2,
+            jobs: 3,
+            depth: 2,
+        };
+        let mut line = String::from(r#"{"cmd":"submit","#);
+        line.push_str(&spec.to_json().to_line()[1..]);
+        match parse_request(&line).unwrap() {
+            Request::Submit(parsed) => assert_eq!(parsed, spec),
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_applies_defaults() {
+        let request = parse_request(r#"{"cmd":"submit","bench":"loopy-1"}"#).unwrap();
+        match request {
+            Request::Submit(spec) => {
+                assert_eq!(spec.bench, "loopy-1");
+                assert_eq!(spec.config, 8);
+                assert_eq!(spec.n, 100);
+                assert_eq!(spec.warming_len, None);
+                assert!(spec.functional_warming);
+                assert_eq!(spec.jobs, 1);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_forms_parse() {
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"status"}"#).unwrap(),
+            Request::Status(None)
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"status","job":"j-1"}"#).unwrap(),
+            Request::Status(Some("j-1".into()))
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"cancel","job":"j-9"}"#).unwrap(),
+            Request::Cancel("j-9".into())
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"watch","job":"j-2"}"#).unwrap(),
+            Request::Watch("j-2".into())
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_refused_with_reasons() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"cmd":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"cancel"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","bench":"x","config":12}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","bench":"x","scale":-1}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","bench":"x","jobs":0}"#).is_err());
+    }
+
+    #[test]
+    fn response_builders_emit_protocol_shapes() {
+        assert_eq!(
+            ok_response(vec![("job", Json::Str("j-1".into()))]),
+            r#"{"ok":true,"job":"j-1"}"#
+        );
+        assert_eq!(err_response("nope"), r#"{"ok":false,"error":"nope"}"#);
+    }
+}

@@ -1,0 +1,207 @@
+//! Scheduler workers: claim jobs from the [`JobTable`] and drive each
+//! through cache → store → warming, cheapest path first.
+//!
+//! A claimed job resolves in one of three ways, recorded as its
+//! [`ResultSource`]:
+//!
+//! 1. **cache** — the results cache already holds a canonical report for
+//!    (store fingerprint, machine config); answered in O(lookup) with
+//!    zero simulation.
+//! 2. **store** — a complete checkpoint store exists (this run or a
+//!    previous one); detailed replay only, no functional warming.
+//! 3. **cold** — this job wins the warm ticket and runs the combined
+//!    warm-and-save pipeline; concurrent jobs for the same store block
+//!    on the ticket and then replay, so one warming pass serves all.
+//!
+//! All three paths produce byte-identical canonical report lines for
+//! the same (workload, design, machine): the store replay is
+//! bit-identical to the live pipeline by `smarts-exec`'s merge
+//! contract, and the cache stores the exact serialized line.
+
+use std::sync::Arc;
+
+use smarts_ckpt::StoreMeta;
+use smarts_core::{SamplingParams, SmartsSim, Warming};
+use smarts_exec::{
+    replay_store, sample_pipeline_saving, CancelToken, ExecError, Executor, ParallelMode,
+};
+use smarts_uarch::MachineConfig;
+use smarts_workloads::find;
+
+use crate::jobs::{JobState, JobTable, ResultSource};
+use crate::proto::JobSpec;
+use crate::report::canonical_report_line;
+use crate::store_mgr::{ResultsCache, StoreManager, StoreTicket};
+
+/// State shared by every scheduler worker and the connection handlers.
+#[derive(Debug)]
+pub struct Shared {
+    /// The job registry.
+    pub jobs: JobTable,
+    /// The checkpoint-store manager.
+    pub stores: StoreManager,
+    /// The results cache.
+    pub cache: ResultsCache,
+}
+
+/// How a job ended, before the table is updated.
+enum JobEnd {
+    Done(ResultSource, Arc<String>),
+    Cancelled,
+    Failed(String),
+}
+
+/// Resolves a spec to the machine configuration it names.
+pub fn machine_for(spec: &JobSpec) -> MachineConfig {
+    if spec.config == 16 {
+        MachineConfig::sixteen_way()
+    } else {
+        MachineConfig::eight_way()
+    }
+}
+
+/// Builds the sampling design a spec describes, mirroring the CLI's
+/// parameter derivation so server results are comparable to one-shot
+/// `smarts sample` runs.
+pub fn params_for(spec: &JobSpec, cfg: &MachineConfig) -> Result<SamplingParams, String> {
+    let bench = find(&spec.bench)
+        .ok_or_else(|| format!("unknown benchmark `{}`", spec.bench))?
+        .scaled(spec.scale);
+    let warming = if spec.functional_warming {
+        Warming::Functional
+    } else {
+        Warming::None
+    };
+    let w = spec
+        .warming_len
+        .unwrap_or_else(|| cfg.recommended_detailed_warming());
+    SamplingParams::for_sample_size(
+        bench.approx_len(),
+        spec.unit,
+        w,
+        warming,
+        spec.n,
+        spec.offset,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken) -> JobEnd {
+    let cfg = machine_for(spec);
+    let params = match params_for(spec, &cfg) {
+        Ok(p) => p,
+        Err(message) => return JobEnd::Failed(message),
+    };
+    let bench = match find(&spec.bench) {
+        Some(b) => b.scaled(spec.scale),
+        None => return JobEnd::Failed(format!("unknown benchmark `{}`", spec.bench)),
+    };
+    let meta = StoreMeta {
+        params,
+        benchmark: bench.name().to_string(),
+        scale: spec.scale,
+    };
+    let fingerprint = meta.fingerprint(&cfg);
+
+    if let Some(line) = shared.cache.get(fingerprint, spec.config) {
+        return JobEnd::Done(ResultSource::Cache, line);
+    }
+
+    let ticket = match shared.stores.acquire(&meta, &cfg, cancel) {
+        Ok(t) => t,
+        Err(_) if cancel.is_cancelled() => return JobEnd::Cancelled,
+        Err(message) => return JobEnd::Failed(message),
+    };
+
+    let executor = match Executor::new(spec.jobs) {
+        Ok(e) => e
+            .with_mode(ParallelMode::Pipeline)
+            .with_pipeline_depth(spec.depth)
+            .with_cancel(cancel.clone()),
+        Err(e) => {
+            shared.stores.abort(&ticket);
+            return JobEnd::Failed(e.to_string());
+        }
+    };
+    // Progress observer: mirror pipeline counters into the job record,
+    // flipping Warming → Replaying at the first replayed unit.
+    let executor = {
+        let observer_shared = Arc::clone(shared);
+        let observer_id = id.to_string();
+        executor.with_progress(Arc::new(move |p: smarts_exec::PipelineProgress| {
+            observer_shared.jobs.update(&observer_id, |r| {
+                r.emitted = p.emitted;
+                r.replayed = p.replayed;
+                if p.replayed > 0 && r.state == JobState::Warming {
+                    r.state = JobState::Replaying;
+                }
+            });
+        }))
+    };
+
+    let sim = SmartsSim::new(cfg.clone());
+    let (source, outcome) = match &ticket {
+        StoreTicket::Warm { temp, .. } => (
+            ResultSource::Cold,
+            sample_pipeline_saving(&executor, &sim, &bench, spec.scale, &params, temp)
+                .map(|saved| saved.report.report),
+        ),
+        StoreTicket::Replay { path } => {
+            shared.jobs.update(id, |r| {
+                if r.state == JobState::Warming {
+                    r.state = JobState::Replaying;
+                }
+            });
+            (
+                ResultSource::Store,
+                replay_store(&executor, &sim, path).and_then(|replayed| match replayed.damage {
+                    // The server never serves a damaged store: the
+                    // rename-on-success protocol makes this unreachable
+                    // short of on-disk corruption after commit.
+                    Some(damage) => Err(ExecError::Ckpt(damage)),
+                    None => Ok(replayed.report.report),
+                }),
+            )
+        }
+    };
+
+    match outcome {
+        Ok(report) => {
+            if let Err(message) = shared.stores.commit(&ticket) {
+                return JobEnd::Failed(message);
+            }
+            let line = Arc::new(canonical_report_line(&report));
+            shared
+                .cache
+                .put(fingerprint, spec.config, Arc::clone(&line));
+            JobEnd::Done(source, line)
+        }
+        Err(ExecError::Cancelled) => {
+            shared.stores.abort(&ticket);
+            JobEnd::Cancelled
+        }
+        Err(e) => {
+            shared.stores.abort(&ticket);
+            JobEnd::Failed(e.to_string())
+        }
+    }
+}
+
+/// One scheduler worker: claims jobs until the table closes.
+pub fn worker_loop(shared: Arc<Shared>) {
+    while let Some((id, spec, cancel)) = shared.jobs.claim_next() {
+        let end = run_job(&shared, &id, &spec, &cancel);
+        shared.jobs.update(&id, |r| match &end {
+            JobEnd::Done(source, line) => {
+                r.state = JobState::Done;
+                r.source = Some(*source);
+                r.result = Some(Arc::clone(line));
+            }
+            JobEnd::Cancelled => r.state = JobState::Cancelled,
+            JobEnd::Failed(message) => {
+                r.state = JobState::Failed;
+                r.error = Some(message.clone());
+            }
+        });
+    }
+}

@@ -1,0 +1,411 @@
+//! The TCP front end: accept loop, per-connection line handling, and
+//! graceful shutdown.
+//!
+//! Every connection is one thread running a bounded line reader: bytes
+//! accumulate until a newline, lines longer than
+//! [`MAX_LINE`](crate::proto::MAX_LINE) are refused and the connection
+//! closed. Responses are written back one line each; `watch` streams
+//! event lines until the watched job reaches a terminal state.
+//!
+//! Shutdown (the `shutdown` command, [`Server::stop_flag`], or a signal
+//! wired to that flag) drains: the accept loop stops, still-queued jobs
+//! are abandoned (cancelled), in-flight jobs run to completion — a
+//! cancelled or failed warming pass still flushes its `.partial` store
+//! as a salvageable prefix — and only then are connection handlers
+//! released, so watchers observe final states.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::jobs::{JobRecord, JobTable};
+use crate::json::Json;
+use crate::proto::{err_response, ok_response, parse_request, Request, MAX_LINE};
+use crate::scheduler::{machine_for, params_for, worker_loop, Shared};
+use crate::store_mgr::{ResultsCache, StoreManager};
+
+/// How a server is configured at bind time.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Directory for the shared checkpoint stores.
+    pub store_dir: PathBuf,
+    /// Scheduler worker threads (jobs running concurrently).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: PathBuf::from("smarts-store"),
+            workers: 2,
+        }
+    }
+}
+
+/// What a drained server left behind.
+#[derive(Debug)]
+pub struct ShutdownSummary {
+    /// Ids of jobs still queued when shutdown began — cancelled, never
+    /// run. A nonzero count is the binary's nonzero-exit condition.
+    pub abandoned: Vec<String>,
+}
+
+/// A bound server: listener plus scheduler workers, ready to serve.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, opens the store directory, and starts the
+    /// scheduler workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound or the store
+    /// directory cannot be created.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot make listener nonblocking: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let shared = Arc::new(Shared {
+            jobs: JobTable::new(),
+            stores: StoreManager::new(&config.store_dir)?,
+            cache: ResultsCache::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            stop: Arc::new(AtomicBool::new(false)),
+            workers,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared scheduler state (job table, stores, cache).
+    pub fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// A flag that stops [`Server::serve`] when set — wire signals or a
+    /// supervising thread to this.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs the accept loop until shutdown is requested, then drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a non-transient accept failure.
+    pub fn serve(self) -> Result<ShutdownSummary, String> {
+        let conn_stop = Arc::new(AtomicBool::new(false));
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let stop = Arc::clone(&self.stop);
+                    let conn_stop = Arc::clone(&conn_stop);
+                    conns.push(std::thread::spawn(move || {
+                        // A broken pipe mid-conversation is the peer's
+                        // problem, not the server's.
+                        let _ = handle_connection(stream, &shared, &stop, &conn_stop);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+            conns.retain(|handle| !handle.is_finished());
+        }
+
+        // Drain: abandon the queue, let claimed jobs finish, then
+        // release connection handlers so watchers saw final states.
+        let abandoned = self.shared.jobs.close();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        conn_stop.store(true, Ordering::SeqCst);
+        for conn in conns {
+            let _ = conn.join();
+        }
+        Ok(ShutdownSummary { abandoned })
+    }
+}
+
+/// Reads newline-delimited requests off one connection until EOF,
+/// oversize abuse, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    stop: &AtomicBool,
+    conn_stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let _ = stream.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Process every complete line already buffered. The length gate
+        // comes first: a line past MAX_LINE is refused even when it has
+        // fully arrived, and a newline-less buffer past the cap is
+        // refused without waiting for one.
+        while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+            if nl > MAX_LINE {
+                write_line(&mut stream, &err_response("request line exceeds 64 KiB"))?;
+                return Ok(());
+            }
+            let line: Vec<u8> = pending.drain(..=nl).collect();
+            let text = String::from_utf8_lossy(&line[..nl]);
+            let keep_going = handle_line(
+                text.trim_end_matches('\r'),
+                shared,
+                stop,
+                conn_stop,
+                &mut stream,
+            )?;
+            if !keep_going {
+                return Ok(());
+            }
+        }
+        if pending.len() > MAX_LINE {
+            write_line(&mut stream, &err_response("request line exceeds 64 KiB"))?;
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if conn_stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// One job's protocol representation (used by `status` and `watch`).
+fn job_json(record: &JobRecord) -> Json {
+    Json::obj(vec![
+        ("job", Json::Str(record.id.clone())),
+        ("bench", Json::Str(record.spec.bench.clone())),
+        ("state", Json::Str(record.state.name().to_string())),
+        (
+            "source",
+            match record.source {
+                None => Json::Null,
+                Some(s) => Json::Str(s.name().to_string()),
+            },
+        ),
+        ("emitted", Json::U64(record.emitted)),
+        ("replayed", Json::U64(record.replayed)),
+        (
+            "error",
+            match &record.error {
+                None => Json::Null,
+                Some(e) => Json::Str(e.clone()),
+            },
+        ),
+    ])
+}
+
+/// Handles one request line; returns `Ok(false)` to close the
+/// connection.
+fn handle_line(
+    line: &str,
+    shared: &Arc<Shared>,
+    stop: &AtomicBool,
+    conn_stop: &AtomicBool,
+    stream: &mut TcpStream,
+) -> std::io::Result<bool> {
+    if line.is_empty() {
+        return Ok(true);
+    }
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(message) => {
+            write_line(stream, &err_response(&message))?;
+            return Ok(true);
+        }
+    };
+    match request {
+        Request::Ping => write_line(stream, &ok_response(vec![("pong", Json::Bool(true))]))?,
+        Request::Submit(spec) => {
+            // Validate up front so a bad spec fails the submit, not the
+            // job: the scheduler re-derives the same parameters.
+            if let Err(message) = params_for(&spec, &machine_for(&spec)) {
+                write_line(stream, &err_response(&message))?;
+                return Ok(true);
+            }
+            match shared.jobs.submit(spec) {
+                Some(id) => {
+                    write_line(stream, &ok_response(vec![("job", Json::Str(id))]))?;
+                }
+                None => write_line(stream, &err_response("server is shutting down"))?,
+            }
+        }
+        Request::Status(None) => {
+            let jobs = Json::Arr(shared.jobs.list().iter().map(job_json).collect());
+            write_line(stream, &ok_response(vec![("jobs", jobs)]))?;
+        }
+        Request::Status(Some(id)) => match shared.jobs.get(&id) {
+            Some(record) => {
+                let Json::Obj(fields) = job_json(&record) else {
+                    unreachable!("job_json builds an object");
+                };
+                let owned: Vec<(String, Json)> = fields;
+                let mut pairs = vec![("ok", Json::Bool(true))];
+                // Reuse the job fields at the top level of the reply.
+                let line = {
+                    let borrowed: Vec<(&str, Json)> =
+                        owned.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                    pairs.extend(borrowed);
+                    Json::obj(pairs).to_line()
+                };
+                write_line(stream, &line)?;
+            }
+            None => write_line(stream, &err_response(&format!("unknown job `{id}`")))?,
+        },
+        Request::Result(id) => match shared.jobs.get(&id) {
+            None => write_line(stream, &err_response(&format!("unknown job `{id}`")))?,
+            Some(record) => match (&record.result, record.source) {
+                (Some(report), source) => {
+                    // Splice the cached canonical line in verbatim —
+                    // string concatenation, never re-serialization — so
+                    // every path serves byte-identical report bytes.
+                    let head = ok_response(vec![
+                        ("job", Json::Str(record.id.clone())),
+                        (
+                            "source",
+                            match source {
+                                None => Json::Null,
+                                Some(s) => Json::Str(s.name().to_string()),
+                            },
+                        ),
+                    ]);
+                    let mut line = String::with_capacity(head.len() + report.len() + 12);
+                    line.push_str(&head[..head.len() - 1]);
+                    line.push_str(",\"report\":");
+                    line.push_str(report);
+                    line.push('}');
+                    write_line(stream, &line)?;
+                }
+                (None, _) => {
+                    write_line(
+                        stream,
+                        &err_response(&format!(
+                            "job `{id}` has no result (state {})",
+                            record.state.name()
+                        )),
+                    )?;
+                }
+            },
+        },
+        Request::Watch(id) => {
+            if shared.jobs.get(&id).is_none() {
+                write_line(stream, &err_response(&format!("unknown job `{id}`")))?;
+                return Ok(true);
+            }
+            let mut seq = 0; // emit the current state immediately
+            let mut last: Option<(String, u64, u64)> = None;
+            while let Some(record) = shared.jobs.get(&id) {
+                let snapshot = (
+                    record.state.name().to_string(),
+                    record.emitted,
+                    record.replayed,
+                );
+                if last.as_ref() != Some(&snapshot) {
+                    last = Some(snapshot);
+                    let kind = if record.state.is_terminal() {
+                        "end"
+                    } else {
+                        "progress"
+                    };
+                    let mut fields = vec![("event", Json::Str(kind.to_string()))];
+                    let Json::Obj(job_fields) = job_json(&record) else {
+                        unreachable!("job_json builds an object");
+                    };
+                    let borrowed: Vec<(&str, Json)> = job_fields
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.clone()))
+                        .collect();
+                    fields.extend(borrowed);
+                    write_line(stream, &Json::obj(fields).to_line())?;
+                }
+                if record.state.is_terminal() {
+                    break;
+                }
+                seq = shared.jobs.wait_change(seq, Duration::from_millis(200));
+                if conn_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+        Request::Cancel(id) => match shared.jobs.cancel(&id) {
+            Some(observed) => write_line(
+                stream,
+                &ok_response(vec![
+                    ("job", Json::Str(id)),
+                    ("was", Json::Str(observed.name().to_string())),
+                ]),
+            )?,
+            None => write_line(stream, &err_response(&format!("unknown job `{id}`")))?,
+        },
+        Request::Stats => {
+            let jobs = shared.jobs.list();
+            let done = jobs.iter().filter(|r| r.result.is_some()).count();
+            write_line(
+                stream,
+                &ok_response(vec![
+                    ("jobs", Json::U64(jobs.len() as u64)),
+                    ("done", Json::U64(done as u64)),
+                    ("warm_passes", Json::U64(shared.stores.warm_passes())),
+                    ("store_hits", Json::U64(shared.stores.store_hits())),
+                    ("cache_hits", Json::U64(shared.cache.hits())),
+                ]),
+            )?;
+        }
+        Request::Shutdown => {
+            write_line(stream, &ok_response(vec![("draining", Json::Bool(true))]))?;
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+    Ok(true)
+}

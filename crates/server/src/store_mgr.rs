@@ -1,0 +1,437 @@
+//! The shared checkpoint-store manager: one warming pass per
+//! (workload, warm geometry, sampling design), no matter how many jobs
+//! ask for it concurrently.
+//!
+//! Store identity is [`StoreMeta::fingerprint`] — the warm-geometry
+//! fingerprint folded with benchmark, scale, and every sampling-design
+//! field. The manager maps each fingerprint to one file under its root
+//! directory and enforces a *single-producer* discipline:
+//!
+//! * the first job to ask for an absent store gets a [`StoreTicket::Warm`]
+//!   and writes to a `.partial` temp path;
+//! * concurrent askers block until the warmer commits (rename to the
+//!   final path) or aborts, in which case one of them is promoted to be
+//!   the new warmer;
+//! * every later asker gets a [`StoreTicket::Replay`] against the
+//!   committed file.
+//!
+//! The rename-on-success protocol makes "final path exists" equivalent
+//! to "store is complete": a crash or cancellation can only ever leave
+//! a `.partial` file behind, which is a CRC-intact salvageable prefix
+//! (see `smarts-ckpt`'s truncation tolerance) but is never served.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use smarts_ckpt::{read_store_meta, StoreMeta};
+use smarts_exec::CancelToken;
+use smarts_uarch::MachineConfig;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreState {
+    /// Exactly one job holds the warm ticket and is producing.
+    Warming,
+    /// The final file exists and is complete.
+    Ready,
+}
+
+/// Permission to either produce a store or replay an existing one.
+#[derive(Debug)]
+pub enum StoreTicket {
+    /// This job is the single warmer: write checkpoints to `temp`, then
+    /// [`StoreManager::commit`] to publish at `final_path` (or
+    /// [`StoreManager::abort`] on failure/cancellation).
+    Warm {
+        /// The store fingerprint this ticket is for.
+        fingerprint: u64,
+        /// The `.partial` path to write through.
+        temp: PathBuf,
+        /// The path the store is published at on commit.
+        final_path: PathBuf,
+    },
+    /// The store is already complete: replay from `path`.
+    Replay {
+        /// The committed store file.
+        path: PathBuf,
+    },
+}
+
+/// Shared manager for the server's store directory.
+#[derive(Debug)]
+pub struct StoreManager {
+    root: PathBuf,
+    states: Mutex<HashMap<u64, StoreState>>,
+    changed: Condvar,
+    warm_passes: AtomicU64,
+    store_hits: AtomicU64,
+}
+
+impl StoreManager {
+    /// Creates a manager over `root`, creating the directory if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the directory cannot be created.
+    pub fn new(root: impl AsRef<Path>) -> Result<StoreManager, String> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create store dir {}: {e}", root.display()))?;
+        Ok(StoreManager {
+            root,
+            states: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            warm_passes: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory stores live under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn final_path(&self, fingerprint: u64) -> PathBuf {
+        self.root.join(format!("{fingerprint:016x}.ck"))
+    }
+
+    fn temp_path(&self, fingerprint: u64) -> PathBuf {
+        self.root.join(format!("{fingerprint:016x}.ck.partial"))
+    }
+
+    /// Whether the on-disk file at the final path really is the store
+    /// `fingerprint` names: readable header whose meta re-fingerprints
+    /// (under `cfg`) to the expected value. Guards against unrelated
+    /// files, stale formats, and hash-name collisions.
+    fn validate_existing(&self, fingerprint: u64, cfg: &MachineConfig) -> bool {
+        let path = self.final_path(fingerprint);
+        match read_store_meta(&path) {
+            Ok((_, meta)) => meta.fingerprint(cfg) == fingerprint,
+            Err(_) => false,
+        }
+    }
+
+    /// Resolves a ticket for the store identified by `meta` + `cfg`.
+    /// Blocks while another job holds the warm ticket; returns an error
+    /// if `cancel` fires while waiting.
+    ///
+    /// # Errors
+    ///
+    /// Only cancellation while waiting for a racing warmer.
+    pub fn acquire(
+        &self,
+        meta: &StoreMeta,
+        cfg: &MachineConfig,
+        cancel: &CancelToken,
+    ) -> Result<StoreTicket, String> {
+        let fingerprint = meta.fingerprint(cfg);
+        let mut states = self.states.lock().expect("store manager poisoned");
+        loop {
+            match states.get(&fingerprint) {
+                Some(StoreState::Ready) => {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(StoreTicket::Replay {
+                        path: self.final_path(fingerprint),
+                    });
+                }
+                Some(StoreState::Warming) => {
+                    if cancel.is_cancelled() {
+                        return Err("cancelled while waiting for a racing warming pass".into());
+                    }
+                    let (guard, _) = self
+                        .changed
+                        .wait_timeout(states, Duration::from_millis(50))
+                        .expect("store manager poisoned");
+                    states = guard;
+                }
+                None => {
+                    if self.validate_existing(fingerprint, cfg) {
+                        // A complete store from a previous server run (or
+                        // a pre-seeded directory).
+                        states.insert(fingerprint, StoreState::Ready);
+                        self.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(StoreTicket::Replay {
+                            path: self.final_path(fingerprint),
+                        });
+                    }
+                    states.insert(fingerprint, StoreState::Warming);
+                    self.warm_passes.fetch_add(1, Ordering::Relaxed);
+                    return Ok(StoreTicket::Warm {
+                        fingerprint,
+                        temp: self.temp_path(fingerprint),
+                        final_path: self.final_path(fingerprint),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Publishes a completed warming pass: renames the temp file to the
+    /// final path and wakes waiting racers.
+    ///
+    /// # Errors
+    ///
+    /// On rename failure the warm slot is released (racers retry) and
+    /// the I/O error message is returned.
+    pub fn commit(&self, ticket: &StoreTicket) -> Result<(), String> {
+        let StoreTicket::Warm {
+            fingerprint,
+            temp,
+            final_path,
+        } = ticket
+        else {
+            return Ok(());
+        };
+        let renamed = std::fs::rename(temp, final_path)
+            .map_err(|e| format!("cannot publish store {}: {e}", final_path.display()));
+        let mut states = self.states.lock().expect("store manager poisoned");
+        match renamed {
+            Ok(()) => {
+                states.insert(*fingerprint, StoreState::Ready);
+                self.changed.notify_all();
+                Ok(())
+            }
+            Err(message) => {
+                states.remove(fingerprint);
+                self.changed.notify_all();
+                Err(message)
+            }
+        }
+    }
+
+    /// Releases a warm ticket without publishing: the slot is freed so a
+    /// waiting racer can become the new warmer. The `.partial` file is
+    /// left on disk — it is a CRC-intact salvageable prefix, and the
+    /// next warmer truncates it on create.
+    pub fn abort(&self, ticket: &StoreTicket) {
+        if let StoreTicket::Warm { fingerprint, .. } = ticket {
+            let mut states = self.states.lock().expect("store manager poisoned");
+            states.remove(fingerprint);
+            self.changed.notify_all();
+        }
+    }
+
+    /// Warming passes started since the manager was created.
+    pub fn warm_passes(&self) -> u64 {
+        self.warm_passes.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions served by an already-complete store.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// In-memory results cache: (store fingerprint, machine config) → the
+/// canonical report line. The store fingerprint already pins workload,
+/// scale, and the full sampling design; folding in the *full* machine
+/// config distinguishes detailed cores that share warm state (the
+/// replay-many-configs case — same store, different reports).
+#[derive(Debug, Default)]
+pub struct ResultsCache {
+    entries: Mutex<HashMap<(u64, u32), Arc<String>>>,
+    hits: AtomicU64,
+}
+
+impl ResultsCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached canonical report line.
+    pub fn get(&self, store_fingerprint: u64, config: u32) -> Option<Arc<String>> {
+        let cached = self
+            .entries
+            .lock()
+            .expect("results cache poisoned")
+            .get(&(store_fingerprint, config))
+            .cloned();
+        if cached.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cached
+    }
+
+    /// Inserts (or replaces, idempotently — the line is deterministic) a
+    /// canonical report line.
+    pub fn put(&self, store_fingerprint: u64, config: u32, line: Arc<String>) {
+        self.entries
+            .lock()
+            .expect("results cache poisoned")
+            .insert((store_fingerprint, config), line);
+    }
+
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("results cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarts_core::{SamplingParams, Warming};
+
+    fn test_meta() -> StoreMeta {
+        StoreMeta {
+            params: SamplingParams {
+                unit_size: 100,
+                detailed_warming: 200,
+                warming: Warming::Functional,
+                interval: 10,
+                offset: 0,
+                max_units: None,
+            },
+            benchmark: "hashp-2".to_string(),
+            scale: 1.0,
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("smarts-storemgr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn first_acquire_warms_then_replays_after_commit() {
+        let root = temp_root("basic");
+        let mgr = StoreManager::new(&root).unwrap();
+        let meta = test_meta();
+        let cfg = MachineConfig::eight_way();
+        let cancel = CancelToken::new();
+
+        let ticket = mgr.acquire(&meta, &cfg, &cancel).unwrap();
+        let StoreTicket::Warm {
+            temp, final_path, ..
+        } = &ticket
+        else {
+            panic!("expected a warm ticket, got {ticket:?}");
+        };
+        assert_eq!(mgr.warm_passes(), 1);
+        assert_eq!(mgr.store_hits(), 0);
+
+        // Simulate a warming pass by writing a real (empty) store.
+        {
+            use smarts_ckpt::CkptWriter;
+            let writer = CkptWriter::create(temp, &cfg, &meta).unwrap();
+            writer.finish().unwrap();
+        }
+        mgr.commit(&ticket).unwrap();
+        assert!(final_path.exists());
+        assert!(!temp.exists());
+
+        match mgr.acquire(&meta, &cfg, &cancel).unwrap() {
+            StoreTicket::Replay { path } => assert_eq!(&path, final_path),
+            other => panic!("expected replay, got {other:?}"),
+        }
+        assert_eq!(mgr.warm_passes(), 1);
+        assert_eq!(mgr.store_hits(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn abort_promotes_a_racer_to_warmer() {
+        let root = temp_root("abort");
+        let mgr = Arc::new(StoreManager::new(&root).unwrap());
+        let meta = test_meta();
+        let cfg = MachineConfig::eight_way();
+        let cancel = CancelToken::new();
+
+        let first = mgr.acquire(&meta, &cfg, &cancel).unwrap();
+        assert!(matches!(first, StoreTicket::Warm { .. }));
+
+        let racer = {
+            let mgr = Arc::clone(&mgr);
+            let meta = meta.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || mgr.acquire(&meta, &cfg, &CancelToken::new()).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        mgr.abort(&first);
+        let second = racer.join().unwrap();
+        assert!(
+            matches!(second, StoreTicket::Warm { .. }),
+            "racer should inherit the warm ticket, got {second:?}"
+        );
+        assert_eq!(mgr.warm_passes(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn waiting_racer_honours_cancellation() {
+        let root = temp_root("cancelwait");
+        let mgr = Arc::new(StoreManager::new(&root).unwrap());
+        let meta = test_meta();
+        let cfg = MachineConfig::eight_way();
+
+        let _warm = mgr.acquire(&meta, &cfg, &CancelToken::new()).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = mgr.acquire(&meta, &cfg, &cancel).unwrap_err();
+        assert!(err.contains("cancelled"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn preexisting_complete_store_is_reused_and_junk_is_not() {
+        let root = temp_root("preseed");
+        let mgr = StoreManager::new(&root).unwrap();
+        let meta = test_meta();
+        let cfg = MachineConfig::eight_way();
+        let cancel = CancelToken::new();
+
+        // Seed a complete store directly at the final path.
+        let fingerprint = meta.fingerprint(&cfg);
+        {
+            use smarts_ckpt::CkptWriter;
+            let writer = CkptWriter::create(mgr.final_path(fingerprint), &cfg, &meta).unwrap();
+            writer.finish().unwrap();
+        }
+        assert!(matches!(
+            mgr.acquire(&meta, &cfg, &cancel).unwrap(),
+            StoreTicket::Replay { .. }
+        ));
+        assert_eq!(mgr.warm_passes(), 0);
+
+        // A different design whose final path holds junk must re-warm.
+        let mut other = test_meta();
+        other.params.offset = 3;
+        let other_fp = other.fingerprint(&cfg);
+        std::fs::write(mgr.final_path(other_fp), b"not a store").unwrap();
+        assert!(matches!(
+            mgr.acquire(&other, &cfg, &cancel).unwrap(),
+            StoreTicket::Warm { .. }
+        ));
+        assert_eq!(mgr.warm_passes(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn results_cache_round_trips_and_counts_hits() {
+        let cache = ResultsCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(1, 8).is_none());
+        assert_eq!(cache.hits(), 0);
+        cache.put(1, 8, Arc::new("line".to_string()));
+        assert_eq!(cache.get(1, 8).unwrap().as_str(), "line");
+        assert_eq!(cache.hits(), 1);
+        // Same store, different detailed core: distinct entry.
+        assert!(cache.get(1, 16).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -18,6 +18,9 @@
 //!   checkpoint replay and sharded sampling with a deterministic merge.
 //! * [`ckpt`] — the persistent on-disk checkpoint store (delta-encoded,
 //!   CRC-checked): warm once, replay many detailed configurations.
+//! * [`server`] — sampling as a service: a TCP job server over a shared
+//!   checkpoint-store directory, so concurrent jobs for the same
+//!   workload and warm geometry trigger exactly one warming pass.
 //! * [`simpoint`] — the SimPoint baseline (Section 5.3).
 //!
 //! # Quick start
@@ -48,6 +51,7 @@ pub use smarts_core as core;
 pub use smarts_energy as energy;
 pub use smarts_exec as exec;
 pub use smarts_isa as isa;
+pub use smarts_server as server;
 pub use smarts_simpoint as simpoint;
 pub use smarts_stats as stats;
 pub use smarts_uarch as uarch;

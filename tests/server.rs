@@ -1,0 +1,336 @@
+//! End-to-end guarantees of the sampling-as-a-service job server:
+//! reports served over the wire are byte-identical to one-shot pipeline
+//! runs on every path (cold, store hit, cache hit), concurrent
+//! submissions of the same store trigger exactly one warming pass, the
+//! wire protocol refuses abuse crisply, and shutdown drains.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::thread::JoinHandle;
+
+use smarts::exec::{Executor, ParallelMode};
+use smarts::prelude::*;
+use smarts::server::json::Json;
+use smarts::server::{
+    canonical_report_line, machine_for, params_for, Client, JobSpec, Server, ServerConfig,
+    ShutdownSummary,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smarts-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct RunningServer {
+    addr: String,
+    handle: JoinHandle<Result<ShutdownSummary, String>>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl RunningServer {
+    fn start(store_dir: &Path, workers: usize) -> RunningServer {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: store_dir.to_path_buf(),
+            workers,
+        })
+        .expect("bind ephemeral server");
+        let addr = server.local_addr().to_string();
+        let stop = server.stop_flag();
+        let handle = std::thread::spawn(move || server.serve());
+        RunningServer { addr, handle, stop }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect to test server")
+    }
+
+    fn shutdown(self) -> ShutdownSummary {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("server drained")
+    }
+}
+
+fn small_spec() -> JobSpec {
+    JobSpec {
+        bench: "loopy-1".to_string(),
+        config: 8,
+        scale: 0.02,
+        n: 8,
+        unit: 500,
+        warming_len: Some(1000),
+        functional_warming: true,
+        offset: 0,
+        jobs: 2,
+        depth: 4,
+    }
+}
+
+/// The canonical line a one-shot pipeline run produces for a spec —
+/// the reference every server path must match byte for byte.
+fn one_shot_line(spec: &JobSpec) -> String {
+    let cfg = machine_for(spec);
+    let params = params_for(spec, &cfg).expect("valid spec");
+    let sim = SmartsSim::new(cfg);
+    let bench = find(&spec.bench)
+        .expect("suite benchmark")
+        .scaled(spec.scale);
+    let executor = Executor::new(spec.jobs)
+        .expect("executor")
+        .with_mode(ParallelMode::Pipeline)
+        .with_pipeline_depth(spec.depth);
+    let outcome = executor
+        .sample(&sim, &bench, &params)
+        .expect("pipeline run");
+    canonical_report_line(&outcome.report)
+}
+
+#[test]
+fn cold_store_and_cache_paths_serve_identical_bytes() {
+    let store_dir = temp_dir("paths");
+    let expected = one_shot_line(&small_spec());
+
+    // First server: cold warm, then a cache hit for the same spec.
+    let server = RunningServer::start(&store_dir, 2);
+    let mut client = server.client();
+    client.ping().expect("ping");
+
+    let first = client.submit(&small_spec()).expect("submit cold");
+    assert_eq!(client.wait(&first).expect("wait"), "done");
+    let (source, raw) = client.result(&first).expect("cold result");
+    assert_eq!(source, "cold");
+    assert_eq!(raw, expected, "cold path must match the one-shot run");
+
+    let second = client.submit(&small_spec()).expect("submit cached");
+    assert_eq!(client.wait(&second).expect("wait"), "done");
+    let (source, raw) = client.result(&second).expect("cached result");
+    assert_eq!(source, "cache");
+    assert_eq!(raw, expected, "cache path must serve the same bytes");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("warm_passes").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+    server.shutdown();
+
+    // Second server over the same directory: the store survives, the
+    // in-memory cache does not — a store-hit replay, still byte-equal.
+    let server = RunningServer::start(&store_dir, 2);
+    let mut client = server.client();
+    let third = client.submit(&small_spec()).expect("submit store hit");
+    assert_eq!(client.wait(&third).expect("wait"), "done");
+    let (source, raw) = client.result(&third).expect("store result");
+    assert_eq!(source, "store");
+    assert_eq!(raw, expected, "store path must replay the same bytes");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("warm_passes").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.get("store_hits").and_then(Json::as_u64), Some(1));
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn concurrent_submissions_share_one_warming_pass() {
+    let store_dir = temp_dir("race");
+    let expected = one_shot_line(&small_spec());
+    let server = RunningServer::start(&store_dir, 4);
+
+    // Two clients race the same spec; the store manager must elect a
+    // single warmer and replay the racer from the committed store.
+    let submitters: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = server.addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let id = client.submit(&small_spec()).expect("submit");
+                assert_eq!(client.wait(&id).expect("wait"), "done");
+                client.result(&id).expect("result")
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = submitters
+        .into_iter()
+        .map(|h| h.join().expect("submitter thread"))
+        .collect();
+
+    for (source, raw) in &results {
+        assert_eq!(raw, &expected, "every concurrent result is byte-identical");
+        assert!(
+            source == "cold" || source == "store" || source == "cache",
+            "unexpected source {source}"
+        );
+    }
+    let mut client = server.client();
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("warm_passes").and_then(Json::as_u64),
+        Some(1),
+        "exactly one warming pass serves all concurrent jobs"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn protocol_refuses_abuse_without_dying() {
+    let store_dir = temp_dir("abuse");
+    let server = RunningServer::start(&store_dir, 1);
+    let mut client = server.client();
+
+    // Malformed JSON.
+    let response = client.round_trip("this is not json").expect("reply");
+    assert!(response.contains("\"ok\":false"), "got {response}");
+    // Valid JSON, no cmd.
+    let response = client.round_trip(r#"{"x":1}"#).expect("reply");
+    assert!(response.contains("\"ok\":false"));
+    // Unknown cmd.
+    let response = client.round_trip(r#"{"cmd":"frobnicate"}"#).expect("reply");
+    assert!(response.contains("unknown cmd"));
+    // Bad submit fields.
+    let response = client
+        .round_trip(r#"{"cmd":"submit","bench":"no-such-bench"}"#)
+        .expect("reply");
+    assert!(response.contains("unknown benchmark"));
+    // Unknown job ids.
+    assert!(client.status(Some("j-404")).is_err());
+    assert!(client.result("j-404").is_err());
+    assert!(client.cancel("j-404").is_err());
+    // The same connection still works after every refusal.
+    client.ping().expect("connection survives refusals");
+
+    // Truncated line (no newline) followed by a disconnect: the server
+    // must not crash, and new connections must still be served.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(&server.addr).expect("connect raw");
+        raw.write_all(br#"{"cmd":"pi"#).expect("partial write");
+    } // dropped without a newline
+    server.client().ping().expect("server survives truncation");
+
+    // Oversized line: refused and the connection closed.
+    {
+        let mut big = String::with_capacity(70 * 1024);
+        big.push_str(r#"{"cmd":"ping","pad":""#);
+        while big.len() < 66 * 1024 {
+            big.push('x');
+        }
+        big.push_str("\"}");
+        let mut abuser = server.client();
+        let response = abuser.round_trip(&big).expect("oversize refusal");
+        assert!(response.contains("exceeds"), "got {response}");
+        assert!(
+            abuser.ping().is_err(),
+            "oversized-line connection must be closed"
+        );
+    }
+    server.client().ping().expect("server survives oversize");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn cancellation_is_idempotent_and_queued_jobs_die_quickly() {
+    let store_dir = temp_dir("cancel");
+    // One worker: the second job is guaranteed to queue behind the
+    // first, so cancelling it exercises the queued-cancel path.
+    let server = RunningServer::start(&store_dir, 1);
+    let mut client = server.client();
+
+    let mut long = small_spec();
+    long.scale = 0.4; // long enough that the next submission stays queued
+    let running = client.submit(&long).expect("submit running");
+    let mut bigger = small_spec();
+    bigger.offset = 1; // different design → different store → must queue
+    let queued = client.submit(&bigger).expect("submit queued");
+
+    let was = client.cancel(&queued).expect("cancel queued");
+    assert!(was == "queued" || was == "warming", "got {was}");
+    // Double-cancel: still answered, terminal state reported.
+    let again = client.cancel(&queued).expect("double cancel");
+    assert!(
+        again == "cancelled" || again == "queued" || again == "warming",
+        "got {again}"
+    );
+    assert_eq!(client.wait(&queued).expect("wait"), "cancelled");
+    assert!(
+        client.result(&queued).is_err(),
+        "a cancelled job has no result"
+    );
+
+    // The uncancelled job is unaffected.
+    assert_eq!(client.wait(&running).expect("wait"), "done");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn watch_streams_progress_to_a_terminal_event() {
+    let store_dir = temp_dir("watch");
+    let server = RunningServer::start(&store_dir, 2);
+    let mut client = server.client();
+    let id = client.submit(&small_spec()).expect("submit");
+
+    let mut watcher = server.client();
+    let mut events = 0u32;
+    let end = watcher
+        .watch(&id, |event| {
+            events += 1;
+            assert!(event.get("event").is_some());
+            assert_eq!(event.get("job").and_then(Json::as_str), Some(id.as_str()));
+        })
+        .expect("watch to completion");
+    assert!(events >= 1, "at least the terminal event streams");
+    assert_eq!(end.get("state").and_then(Json::as_str), Some("done"));
+
+    // The watching connection is still usable afterwards.
+    watcher.ping().expect("watcher connection survives");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_reports_abandoned_jobs() {
+    let store_dir = temp_dir("drain");
+    let server = RunningServer::start(&store_dir, 1);
+    let mut client = server.client();
+
+    // Fill the single worker with a long job, then queue distinct
+    // designs behind it: shutdown must arrive while it is in flight.
+    let mut specs = Vec::new();
+    for offset in 0..4 {
+        let mut spec = small_spec();
+        spec.offset = offset;
+        if offset == 0 {
+            spec.scale = 2.0; // long enough to still be running
+        }
+        specs.push(spec);
+    }
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|s| client.submit(s).expect("submit"))
+        .collect();
+
+    client.shutdown().expect("shutdown accepted");
+    let summary = server
+        .handle
+        .join()
+        .expect("server thread")
+        .expect("drained");
+    assert!(
+        !summary.abandoned.is_empty(),
+        "queued jobs behind a busy worker are abandoned"
+    );
+    assert!(
+        summary.abandoned.len() < ids.len(),
+        "the in-flight job is drained, not abandoned"
+    );
+    for id in &summary.abandoned {
+        assert!(ids.contains(id), "abandoned id {id} was submitted");
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
