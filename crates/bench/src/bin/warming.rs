@@ -10,10 +10,7 @@
 //!   TLBs, and branch predictor updated per instruction),
 //! * **warming+pt** — the same with the batched L2 pre-touch pass
 //!   enabled (off by default; measured in the same process so the two
-//!   warming figures are directly comparable). Setting
-//!   `SMARTS_PRETOUCH_SORTED=1` measures the set-index-sorted pre-touch
-//!   order instead of record order (an A/B knob for the host-locality
-//!   experiment recorded in EXPERIMENTS.md),
+//!   warming figures are directly comparable),
 //! * the implied S_FW ratio (warming rate / functional rate) and the
 //!   warming overhead in ns/instruction.
 //!
@@ -102,12 +99,10 @@ fn main() {
             let mut warm = WarmState::new(&cfg);
             engine.fast_forward_warming(instructions, &mut warm)
         });
-        let pretouch_sorted = std::env::var_os("SMARTS_PRETOUCH_SORTED").is_some();
         let warming_pretouch = time(|| {
             let mut engine = FunctionalEngine::new(loaded.clone());
             let mut warm = WarmState::new(&cfg);
             warm.set_batch_pretouch(true);
-            warm.set_batch_pretouch_sorted(pretouch_sorted);
             engine.fast_forward_warming(instructions, &mut warm)
         });
 
@@ -157,6 +152,12 @@ fn write_json(rows: &[Row]) -> std::io::Result<()> {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(f, "    {{")?;
         writeln!(f, "      \"benchmark\": \"{}\",", row.name)?;
+        // Rows are keyed (benchmark, warm_jobs): this bin measures the
+        // single-producer pass only, so every row is warm_jobs = 1;
+        // sharded rows live in results/bench_warm_shard.json with their
+        // own guard. The field keeps the two guard populations from
+        // silently comparing across modes.
+        writeln!(f, "      \"warm_jobs\": 1,")?;
         writeln!(f, "      \"instructions\": {},", row.instructions)?;
         writeln!(
             f,

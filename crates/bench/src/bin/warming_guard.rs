@@ -22,6 +22,7 @@ const TOLERANCE: f64 = 0.20;
 
 struct Reference {
     benchmark: String,
+    warm_jobs: u64,
     instructions: u64,
     warming_mips: f64,
 }
@@ -35,6 +36,13 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("cannot parse reference {path}: {e}")));
     if references.is_empty() {
         fail(&format!("reference {path} lists no probes"));
+    }
+    // This guard re-measures the single-producer pass; sharded rows
+    // (warm_jobs > 1) are guarded by `warm_shard_guard` against their own
+    // baseline, never compared against serial references here.
+    references.retain(|r| r.warm_jobs == 1);
+    if references.is_empty() {
+        fail(&format!("reference {path} lists no warm_jobs=1 probes"));
     }
     if args.quick {
         references.truncate(1);
@@ -103,18 +111,27 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1)
 }
 
-/// Extracts `(benchmark, instructions, warming_mips)` triples from the
-/// reference file. Hand-rolled (the workspace builds offline, no serde):
-/// scans for the three keys in order within each result object, which is
-/// exactly the shape the `warming` binary writes.
+/// Extracts `(benchmark, warm_jobs, instructions, warming_mips)` rows
+/// from the reference file. Hand-rolled (the workspace builds offline,
+/// no serde): scans for the keys in order within each result object,
+/// which is exactly the shape the `warming` binary writes. `warm_jobs`
+/// defaults to 1 for rows written before the field existed.
 fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
     let mut references = Vec::new();
     let mut benchmark: Option<String> = None;
+    let mut warm_jobs: Option<u64> = None;
     let mut instructions: Option<u64> = None;
     for line in text.lines() {
         let line = line.trim();
         if let Some(value) = key_value(line, "benchmark") {
             benchmark = Some(value.trim_matches('"').to_string());
+            warm_jobs = None;
+        } else if let Some(value) = key_value(line, "warm_jobs") {
+            warm_jobs = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("bad warm_jobs value `{value}`"))?,
+            );
         } else if let Some(value) = key_value(line, "instructions") {
             instructions = Some(
                 value
@@ -136,6 +153,7 @@ fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
             }
             references.push(Reference {
                 benchmark,
+                warm_jobs: warm_jobs.take().unwrap_or(1),
                 instructions,
                 warming_mips: mips,
             });

@@ -27,15 +27,30 @@ use smarts_uarch::{MachineConfig, WarmState};
 pub(crate) const PAGE_WORDS: usize = Memory::PAGE_BYTES / 8;
 
 /// A checkpoint flattened to delta-friendly word streams.
-#[derive(Debug, Clone)]
-pub(crate) struct FlatCheckpoint {
+///
+/// This is the store's canonical unit of comparison: every structure's
+/// `save_state` emits a *canonical* serialization (see
+/// `smarts_uarch::Cache::save_state`), so two checkpoints whose states
+/// behave identically flatten to equal word streams regardless of the
+/// history that built them. Sharded-warm stitching compares flats with
+/// `==` to detect re-warm convergence, and equal flats delta-encode to
+/// identical record bytes — the bit-identity argument of DESIGN.md
+/// §3.6e rests on this equivalence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatCheckpoint {
     /// Unit start, CPU state, warm state — geometry-determined length.
-    pub fixed: Vec<u64>,
+    pub(crate) fixed: Vec<u64>,
     /// `(page_index, contents)` sorted ascending by index.
-    pub pages: Vec<(u64, Vec<u64>)>,
+    pub(crate) pages: Vec<(u64, Vec<u64>)>,
 }
 
 impl FlatCheckpoint {
+    /// The instruction offset at which this checkpoint's sampling unit
+    /// starts.
+    pub fn unit_start(&self) -> u64 {
+        self.fixed.first().copied().unwrap_or(0)
+    }
+
     /// Flattens a checkpoint into word streams.
     pub fn flatten(checkpoint: &UnitCheckpoint) -> Self {
         let mut fixed = vec![checkpoint.unit_start()];

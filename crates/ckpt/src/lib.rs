@@ -84,6 +84,7 @@ mod flat;
 mod store;
 
 pub use error::CkptError;
+pub use flat::FlatCheckpoint;
 pub use store::{
     check_fingerprint, read_store_meta, warm_fingerprint, CkptReader, CkptWriter, StoreMeta,
     WriteSummary, FORMAT_VERSION, MAGIC,

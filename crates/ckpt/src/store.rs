@@ -351,7 +351,20 @@ impl CkptWriter {
     ///
     /// Returns [`CkptError::Io`] on a write failure.
     pub fn append(&mut self, checkpoint: &UnitCheckpoint) -> Result<(), CkptError> {
-        let flat = FlatCheckpoint::flatten(checkpoint);
+        self.append_flat(FlatCheckpoint::flatten(checkpoint))
+    }
+
+    /// Appends one already-flattened checkpoint (see [`CkptWriter::append`]).
+    /// This is the splice seam for sharded warming: a merge pass streams
+    /// flats decoded from per-shard segment stores straight into the
+    /// final store, and because [`crate::flat::encode_record`] is a pure
+    /// function of `(current flat, previous flat)`, re-encoding a decoded
+    /// chain reproduces the single-producer store byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] when the write fails.
+    pub fn append_flat(&mut self, flat: FlatCheckpoint) -> Result<(), CkptError> {
         let payload = encode_record(&flat, self.prev.as_ref());
         let crc = crc32(&payload);
         self.file
@@ -472,6 +485,29 @@ impl CkptReader {
     /// yielded by earlier calls.
     #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
     pub fn next_checkpoint(&mut self) -> Option<Result<UnitCheckpoint, CkptError>> {
+        let flat = match self.next_flat()? {
+            Ok(flat) => flat,
+            Err(e) => return Some(Err(e)),
+        };
+        match flat.rebuild(&self.cfg) {
+            Ok(checkpoint) => Some(Ok(checkpoint)),
+            Err(detail) => {
+                self.done = true;
+                Some(Err(CkptError::Corrupted {
+                    // `read_one` already counted this record.
+                    record: self.record - 1,
+                    detail,
+                }))
+            }
+        }
+    }
+
+    /// Decodes the next record to its flattened form without rebuilding
+    /// live state — the sharded-warm stitch path, which compares and
+    /// splices flats directly. Same streaming/error contract as
+    /// [`CkptReader::next_checkpoint`].
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next_flat(&mut self) -> Option<Result<FlatCheckpoint, CkptError>> {
         if self.done {
             return None;
         }
@@ -483,7 +519,7 @@ impl CkptReader {
         result
     }
 
-    fn read_one(&mut self) -> Option<Result<UnitCheckpoint, CkptError>> {
+    fn read_one(&mut self) -> Option<Result<FlatCheckpoint, CkptError>> {
         let mut prefix = [0u8; 8];
         match self.read_exact_or_eof(&mut prefix) {
             Ok(false) => return None, // clean end of store
@@ -526,18 +562,9 @@ impl CkptReader {
                 }))
             }
         };
-        let checkpoint = match flat.rebuild(&self.cfg) {
-            Ok(checkpoint) => checkpoint,
-            Err(detail) => {
-                return Some(Err(CkptError::Corrupted {
-                    record: self.record,
-                    detail,
-                }))
-            }
-        };
-        self.prev = Some(flat);
+        self.prev = Some(flat.clone());
         self.record += 1;
-        Some(Ok(checkpoint))
+        Some(Ok(flat))
     }
 }
 

@@ -50,6 +50,9 @@ pub struct Options {
     pub jobs: usize,
     /// Parallel decomposition when `jobs > 1`.
     pub parallel_mode: ParallelMode,
+    /// Warming shards (1 = serial warming). More than one implies
+    /// sharded-warm mode unless the mode was set to sharded (leapfrog).
+    pub warm_jobs: usize,
     /// Bounded channel depth (checkpoints) for pipeline mode.
     pub pipeline_depth: usize,
     /// Persist unit checkpoints to this store while sampling.
@@ -89,6 +92,7 @@ impl Default for Options {
             confidence: 0.9973,
             jobs: 1,
             parallel_mode: ParallelMode::Checkpoint,
+            warm_jobs: 1,
             pipeline_depth: smarts_exec::DEFAULT_PIPELINE_DEPTH,
             save_checkpoints: None,
             from_checkpoints: None,
@@ -138,9 +142,13 @@ pub fn usage() -> String {
      \x20 --jobs <count>           worker threads for sample/compare [1]\n\
      \x20 --parallel-mode <mode>   checkpoint (bit-identical replay),\n\
      \x20                          pipeline (bit-identical, warming overlaps replay,\n\
-     \x20                          bounded memory), or sharded (leapfrog, small\n\
-     \x20                          residual bias) [checkpoint]\n\
+     \x20                          bounded memory), sharded (leapfrog, small\n\
+     \x20                          residual bias), or sharded-warm (bit-identical,\n\
+     \x20                          warming itself split across --warm-jobs shards)\n\
+     \x20                          [checkpoint]\n\
      \x20 --pipeline-depth <n>     pipeline-mode channel depth, in checkpoints [4]\n\
+     \x20 --warm-jobs <count>      warming shards; > 1 implies sharded-warm mode\n\
+     \x20                          (ignored by sharded leapfrog mode)  [1]\n\
      \x20 --save-checkpoints <p>   persist unit checkpoints to a store at <p> while\n\
      \x20                          sampling (implies pipeline mode; not with --epsilon)\n\
      \x20 --from-checkpoints <p>   replay a saved store, skipping functional warming;\n\
@@ -237,8 +245,16 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--parallel-mode" => {
                 options.parallel_mode = value("--parallel-mode")?.parse().map_err(|_| {
-                    "--parallel-mode takes checkpoint, pipeline, or sharded".to_string()
+                    "--parallel-mode takes checkpoint, pipeline, sharded, or sharded-warm"
+                        .to_string()
                 })?;
+            }
+            "--warm-jobs" => {
+                options.warm_jobs = value("--warm-jobs")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--warm-jobs takes a shard count of at least 1".to_string())?;
             }
             "--pipeline-depth" => {
                 options.pipeline_depth = value("--pipeline-depth")?
@@ -325,11 +341,28 @@ fn cmd_list() {
     }
 }
 
+/// The parallel mode the options actually ask for: `--warm-jobs` above
+/// one upgrades the bit-identical modes (checkpoint, pipeline) to
+/// sharded-warm, while an explicit leapfrog request stays leapfrog.
+fn effective_mode(options: &Options) -> ParallelMode {
+    if options.warm_jobs > 1
+        && matches!(
+            options.parallel_mode,
+            ParallelMode::Checkpoint | ParallelMode::Pipeline
+        )
+    {
+        ParallelMode::ShardedWarm
+    } else {
+        options.parallel_mode
+    }
+}
+
 fn executor_for(options: &Options) -> Result<Executor, String> {
     Ok(Executor::new(options.jobs)
         .map_err(|e| e.to_string())?
-        .with_mode(options.parallel_mode)
-        .with_pipeline_depth(options.pipeline_depth))
+        .with_mode(effective_mode(options))
+        .with_pipeline_depth(options.pipeline_depth)
+        .with_warm_jobs(options.warm_jobs))
 }
 
 fn cmd_sample(options: &Options) -> Result<(), String> {
@@ -370,7 +403,10 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
     // producer/consumer overlap is the point, not the worker count.
     // Saving checkpoints is pipeline-shaped by construction.
     let use_executor = options.jobs > 1
-        || options.parallel_mode == ParallelMode::Pipeline
+        || matches!(
+            effective_mode(options),
+            ParallelMode::Pipeline | ParallelMode::ShardedWarm
+        )
         || options.save_checkpoints.is_some();
     let report = if let Some(path) = &options.save_checkpoints {
         let executor = executor_for(options)?;
@@ -533,6 +569,17 @@ fn print_sample_report(
                 pr.mode, pr.jobs, pr.build_wall, pr.parallel_wall
             ),
         }
+        if let Some(ss) = &pr.shard {
+            println!(
+                "warm shards   {}: {:.2?} parallel warm + {:.2?} stitch \
+                 ({} units re-warmed, {} instructions)",
+                ss.warm_jobs,
+                ss.warm_wall,
+                ss.stitch_wall,
+                ss.rewarm_units(),
+                ss.rewarm_instructions
+            );
+        }
         for w in &pr.workers {
             let i = &w.instructions;
             println!(
@@ -565,12 +612,13 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
     let mut params = sampling_params(options, base.config(), &bench)?;
     params.detailed_warming = 0; // per-machine recommendation
     let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
-    let use_executor = options.jobs > 1 || options.parallel_mode == ParallelMode::Pipeline;
+    let use_executor = options.jobs > 1
+        || matches!(
+            effective_mode(options),
+            ParallelMode::Pipeline | ParallelMode::ShardedWarm
+        );
     let cmp = if use_executor {
-        let executor = Executor::new(options.jobs)
-            .map_err(|e| e.to_string())?
-            .with_mode(options.parallel_mode)
-            .with_pipeline_depth(options.pipeline_depth);
+        let executor = executor_for(options)?;
         compare_machines_parallel(&executor, &base, &alt, &bench, &params)
             .map_err(|e| e.to_string())?
     } else {
@@ -599,7 +647,8 @@ fn cmd_compare(options: &Options) -> Result<(), String> {
     if use_executor {
         println!(
             "parallel      {} mode, {} workers per machine",
-            options.parallel_mode, options.jobs
+            effective_mode(options),
+            options.jobs
         );
     }
     Ok(())
@@ -697,6 +746,7 @@ fn job_spec(options: &Options) -> Result<JobSpec, String> {
         offset: options.offset,
         jobs: options.jobs,
         depth: options.pipeline_depth,
+        warm_jobs: options.warm_jobs,
     })
 }
 
@@ -940,6 +990,8 @@ mod tests {
         assert!(parse_options(&strings(&["--jobs", "0"])).is_err());
         assert!(parse_options(&strings(&["--parallel-mode", "magic"])).is_err());
         assert!(parse_options(&strings(&["--pipeline-depth", "0"])).is_err());
+        assert!(parse_options(&strings(&["--warm-jobs", "0"])).is_err());
+        assert!(parse_options(&strings(&["--warm-jobs", "x"])).is_err());
     }
 
     #[test]
@@ -961,6 +1013,38 @@ mod tests {
         .unwrap();
         assert_eq!(piped.parallel_mode, ParallelMode::Pipeline);
         assert_eq!(piped.pipeline_depth, 2);
+    }
+
+    #[test]
+    fn warm_jobs_implies_sharded_warm_mode() {
+        let implied = parse_options(&strings(&["--warm-jobs", "4"])).unwrap();
+        assert_eq!(implied.warm_jobs, 4);
+        assert_eq!(implied.parallel_mode, ParallelMode::Checkpoint);
+        assert_eq!(effective_mode(&implied), ParallelMode::ShardedWarm);
+
+        let piped = parse_options(&strings(&[
+            "--parallel-mode",
+            "pipeline",
+            "--warm-jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(effective_mode(&piped), ParallelMode::ShardedWarm);
+
+        // An explicit leapfrog request is not silently upgraded …
+        let leapfrog = parse_options(&strings(&[
+            "--parallel-mode",
+            "sharded",
+            "--warm-jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(effective_mode(&leapfrog), ParallelMode::Sharded);
+
+        // … and explicit sharded-warm works without --warm-jobs > 1.
+        let explicit = parse_options(&strings(&["--parallel-mode", "sharded-warm"])).unwrap();
+        assert_eq!(effective_mode(&explicit), ParallelMode::ShardedWarm);
+        assert_eq!(explicit.warm_jobs, 1);
     }
 
     #[test]
@@ -1031,6 +1115,22 @@ mod tests {
             "pipeline",
             "--pipeline-depth",
             "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sample_runs_sharded_warm_end_to_end() {
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--warm-jobs",
+            "3",
         ]))
         .unwrap();
     }

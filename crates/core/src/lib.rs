@@ -56,7 +56,10 @@ mod reference;
 mod sampler;
 mod speedup;
 
-pub use checkpoint::{CheckpointLibrary, StreamSummary, UnitCheckpoint, UnitReplay};
+pub use checkpoint::{
+    stream_checkpoints_range, CheckpointLibrary, RangeSummary, StreamSummary, UnitCheckpoint,
+    UnitReplay,
+};
 pub use compare::{compare_machines, PairedComparison};
 pub use engine::{EngineSnapshot, FunctionalEngine};
 pub use error::SmartsError;

@@ -39,6 +39,16 @@ pub enum ParallelMode {
     /// O(n units), and the merged report stays bit-identical to
     /// sequential replay.
     Pipeline,
+    /// Sharded warming with boundary re-warm stitching: the warming pass
+    /// itself — the serial bottleneck every other mode keeps — is split
+    /// into `warm_jobs` leapfrog shards writing private delta-encoded
+    /// segments, and a serial stitch pass re-warms each shard's leading
+    /// units from its predecessor's exact state until the canonical warm
+    /// states converge, then splices the rest verbatim. The merged
+    /// report (and any saved store) stays bit-identical to the serial
+    /// pipeline; warming wall tends to `T_warm / warm_jobs` plus the
+    /// measured re-warm overhead. See [`crate::ShardWarmStats`].
+    ShardedWarm,
 }
 
 impl std::fmt::Display for ParallelMode {
@@ -47,6 +57,7 @@ impl std::fmt::Display for ParallelMode {
             ParallelMode::Checkpoint => "checkpoint",
             ParallelMode::Sharded => "sharded",
             ParallelMode::Pipeline => "pipeline",
+            ParallelMode::ShardedWarm => "sharded-warm",
         })
     }
 }
@@ -59,8 +70,9 @@ impl std::str::FromStr for ParallelMode {
             "checkpoint" => Ok(ParallelMode::Checkpoint),
             "sharded" => Ok(ParallelMode::Sharded),
             "pipeline" => Ok(ParallelMode::Pipeline),
+            "sharded-warm" => Ok(ParallelMode::ShardedWarm),
             other => Err(format!(
-                "unknown parallel mode `{other}` (checkpoint|sharded|pipeline)"
+                "unknown parallel mode `{other}` (checkpoint|sharded|pipeline|sharded-warm)"
             )),
         }
     }
@@ -112,7 +124,11 @@ pub struct ParallelReport {
     /// whole overlapped run.
     pub parallel_wall: Duration,
     /// Pipeline-mode accounting; `None` for the other modes.
+    /// [`ParallelMode::ShardedWarm`] runs are pipeline-shaped, so they
+    /// carry this too.
     pub pipeline: Option<PipelineStats>,
+    /// Sharded-warm accounting; `None` for the other modes.
+    pub shard: Option<crate::ShardWarmStats>,
 }
 
 impl ParallelReport {
@@ -211,6 +227,7 @@ pub struct Executor {
     mode: ParallelMode,
     shard_warmup: u64,
     pipeline_depth: usize,
+    warm_jobs: usize,
     cancel: CancelToken,
     progress: Option<ProgressFn>,
 }
@@ -222,6 +239,7 @@ impl std::fmt::Debug for Executor {
             .field("mode", &self.mode)
             .field("shard_warmup", &self.shard_warmup)
             .field("pipeline_depth", &self.pipeline_depth)
+            .field("warm_jobs", &self.warm_jobs)
             .field("cancelled", &self.cancel.is_cancelled())
             .field("progress", &self.progress.as_ref().map(|_| "<observer>"))
             .finish()
@@ -255,6 +273,7 @@ impl Executor {
             mode: ParallelMode::Checkpoint,
             shard_warmup: DEFAULT_SHARD_WARMUP,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            warm_jobs: 1,
             cancel: CancelToken::new(),
             progress: None,
         })
@@ -312,6 +331,14 @@ impl Executor {
         self
     }
 
+    /// Sets the sharded-warm worker count (bounded to at least one; it
+    /// is further clamped to the estimated unit count at run time).
+    /// Only [`ParallelMode::ShardedWarm`] consults it.
+    pub fn with_warm_jobs(mut self, warm_jobs: usize) -> Self {
+        self.warm_jobs = warm_jobs.max(1);
+        self
+    }
+
     /// Worker-pool size.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -332,6 +359,11 @@ impl Executor {
         self.pipeline_depth
     }
 
+    /// Sharded-warm worker count.
+    pub fn warm_jobs(&self) -> usize {
+        self.warm_jobs
+    }
+
     /// Runs one parallel sampling simulation in the configured mode.
     ///
     /// # Errors
@@ -348,6 +380,9 @@ impl Executor {
             ParallelMode::Checkpoint => self.sample_checkpoint(sim, bench, params),
             ParallelMode::Sharded => shard::sample_sharded(self, sim, bench, params),
             ParallelMode::Pipeline => pipeline::sample_pipeline(self, sim, bench, params),
+            ParallelMode::ShardedWarm => {
+                crate::warm_shard::sample_sharded_warm(self, sim, bench, params)
+            }
         }
     }
 
@@ -452,6 +487,7 @@ impl Executor {
             build_wall: library.build_wall(),
             parallel_wall,
             pipeline: None,
+            shard: None,
         })
     }
 }
@@ -511,6 +547,11 @@ mod tests {
             Ok(ParallelMode::Checkpoint)
         );
         assert_eq!("sharded".parse::<ParallelMode>(), Ok(ParallelMode::Sharded));
+        assert_eq!(
+            "sharded-warm".parse::<ParallelMode>(),
+            Ok(ParallelMode::ShardedWarm)
+        );
+        assert_eq!(ParallelMode::ShardedWarm.to_string(), "sharded-warm");
         assert!("turbo".parse::<ParallelMode>().is_err());
     }
 

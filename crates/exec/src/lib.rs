@@ -20,6 +20,13 @@
 //!   into a bounded channel as its unit boundary is reached, so detailed
 //!   replay overlaps warming and peak checkpoint residency stays bounded
 //!   by the channel depth ([`PipelineStats`]) instead of O(n units),
+//! * **sharded warming with re-warm stitching**
+//!   ([`ParallelMode::ShardedWarm`]) — the warming pass itself splits
+//!   into `warm_jobs` leapfrog shards writing delta-encoded segments,
+//!   and a stitch pass re-warms each shard's leading units from its
+//!   predecessor's exact state until the canonical warm states converge
+//!   ([`ShardWarmStats`]), keeping reports and saved stores
+//!   bit-identical to the serial pipeline,
 //! * a **deterministic merge layer** — per-unit results are reduced in
 //!   stream order through [`smarts_core::SampleReport::from_units`], so a
 //!   checkpoint-mode run is *bit-identical* to the sequential
@@ -63,6 +70,7 @@ mod persist;
 mod pipeline;
 mod pool;
 mod shard;
+mod warm_shard;
 
 pub use bias::{residual_bias, BiasReport};
 pub use cancel::{CancelToken, PipelineProgress, ProgressFn};
@@ -73,3 +81,4 @@ pub use executor::{
     DEFAULT_PIPELINE_DEPTH, DEFAULT_SHARD_WARMUP,
 };
 pub use persist::{replay_store, sample_pipeline_saving, SavedSample, StoreReplay};
+pub use warm_shard::ShardWarmStats;

@@ -79,6 +79,13 @@ pub fn sample_pipeline_saving(
     params: &SamplingParams,
     path: impl AsRef<Path>,
 ) -> Result<SavedSample, ExecError> {
+    if executor.mode() == crate::ParallelMode::ShardedWarm {
+        // Sharded warming splices per-shard segments into a final store
+        // byte-identical to the one this serial producer writes.
+        return crate::warm_shard::sample_sharded_warm_saving(
+            executor, sim, bench, scale, params, path,
+        );
+    }
     let jobs = executor.jobs();
     let depth = executor.pipeline_depth();
     let meta = StoreMeta {
@@ -127,6 +134,8 @@ pub fn sample_pipeline_saving(
         depth,
         summary.build_wall,
         summary.emitted,
+        crate::ParallelMode::Pipeline,
+        None,
     )?;
     Ok(SavedSample { report, write })
 }
@@ -191,7 +200,16 @@ pub fn replay_store(
             return Err(ExecError::Ckpt(e));
         }
     }
-    let report = finish_pipeline_report(run, &params, jobs, depth, read_wall, records)?;
+    let report = finish_pipeline_report(
+        run,
+        &params,
+        jobs,
+        depth,
+        read_wall,
+        records,
+        crate::ParallelMode::Pipeline,
+        None,
+    )?;
     Ok(StoreReplay {
         report,
         meta,

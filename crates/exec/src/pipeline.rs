@@ -377,6 +377,7 @@ where
 /// Merges one [`PipelineRun`] into the final [`ParallelReport`] — the
 /// deterministic stream-order reduction shared by every pipeline-shaped
 /// mode.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_pipeline_report<S>(
     run: PipelineRun<S>,
     params: &SamplingParams,
@@ -384,6 +385,8 @@ pub(crate) fn finish_pipeline_report<S>(
     depth: usize,
     producer_wall: Duration,
     emitted: u64,
+    mode: ParallelMode,
+    shard: Option<crate::ShardWarmStats>,
 ) -> Result<ParallelReport, ExecError> {
     let (units, instructions) = merge_outcomes(run.outcomes);
     if units.is_empty() {
@@ -398,7 +401,7 @@ pub(crate) fn finish_pipeline_report<S>(
     );
     Ok(ParallelReport {
         report,
-        mode: ParallelMode::Pipeline,
+        mode,
         jobs,
         workers: run.workers,
         build_wall: Duration::ZERO,
@@ -410,6 +413,7 @@ pub(crate) fn finish_pipeline_report<S>(
             peak_resident_checkpoints: run.peak_resident_checkpoints,
             peak_resident_bytes: run.peak_resident_bytes,
         }),
+        shard,
     })
 }
 
@@ -445,6 +449,8 @@ pub(crate) fn sample_pipeline(
         depth,
         summary.build_wall,
         summary.emitted,
+        ParallelMode::Pipeline,
+        None,
     )
 }
 

@@ -188,6 +188,7 @@ pub(crate) fn sample_sharded(
         build_wall: Duration::ZERO,
         parallel_wall,
         pipeline: None,
+        shard: None,
     })
 }
 

@@ -41,6 +41,9 @@ pub struct JobSpec {
     pub jobs: usize,
     /// Pipeline channel depth, in checkpoints.
     pub depth: usize,
+    /// Warming shards for a cold run (> 1 selects sharded-warm mode;
+    /// the spliced store stays byte-identical to a serial warm).
+    pub warm_jobs: usize,
 }
 
 impl Default for JobSpec {
@@ -56,6 +59,7 @@ impl Default for JobSpec {
             offset: 0,
             jobs: 1,
             depth: 4,
+            warm_jobs: 1,
         }
     }
 }
@@ -80,6 +84,7 @@ impl JobSpec {
             ("offset", Json::U64(self.offset)),
             ("jobs", Json::U64(self.jobs as u64)),
             ("depth", Json::U64(self.depth as u64)),
+            ("warm_jobs", Json::U64(self.warm_jobs as u64)),
         ])
     }
 
@@ -142,6 +147,12 @@ impl JobSpec {
                 v.as_u64()
                     .filter(|&d| (1..=1024).contains(&d))
                     .ok_or("`depth` takes a channel depth in 1..=1024")? as usize;
+        }
+        if let Some(v) = value.get("warm_jobs") {
+            spec.warm_jobs =
+                v.as_u64()
+                    .filter(|&j| (1..=256).contains(&j))
+                    .ok_or("`warm_jobs` takes a shard count in 1..=256")? as usize;
         }
         Ok(spec)
     }
@@ -239,6 +250,7 @@ mod tests {
             offset: 2,
             jobs: 3,
             depth: 2,
+            warm_jobs: 4,
         };
         let mut line = String::from(r#"{"cmd":"submit","#);
         line.push_str(&spec.to_json().to_line()[1..]);
@@ -259,6 +271,7 @@ mod tests {
                 assert_eq!(spec.warming_len, None);
                 assert!(spec.functional_warming);
                 assert_eq!(spec.jobs, 1);
+                assert_eq!(spec.warm_jobs, 1);
             }
             other => panic!("unexpected request {other:?}"),
         }
@@ -300,6 +313,8 @@ mod tests {
         assert!(parse_request(r#"{"cmd":"submit","bench":"x","config":12}"#).is_err());
         assert!(parse_request(r#"{"cmd":"submit","bench":"x","scale":-1}"#).is_err());
         assert!(parse_request(r#"{"cmd":"submit","bench":"x","jobs":0}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","bench":"x","warm_jobs":0}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","bench":"x","warm_jobs":300}"#).is_err());
     }
 
     #[test]

@@ -113,10 +113,18 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
         Err(message) => return JobEnd::Failed(message),
     };
 
+    // warm_jobs > 1 shards a cold run's warming pass; the spliced store
+    // and report stay byte-identical, so cache/store paths are unchanged.
+    let mode = if spec.warm_jobs > 1 {
+        ParallelMode::ShardedWarm
+    } else {
+        ParallelMode::Pipeline
+    };
     let executor = match Executor::new(spec.jobs) {
         Ok(e) => e
-            .with_mode(ParallelMode::Pipeline)
+            .with_mode(mode)
             .with_pipeline_depth(spec.depth)
+            .with_warm_jobs(spec.warm_jobs)
             .with_cancel(cancel.clone()),
         Err(e) => {
             shared.stores.abort(&ticket);

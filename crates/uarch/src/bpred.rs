@@ -184,15 +184,31 @@ impl Btb {
 
     /// Appends the BTB's dynamic state as fixed-width words (geometry is
     /// reconstructed from the config; the tag mirror is rebuilt on load).
+    /// The words are *canonical* exactly as for
+    /// [`crate::Cache::save_state`]: valid entries per set emitted
+    /// most-recent-first with recency-rank `lru`, all-zero words for
+    /// empty ways, constant MRU hints and tick — so behaviourally equal
+    /// BTBs serialize identically.
     fn save_state(&self, out: &mut Vec<u64>) {
-        for entry in &self.entries {
-            out.push(entry.tag);
-            out.push(entry.target);
-            out.push(entry.lru);
-            out.push(entry.valid as u64);
+        let mut order: Vec<usize> = Vec::with_capacity(self.assoc);
+        for set in 0..self.sets as usize {
+            let base = set * self.assoc;
+            order.clear();
+            order.extend((base..base + self.assoc).filter(|&i| self.entries[i].valid));
+            order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].lru));
+            let present = order.len() as u64;
+            for (rank, &i) in order.iter().enumerate() {
+                let entry = &self.entries[i];
+                out.push(entry.tag);
+                out.push(entry.target);
+                out.push(present - rank as u64);
+                out.push(1);
+            }
+            let absent = self.assoc - order.len();
+            out.resize(out.len() + 4 * absent, 0);
         }
-        out.extend(self.mru.iter().map(|&m| m as u64));
-        out.push(self.tick);
+        out.resize(out.len() + self.mru.len(), 0);
+        out.push(self.assoc as u64);
     }
 
     /// Restores state written by [`Btb::save_state`]; returns the words
@@ -346,18 +362,41 @@ impl BranchPredictor {
     /// store. One word per 2-bit counter is wasteful as raw storage, but
     /// the store delta-encodes against the previous unit and run-length
     /// compresses, so unchanged counters cost ~nothing on disk.
+    /// The emitted words are *canonical* (see
+    /// [`crate::Cache::save_state`]): the direction tables, history, and
+    /// BTB content are behaviour-determined already; the RAS is
+    /// rewritten as if its observable frames (the values successive pops
+    /// would return, oldest first) were pushed into a fresh stack, so
+    /// stale slots beyond the live window and the absolute rotation of
+    /// the circular buffer — both unobservable — never reach the store;
+    /// the statistics counters are written as zeros.
     pub fn save_state(&self, out: &mut Vec<u64>) {
         out.extend(self.bimodal.iter().map(|&c| c as u64));
         out.extend(self.gshare.iter().map(|&c| c as u64));
         out.extend(self.meta.iter().map(|&c| c as u64));
         out.push(self.history);
         self.btb.save_state(out);
-        out.extend_from_slice(&self.ras);
-        out.push(self.ras_top as u64);
+        // Gather the observable frames newest-first, then replay them
+        // oldest-first through the push rule into a fresh buffer.
+        let len = self.ras.len();
+        let mut frames = Vec::with_capacity(self.ras_depth);
+        let mut idx = self.ras_top;
+        for _ in 0..self.ras_depth {
+            frames.push(self.ras[idx]);
+            idx = (idx + len - 1) % len;
+        }
+        let mut canonical = vec![0u64; len];
+        let mut top = 0usize;
+        for &frame in frames.iter().rev() {
+            top = (top + 1) % len;
+            canonical[top] = frame;
+        }
+        out.extend_from_slice(&canonical);
+        out.push(top as u64);
         out.push(self.ras_depth as u64);
-        out.push(self.lookups);
-        out.push(self.cond_lookups);
-        out.push(self.cond_mispredicts);
+        out.push(0);
+        out.push(0);
+        out.push(0);
     }
 
     /// Restores state written by [`BranchPredictor::save_state`] into a

@@ -312,16 +312,44 @@ impl Cache {
     /// and its derived shifts) is not written — the loader reconstructs
     /// a cache from the same config and restores only dynamic state, so
     /// the word count is a pure function of the geometry.
+    ///
+    /// The emitted words are *canonical*: within each set, valid lines
+    /// are written most-recent-first with `lru` rewritten to the recency
+    /// rank (most recent = number of resident lines, least recent = 1)
+    /// and the remaining ways as all-zero words; the MRU hints, the
+    /// global tick, and the statistics counters are written as the
+    /// constants (0, associativity, 0, 0). Two caches that behave
+    /// identically under any future access stream therefore serialize
+    /// identically, no matter the absolute access history that built
+    /// them — the property sharded-warm fixpoint detection relies on
+    /// (DESIGN.md §3.6e). The form is behaviour-preserving: rank
+    /// rewriting keeps relative recency, the restored tick exceeds
+    /// every rank so later accesses stay strictly newer, way order
+    /// within a set is immaterial to lookups, and an MRU hint of way 0
+    /// names the most-recent line (hints never change outcomes — see
+    /// `golden_state.rs`).
     pub fn save_state(&self, out: &mut Vec<u64>) {
-        for line in &self.lines {
-            out.push(line.tag);
-            out.push(line.lru);
-            out.push(line.valid as u64 | ((line.dirty as u64) << 1));
+        let mut order: Vec<usize> = Vec::with_capacity(self.assoc);
+        for set in 0..self.sets as usize {
+            let base = set * self.assoc;
+            order.clear();
+            order.extend((base..base + self.assoc).filter(|&i| self.lines[i].valid));
+            // Distinct lru ticks within a set make this a total order.
+            order.sort_by_key(|&i| std::cmp::Reverse(self.lines[i].lru));
+            let present = order.len() as u64;
+            for (rank, &i) in order.iter().enumerate() {
+                let line = &self.lines[i];
+                out.push(line.tag);
+                out.push(present - rank as u64);
+                out.push(1 | ((line.dirty as u64) << 1));
+            }
+            let absent = self.assoc - order.len();
+            out.resize(out.len() + 3 * absent, 0);
         }
-        out.extend(self.mru.iter().map(|&m| m as u64));
-        out.push(self.tick);
-        out.push(self.accesses);
-        out.push(self.misses);
+        out.resize(out.len() + self.mru.len(), 0);
+        out.push(self.assoc as u64);
+        out.push(0);
+        out.push(0);
     }
 
     /// Restores state written by [`Cache::save_state`] into a cache of
@@ -350,13 +378,6 @@ impl Cache {
         self.accesses = tail[1];
         self.misses = tail[2];
         Some(needed)
-    }
-
-    /// The set index `addr` maps to (for host-locality-aware pre-touch
-    /// ordering; carries no replacement state).
-    #[inline]
-    pub(crate) fn set_index(&self, addr: u64) -> u64 {
-        self.set_and_tag(addr).0
     }
 
     /// Whether the line containing `addr` is resident, without touching

@@ -137,12 +137,6 @@ impl CacheHierarchy {
         self.l2.prefetch_set(addr);
     }
 
-    /// The L2 set index for `addr` (pre-touch ordering key only).
-    #[inline]
-    pub(crate) fn l2_set_index(&self, addr: u64) -> u64 {
-        self.l2.set_index(addr)
-    }
-
     /// Approximate bytes of backing store across all three caches.
     pub fn approx_bytes(&self) -> usize {
         self.l1i.approx_bytes() + self.l1d.approx_bytes() + self.l2.approx_bytes()

@@ -231,17 +231,31 @@ impl Tlb {
 
     /// Appends replacement state, recency hints, and statistics as
     /// fixed-width words for the checkpoint store (geometry is not
-    /// written; see [`crate::Cache::save_state`]).
+    /// written). The words are *canonical* exactly as for
+    /// [`crate::Cache::save_state`]: valid entries per set emitted
+    /// most-recent-first with recency-rank `lru`, all-zero words for
+    /// empty ways, constant MRU hints / tick / statistics — so
+    /// behaviourally equal TLBs serialize identically.
     pub fn save_state(&self, out: &mut Vec<u64>) {
-        for entry in &self.entries {
-            out.push(entry.tag);
-            out.push(entry.lru);
-            out.push(entry.valid as u64);
+        let mut order: Vec<usize> = Vec::with_capacity(self.assoc);
+        for set in 0..self.sets as usize {
+            let base = set * self.assoc;
+            order.clear();
+            order.extend((base..base + self.assoc).filter(|&i| self.entries[i].valid));
+            order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].lru));
+            let present = order.len() as u64;
+            for (rank, &i) in order.iter().enumerate() {
+                out.push(self.entries[i].tag);
+                out.push(present - rank as u64);
+                out.push(1);
+            }
+            let absent = self.assoc - order.len();
+            out.resize(out.len() + 3 * absent, 0);
         }
-        out.extend(self.mru.iter().map(|&m| m as u64));
-        out.push(self.tick);
-        out.push(self.accesses);
-        out.push(self.misses);
+        out.resize(out.len() + self.mru.len(), 0);
+        out.push(self.assoc as u64);
+        out.push(0);
+        out.push(0);
     }
 
     /// Restores state written by [`Tlb::save_state`] into a TLB of the

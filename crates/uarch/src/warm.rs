@@ -40,11 +40,6 @@ pub struct WarmState {
     last_fetch_line: u64,
     line_bytes: u64,
     batch_pretouch: bool,
-    pretouch_sorted: bool,
-    // Scratch for the sorted pre-touch pass: (L2 set index, addr) per
-    // data access in the batch. Reused across batches to stay
-    // allocation-free in the warming hot loop.
-    pretouch_scratch: Vec<(u64, u64)>,
     // Shift fast path when the I-line size is a power of two (always for
     // the Table 3 machines): the per-instruction line computation in the
     // warming hot loop becomes one shift instead of a 64-bit divide.
@@ -62,8 +57,6 @@ impl WarmState {
             last_fetch_line: u64::MAX,
             line_bytes: cfg.l1i.line_bytes,
             batch_pretouch: false,
-            pretouch_sorted: false,
-            pretouch_scratch: Vec::new(),
             line_shift: cfg
                 .l1i
                 .line_bytes
@@ -120,33 +113,9 @@ impl WarmState {
     /// [`WarmState::set_batch_pretouch`].
     pub fn warm_batch(&mut self, records: &[ExecRecord]) {
         if self.batch_pretouch {
-            if self.pretouch_sorted {
-                // Sweep the batch's L2 set runs in ascending set order
-                // (consecutive duplicates skipped) instead of record
-                // order: the touches walk the backing arrays mostly
-                // forward, which the host's hardware prefetcher can
-                // follow. Still read-only, so the in-order apply below
-                // is untouched and warmed state stays bit-identical.
-                self.pretouch_scratch.clear();
-                for rec in records {
-                    if let Some(mem) = rec.mem {
-                        self.pretouch_scratch
-                            .push((self.hierarchy.l2_set_index(mem.addr), mem.addr));
-                    }
-                }
-                self.pretouch_scratch.sort_unstable_by_key(|&(set, _)| set);
-                let mut last_set = u64::MAX;
-                for &(set, addr) in &self.pretouch_scratch {
-                    if set != last_set {
-                        last_set = set;
-                        self.hierarchy.l2_prefetch_set(addr);
-                    }
-                }
-            } else {
-                for rec in records {
-                    if let Some(mem) = rec.mem {
-                        self.hierarchy.l2_prefetch_set(mem.addr);
-                    }
+            for rec in records {
+                if let Some(mem) = rec.mem {
+                    self.hierarchy.l2_prefetch_set(mem.addr);
                 }
             }
         }
@@ -163,17 +132,6 @@ impl WarmState {
     /// bit-identical either way.
     pub fn set_batch_pretouch(&mut self, enabled: bool) {
         self.batch_pretouch = enabled;
-    }
-
-    /// Selects set-index-sorted order for the pre-touch pass (only
-    /// meaningful with [`WarmState::set_batch_pretouch`] enabled): the
-    /// batch's L2 set runs are touched in ascending set order with
-    /// consecutive duplicates skipped, rather than in record order.
-    /// Purely a host-performance knob — the pre-touch pass is read-only
-    /// either way, so warmed state is bit-identical (golden-state tests
-    /// replay all three pre-touch modes).
-    pub fn set_batch_pretouch_sorted(&mut self, sorted: bool) {
-        self.pretouch_sorted = sorted;
     }
 
     /// Approximate bytes of warmable state (caches, TLBs, predictor),

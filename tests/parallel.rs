@@ -2,7 +2,7 @@
 //! parallel run produces a bit-identical `SampleReport` to the
 //! sequential driver at any worker count.
 
-use smarts::exec::{Executor, ParallelDriver, ParallelMode};
+use smarts::exec::{sample_pipeline_saving, Executor, ParallelDriver, ParallelMode};
 use smarts::prelude::*;
 
 fn params(bench: &Benchmark, n: u64) -> SamplingParams {
@@ -125,6 +125,202 @@ fn pipeline_mode_is_bit_identical_across_the_suite() {
                 );
             }
         }
+    }
+}
+
+/// Sanity-checks sharded-warm accounting against the warm-geometry
+/// bounds: one fixpoint entry per shard, shard 0 needs no stitching, and
+/// convergence K can never exceed the shard's own unit count.
+fn assert_shard_stats(stats: &smarts::exec::ShardWarmStats, what: &str) {
+    assert_eq!(stats.fixpoints.len(), stats.warm_jobs, "{what}: fixpoints");
+    assert_eq!(
+        stats.shard_units.len(),
+        stats.warm_jobs,
+        "{what}: shard_units"
+    );
+    assert_eq!(stats.fixpoints.first(), Some(&0), "{what}: shard 0 stitch");
+    for (s, (&k, &units)) in stats
+        .fixpoints
+        .iter()
+        .zip(&stats.shard_units)
+        .enumerate()
+        .skip(1)
+    {
+        assert!(
+            k <= units,
+            "{what}: shard {s} re-warmed {k} of {units} units"
+        );
+    }
+}
+
+#[test]
+fn sharded_warm_is_bit_identical_across_the_suite() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let dir = std::env::temp_dir();
+    for bench in smarts::workloads::suite() {
+        let bench = bench.scaled(0.01);
+        let p = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            500,
+            500,
+            Warming::Functional,
+            4,
+            0,
+        )
+        .expect("valid sampling parameters");
+        let library = sim.build_library(&bench, &p).expect("library builds");
+        let sequential = sim.sample_library(&library).expect("sequential replay");
+
+        // The single-producer reference store.
+        let serial_path = dir.join(format!("smarts-swtest-{}-serial.ckpt", bench.name()));
+        let serial = sample_pipeline_saving(
+            &Executor::new(1)
+                .expect("executor")
+                .with_mode(ParallelMode::Pipeline),
+            &sim,
+            &bench,
+            0.01,
+            &p,
+            &serial_path,
+        )
+        .expect("serial save");
+        let serial_bytes = std::fs::read(&serial_path).expect("serial store bytes");
+        std::fs::remove_file(&serial_path).ok();
+
+        for warm_jobs in [1usize, 2, 4, 8] {
+            for jobs in [1usize, 8] {
+                let executor = Executor::new(jobs)
+                    .expect("executor")
+                    .with_mode(ParallelMode::ShardedWarm)
+                    .with_warm_jobs(warm_jobs);
+                let what = format!("{} warm-jobs {warm_jobs}, jobs {jobs}", bench.name());
+                let outcome = sim
+                    .sample_parallel(&bench, &p, &executor)
+                    .expect("sharded-warm sampling");
+                assert_eq!(outcome.mode, ParallelMode::ShardedWarm, "{what}: mode");
+                assert_bit_identical(&outcome.report, &sequential, &what);
+                let stats = outcome.shard.expect("shard stats");
+                assert!(stats.warm_jobs <= warm_jobs, "{what}: clamped shards");
+                assert_shard_stats(&stats, &what);
+            }
+
+            // The spliced store must byte-equal the single-producer one.
+            let sharded_path =
+                dir.join(format!("smarts-swtest-{}-w{warm_jobs}.ckpt", bench.name()));
+            let executor = Executor::new(2)
+                .expect("executor")
+                .with_mode(ParallelMode::ShardedWarm)
+                .with_warm_jobs(warm_jobs);
+            let saved = sample_pipeline_saving(&executor, &sim, &bench, 0.01, &p, &sharded_path)
+                .expect("sharded-warm save");
+            let sharded_bytes = std::fs::read(&sharded_path).expect("sharded store bytes");
+            std::fs::remove_file(&sharded_path).ok();
+            let what = format!("{} store at warm-jobs {warm_jobs}", bench.name());
+            assert_eq!(saved.write.records, serial.write.records, "{what}: records");
+            assert!(
+                sharded_bytes == serial_bytes,
+                "{what}: spliced store differs from the serial store \
+                 ({} vs {} bytes)",
+                sharded_bytes.len(),
+                serial_bytes.len()
+            );
+            assert_bit_identical(&saved.report.report, &sequential, &what);
+            // No stray segment files left behind.
+            for s in 0..warm_jobs {
+                let mut seg = sharded_path.as_os_str().to_os_string();
+                seg.push(format!(".seg{s}"));
+                assert!(
+                    !std::path::Path::new(&seg).exists(),
+                    "{what}: segment {s} not cleaned up"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic splitmix64, duplicated locally like the other property
+/// suites (no external RNG dependency).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[test]
+fn sharded_warm_property_convergence_and_splice() {
+    let sim = SmartsSim::new(MachineConfig::eight_way());
+    let suite = smarts::workloads::suite();
+    let dir = std::env::temp_dir();
+    let mut rng = SplitMix64(0x5157_3A9D);
+    for round in 0..6 {
+        let bench = &suite[rng.pick(suite.len() as u64) as usize];
+        let bench = bench.scaled(0.01 + 0.002 * rng.pick(5) as f64);
+        let unit = 250 * (1 + rng.pick(4));
+        let warming = 250 * (1 + rng.pick(8));
+        let n = 3 + rng.pick(6);
+        let offset = rng.pick(2);
+        let Ok(p) = SamplingParams::for_sample_size(
+            bench.approx_len(),
+            unit,
+            warming,
+            Warming::Functional,
+            n,
+            offset,
+        ) else {
+            continue;
+        };
+        let warm_jobs = 2 + rng.pick(5) as usize;
+        let what = format!(
+            "round {round}: {} U={unit} W={warming} n={n} j={offset} wj={warm_jobs}",
+            bench.name()
+        );
+
+        let serial_path = dir.join(format!("smarts-swprop-{round}-serial.ckpt"));
+        let Ok(serial) = sample_pipeline_saving(
+            &Executor::new(1)
+                .expect("executor")
+                .with_mode(ParallelMode::Pipeline),
+            &sim,
+            &bench,
+            1.0,
+            &p,
+            &serial_path,
+        ) else {
+            // Degenerate design (e.g. stream ends before the first
+            // unit): nothing to compare this round.
+            std::fs::remove_file(&serial_path).ok();
+            continue;
+        };
+        let serial_bytes = std::fs::read(&serial_path).expect("serial store bytes");
+        std::fs::remove_file(&serial_path).ok();
+
+        let sharded_path = dir.join(format!("smarts-swprop-{round}-sharded.ckpt"));
+        let executor = Executor::new(2)
+            .expect("executor")
+            .with_mode(ParallelMode::ShardedWarm)
+            .with_warm_jobs(warm_jobs);
+        let saved = sample_pipeline_saving(&executor, &sim, &bench, 1.0, &p, &sharded_path)
+            .unwrap_or_else(|e| panic!("{what}: sharded save failed: {e}"));
+        let sharded_bytes = std::fs::read(&sharded_path).expect("sharded store bytes");
+        std::fs::remove_file(&sharded_path).ok();
+
+        assert_eq!(saved.write.records, serial.write.records, "{what}: records");
+        assert!(
+            sharded_bytes == serial_bytes,
+            "{what}: spliced store differs from the serial store"
+        );
+        let shard_stats = saved.report.shard.expect("shard stats");
+        assert_shard_stats(&shard_stats, &what);
     }
 }
 

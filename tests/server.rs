@@ -67,6 +67,7 @@ fn small_spec() -> JobSpec {
         offset: 0,
         jobs: 2,
         depth: 4,
+        warm_jobs: 1,
     }
 }
 
@@ -130,6 +131,40 @@ fn cold_store_and_cache_paths_serve_identical_bytes() {
     assert_eq!(stats.get("store_hits").and_then(Json::as_u64), Some(1));
     server.shutdown();
 
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn sharded_warm_jobs_serve_bytes_identical_to_a_serial_warm() {
+    let store_dir = temp_dir("sharded-warm");
+    let expected = one_shot_line(&small_spec());
+    let server = RunningServer::start(&store_dir, 2);
+    let mut client = server.client();
+
+    // A cold run whose warming pass is split across three shards must
+    // serve the exact bytes of a serial pipeline run.
+    let mut sharded = small_spec();
+    sharded.warm_jobs = 3;
+    let first = client.submit(&sharded).expect("submit sharded cold");
+    assert_eq!(client.wait(&first).expect("wait"), "done");
+    let (source, raw) = client.result(&first).expect("sharded result");
+    assert_eq!(source, "cold");
+    assert_eq!(raw, expected, "sharded warm must match the serial one-shot");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("warm_passes").and_then(Json::as_u64), Some(1));
+
+    // The spliced store is interchangeable with a serially-written one:
+    // a serial-warm submit for the same design is answered from cache
+    // (same fingerprint) with the same bytes, not re-warmed.
+    let second = client.submit(&small_spec()).expect("submit serial");
+    assert_eq!(client.wait(&second).expect("wait"), "done");
+    let (source, raw) = client.result(&second).expect("serial result");
+    assert_eq!(source, "cache");
+    assert_eq!(raw, expected);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("warm_passes").and_then(Json::as_u64), Some(1));
+
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&store_dir);
 }
 
