@@ -69,6 +69,7 @@ fn with_server<R>(dir: &Path, f: impl FnOnce(&str) -> R) -> R {
         addr: "127.0.0.1:0".to_string(),
         store_dir: dir.to_path_buf(),
         workers: 2,
+        ..ServerConfig::default()
     })
     .expect("bind server");
     let addr = server.local_addr().to_string();

@@ -111,6 +111,30 @@ pub fn decode_deltas(input: &[u8], pos: &mut usize, count: usize) -> Option<Vec<
     Some(out)
 }
 
+/// Applies exactly `words.len()` word deltas from `input` at `*pos`
+/// onto `words` in place — the lazy-decode fast path. Zero runs skip
+/// forward without touching the reference words (a zero delta leaves
+/// the word unchanged), so an unchanged page costs two varint reads
+/// and no writes. Same rejection rules as [`decode_deltas`]; on
+/// `None`, `words` may be partially updated and must be discarded.
+pub fn apply_deltas(input: &[u8], pos: &mut usize, words: &mut [u64]) -> Option<()> {
+    let mut filled = 0usize;
+    while filled < words.len() {
+        let token = read_varint(input, pos)?;
+        if token == 0 {
+            let run = read_varint(input, pos)?;
+            if run == 0 || run > (words.len() - filled) as u64 {
+                return None;
+            }
+            filled += run as usize;
+        } else {
+            words[filled] = words[filled].wrapping_add(unzigzag(token) as u64);
+            filled += 1;
+        }
+    }
+    Some(())
+}
+
 /// IEEE CRC-32 lookup table (reflected polynomial 0xEDB88320), built at
 /// compile time.
 const fn crc32_table() -> [u32; 256] {
@@ -224,6 +248,46 @@ mod tests {
         let mut pos = 0;
         let decoded = decode_deltas(&buf, &mut pos, 100_000).unwrap();
         assert!(decoded.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn apply_deltas_matches_decode_plus_add() {
+        let reference: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let deltas: Vec<u64> = (0..64u64)
+            .map(|i| if i % 5 == 0 { i.wrapping_mul(31) } else { 0 })
+            .collect();
+        let mut buf = Vec::new();
+        let mut enc = RleEncoder::new(&mut buf);
+        for &d in &deltas {
+            enc.push(d);
+        }
+        enc.finish();
+
+        let mut pos = 0;
+        let decoded = decode_deltas(&buf, &mut pos, 64).unwrap();
+        let eager: Vec<u64> = decoded
+            .iter()
+            .zip(&reference)
+            .map(|(&d, &r)| d.wrapping_add(r))
+            .collect();
+
+        let mut in_place = reference.clone();
+        let mut pos2 = 0;
+        apply_deltas(&buf, &mut pos2, &mut in_place).unwrap();
+        assert_eq!(in_place, eager);
+        assert_eq!(pos2, pos);
+    }
+
+    #[test]
+    fn apply_deltas_rejects_what_decode_rejects() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 0);
+        write_varint(&mut buf, 10); // run of 10 into a 5-word stream
+        let mut words = [0u64; 5];
+        let mut pos = 0;
+        assert_eq!(apply_deltas(&buf, &mut pos, &mut words), None);
+        let mut pos2 = 0;
+        assert_eq!(apply_deltas(&[0x80], &mut pos2, &mut words), None);
     }
 
     #[test]

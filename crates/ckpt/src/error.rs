@@ -44,6 +44,35 @@ pub enum CkptError {
     },
 }
 
+impl CkptError {
+    /// Produces an equivalent error value. `CkptError` cannot be
+    /// `Clone` (it wraps `std::io::Error`), but a [`crate::MappedStore`]
+    /// must both *retain* the damage it found at open time and *hand it
+    /// out by value* to every replay that asks — `replicate` bridges
+    /// that: all variants copy exactly, and `Io` reproduces the kind
+    /// and message.
+    pub fn replicate(&self) -> CkptError {
+        match self {
+            CkptError::Io(e) => CkptError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            CkptError::BadMagic => CkptError::BadMagic,
+            CkptError::UnsupportedVersion(v) => CkptError::UnsupportedVersion(*v),
+            CkptError::HeaderCorrupted => CkptError::HeaderCorrupted,
+            CkptError::FingerprintMismatch { expected, found } => CkptError::FingerprintMismatch {
+                expected: *expected,
+                found: *found,
+            },
+            CkptError::Corrupted { record, detail } => CkptError::Corrupted {
+                record: *record,
+                detail,
+            },
+            CkptError::Truncated { record, recovered } => CkptError::Truncated {
+                record: *record,
+                recovered: *recovered,
+            },
+        }
+    }
+}
+
 impl fmt::Display for CkptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

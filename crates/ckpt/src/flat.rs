@@ -18,7 +18,8 @@
 //! too — this is what makes the on-disk store far smaller than the
 //! resident library.
 
-use crate::codec::{decode_deltas, read_varint, write_varint, RleEncoder};
+use crate::codec::{apply_deltas, decode_deltas, read_varint, write_varint, RleEncoder};
+use crate::error::CkptError;
 use smarts_core::{EngineSnapshot, UnitCheckpoint};
 use smarts_isa::{Cpu, Memory};
 use smarts_uarch::{MachineConfig, WarmState};
@@ -116,6 +117,69 @@ impl FlatCheckpoint {
             .binary_search_by_key(&index, |&(i, _)| i)
             .ok()
             .map(|k| self.pages[k].1.as_slice())
+    }
+
+    /// Approximate resident bytes of this flat: the word storage of the
+    /// fixed section and every page. This is what one lazy-replay
+    /// cursor keeps materialized at a time — the per-worker residency
+    /// unit the `store_mem` bench and the pipeline accounting report.
+    pub fn approx_bytes(&self) -> u64 {
+        let page_words: u64 = self.pages.iter().map(|(_, w)| 1 + w.len() as u64).sum();
+        8 * (self.fixed.len() as u64 + page_words)
+    }
+}
+
+/// A still-encoded record borrowed straight from a mapped store — the
+/// zero-copy handle [`crate::MappedStore::record`] hands out. The
+/// payload bytes live in the file mapping (or its owned-buffer
+/// fallback); nothing is materialized until [`FlatCheckpointRef::decode`]
+/// or [`FlatCheckpointRef::advance`] runs.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatCheckpointRef<'a> {
+    pub(crate) payload: &'a [u8],
+    pub(crate) record: u64,
+}
+
+impl<'a> FlatCheckpointRef<'a> {
+    /// The record's index in the store.
+    pub fn record(&self) -> u64 {
+        self.record
+    }
+
+    /// The encoded payload bytes, borrowed from the mapping.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Decodes this record against the previous flat (`None` for
+    /// record 0), allocating a fresh [`FlatCheckpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Corrupted`] when the payload does not parse as a
+    /// delta record against `prev`.
+    pub fn decode(&self, prev: Option<&FlatCheckpoint>) -> Result<FlatCheckpoint, CkptError> {
+        decode_record(self.payload, prev).map_err(|detail| CkptError::Corrupted {
+            record: self.record,
+            detail,
+        })
+    }
+
+    /// Decodes this record by consuming and updating the previous flat
+    /// in place — the cursor fast path. Unchanged pages (a single
+    /// full-length zero run) are moved, not copied, so only the CoW
+    /// page gaps a record actually encodes get touched.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Corrupted`] when the payload does not parse; the
+    /// consumed `prev` is lost either way, so callers restart from the
+    /// store on error.
+    pub fn advance(&self, prev: FlatCheckpoint) -> Result<FlatCheckpoint, CkptError> {
+        advance_record(self.payload, prev).map_err(|detail| CkptError::Corrupted {
+            record: self.record,
+            detail,
+        })
     }
 }
 
@@ -216,6 +280,78 @@ pub(crate) fn decode_record(
     Ok(FlatCheckpoint { fixed, pages })
 }
 
+/// Decodes one record payload by consuming the previous flat and
+/// updating it in place: the fixed section is patched word-by-word
+/// where deltas are nonzero, unchanged pages are *moved* out of `prev`,
+/// and only changed pages are cloned and patched. Produces bit-for-bit
+/// the same flat as [`decode_record`] (asserted by tests), without the
+/// full-size allocations — this is what makes a lazy replay cursor
+/// O(changed words) per step.
+pub(crate) fn advance_record(
+    payload: &[u8],
+    prev: FlatCheckpoint,
+) -> Result<FlatCheckpoint, &'static str> {
+    let mut pos = 0usize;
+    let fixed_len = read_varint(payload, &mut pos).ok_or("truncated fixed-section length")?;
+    if fixed_len == 0 || fixed_len > MAX_FIXED_WORDS {
+        return Err("implausible fixed-section length");
+    }
+    if prev.fixed.len() as u64 != fixed_len {
+        return Err("fixed-section length changed between records");
+    }
+    let FlatCheckpoint {
+        mut fixed,
+        pages: mut prev_pages,
+    } = prev;
+    apply_deltas(payload, &mut pos, &mut fixed).ok_or("undecodable fixed-section deltas")?;
+
+    let page_count = read_varint(payload, &mut pos).ok_or("truncated page count")?;
+    if page_count > MAX_PAGES {
+        return Err("implausible page count");
+    }
+    let mut pages = Vec::with_capacity(page_count as usize);
+    let mut last_index = 0u64;
+    for k in 0..page_count {
+        let delta = read_varint(payload, &mut pos).ok_or("truncated page index")?;
+        if k > 0 && delta == 0 {
+            return Err("page indices are not strictly ascending");
+        }
+        let index = last_index
+            .checked_add(delta)
+            .ok_or("page index overflows")?;
+        last_index = index;
+        // Indices are strictly ascending, so each predecessor page is
+        // referenced at most once — taking it out is safe.
+        let reference = prev_pages.binary_search_by_key(&index, |&(i, _)| i).ok();
+        // Peek: a page encoded as one full-length zero run is
+        // unchanged; move it instead of decoding PAGE_WORDS deltas.
+        let mark = pos;
+        let unchanged = match read_varint(payload, &mut pos) {
+            Some(0) => read_varint(payload, &mut pos) == Some(PAGE_WORDS as u64),
+            _ => false,
+        };
+        let words = if unchanged {
+            match reference {
+                Some(at) => std::mem::take(&mut prev_pages[at].1),
+                None => vec![0u64; PAGE_WORDS],
+            }
+        } else {
+            pos = mark;
+            let mut words = match reference {
+                Some(at) => prev_pages[at].1.clone(),
+                None => vec![0u64; PAGE_WORDS],
+            };
+            apply_deltas(payload, &mut pos, &mut words).ok_or("undecodable page deltas")?;
+            words
+        };
+        pages.push((index, words));
+    }
+    if pos != payload.len() {
+        return Err("trailing bytes after the last page");
+    }
+    Ok(FlatCheckpoint { fixed, pages })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +407,59 @@ mod tests {
         // All deltas zero: one length varint, one zero-run token pair per
         // stream, one page-index varint.
         assert!(payload.len() < 24, "got {} bytes", payload.len());
+    }
+
+    #[test]
+    fn advance_matches_decode_across_a_chain() {
+        // A three-record chain exercising every page transition: kept
+        // verbatim (3), modified (17), added (40), dropped (17 again).
+        let chain = [
+            flat(
+                vec![10, 20, 0, 0, 30],
+                vec![(3, page_of(9)), (17, page_of(4))],
+            ),
+            flat(
+                vec![11, 20, 0, 5, 30],
+                vec![(3, page_of(9)), (17, page_of(5)), (40, page_of(1))],
+            ),
+            flat(
+                vec![12, 21, 0, 5, 30],
+                vec![(3, page_of(9)), (40, page_of(2))],
+            ),
+        ];
+        let mut prev_decoded: Option<FlatCheckpoint> = None;
+        let mut rolling: Option<FlatCheckpoint> = None;
+        for curr in &chain {
+            let payload = encode_record(curr, prev_decoded.as_ref());
+            let decoded = decode_record(&payload, prev_decoded.as_ref()).unwrap();
+            let advanced = match rolling.take() {
+                None => decode_record(&payload, None).unwrap(),
+                Some(prev) => advance_record(&payload, prev).unwrap(),
+            };
+            assert_eq!(advanced, decoded);
+            assert_eq!(&advanced, curr);
+            prev_decoded = Some(decoded);
+            rolling = Some(advanced);
+        }
+    }
+
+    #[test]
+    fn advance_rejects_what_decode_rejects() {
+        let a = flat(vec![1, 2, 3], vec![(0, page_of(1))]);
+        let payload = encode_record(&a, None);
+        let b = flat(vec![1, 2, 3], vec![(0, page_of(2))]);
+        let pb = encode_record(&b, Some(&a));
+        // Truncated payload.
+        let da = decode_record(&payload, None).unwrap();
+        assert!(advance_record(&pb[..pb.len() - 1], da.clone()).is_err());
+        // Trailing garbage.
+        let mut longer = pb.clone();
+        longer.push(0x55);
+        assert!(advance_record(&longer, da.clone()).is_err());
+        // Fixed-length change between records.
+        let c = flat(vec![1, 2, 3, 4], vec![]);
+        let pc = encode_record(&c, None);
+        assert!(advance_record(&pc, da).is_err());
     }
 
     #[test]

@@ -1,0 +1,535 @@
+//! The zero-copy store reader: a memory-mapped store addressed by
+//! record index, decoding lazily.
+//!
+//! [`CkptReader`](crate::CkptReader) materializes every checkpoint it
+//! streams past; holding a whole store resident that way costs
+//! O(units) RAM. A [`MappedStore`] instead keeps only the *encoded*
+//! bytes addressable — via `mmap(2)` they are not even resident until
+//! touched — and hands out [`FlatCheckpointRef`] views that borrow
+//! straight from the map. Decoding happens per cursor: a
+//! [`StoreCursor`] rolls one [`FlatCheckpoint`] forward through the
+//! delta chain, so a replay's peak residency is O(one checkpoint) per
+//! worker plus the file's page cache, instead of O(units).
+//!
+//! Opening parses the header and locates every record frame — from the
+//! v2 index footer when it is intact (O(footer) work, no record bytes
+//! touched), by sequential frame scan otherwise (v1 stores, or a v2
+//! store whose footer is damaged). A damaged store still exposes its
+//! intact prefix; the damage itself is retained and reported through
+//! [`MappedStore::damage`], mirroring the truncation-tolerant contract
+//! of the streaming reader. Record CRCs are *not* checked at open:
+//! each record is verified on first touch, once, with the result
+//! memoized across all cursors and threads.
+
+use crate::error::CkptError;
+use crate::flat::{FlatCheckpoint, FlatCheckpointRef};
+use crate::mmap::StoreMap;
+use crate::store::{
+    check_fingerprint, decode_header, encode_footer, encode_header, StoreMeta, FOOTER_MARKER,
+    INDEX_MAGIC, MAX_PAYLOAD,
+};
+use smarts_uarch::MachineConfig;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One record's frame inside the file: payload span plus its stored
+/// CRC.
+#[derive(Debug, Clone, Copy)]
+struct RecordFrame {
+    payload_start: usize,
+    payload_len: u32,
+    crc: u32,
+}
+
+/// A checkpoint store opened for zero-copy random access. See the
+/// module docs for the residency model. Shareable across threads
+/// (`&MappedStore` is `Sync`); every concurrent reader shares one
+/// mapping and one first-touch CRC memo.
+#[derive(Debug)]
+pub struct MappedStore {
+    map: StoreMap,
+    fingerprint: u64,
+    meta: StoreMeta,
+    version: u32,
+    header_len: usize,
+    frames: Vec<RecordFrame>,
+    index_present: bool,
+    damage: Option<CkptError>,
+    /// First-touch CRC memo: `checked[i]` is set once record `i` has
+    /// passed its CRC, after which no reader re-hashes it.
+    checked: Vec<AtomicBool>,
+}
+
+impl MappedStore {
+    /// Opens a store for replay on machine `cfg`, memory-mapping it
+    /// when the platform allows (owned-buffer fallback otherwise).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CkptReader::open`](crate::CkptReader::open): header
+    /// parse errors, [`CkptError::FingerprintMismatch`] for the wrong
+    /// warm geometry, [`CkptError::Io`]. Record damage is *not* an
+    /// open error — it is retained and reported by
+    /// [`MappedStore::damage`].
+    pub fn open(path: impl AsRef<Path>, cfg: &MachineConfig) -> Result<Self, CkptError> {
+        let store = Self::open_unchecked_impl(path.as_ref(), true)?;
+        check_fingerprint(cfg, store.fingerprint)?;
+        Ok(store)
+    }
+
+    /// Opens like [`MappedStore::open`] but never memory-maps: the
+    /// whole file is read into an owned buffer. Decode behaviour is
+    /// identical; this is the portable fallback path, exposed so tests
+    /// (and platforms without `mmap`) can pin it.
+    pub fn open_buffered(path: impl AsRef<Path>, cfg: &MachineConfig) -> Result<Self, CkptError> {
+        let store = Self::open_unchecked_impl(path.as_ref(), false)?;
+        check_fingerprint(cfg, store.fingerprint)?;
+        Ok(store)
+    }
+
+    /// Opens a store without a machine to check the fingerprint
+    /// against — the inventory path (`smarts ckpt-info`), which must
+    /// work on any store regardless of the local geometry.
+    ///
+    /// # Errors
+    ///
+    /// Header parse errors and [`CkptError::Io`] only.
+    pub fn open_unchecked(path: impl AsRef<Path>) -> Result<Self, CkptError> {
+        Self::open_unchecked_impl(path.as_ref(), true)
+    }
+
+    fn open_unchecked_impl(path: &Path, allow_mmap: bool) -> Result<Self, CkptError> {
+        let map = StoreMap::open(path, allow_mmap)?;
+        let bytes = map.bytes();
+        let (fingerprint, meta, version) = decode_header(&mut &bytes[..])?;
+        // Header length is a pure function of its fields; re-encoding
+        // recovers where the record region starts.
+        let header_len = encode_header(fingerprint, &meta).len();
+        let mut store = MappedStore {
+            map,
+            fingerprint,
+            meta,
+            version,
+            header_len,
+            frames: Vec::new(),
+            index_present: false,
+            damage: None,
+            checked: Vec::new(),
+        };
+        store.locate_records();
+        store.checked = (0..store.frames.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        Ok(store)
+    }
+
+    /// Locates every record frame: via the index footer when intact,
+    /// by sequential scan otherwise.
+    fn locate_records(&mut self) {
+        if self.version >= 2 {
+            if let Some(frames) = self.frames_from_footer() {
+                self.frames = frames;
+                self.index_present = true;
+                return;
+            }
+        }
+        self.scan_records();
+    }
+
+    /// Validates the index footer end-to-end and converts it to record
+    /// frames. Every check cross-validates the offsets against the
+    /// actual frame geometry (contiguity from the header to the footer
+    /// start), so a footer that passes here describes exactly the
+    /// record stream a sequential scan would find.
+    fn frames_from_footer(&self) -> Option<Vec<RecordFrame>> {
+        let bytes = self.map.bytes();
+        let n = bytes.len();
+        // Smallest footer: marker + count + crc + footer_len + magic.
+        if n < self.header_len + 32 || bytes[n - 8..] != INDEX_MAGIC {
+            return None;
+        }
+        let footer_len = u64::from_le_bytes(bytes[n - 16..n - 8].try_into().ok()?) as usize;
+        let footer_start = (n - 16).checked_sub(footer_len)?;
+        if footer_start < self.header_len {
+            return None;
+        }
+        let footer = &bytes[footer_start..n - 16];
+        if footer.len() < 16 || footer[..4] != FOOTER_MARKER.to_le_bytes() {
+            return None;
+        }
+        let count = u64::from_le_bytes(footer[4..12].try_into().ok()?);
+        if footer.len() as u64 != 16 + 8 * count {
+            return None;
+        }
+        let stored_crc = u32::from_le_bytes(footer[footer.len() - 4..].try_into().ok()?);
+        if crate::codec::crc32(&footer[4..footer.len() - 4]) != stored_crc {
+            return None;
+        }
+        let mut frames = Vec::with_capacity(count as usize);
+        let mut expected_offset = self.header_len;
+        for k in 0..count as usize {
+            let at = 12 + 8 * k;
+            let offset = u64::from_le_bytes(footer[at..at + 8].try_into().ok()?);
+            if offset != expected_offset as u64 {
+                return None;
+            }
+            let prefix_end = expected_offset.checked_add(8)?;
+            if prefix_end > footer_start {
+                return None;
+            }
+            let payload_len = u32::from_le_bytes(
+                bytes[expected_offset..expected_offset + 4]
+                    .try_into()
+                    .ok()?,
+            );
+            let crc = u32::from_le_bytes(
+                bytes[expected_offset + 4..expected_offset + 8]
+                    .try_into()
+                    .ok()?,
+            );
+            if payload_len > MAX_PAYLOAD {
+                return None;
+            }
+            let payload_end = prefix_end.checked_add(payload_len as usize)?;
+            if payload_end > footer_start {
+                return None;
+            }
+            frames.push(RecordFrame {
+                payload_start: prefix_end,
+                payload_len,
+                crc,
+            });
+            expected_offset = payload_end;
+        }
+        // The records must tile the region exactly up to the footer.
+        if expected_offset != footer_start {
+            return None;
+        }
+        Some(frames)
+    }
+
+    /// Sequential frame scan — the v1 path and the fallback for a
+    /// damaged v2 footer. Recovers the bit-exact intact prefix and
+    /// records what stopped the scan as [`MappedStore::damage`].
+    /// Payload CRCs are still checked lazily at first touch.
+    fn scan_records(&mut self) {
+        let bytes = self.map.bytes();
+        let mut pos = self.header_len;
+        let mut offsets: Vec<u64> = Vec::new();
+        loop {
+            let record = self.frames.len() as u64;
+            if pos == bytes.len() {
+                if self.version >= 2 {
+                    self.damage = Some(CkptError::Corrupted {
+                        record,
+                        detail: "index footer missing",
+                    });
+                }
+                return;
+            }
+            if pos + 8 > bytes.len() {
+                self.damage = Some(CkptError::Truncated {
+                    record,
+                    recovered: record,
+                });
+                return;
+            }
+            let payload_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if self.version >= 2 && payload_len == FOOTER_MARKER {
+                // Reached a footer marker with a footer that failed
+                // end-anchored validation (or trailing bytes follow a
+                // valid one): the prefix is intact, the index is not.
+                if bytes[pos..] == encode_footer(&offsets)[..] {
+                    // A byte-for-byte valid footer the end-anchored
+                    // parse missed is impossible in practice; treat it
+                    // as clean if it ever happens.
+                    self.index_present = true;
+                } else {
+                    self.damage = Some(CkptError::Corrupted {
+                        record,
+                        detail: "index footer damaged",
+                    });
+                }
+                return;
+            }
+            if payload_len > MAX_PAYLOAD {
+                self.damage = Some(CkptError::Corrupted {
+                    record,
+                    detail: "implausible record length",
+                });
+                return;
+            }
+            if pos + 8 + payload_len as usize > bytes.len() {
+                self.damage = Some(CkptError::Truncated {
+                    record,
+                    recovered: record,
+                });
+                return;
+            }
+            offsets.push(pos as u64);
+            self.frames.push(RecordFrame {
+                payload_start: pos + 8,
+                payload_len,
+                crc,
+            });
+            pos += 8 + payload_len as usize;
+        }
+    }
+
+    /// The store's sampling design and benchmark identity.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// The warm-geometry fingerprint recorded in the store header.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The store's on-disk format version (1 = pre-index, 2 = indexed).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Intact records addressable in this store.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the store holds no intact records.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total file bytes (mapped or buffered).
+    pub fn file_bytes(&self) -> u64 {
+        self.map.bytes().len() as u64
+    }
+
+    /// The store header's byte length (the record region starts here).
+    pub fn header_bytes(&self) -> u64 {
+        self.header_len as u64
+    }
+
+    /// File offset where the intact record region ends — the index
+    /// footer (v2), EOF (v1), or the first damaged byte.
+    pub fn records_end(&self) -> u64 {
+        match self.frames.last() {
+            Some(frame) => (frame.payload_start + frame.payload_len as usize) as u64,
+            None => self.header_len as u64,
+        }
+    }
+
+    /// Whether the file is actually memory-mapped (false on the
+    /// owned-buffer fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Whether record addressing came from an intact index footer
+    /// (false for v1 stores and for v2 stores whose footer was damaged
+    /// and recovered by scan).
+    pub fn index_present(&self) -> bool {
+        self.index_present
+    }
+
+    /// The damage that limits this store to a prefix, if any. Records
+    /// `0..len()` are structurally intact regardless (their payload
+    /// CRCs are still verified at first touch).
+    pub fn damage(&self) -> Option<CkptError> {
+        self.damage.as_ref().map(CkptError::replicate)
+    }
+
+    /// The still-encoded record `index`, borrowed from the mapping.
+    /// The record's CRC is verified on the first touch store-wide and
+    /// memoized; later touches (any cursor, any thread) skip the hash.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Corrupted`] on a CRC mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()` — addressing past the intact
+    /// prefix is a caller bug, not store damage.
+    pub fn record(&self, index: usize) -> Result<FlatCheckpointRef<'_>, CkptError> {
+        let frame = self.frames[index];
+        let payload = &self.map.bytes()
+            [frame.payload_start..frame.payload_start + frame.payload_len as usize];
+        if !self.checked[index].load(Ordering::Relaxed) {
+            if crate::codec::crc32(payload) != frame.crc {
+                return Err(CkptError::Corrupted {
+                    record: index as u64,
+                    detail: "CRC mismatch",
+                });
+            }
+            self.checked[index].store(true, Ordering::Relaxed);
+        }
+        Ok(FlatCheckpointRef {
+            payload,
+            record: index as u64,
+        })
+    }
+
+    /// A fresh decode cursor positioned before record 0. Cursors are
+    /// cheap (they hold one rolling flat at most); give each worker
+    /// its own.
+    pub fn cursor(&self) -> StoreCursor<'_> {
+        StoreCursor {
+            store: self,
+            next: 0,
+            flat: None,
+        }
+    }
+
+    /// Approximate resident bytes of the *decoded* store — what the
+    /// eager reader or library would hold. Derived without decoding:
+    /// the delta chain's flats all share the geometry-fixed section
+    /// length, so this walks the chain once. Costs O(store) decode
+    /// time; meant for inventory tools, not hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first record that fails CRC or decode.
+    pub fn approx_decoded_bytes(&self) -> Result<u64, CkptError> {
+        let mut cursor = self.cursor();
+        let mut total = 0u64;
+        for index in 0..self.len() {
+            total += cursor.flat_at(index)?.approx_bytes();
+        }
+        Ok(total)
+    }
+}
+
+/// A rolling decode position over a [`MappedStore`]: holds at most one
+/// materialized [`FlatCheckpoint`] and advances it in place through
+/// the delta chain. Sequential access is O(changed words) per step;
+/// rewinding restarts from record 0 (records are chain-deltas — there
+/// is no cheaper way back).
+#[derive(Debug)]
+pub struct StoreCursor<'a> {
+    store: &'a MappedStore,
+    /// Index the rolling flat will decode next; `flat` (when present)
+    /// is record `next - 1`.
+    next: usize,
+    flat: Option<FlatCheckpoint>,
+}
+
+impl StoreCursor<'_> {
+    /// The record index this cursor has decoded up to (exclusive).
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// The decoded flat of record `index`, rolling the cursor forward
+    /// (or restarting) as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Corrupted`] when a record on the way fails its
+    /// first-touch CRC or does not decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= store.len()`.
+    pub fn flat_at(&mut self, index: usize) -> Result<&FlatCheckpoint, CkptError> {
+        assert!(
+            index < self.store.len(),
+            "record {index} out of range for a store of {} records",
+            self.store.len()
+        );
+        if self.flat.is_none() || index + 1 < self.next {
+            self.next = 0;
+            self.flat = None;
+        }
+        while self.next <= index {
+            let record = self.store.record(self.next)?;
+            let flat = match self.flat.take() {
+                None if self.next == 0 => record.decode(None)?,
+                // A mid-chain cursor whose flat was consumed by a
+                // failed advance restarts from the beginning.
+                None => unreachable!("cursor flat only absent at position 0"),
+                Some(prev) => record.advance(prev)?,
+            };
+            self.flat = Some(flat);
+            self.next += 1;
+        }
+        Ok(self.flat.as_ref().expect("advanced past index"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{CkptWriter, StoreMeta};
+    use smarts_core::{SamplingParams, Warming};
+    use smarts_uarch::MachineConfig;
+
+    fn meta() -> StoreMeta {
+        StoreMeta {
+            params: SamplingParams {
+                unit_size: 500,
+                detailed_warming: 1000,
+                warming: Warming::Functional,
+                interval: 11,
+                offset: 0,
+                max_units: None,
+            },
+            benchmark: "loopy-1".to_string(),
+            scale: 0.1,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("smarts-lazy-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn empty_store_maps_cleanly() {
+        let cfg = MachineConfig::eight_way();
+        let path = temp_path("empty");
+        CkptWriter::create(&path, &cfg, &meta())
+            .unwrap()
+            .finish()
+            .unwrap();
+        let store = MappedStore::open(&path, &cfg).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(store.is_empty());
+        assert!(store.index_present());
+        assert!(store.damage().is_none());
+        assert_eq!(store.version(), crate::FORMAT_VERSION);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cursor_panics_past_the_end() {
+        let cfg = MachineConfig::eight_way();
+        let path = temp_path("oob");
+        CkptWriter::create(&path, &cfg, &meta())
+            .unwrap()
+            .finish()
+            .unwrap();
+        let store = MappedStore::open(&path, &cfg).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = store.cursor().flat_at(0);
+        }));
+        assert!(result.is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_geometry_is_rejected_at_open() {
+        let cfg = MachineConfig::eight_way();
+        let path = temp_path("geom");
+        CkptWriter::create(&path, &cfg, &meta())
+            .unwrap()
+            .finish()
+            .unwrap();
+        let err = MappedStore::open(&path, &MachineConfig::sixteen_way()).unwrap_err();
+        assert!(matches!(err, CkptError::FingerprintMismatch { .. }));
+        // But the inventory path opens it fine.
+        assert!(MappedStore::open_unchecked(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

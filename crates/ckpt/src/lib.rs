@@ -30,10 +30,15 @@
 //!   the rest instead of failing wholesale.
 //!
 //! [`CkptWriter`] appends records as a warming pass emits checkpoints
-//! (persisting overlaps warming); [`CkptReader`] streams them back for
-//! replay — both plug directly into the producer/consumer pipeline in
-//! `smarts-exec`, which is what `smarts --save-checkpoints` /
-//! `--from-checkpoints` use.
+//! (persisting overlaps warming) and finishes with an **index footer**
+//! recording every record's offset; [`CkptReader`] streams them back
+//! for replay — both plug directly into the producer/consumer pipeline
+//! in `smarts-exec`, which is what `smarts --save-checkpoints` /
+//! `--from-checkpoints` use. [`MappedStore`] opens the same file
+//! zero-copy (memory-mapped, records located via the footer) and hands
+//! out borrowed [`FlatCheckpointRef`] records that [`StoreCursor`]s
+//! decode lazily — the replay path whose residency is O(one
+//! checkpoint per worker) instead of O(units).
 //!
 //! # Examples
 //!
@@ -75,17 +80,22 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module scopes `allow` onto the
+// few declared-libc calls it needs; everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codec;
 mod error;
 mod flat;
+mod lazy;
+mod mmap;
 mod store;
 
 pub use error::CkptError;
-pub use flat::FlatCheckpoint;
+pub use flat::{FlatCheckpoint, FlatCheckpointRef};
+pub use lazy::{MappedStore, StoreCursor};
 pub use store::{
     check_fingerprint, read_store_meta, warm_fingerprint, CkptReader, CkptWriter, StoreMeta,
-    WriteSummary, FORMAT_VERSION, MAGIC,
+    WriteSummary, FORMAT_VERSION, INDEX_MAGIC, MAGIC, MIN_FORMAT_VERSION,
 };

@@ -10,12 +10,28 @@
 //!          | scale f64-bits u64 | name_len u32 | name bytes
 //!          | crc32 u32 (over everything above)
 //! record:  payload_len u32 | crc32 u32 (over payload) | payload
+//! footer:  marker u32 = 0xFFFF_FFFF | count u64 | offset u64 × count
+//!          | crc32 u32 (over count + offsets)
+//!          | footer_len u64 | magic "SMARTSIX"          (v2 only)
 //! ```
 //!
 //! Records are the delta-encoded flats of [`crate::flat`], each
 //! independently CRC-checked so corruption is localized: the reader
 //! yields every intact prefix record and then surfaces a typed error
 //! for the first bad one.
+//!
+//! The v2 index footer records the absolute file offset of every
+//! record's 8-byte prefix, so a mapped reader ([`crate::MappedStore`])
+//! can address records randomly without a sequential parse. The footer
+//! is a pure function of the record stream — [`CkptWriter::finish`]
+//! derives it from the offsets it tracked while appending — so two
+//! stores with identical records are byte-identical files including
+//! the footer (the sharded-warm splice invariant carries over). The
+//! marker doubles as an end-of-records sentinel for the sequential
+//! reader: no legal record has a payload length of `0xFFFF_FFFF`.
+//! Version-1 stores (no footer) remain fully readable; readers fall
+//! back to a sequential scan whenever the footer is missing or
+//! damaged.
 
 use crate::codec::crc32;
 use crate::error::CkptError;
@@ -29,12 +45,29 @@ use std::path::Path;
 /// Store magic: the first eight bytes of every checkpoint store.
 pub const MAGIC: [u8; 8] = *b"SMARTSCK";
 
-/// On-disk format version this build writes and accepts.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version this build writes (v2 = indexed footer).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest on-disk format version readers still accept (v1 stores have
+/// no index footer and are scanned sequentially).
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// Trailing magic closing a v2 store's index footer.
+pub const INDEX_MAGIC: [u8; 8] = *b"SMARTSIX";
 
 /// Largest record payload the reader will allocate for; anything bigger
 /// is treated as corruption (a real record is a few MiB at most).
-const MAX_PAYLOAD: u32 = 1 << 30;
+pub(crate) const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// First word of the index footer. Deliberately larger than
+/// [`MAX_PAYLOAD`], so it can never be confused with a record prefix.
+pub(crate) const FOOTER_MARKER: u32 = 0xFFFF_FFFF;
+
+/// Fingerprint schema version, mixed into [`warm_fingerprint`].
+/// Deliberately decoupled from [`FORMAT_VERSION`]: the v1 → v2
+/// container change (index footer) does not alter what a store's
+/// records mean, so fingerprints recorded by v1 stores stay valid.
+const FINGERPRINT_VERSION: u64 = 1;
 
 /// SplitMix64 finalizer folded over a running hash — the same mixing
 /// the workloads RNG uses, applied as a one-way fingerprint.
@@ -76,7 +109,7 @@ fn mix_bpred(h: u64, b: &PredictorConfig) -> u64 {
 /// in pipeline-core parameters (widths, window, FUs) fingerprint
 /// identically — that is the warm-once/replay-many-configs contract.
 pub fn warm_fingerprint(cfg: &MachineConfig) -> u64 {
-    let h = mix(0x534D_4152_5453_434B, FORMAT_VERSION as u64); // "SMARTSCK"
+    let h = mix(0x534D_4152_5453_434B, FINGERPRINT_VERSION); // "SMARTSCK"
     let h = mix_cache(h, &cfg.l1i);
     let h = mix_cache(h, &cfg.l1d);
     let h = mix_cache(h, &cfg.l2);
@@ -163,10 +196,11 @@ impl StoreMeta {
 /// [`CkptError::HeaderCorrupted`], or [`CkptError::Io`].
 pub fn read_store_meta(path: impl AsRef<Path>) -> Result<(u64, StoreMeta), CkptError> {
     let mut file = BufReader::new(File::open(path)?);
-    decode_header(&mut file)
+    let (fingerprint, meta, _version) = decode_header(&mut file)?;
+    Ok((fingerprint, meta))
 }
 
-fn encode_header(fingerprint: u64, meta: &StoreMeta) -> Vec<u8> {
+pub(crate) fn encode_header(fingerprint: u64, meta: &StoreMeta) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -234,7 +268,7 @@ impl<'a, R: Read> HeaderReader<'a, R> {
     }
 }
 
-fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta), CkptError> {
+pub(crate) fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta, u32), CkptError> {
     let mut h = HeaderReader {
         inner: reader,
         raw: Vec::new(),
@@ -244,7 +278,7 @@ fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta), CkptError> 
         return Err(CkptError::BadMagic);
     }
     let version = h.u32()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(CkptError::UnsupportedVersion(version));
     }
     let fingerprint = h.u64()?;
@@ -288,7 +322,27 @@ fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta), CkptError> 
             benchmark,
             scale,
         },
+        version,
     ))
+}
+
+/// Encodes the v2 index footer for the given record-prefix offsets.
+/// A pure function of the record stream, so stores with identical
+/// records carry identical footers.
+pub(crate) fn encode_footer(offsets: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 + 8 * offsets.len() + 4 + 16);
+    out.extend_from_slice(&FOOTER_MARKER.to_le_bytes());
+    out.extend_from_slice(&(offsets.len() as u64).to_le_bytes());
+    for &offset in offsets {
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    // CRC over count + offsets (everything after the marker).
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    let footer_len = out.len() as u64; // marker through crc, inclusive
+    out.extend_from_slice(&footer_len.to_le_bytes());
+    out.extend_from_slice(&INDEX_MAGIC);
+    out
 }
 
 /// Summary of a completed write pass.
@@ -296,7 +350,7 @@ fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta), CkptError> 
 pub struct WriteSummary {
     /// Records written.
     pub records: u64,
-    /// Total file bytes (header plus all records).
+    /// Total file bytes (header, all records, and the index footer).
     pub bytes: u64,
 }
 
@@ -309,6 +363,7 @@ pub struct CkptWriter {
     prev: Option<FlatCheckpoint>,
     records: u64,
     bytes: u64,
+    offsets: Vec<u64>,
 }
 
 impl CkptWriter {
@@ -334,6 +389,7 @@ impl CkptWriter {
             prev: None,
             records: 0,
             bytes: header.len() as u64,
+            offsets: Vec::new(),
         })
     }
 
@@ -371,6 +427,7 @@ impl CkptWriter {
             .write_all(&(u32::try_from(payload.len()).expect("record fits u32")).to_le_bytes())?;
         self.file.write_all(&crc.to_le_bytes())?;
         self.file.write_all(&payload)?;
+        self.offsets.push(self.bytes);
         self.bytes += 8 + payload.len() as u64;
         self.records += 1;
         self.prev = Some(flat);
@@ -382,12 +439,19 @@ impl CkptWriter {
         self.records
     }
 
-    /// Flushes and closes the store.
+    /// Writes the index footer, flushes, and closes the store. The
+    /// footer is derived purely from the record offsets tracked while
+    /// appending, so identical record streams finish to byte-identical
+    /// files.
     ///
     /// # Errors
     ///
-    /// Returns [`CkptError::Io`] when the final flush fails.
+    /// Returns [`CkptError::Io`] when the footer write or final flush
+    /// fails.
     pub fn finish(mut self) -> Result<WriteSummary, CkptError> {
+        let footer = encode_footer(&self.offsets);
+        self.file.write_all(&footer)?;
+        self.bytes += footer.len() as u64;
         self.file.flush()?;
         Ok(WriteSummary {
             records: self.records,
@@ -411,10 +475,16 @@ pub struct CkptReader {
     file: BufReader<File>,
     meta: StoreMeta,
     fingerprint: u64,
+    version: u32,
     cfg: MachineConfig,
     prev: Option<FlatCheckpoint>,
     record: u64,
     done: bool,
+    /// Absolute offset of the next unread byte (= next record prefix).
+    offset: u64,
+    /// Offsets of the records decoded so far, for validating the v2
+    /// footer byte-for-byte when the end marker is reached.
+    offsets: Vec<u64>,
 }
 
 impl CkptReader {
@@ -429,16 +499,23 @@ impl CkptReader {
     /// on filesystem errors.
     pub fn open(path: impl AsRef<Path>, cfg: &MachineConfig) -> Result<Self, CkptError> {
         let mut file = BufReader::new(File::open(path)?);
-        let (found, meta) = decode_header(&mut file)?;
+        let (found, meta, version) = decode_header(&mut file)?;
         check_fingerprint(cfg, found)?;
+        // The header length is a pure function of its fields (the
+        // version value changes, its width does not), so re-encoding
+        // recovers the offset the stream is now at.
+        let header_len = encode_header(found, &meta).len() as u64;
         Ok(CkptReader {
             file,
             meta,
             fingerprint: found,
+            version,
             cfg: cfg.clone(),
             prev: None,
             record: 0,
             done: false,
+            offset: header_len,
+            offsets: Vec::new(),
         })
     }
 
@@ -522,12 +599,27 @@ impl CkptReader {
     fn read_one(&mut self) -> Option<Result<FlatCheckpoint, CkptError>> {
         let mut prefix = [0u8; 8];
         match self.read_exact_or_eof(&mut prefix) {
-            Ok(false) => return None, // clean end of store
+            Ok(false) => {
+                if self.version >= 2 {
+                    // A v2 store must end with its index footer; a
+                    // clean EOF at a record boundary means the tail
+                    // was cut off. Every record is intact, so this is
+                    // damage without data loss.
+                    return Some(Err(CkptError::Corrupted {
+                        record: self.record,
+                        detail: "index footer missing",
+                    }));
+                }
+                return None; // clean end of a v1 store
+            }
             Ok(true) => {}
             Err(e) => return Some(Err(e)),
         }
         let payload_len = u32::from_le_bytes(prefix[..4].try_into().expect("4 bytes"));
         let stored_crc = u32::from_le_bytes(prefix[4..].try_into().expect("4 bytes"));
+        if self.version >= 2 && payload_len == FOOTER_MARKER {
+            return self.check_footer(prefix[4..].try_into().expect("4 bytes"));
+        }
         if payload_len > MAX_PAYLOAD {
             return Some(Err(CkptError::Corrupted {
                 record: self.record,
@@ -563,8 +655,32 @@ impl CkptReader {
             }
         };
         self.prev = Some(flat.clone());
+        self.offsets.push(self.offset);
+        self.offset += 8 + payload_len as u64;
         self.record += 1;
         Some(Ok(flat))
+    }
+
+    /// Reached the footer marker: the record stream is over. The
+    /// expected footer is a pure function of the offsets tracked while
+    /// reading, so one byte-compare validates marker, count, offsets,
+    /// CRC, length, and trailing magic at once. `marker_tail` is the
+    /// four bytes read after the marker (the low half of `count`).
+    fn check_footer(&mut self, marker_tail: [u8; 4]) -> Option<Result<FlatCheckpoint, CkptError>> {
+        let damaged = Some(Err(CkptError::Corrupted {
+            record: self.record,
+            detail: "index footer damaged",
+        }));
+        let expected = encode_footer(&self.offsets);
+        let mut rest = Vec::with_capacity(expected.len().saturating_sub(8));
+        if self.file.read_to_end(&mut rest).is_err() {
+            return damaged;
+        }
+        if marker_tail == expected[4..8] && rest == expected[8..] {
+            None // clean, fully indexed end of store
+        } else {
+            damaged
+        }
     }
 }
 
@@ -687,9 +803,24 @@ mod tests {
         };
         let bytes = encode_header(0xDEAD_BEEF, &meta);
         let mut cursor = &bytes[..];
-        let (fp, decoded) = decode_header(&mut cursor).unwrap();
+        let (fp, decoded, version) = decode_header(&mut cursor).unwrap();
         assert_eq!(fp, 0xDEAD_BEEF);
         assert_eq!(decoded, meta);
+        assert_eq!(version, FORMAT_VERSION);
+    }
+
+    #[test]
+    fn footer_is_a_pure_function_of_the_offsets() {
+        let offsets = [100u64, 250, 4000];
+        let a = encode_footer(&offsets);
+        let b = encode_footer(&offsets);
+        assert_eq!(a, b);
+        assert_eq!(&a[..4], &FOOTER_MARKER.to_le_bytes());
+        assert_eq!(&a[a.len() - 8..], &INDEX_MAGIC);
+        let footer_len =
+            u64::from_le_bytes(a[a.len() - 16..a.len() - 8].try_into().unwrap()) as usize;
+        assert_eq!(footer_len, a.len() - 16);
+        assert_ne!(a, encode_footer(&[100u64, 250]));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! End-to-end store tests against real warming checkpoints: bit-exact
-//! round-trips, randomized corruption/truncation recovery, and
-//! compatibility gating (version, fingerprint).
+//! round-trips, randomized corruption/truncation recovery (sequential
+//! and mapped readers in lockstep), v1 compatibility, and gating
+//! (version, fingerprint).
 
 use std::fs;
 use std::path::PathBuf;
 
-use smarts_ckpt::{CkptError, CkptReader, CkptWriter, StoreMeta};
+use smarts_ckpt::{CkptError, CkptReader, CkptWriter, MappedStore, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, UnitCheckpoint, Warming};
 use smarts_uarch::MachineConfig;
 use smarts_workloads::{find, Benchmark};
@@ -141,6 +142,20 @@ fn delta_encoding_compresses_below_resident_footprint() {
     fs::remove_file(&path).ok();
 }
 
+/// Decodes every addressable record of a mapped store through one
+/// cursor, returning `(intact count, first failure)` — the mapped-path
+/// mirror of the sequential reader loop, where the failure may also be
+/// the structural damage the open itself retained.
+fn mapped_intact(store: &MappedStore) -> (usize, Option<CkptError>) {
+    let mut cursor = store.cursor();
+    for index in 0..store.len() {
+        if let Err(e) = cursor.flat_at(index) {
+            return (index, Some(e));
+        }
+    }
+    (store.len(), store.damage())
+}
+
 #[test]
 fn any_flipped_record_byte_surfaces_a_typed_error() {
     let cfg = MachineConfig::eight_way();
@@ -152,23 +167,12 @@ fn any_flipped_record_byte_surfaces_a_typed_error() {
     write_store(&path, &cfg, &originals);
     let pristine = fs::read(&path).expect("read store");
 
-    // The header's extent: a store with zero records is header-only.
-    let empty = temp_path("fliprand-header");
-    let summary = CkptWriter::create(
-        &empty,
-        &cfg,
-        &StoreMeta {
-            params,
-            benchmark: bench.name().to_string(),
-            scale: 0.02,
-        },
-    )
-    .expect("create")
-    .finish()
-    .expect("finish");
-    fs::remove_file(&empty).ok();
-    let header_len = summary.bytes as usize;
-    assert!(pristine.len() > header_len);
+    let layout = MappedStore::open(&path, &cfg).expect("pristine store maps");
+    let header_len = layout.header_bytes() as usize;
+    let records_end = layout.records_end() as usize;
+    assert!(layout.index_present() && layout.damage().is_none());
+    drop(layout);
+    assert!(pristine.len() > records_end, "v2 stores carry a footer");
 
     let mut rng = SplitMix64(0xC0FF_EE00_5EED);
     for _ in 0..40 {
@@ -191,8 +195,9 @@ fn any_flipped_record_byte_surfaces_a_typed_error() {
             }
         }
         // A single flipped bit can never decode cleanly: the per-record
-        // CRC covers the payload, and the length/CRC prefix fields fail
-        // as implausible lengths, tears, or CRC mismatches.
+        // CRC covers the payload, the length/CRC prefix fields fail as
+        // implausible lengths, tears, or CRC mismatches, and the index
+        // footer is covered by its own CRC plus frame cross-validation.
         let failure = failure
             .unwrap_or_else(|| panic!("flip at byte {offset} bit {bit} was swallowed silently"));
         assert!(
@@ -202,12 +207,28 @@ fn any_flipped_record_byte_surfaces_a_typed_error() {
             ),
             "unexpected error class for flip at byte {offset}: {failure:?}"
         );
-        assert!(
-            intact < originals.len(),
-            "damage must cost at least one record"
-        );
+        if offset < records_end {
+            assert!(
+                intact < originals.len(),
+                "record damage must cost at least one record"
+            );
+        } else {
+            // A footer flip damages only the index: every record stays
+            // replayable, the damage is still surfaced.
+            assert_eq!(intact, originals.len(), "footer flip at byte {offset}");
+        }
         // Errors are terminal: the stream stays ended.
         assert!(reader.next_checkpoint().is_none());
+
+        // The mapped reader agrees record-for-record: same intact
+        // count, and the damage never goes unreported.
+        let store = MappedStore::open(&path, &cfg).expect("header is intact");
+        let (lazy_intact, lazy_failure) = mapped_intact(&store);
+        assert_eq!(lazy_intact, intact, "flip at byte {offset} bit {bit}");
+        assert!(
+            lazy_failure.is_some(),
+            "mapped store swallowed the flip at byte {offset} bit {bit}"
+        );
     }
     fs::remove_file(&path).ok();
 }
@@ -224,25 +245,24 @@ fn truncation_recovers_the_intact_prefix() {
     let pristine = fs::read(&path).expect("read store");
     let reference: Vec<_> = originals.iter().map(state_words).collect();
 
-    let empty = temp_path("truncrand-header");
-    let header_len = CkptWriter::create(
-        &empty,
-        &cfg,
-        &StoreMeta {
-            params,
-            benchmark: bench.name().to_string(),
-            scale: 0.02,
-        },
-    )
-    .expect("create")
-    .finish()
-    .expect("finish")
-    .bytes as usize;
-    fs::remove_file(&empty).ok();
+    let layout = MappedStore::open(&path, &cfg).expect("pristine store maps");
+    let header_len = layout.header_bytes() as usize;
+    let records_end = layout.records_end() as usize;
+    drop(layout);
 
+    // Random cuts, plus pinned ones for the boundary cases the random
+    // draw may miss: mid-record, exactly at the record/footer seam
+    // (footer fully missing), and mid-footer.
     let mut rng = SplitMix64(0x7A11_FEED);
-    for _ in 0..25 {
-        let cut = header_len + rng.below((pristine.len() - header_len) as u64) as usize;
+    let mut cuts: Vec<usize> = (0..25)
+        .map(|_| header_len + rng.below((pristine.len() - header_len) as u64) as usize)
+        .collect();
+    cuts.push(header_len + (records_end - header_len) / 2); // mid-record
+    cuts.push(records_end); // footer missing entirely
+    cuts.push(records_end + 5); // mid-footer, inside the count field
+    cuts.push(pristine.len() - 3); // mid-footer, inside the magic
+
+    for cut in cuts {
         fs::write(&path, &pristine[..cut]).expect("write truncated copy");
 
         let mut reader = CkptReader::open(&path, &cfg).expect("header is intact");
@@ -262,16 +282,148 @@ fn truncation_recovers_the_intact_prefix() {
                 }
             }
         }
-        assert!(intact < originals.len());
+        if cut < records_end {
+            assert!(intact < originals.len(), "cut at byte {cut}");
+        } else {
+            // Cutting the footer (or just the footer) loses no record.
+            assert_eq!(intact, originals.len(), "cut at byte {cut}");
+        }
+        // Any cut damages a v2 store — at minimum its index footer —
+        // and the damage always carries the intact count.
         match tear {
-            // A cut on a record boundary reads as a short, clean store.
-            None => {}
             Some(CkptError::Truncated { record, recovered }) => {
                 assert_eq!(record, intact as u64);
                 assert_eq!(recovered, intact as u64);
             }
+            Some(CkptError::Corrupted { record, .. }) => {
+                assert_eq!(record, intact as u64);
+            }
             Some(other) => panic!("truncation surfaced as {other:?}"),
+            None => panic!("cut at byte {cut} was swallowed silently"),
         }
+
+        // The mapped reader recovers the same bit-exact prefix and
+        // surfaces the same damage class.
+        let store = MappedStore::open(&path, &cfg).expect("header is intact");
+        let (lazy_intact, lazy_failure) = mapped_intact(&store);
+        assert_eq!(lazy_intact, intact, "cut at byte {cut}");
+        assert!(lazy_failure.is_some(), "cut at byte {cut}");
+        let mut cursor = store.cursor();
+        for (index, expected) in reference.iter().take(lazy_intact).enumerate() {
+            let rebuilt = cursor
+                .flat_at(index)
+                .expect("intact record")
+                .rebuild(&cfg)
+                .expect("rebuilds");
+            assert_eq!(&state_words(&rebuilt), expected);
+        }
+    }
+    fs::remove_file(&path).ok();
+}
+
+/// Rewrites a pristine v2 store as its byte-identical v1 equivalent:
+/// version field set to 1, header CRC recomputed, index footer
+/// stripped. This is exactly what a pre-index build would have
+/// written, so it pins backward compatibility.
+fn make_v1(pristine: &[u8], header_len: usize, records_end: usize) -> Vec<u8> {
+    let mut bytes = pristine[..records_end].to_vec();
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let crc = {
+        // IEEE CRC-32, matching the store codec.
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in &bytes[..header_len - 4] {
+            c ^= b as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+        }
+        !c
+    };
+    bytes[header_len - 4..header_len].copy_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn v1_stores_without_a_footer_still_read_cleanly() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let path = temp_path("v1compat");
+    write_store(&path, &cfg, &originals);
+    let pristine = fs::read(&path).expect("read store");
+    let layout = MappedStore::open(&path, &cfg).expect("pristine store maps");
+    let (header_len, records_end) = (
+        layout.header_bytes() as usize,
+        layout.records_end() as usize,
+    );
+    drop(layout);
+
+    fs::write(&path, make_v1(&pristine, header_len, records_end)).expect("write v1 store");
+
+    // Sequential reader: every record, clean EOF, no footer expected.
+    let mut reader = CkptReader::open(&path, &cfg).expect("v1 opens");
+    let mut intact = 0usize;
+    while let Some(next) = reader.next_checkpoint() {
+        let checkpoint = next.expect("v1 record is intact");
+        assert_eq!(state_words(&checkpoint), state_words(&originals[intact]));
+        intact += 1;
+    }
+    assert_eq!(intact, originals.len());
+
+    // Mapped reader: index-less scan, no damage, same records.
+    let store = MappedStore::open(&path, &cfg).expect("v1 maps");
+    assert_eq!(store.version(), 1);
+    assert!(!store.index_present());
+    assert!(store.damage().is_none());
+    let (lazy_intact, lazy_failure) = mapped_intact(&store);
+    assert_eq!(lazy_intact, originals.len());
+    assert!(lazy_failure.is_none());
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mapped_and_buffered_stores_decode_identically_across_threads() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let path = temp_path("sharedmap");
+    write_store(&path, &cfg, &originals);
+    let reference: Vec<_> = originals.iter().map(state_words).collect();
+
+    for buffered in [false, true] {
+        let store = if buffered {
+            MappedStore::open_buffered(&path, &cfg).expect("buffered open")
+        } else {
+            MappedStore::open(&path, &cfg).expect("mapped open")
+        };
+        // Concurrent readers share one mapping and one CRC memo; each
+        // cursor decodes an interleaved slice of the records.
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let store = &store;
+                let reference = &reference;
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    let mut cursor = store.cursor();
+                    for index in (worker..store.len()).step_by(4) {
+                        let rebuilt = cursor
+                            .flat_at(index)
+                            .expect("record decodes")
+                            .rebuild(cfg)
+                            .expect("record rebuilds");
+                        assert_eq!(state_words(&rebuilt), reference[index]);
+                    }
+                });
+            }
+        });
     }
     fs::remove_file(&path).ok();
 }

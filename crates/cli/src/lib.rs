@@ -73,6 +73,8 @@ pub struct Options {
     pub store_dir: String,
     /// Scheduler worker threads for `serve`.
     pub server_workers: usize,
+    /// Mapped stores the server keeps open across jobs (LRU beyond this).
+    pub max_open_stores: usize,
     /// Write the bound port here after `serve` binds.
     pub port_file: Option<String>,
 }
@@ -103,6 +105,7 @@ impl Default for Options {
             listen: "127.0.0.1:4617".to_string(),
             store_dir: "smarts-store".to_string(),
             server_workers: 2,
+            max_open_stores: smarts_server::DEFAULT_MAX_OPEN_STORES,
             port_file: None,
         }
     }
@@ -126,6 +129,7 @@ pub fn usage() -> String {
      \x20 result                   fetch a finished job's report (--job)\n\
      \x20 cancel                   cancel a queued or running job (--job)\n\
      \x20 shutdown                 ask the server to drain and exit\n\
+     \x20 ckpt-info <store>        inspect a checkpoint store (no replay)\n\
      \x20 help                     this message\n\
      \n\
      options:\n\
@@ -164,6 +168,7 @@ pub fn usage() -> String {
      \x20 --listen <host:port>     serve: listen address       [127.0.0.1:4617]\n\
      \x20 --store-dir <dir>        serve: checkpoint-store directory [smarts-store]\n\
      \x20 --server-workers <n>     serve: concurrent jobs      [2]\n\
+     \x20 --max-open-stores <n>    serve: mapped stores kept open (LRU) [8]\n\
      \x20 --port-file <path>       serve: write the bound port here"
         .to_string()
 }
@@ -281,6 +286,13 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok()
                     .filter(|&n| (1..=256).contains(&n))
                     .ok_or_else(|| "--server-workers takes a count in 1..=256".to_string())?;
+            }
+            "--max-open-stores" => {
+                options.max_open_stores = value("--max-open-stores")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=1024).contains(&n))
+                    .ok_or_else(|| "--max-open-stores takes a count in 1..=1024".to_string())?;
             }
             "--port-file" => options.port_file = Some(value("--port-file")?),
             other => return Err(format!("unknown option {other}")),
@@ -502,6 +514,69 @@ fn cmd_sample_from_store(options: &Options, path: &str) -> Result<(), String> {
         conf,
         Some(&replayed.report),
     );
+    Ok(())
+}
+
+/// Inspects a checkpoint store without replaying it: identity, record
+/// count, and the file-bytes vs decoded-resident-bytes gap that lazy
+/// replay exploits. Opens unchecked, so it works on v1 stores, stores
+/// for a different machine geometry, and damaged stores (the intact
+/// prefix is reported alongside the damage).
+fn cmd_ckpt_info(path: &str) -> Result<(), String> {
+    let store = smarts_ckpt::MappedStore::open_unchecked(path).map_err(|e| e.to_string())?;
+    let meta = store.meta();
+    println!("store         {path}");
+    println!(
+        "identity      bench {}, scale {} (fingerprint {:016x})",
+        meta.benchmark,
+        meta.scale,
+        store.fingerprint()
+    );
+    println!(
+        "design        U={}, W={}, k={}, j={}, warming {:?}",
+        meta.params.unit_size,
+        meta.params.detailed_warming,
+        meta.params.interval,
+        meta.params.offset,
+        meta.params.warming
+    );
+    println!(
+        "format        v{}, index {}, {}",
+        store.version(),
+        if store.index_present() {
+            "present"
+        } else {
+            "absent (addressed by scan)"
+        },
+        if store.is_mapped() {
+            "memory-mapped"
+        } else {
+            "buffered (mmap unavailable)"
+        }
+    );
+    println!("records       {} intact", store.len());
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "file bytes    {} ({:.1} MiB; header {}, records end at {})",
+        store.file_bytes(),
+        mib(store.file_bytes()),
+        store.header_bytes(),
+        store.records_end()
+    );
+    match store.approx_decoded_bytes() {
+        Ok(decoded) => {
+            let ratio = decoded as f64 / store.file_bytes().max(1) as f64;
+            println!(
+                "decoded       ~{decoded} bytes resident if eager ({:.1} MiB, {ratio:.1}x the \
+                 file); lazy replay keeps one decode cursor per worker instead",
+                mib(decoded)
+            );
+        }
+        Err(e) => println!("decoded       unavailable: {e}"),
+    }
+    if let Some(damage) = store.damage() {
+        println!("damage        {damage}; records above are the intact prefix");
+    }
     Ok(())
 }
 
@@ -786,6 +861,7 @@ fn cmd_serve(options: &Options) -> Result<(), String> {
         addr: options.listen.clone(),
         store_dir: std::path::PathBuf::from(&options.store_dir),
         workers: options.server_workers,
+        max_open_stores: options.max_open_stores,
     };
     let server = Server::bind(&config)?;
     let addr = server.local_addr();
@@ -929,6 +1005,10 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "result" => cmd_result(&parse_options(rest)?),
         "cancel" => cmd_cancel(&parse_options(rest)?),
         "shutdown" => cmd_shutdown(&parse_options(rest)?),
+        "ckpt-info" => match rest {
+            [path] => cmd_ckpt_info(path),
+            _ => Err("usage: smarts ckpt-info <store>".into()),
+        },
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -1207,6 +1287,32 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ckpt_info_inspects_a_saved_store_and_rejects_bad_usage() {
+        let path =
+            std::env::temp_dir().join(format!("smarts-cli-ckpt-info-{}.ckpt", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--save-checkpoints",
+            &path_s,
+        ]))
+        .unwrap();
+        dispatch(&strings(&["ckpt-info", &path_s])).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let err = dispatch(&strings(&["ckpt-info"])).unwrap_err();
+        assert!(err.contains("usage"), "unexpected error: {err}");
+        let err = dispatch(&strings(&["ckpt-info", "/nonexistent/store.ckpt"])).unwrap_err();
+        assert!(!err.is_empty());
     }
 
     #[test]

@@ -18,10 +18,17 @@
 //! predictor) — e.g. sweeps over FU counts, window sizes, store-buffer
 //! depth, or branch-penalty parameters reuse one library.
 //!
-//! Memory cost: each checkpoint holds a copy-on-write memory snapshot
-//! (cheap) plus a deep copy of the warm state (a few hundred KiB for the
-//! Table 3 machines), so libraries of a few hundred units are tens of
-//! megabytes.
+//! Memory cost: the library is **delta-resident**. Each unit keeps its
+//! copy-on-write memory snapshot (cheap — unmodified pages are shared)
+//! plus only the sparse set of warm-state words that changed since the
+//! previous unit; one full warm-word image (the first unit's) anchors
+//! the chain. Consecutive units share almost all warm state, so
+//! residency is O(base + Σ deltas) rather than O(units × warm size) —
+//! the same delta representation the on-disk store uses, ported
+//! in-memory. A [`UnitCheckpoint`] is rebuilt transiently at replay
+//! time by rolling a cursor along the delta chain; a small cursor pool
+//! makes sequential (and mostly-sequential parallel) replays O(delta)
+//! per unit instead of O(chain).
 
 use crate::engine::{EngineSnapshot, FunctionalEngine};
 use crate::error::SmartsError;
@@ -32,6 +39,7 @@ use smarts_isa::Program;
 use smarts_uarch::{MachineConfig, Pipeline, WarmState};
 use smarts_workloads::{Benchmark, LoadedBenchmark};
 use std::collections::HashSet;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One reconstitutable sampling unit: architectural state plus warm
@@ -223,26 +231,70 @@ impl UnitReplay {
     }
 }
 
+/// One unit's delta-resident record inside a [`CheckpointLibrary`]:
+/// the copy-on-write memory snapshot plus the sparse set of warm-state
+/// words that differ from the previous unit's image.
+#[derive(Debug, Clone)]
+struct LibraryUnit {
+    unit_start: u64,
+    snapshot: EngineSnapshot,
+    /// `(word index, new value)` pairs against the previous unit's
+    /// warm-word image (empty for the first unit — its full image is
+    /// the library's `base_warm`).
+    warm_delta: Vec<(u32, u64)>,
+}
+
+/// A warm-word image positioned at one unit of the delta chain, kept in
+/// a small pool so mostly-sequential replays advance O(delta) per unit
+/// instead of re-applying the chain from the base every time.
+#[derive(Debug, Clone)]
+struct WarmCursor {
+    unit: usize,
+    words: Vec<u64>,
+}
+
+/// How many rolled-forward warm images the library keeps around for
+/// reuse. Sequential replay needs one; a handful covers parallel
+/// workers striding through disjoint index ranges.
+const CURSOR_POOL_CAP: usize = 8;
+
 /// A library of per-unit checkpoints for one benchmark and one sampling
 /// design, built by a single functional-warming pass.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CheckpointLibrary {
     params: SamplingParams,
     program: smarts_isa::Program,
     warm_geometry: MachineConfig,
-    checkpoints: Vec<UnitCheckpoint>,
+    base_warm: Vec<u64>,
+    units: Vec<LibraryUnit>,
+    cursors: Mutex<Vec<WarmCursor>>,
     build_wall: Duration,
+}
+
+impl Clone for CheckpointLibrary {
+    fn clone(&self) -> Self {
+        // The cursor pool is a cache, not state — a clone starts empty.
+        CheckpointLibrary {
+            params: self.params,
+            program: self.program.clone(),
+            warm_geometry: self.warm_geometry.clone(),
+            base_warm: self.base_warm.clone(),
+            units: self.units.clone(),
+            cursors: Mutex::new(Vec::new()),
+            build_wall: self.build_wall,
+        }
+    }
 }
 
 impl CheckpointLibrary {
     /// Number of checkpointed units.
     pub fn len(&self) -> usize {
-        self.checkpoints.len()
+        self.units.len()
     }
 
     /// Whether the library holds no checkpoints.
     pub fn is_empty(&self) -> bool {
-        self.checkpoints.is_empty()
+        self.units.is_empty()
     }
 
     /// The sampling design the library was built for.
@@ -259,28 +311,92 @@ impl CheckpointLibrary {
     /// The stream offset (in instructions) of each checkpointed unit, in
     /// stream order.
     pub fn unit_starts(&self) -> impl Iterator<Item = u64> + '_ {
-        self.checkpoints.iter().map(|c| c.unit_start)
+        self.units.iter().map(|u| u.unit_start)
     }
 
-    /// The checkpoints themselves, in stream order — the serialization
-    /// source for a persistent checkpoint store.
-    pub fn checkpoints(&self) -> &[UnitCheckpoint] {
-        &self.checkpoints
+    /// Materialises unit `index`'s checkpoint transiently: the memory
+    /// snapshot is shared copy-on-write, and the warm state is rebuilt
+    /// by rolling a cursor along the delta chain. The returned
+    /// checkpoint is bit-identical to the one the warming pass emitted;
+    /// dropping it costs the library nothing (the library itself stays
+    /// delta-resident).
+    pub fn checkpoint(&self, index: usize) -> Option<UnitCheckpoint> {
+        let unit = self.units.get(index)?;
+        Some(UnitCheckpoint {
+            unit_start: unit.unit_start,
+            snapshot: unit.snapshot.clone(),
+            warm: self.warm_at(index),
+        })
     }
 
-    /// Approximate bytes the library holds alive: warm-state copies plus
-    /// memory snapshot pages, with pages shared copy-on-write between
-    /// checkpoints counted once (deduplicated by `Arc` identity).
+    /// Rebuilds the full warm state at `index` from the delta chain,
+    /// reusing (and then returning) a pooled cursor.
+    fn warm_at(&self, index: usize) -> WarmState {
+        let cursor = self.roll_cursor(index);
+        let mut warm = WarmState::new(&self.warm_geometry);
+        let used = warm
+            .load_state(&cursor.words)
+            .expect("library warm words parse against their own geometry");
+        debug_assert_eq!(used, cursor.words.len());
+        let mut pool = self.cursors.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() < CURSOR_POOL_CAP {
+            pool.push(cursor);
+        } else if let Some(slot) = pool.iter_mut().min_by_key(|c| c.unit) {
+            // Evict the least-advanced cursor — it is the cheapest to
+            // recreate from the base image.
+            if slot.unit < cursor.unit {
+                *slot = cursor;
+            }
+        }
+        warm
+    }
+
+    /// Takes the most-advanced pooled cursor at or before `index` (or
+    /// starts a fresh one from the base image) and rolls it forward to
+    /// `index` by applying per-unit deltas.
+    fn roll_cursor(&self, index: usize) -> WarmCursor {
+        let mut cursor = {
+            let mut pool = self.cursors.lock().unwrap_or_else(|p| p.into_inner());
+            let best = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.unit <= index)
+                .max_by_key(|&(_, c)| c.unit)
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => pool.swap_remove(i),
+                None => WarmCursor {
+                    unit: 0,
+                    words: self.base_warm.clone(),
+                },
+            }
+        };
+        while cursor.unit < index {
+            cursor.unit += 1;
+            for &(at, word) in &self.units[cursor.unit].warm_delta {
+                cursor.words[at as usize] = word;
+            }
+        }
+        cursor
+    }
+
+    /// Approximate bytes the library holds alive: memory snapshot pages
+    /// with copy-on-write sharing counted once (deduplicated by `Arc`
+    /// identity), one full warm-word image anchoring the delta chain,
+    /// the sparse per-unit warm deltas, and the cursor pool.
     ///
-    /// This is the O(n units) residency a streamed pipeline avoids by
-    /// holding only a bounded window of checkpoints at a time.
+    /// Because consecutive units share almost all warm state, this is
+    /// O(base + Σ deltas) — far below the one-full-warm-copy-per-unit
+    /// residency a naive library would have.
     pub fn approx_resident_bytes(&self) -> u64 {
         let mut seen = HashSet::new();
-        let mut total = 0u64;
-        for checkpoint in &self.checkpoints {
-            total += checkpoint.snapshot.memory_resident_bytes_dedup(&mut seen) as u64;
-            total += checkpoint.warm.approx_bytes() as u64;
+        let mut total = 8 * self.base_warm.len() as u64;
+        for unit in &self.units {
+            total += unit.snapshot.memory_resident_bytes_dedup(&mut seen) as u64;
+            total += (std::mem::size_of::<(u32, u64)>() * unit.warm_delta.len()) as u64;
         }
+        let pool = self.cursors.lock().unwrap_or_else(|p| p.into_inner());
+        total += pool.iter().map(|c| 8 * c.words.len() as u64).sum::<u64>();
         total
     }
 
@@ -323,16 +439,49 @@ impl SmartsSim {
     ) -> Result<CheckpointLibrary, SmartsError> {
         let loaded = bench.load();
         let program = loaded.program.clone();
-        let mut checkpoints = Vec::new();
+        let mut units: Vec<LibraryUnit> = Vec::new();
+        let mut base_warm: Vec<u64> = Vec::new();
+        let mut prev_words: Vec<u64> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
         let summary = self.stream_checkpoints(loaded, params, |checkpoint| {
-            checkpoints.push(checkpoint);
+            let UnitCheckpoint {
+                unit_start,
+                snapshot,
+                warm,
+            } = checkpoint;
+            words.clear();
+            warm.save_state(&mut words);
+            debug_assert!(words.len() <= u32::MAX as usize);
+            let warm_delta = if units.is_empty() {
+                base_warm = words.clone();
+                Vec::new()
+            } else {
+                // Same geometry on every unit, so the word streams are
+                // positionally aligned and diff sparsely.
+                debug_assert_eq!(words.len(), prev_words.len());
+                words
+                    .iter()
+                    .zip(prev_words.iter())
+                    .enumerate()
+                    .filter(|(_, (now, before))| now != before)
+                    .map(|(at, (&now, _))| (at as u32, now))
+                    .collect()
+            };
+            units.push(LibraryUnit {
+                unit_start,
+                snapshot,
+                warm_delta,
+            });
+            std::mem::swap(&mut prev_words, &mut words);
             true
         })?;
         Ok(CheckpointLibrary {
             params: *params,
             program,
             warm_geometry: self.config().clone(),
-            checkpoints,
+            base_warm,
+            units,
+            cursors: Mutex::new(Vec::new()),
             build_wall: summary.build_wall,
         })
     }
@@ -442,10 +591,10 @@ impl SmartsSim {
                 "warmable-state geometry differs from the library's",
             ));
         }
-        let Some(checkpoint) = library.checkpoints.get(index) else {
+        let Some(checkpoint) = library.checkpoint(index) else {
             return Err(SmartsError::ZeroParameter("checkpoint index out of range"));
         };
-        Ok(self.replay_checkpoint(&library.program, &library.params, checkpoint))
+        Ok(self.replay_checkpoint(&library.program, &library.params, &checkpoint))
     }
 
     /// Replays a single checkpoint without a materialised library: one
@@ -686,6 +835,73 @@ mod tests {
         assert!(naive > deduped, "naive {naive} vs deduped {deduped}");
         // And a single checkpoint is far below the whole library.
         assert!(per_unit_max < deduped);
+    }
+
+    #[test]
+    fn out_of_order_replay_is_bit_identical_to_in_order() {
+        // The delta-resident library rebuilds warm state through a
+        // cursor pool; replay order must not leak into results. Reverse
+        // order forces worst-case chain rewinds (every materialisation
+        // misses the pool and rolls forward from the base image).
+        let sim = sim();
+        let bench = find("hashp-2").unwrap().scaled(0.05);
+        let params = design(&bench, 10);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let forward: Vec<UnitReplay> = (0..library.len())
+            .map(|i| sim.replay_unit(&library, i).unwrap())
+            .collect();
+        for index in (0..library.len()).rev() {
+            let again = sim.replay_unit(&library, index).unwrap();
+            match (&forward[index], &again) {
+                (
+                    UnitReplay::Complete { sample: a, .. },
+                    UnitReplay::Complete { sample: b, .. },
+                ) => {
+                    assert_eq!(a.cycles, b.cycles, "unit {index}");
+                    assert_eq!(a.cpi.to_bits(), b.cpi.to_bits(), "unit {index}");
+                    assert_eq!(a.counters, b.counters, "unit {index}");
+                }
+                (
+                    UnitReplay::Partial {
+                        measured: a,
+                        detailed_warmed: aw,
+                    },
+                    UnitReplay::Partial {
+                        measured: b,
+                        detailed_warmed: bw,
+                    },
+                ) => assert_eq!((a, aw), (b, bw), "unit {index}"),
+                _ => panic!("variant mismatch at unit {index}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_residency_is_far_below_per_unit_warm_copies() {
+        // The pre-delta representation held one full warm-state copy per
+        // unit; the delta chain must beat that comfortably once the
+        // library has more than a handful of units.
+        let sim = sim();
+        let bench = find("loopy-1").unwrap().scaled(0.1);
+        let params = design(&bench, 12);
+        let library = sim.build_library(&bench, &params).unwrap();
+        let mut eager_warm = 0u64;
+        let mut pages = std::collections::HashSet::new();
+        let mut deduped_pages = 0u64;
+        sim.stream_checkpoints(bench.load(), &params, |c| {
+            let mut w = Vec::new();
+            c.warm().save_state(&mut w);
+            eager_warm += 8 * w.len() as u64;
+            deduped_pages += c.snapshot().memory_resident_bytes_dedup(&mut pages) as u64;
+            true
+        })
+        .unwrap();
+        let eager = eager_warm + deduped_pages;
+        let delta = library.approx_resident_bytes();
+        assert!(
+            delta * 2 < eager,
+            "delta-resident {delta} should be well below eager {eager}"
+        );
     }
 
     #[test]

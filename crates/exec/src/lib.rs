@@ -80,5 +80,8 @@ pub use executor::{
     Executor, ParallelDriver, ParallelMode, ParallelReport, PipelineStats, WorkerStats,
     DEFAULT_PIPELINE_DEPTH, DEFAULT_SHARD_WARMUP,
 };
-pub use persist::{replay_store, sample_pipeline_saving, SavedSample, StoreReplay};
+pub use persist::{
+    replay_store, replay_store_eager, replay_store_mapped, sample_pipeline_saving, SavedSample,
+    StoreReplay,
+};
 pub use warm_shard::ShardWarmStats;

@@ -11,9 +11,11 @@
 //! * **saving** tees the producer — every checkpoint is appended to a
 //!   [`CkptWriter`] *before* it enters the channel, so persistence
 //!   overlaps both warming and detailed replay and costs no extra pass;
-//! * **replaying** swaps the warming producer for a [`CkptReader`] —
-//!   the expensive functional-warming pass is skipped entirely, and the
-//!   producer's critical path becomes decode bandwidth.
+//! * **replaying** opens the store zero-copy ([`MappedStore`]) and lets
+//!   each worker pull record *indices* from a shared queue, decoding
+//!   lazily through its own [`smarts_ckpt::StoreCursor`] — no channel,
+//!   no central producer, and peak checkpoint residency of one rolling
+//!   flat image plus one transient checkpoint per worker.
 //!
 //! A store records its functional-warming geometry fingerprint, so the
 //! warm-once/replay-many contract is checked, not assumed: replaying
@@ -21,15 +23,28 @@
 //! [`CkptError::FingerprintMismatch`](smarts_ckpt::CkptError::FingerprintMismatch),
 //! while machines differing only in detailed-core parameters (widths,
 //! window, FUs) replay the same store freely.
+//!
+//! [`replay_store`] (lazy, mmap-backed) and [`replay_store_eager`]
+//! (streaming [`CkptReader`] through the pipeline channel) produce
+//! byte-identical reports at any worker count; the eager path is kept
+//! as the identity oracle and for callers that cannot map the file.
 
 use std::path::Path;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
+use crate::cancel::PipelineProgress;
 use crate::error::ExecError;
-use crate::executor::{Executor, ParallelReport};
-use crate::pipeline::{finish_pipeline_report, run_pipeline};
-use smarts_ckpt::{CkptError, CkptReader, CkptWriter, StoreMeta, WriteSummary};
-use smarts_core::{SamplingParams, SmartsSim};
+use crate::executor::{
+    merge_outcomes, Executor, ParallelMode, ParallelReport, PipelineStats, WorkerStats,
+};
+use crate::pipeline::{finish_pipeline_report, run_pipeline, Residency};
+use crate::pool::run_workers;
+use smarts_ckpt::{CkptError, CkptReader, CkptWriter, MappedStore, StoreMeta, WriteSummary};
+use smarts_core::{
+    ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim, UnitReplay,
+};
 use smarts_workloads::{find, Benchmark};
 
 /// Result of a warm-and-save run: the live sampling report plus the
@@ -152,7 +167,198 @@ pub fn sample_pipeline_saving(
 /// replayed and the first typed error is reported in
 /// [`StoreReplay::damage`]. A store whose intact prefix is empty yields
 /// [`ExecError::Ckpt`] with that first error.
+///
+/// The store is opened zero-copy ([`MappedStore`]) and decoded lazily;
+/// the report is byte-identical to [`replay_store_eager`]'s at any
+/// worker count.
 pub fn replay_store(
+    executor: &Executor,
+    sim: &SmartsSim,
+    path: impl AsRef<Path>,
+) -> Result<StoreReplay, ExecError> {
+    let store = MappedStore::open(path, sim.config())?;
+    replay_store_mapped(executor, sim, &store)
+}
+
+/// Replays an already-open [`MappedStore`] — the shared-store path: the
+/// job server keeps stores mapped across jobs and replays them here
+/// without reopening (or re-reading) the file.
+///
+/// Workers pull record indices from a shared queue and decode them
+/// lazily through per-worker [`smarts_ckpt::StoreCursor`]s over the one
+/// shared mapping, so peak checkpoint residency is O(jobs), not
+/// O(units) and not O(pipeline depth). Record CRCs are verified on
+/// first touch; the first damaged record severs the delta chain, so the
+/// intact prefix below it is exactly what gets replayed — the same
+/// prefix (and the same report) the eager sequential reader yields.
+///
+/// # Errors
+///
+/// As for [`replay_store`], minus the open-time validation (already
+/// done by [`MappedStore::open`]).
+pub fn replay_store_mapped(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+) -> Result<StoreReplay, ExecError> {
+    let jobs = executor.jobs();
+    let meta = store.meta().clone();
+    let bench = find(&meta.benchmark)
+        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
+        .scaled(meta.scale);
+    let program = bench.load().program;
+    let params = meta.params;
+    let count = store.len();
+    let control = executor.control();
+    let cancel = &control.cancel;
+    let progress = control.progress.as_deref();
+
+    let queue = AtomicUsize::new(0);
+    let replayed = AtomicU64::new(0);
+    let residency = Residency::default();
+    // First damaged record (index, error): lower claims win, and a
+    // severed delta chain means no outcome past the floor can exist.
+    let damage: Mutex<Option<(u64, CkptError)>> = Mutex::new(None);
+    let note_damage = |index: u64, error: CkptError| {
+        let mut guard = damage.lock().unwrap_or_else(|p| p.into_inner());
+        match &*guard {
+            Some((floor, _)) if *floor <= index => {}
+            _ => *guard = Some((index, error)),
+        }
+    };
+
+    struct WorkerOutput {
+        stats: WorkerStats,
+        outcomes: Vec<(usize, UnitReplay)>,
+    }
+
+    let t0 = Instant::now();
+    let outputs = run_workers(jobs, |worker| -> WorkerOutput {
+        let start = Instant::now();
+        let mut cursor = store.cursor();
+        let mut outcomes = Vec::new();
+        let mut instructions = ModeInstructions::default();
+        loop {
+            if cancel.is_cancelled() {
+                break;
+            }
+            let index = queue.fetch_add(1, Ordering::Relaxed);
+            if index >= count {
+                break;
+            }
+            let flat = match cursor.flat_at(index) {
+                Ok(flat) => flat,
+                Err(e) => {
+                    // Decoding `index` walks the chain through every
+                    // earlier record, so the failure is at or before
+                    // `index` — and every later claim would hit it too.
+                    note_damage(index as u64, e);
+                    break;
+                }
+            };
+            let checkpoint = match flat.rebuild(sim.config()) {
+                Ok(checkpoint) => checkpoint,
+                Err(detail) => {
+                    note_damage(
+                        index as u64,
+                        CkptError::Corrupted {
+                            record: index as u64,
+                            detail,
+                        },
+                    );
+                    break;
+                }
+            };
+            let bytes = flat.approx_bytes() + checkpoint.approx_resident_bytes();
+            residency.add(bytes);
+            let outcome = sim.replay_checkpoint(&program, &params, &checkpoint);
+            drop(checkpoint);
+            residency.remove(bytes);
+            outcome.account(&mut instructions);
+            outcomes.push((index, outcome));
+            let done = replayed.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(observe) = progress {
+                observe(PipelineProgress {
+                    emitted: count as u64,
+                    replayed: done,
+                });
+            }
+        }
+        WorkerOutput {
+            stats: WorkerStats {
+                worker,
+                units: outcomes.len() as u64,
+                wall: start.elapsed(),
+                instructions,
+            },
+            outcomes,
+        }
+    })?;
+    let parallel_wall = t0.elapsed();
+    if cancel.is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
+
+    let mut workers = Vec::with_capacity(jobs);
+    let mut outcomes: Vec<(usize, UnitReplay)> = Vec::with_capacity(count);
+    for output in outputs {
+        workers.push(output.stats);
+        outcomes.extend(output.outcomes);
+    }
+    let chain_damage = damage.into_inner().unwrap_or_else(|p| p.into_inner());
+    // Pre-existing structural damage (a missing or torn index footer
+    // already truncated the frame table) takes the same shape: the
+    // intact prefix replays, the typed error is surfaced.
+    let (records, damage) = match chain_damage {
+        Some((index, error)) => (index, Some(error)),
+        None => (count as u64, store.damage()),
+    };
+
+    let (units, instructions) = merge_outcomes(outcomes);
+    if units.is_empty() {
+        if let Some(error) = damage {
+            return Err(ExecError::Ckpt(error));
+        }
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    let report =
+        SampleReport::from_units(params, units, instructions, Duration::ZERO, parallel_wall);
+    Ok(StoreReplay {
+        report: ParallelReport {
+            report,
+            mode: ParallelMode::Checkpoint,
+            jobs,
+            workers,
+            build_wall: Duration::ZERO,
+            parallel_wall,
+            pipeline: Some(PipelineStats {
+                // No channel: workers claim indices directly.
+                depth: 0,
+                producer_wall: Duration::ZERO,
+                emitted: records,
+                peak_resident_checkpoints: residency.peak_count.load(Ordering::Relaxed),
+                peak_resident_bytes: residency.peak_bytes.load(Ordering::Relaxed),
+            }),
+            shard: None,
+        },
+        meta,
+        records,
+        damage,
+    })
+}
+
+/// Replays a persisted checkpoint store through the pipeline channel,
+/// decoding records eagerly on a producer thread ([`CkptReader`]) while
+/// `jobs` consumers replay them.
+///
+/// [`replay_store`] (lazy, mmap-backed) produces a byte-identical
+/// report; this path is kept as the identity oracle for tests and for
+/// callers that cannot memory-map the file.
+///
+/// # Errors
+///
+/// As for [`replay_store`].
+pub fn replay_store_eager(
     executor: &Executor,
     sim: &SmartsSim,
     path: impl AsRef<Path>,

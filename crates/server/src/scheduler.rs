@@ -23,7 +23,7 @@ use std::sync::Arc;
 use smarts_ckpt::StoreMeta;
 use smarts_core::{SamplingParams, SmartsSim, Warming};
 use smarts_exec::{
-    replay_store, sample_pipeline_saving, CancelToken, ExecError, Executor, ParallelMode,
+    replay_store_mapped, sample_pipeline_saving, CancelToken, ExecError, Executor, ParallelMode,
 };
 use smarts_uarch::MachineConfig;
 use smarts_workloads::find;
@@ -160,16 +160,21 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
                     r.state = JobState::Replaying;
                 }
             });
-            (
-                ResultSource::Store,
-                replay_store(&executor, &sim, path).and_then(|replayed| match replayed.damage {
-                    // The server never serves a damaged store: the
-                    // rename-on-success protocol makes this unreachable
-                    // short of on-disk corruption after commit.
-                    Some(damage) => Err(ExecError::Ckpt(damage)),
-                    None => Ok(replayed.report.report),
+            // Pull the shared mapping from the LRU open-store cache so
+            // back-to-back jobs on a hot store reuse one zero-copy map.
+            let outcome = match shared.stores.open_store(fingerprint, path, &cfg) {
+                Ok(store) => replay_store_mapped(&executor, &sim, &store).and_then(|replayed| {
+                    match replayed.damage {
+                        // The server never serves a damaged store: the
+                        // rename-on-success protocol makes this unreachable
+                        // short of on-disk corruption after commit.
+                        Some(damage) => Err(ExecError::Ckpt(damage)),
+                        None => Ok(replayed.report.report),
+                    }
                 }),
-            )
+                Err(message) => return JobEnd::Failed(message),
+            };
+            (ResultSource::Store, outcome)
         }
     };
 

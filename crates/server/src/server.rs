@@ -37,6 +37,9 @@ pub struct ServerConfig {
     pub store_dir: PathBuf,
     /// Scheduler worker threads (jobs running concurrently).
     pub workers: usize,
+    /// Cap on checkpoint stores held open (memory-mapped) across jobs;
+    /// least-recently-used mappings are evicted past the cap.
+    pub max_open_stores: usize,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +48,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             store_dir: PathBuf::from("smarts-store"),
             workers: 2,
+            max_open_stores: crate::store_mgr::DEFAULT_MAX_OPEN_STORES,
         }
     }
 }
@@ -86,7 +90,8 @@ impl Server {
             .map_err(|e| format!("cannot read bound address: {e}"))?;
         let shared = Arc::new(Shared {
             jobs: JobTable::new(),
-            stores: StoreManager::new(&config.store_dir)?,
+            stores: StoreManager::new(&config.store_dir)?
+                .with_max_open_stores(config.max_open_stores),
             cache: ResultsCache::new(),
         });
         let workers = (0..config.workers.max(1))
@@ -399,6 +404,9 @@ fn handle_line(
                     ("warm_passes", Json::U64(shared.stores.warm_passes())),
                     ("store_hits", Json::U64(shared.stores.store_hits())),
                     ("cache_hits", Json::U64(shared.cache.hits())),
+                    ("open_stores", Json::U64(shared.stores.open_stores() as u64)),
+                    ("stores_opened", Json::U64(shared.stores.stores_opened())),
+                    ("stores_evicted", Json::U64(shared.stores.stores_evicted())),
                 ]),
             )?;
         }

@@ -19,14 +19,23 @@
 //! to "store is complete": a crash or cancellation can only ever leave
 //! a `.partial` file behind, which is a CRC-intact salvageable prefix
 //! (see `smarts-ckpt`'s truncation tolerance) but is never served.
+//!
+//! Committed stores are also held **open** (memory-mapped) across jobs:
+//! [`StoreManager::open_store`] returns a shared
+//! [`MappedStore`](smarts_ckpt::MappedStore) from a small LRU cache, so
+//! repeated replays of a hot store skip the open/validate work and
+//! share one zero-copy mapping. A store file never changes after its
+//! rename-on-commit (same fingerprint ⇒ byte-identical content), so
+//! cached mappings need no invalidation — only LRU eviction when the
+//! cap is exceeded.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use smarts_ckpt::{read_store_meta, StoreMeta};
+use smarts_ckpt::{read_store_meta, MappedStore, StoreMeta};
 use smarts_exec::CancelToken;
 use smarts_uarch::MachineConfig;
 
@@ -59,6 +68,36 @@ pub enum StoreTicket {
     },
 }
 
+/// Default cap on concurrently open (memory-mapped) stores.
+pub const DEFAULT_MAX_OPEN_STORES: usize = 8;
+
+/// The LRU cache of open mappings. `order` holds fingerprints from
+/// least- to most-recently used; `stores` owns the shared mappings.
+struct OpenStores {
+    cap: usize,
+    stores: HashMap<u64, Arc<MappedStore>>,
+    order: VecDeque<u64>,
+}
+
+impl std::fmt::Debug for OpenStores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenStores")
+            .field("cap", &self.cap)
+            .field("open", &self.order.len())
+            .finish()
+    }
+}
+
+impl OpenStores {
+    /// Moves `fingerprint` to the most-recently-used position.
+    fn touch(&mut self, fingerprint: u64) {
+        if let Some(at) = self.order.iter().position(|&fp| fp == fingerprint) {
+            self.order.remove(at);
+        }
+        self.order.push_back(fingerprint);
+    }
+}
+
 /// Shared manager for the server's store directory.
 #[derive(Debug)]
 pub struct StoreManager {
@@ -67,6 +106,9 @@ pub struct StoreManager {
     changed: Condvar,
     warm_passes: AtomicU64,
     store_hits: AtomicU64,
+    open: Mutex<OpenStores>,
+    stores_opened: AtomicU64,
+    stores_evicted: AtomicU64,
 }
 
 impl StoreManager {
@@ -85,7 +127,22 @@ impl StoreManager {
             changed: Condvar::new(),
             warm_passes: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
+            open: Mutex::new(OpenStores {
+                cap: DEFAULT_MAX_OPEN_STORES,
+                stores: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            stores_opened: AtomicU64::new(0),
+            stores_evicted: AtomicU64::new(0),
         })
+    }
+
+    /// Caps the number of stores held open (memory-mapped) at once.
+    /// A cap of zero is clamped to one.
+    #[must_use]
+    pub fn with_max_open_stores(self, cap: usize) -> StoreManager {
+        self.open.lock().expect("open-store cache poisoned").cap = cap.max(1);
+        self
     }
 
     /// The directory stores live under.
@@ -211,6 +268,65 @@ impl StoreManager {
             states.remove(fingerprint);
             self.changed.notify_all();
         }
+    }
+
+    /// Returns the shared mapping for a committed store, opening (and
+    /// caching) it on first use. Hits touch the LRU order; misses map
+    /// the file at `path` and may evict the least-recently-used mapping
+    /// past the cap. Eviction only drops the cache's `Arc` — jobs
+    /// mid-replay keep their clone alive until they finish.
+    ///
+    /// Committed store files are immutable (rename-on-commit) and
+    /// content-deterministic per fingerprint, so a cached mapping never
+    /// goes stale.
+    ///
+    /// # Errors
+    ///
+    /// Any `smarts-ckpt` open/validation error, as a message.
+    pub fn open_store(
+        &self,
+        fingerprint: u64,
+        path: &Path,
+        cfg: &MachineConfig,
+    ) -> Result<Arc<MappedStore>, String> {
+        let mut open = self.open.lock().expect("open-store cache poisoned");
+        if let Some(store) = open.stores.get(&fingerprint).cloned() {
+            open.touch(fingerprint);
+            return Ok(store);
+        }
+        let store = Arc::new(
+            MappedStore::open(path, cfg)
+                .map_err(|e| format!("cannot open store {}: {e}", path.display()))?,
+        );
+        self.stores_opened.fetch_add(1, Ordering::Relaxed);
+        open.stores.insert(fingerprint, Arc::clone(&store));
+        open.order.push_back(fingerprint);
+        while open.order.len() > open.cap {
+            if let Some(oldest) = open.order.pop_front() {
+                open.stores.remove(&oldest);
+                self.stores_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(store)
+    }
+
+    /// Stores currently held open in the LRU cache.
+    pub fn open_stores(&self) -> usize {
+        self.open
+            .lock()
+            .expect("open-store cache poisoned")
+            .order
+            .len()
+    }
+
+    /// Mappings opened (cache misses) since the manager was created.
+    pub fn stores_opened(&self) -> u64 {
+        self.stores_opened.load(Ordering::Relaxed)
+    }
+
+    /// Mappings evicted from the LRU cache since the manager was created.
+    pub fn stores_evicted(&self) -> u64 {
+        self.stores_evicted.load(Ordering::Relaxed)
     }
 
     /// Warming passes started since the manager was created.
@@ -418,6 +534,59 @@ mod tests {
             StoreTicket::Warm { .. }
         ));
         assert_eq!(mgr.warm_passes(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_store_cache_hits_evicts_lru_and_counts() {
+        use smarts_ckpt::CkptWriter;
+        let root = temp_root("openlru");
+        let mgr = StoreManager::new(&root).unwrap().with_max_open_stores(2);
+        let cfg = MachineConfig::eight_way();
+
+        // Seed three distinct committed stores.
+        let fps: Vec<u64> = (0..3u64)
+            .map(|offset| {
+                let mut meta = test_meta();
+                meta.params.offset = offset;
+                let fp = meta.fingerprint(&cfg);
+                let writer = CkptWriter::create(mgr.final_path(fp), &cfg, &meta).unwrap();
+                writer.finish().unwrap();
+                fp
+            })
+            .collect();
+        let path = |fp: u64| mgr.final_path(fp);
+
+        let a = mgr.open_store(fps[0], &path(fps[0]), &cfg).unwrap();
+        let a_again = mgr.open_store(fps[0], &path(fps[0]), &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &a_again), "hit must share the mapping");
+        assert_eq!(mgr.stores_opened(), 1);
+        assert_eq!(mgr.stores_evicted(), 0);
+
+        mgr.open_store(fps[1], &path(fps[1]), &cfg).unwrap();
+        assert_eq!(mgr.open_stores(), 2);
+
+        // Touch store 0 so store 1 is now least-recently used, then
+        // overflow the cap: store 1 must be the eviction victim.
+        mgr.open_store(fps[0], &path(fps[0]), &cfg).unwrap();
+        mgr.open_store(fps[2], &path(fps[2]), &cfg).unwrap();
+        assert_eq!(mgr.open_stores(), 2);
+        assert_eq!(mgr.stores_evicted(), 1);
+        assert_eq!(mgr.stores_opened(), 3);
+
+        // Store 0 survived the eviction (still a hit); store 1 did not.
+        mgr.open_store(fps[0], &path(fps[0]), &cfg).unwrap();
+        assert_eq!(mgr.stores_opened(), 3);
+        mgr.open_store(fps[1], &path(fps[1]), &cfg).unwrap();
+        assert_eq!(mgr.stores_opened(), 4);
+        assert_eq!(mgr.stores_evicted(), 2);
+
+        // A junk file fails to open and is not cached.
+        let junk = root.join("junk.ck");
+        std::fs::write(&junk, b"not a store").unwrap();
+        let err = mgr.open_store(0xdead, &junk, &cfg).unwrap_err();
+        assert!(err.contains("cannot open store"), "unexpected error: {err}");
+        assert_eq!(mgr.open_stores(), 2);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -5,7 +5,9 @@
 
 use std::path::PathBuf;
 
-use smarts::exec::{replay_store, sample_pipeline_saving, Executor, ParallelMode};
+use smarts::exec::{
+    replay_store, replay_store_eager, sample_pipeline_saving, Executor, ParallelMode,
+};
 use smarts::prelude::*;
 
 fn store_path(tag: &str) -> PathBuf {
@@ -83,6 +85,9 @@ fn store_replay_is_bit_identical_across_the_suite() {
 
         for jobs in [1usize, 2, 8] {
             let executor = Executor::new(jobs).expect("executor");
+            // Lazy mmap replay (the `replay_store` default) and the
+            // eager full-decode oracle must agree byte-for-byte with
+            // each other and with sequential library replay.
             let replayed = replay_store(&executor, &sim, &path).expect("store replay");
             assert!(
                 replayed.damage.is_none(),
@@ -94,6 +99,14 @@ fn store_replay_is_bit_identical_across_the_suite() {
                 &replayed.report.report,
                 &sequential,
                 &format!("{} from disk at {jobs} jobs", bench.name()),
+            );
+            let eager = replay_store_eager(&executor, &sim, &path).expect("eager store replay");
+            assert!(eager.damage.is_none());
+            assert_eq!(eager.records, replayed.records);
+            assert_bit_identical(
+                &eager.report.report,
+                &replayed.report.report,
+                &format!("{} eager vs lazy at {jobs} jobs", bench.name()),
             );
         }
         std::fs::remove_file(&path).ok();
@@ -170,11 +183,29 @@ fn tail_damage_costs_only_the_damaged_suffix() {
     let saved =
         sample_pipeline_saving(&saver, &sim, &bench, scale, &p, &path).expect("warm-and-save run");
 
+    let bytes = std::fs::read(&path).expect("read store");
+    let records_end = smarts::ckpt::MappedStore::open(&path, sim.config())
+        .expect("pristine store maps")
+        .records_end() as usize;
+
+    // Clip the index footer: no record is lost — the full sample comes
+    // back — but the damage is still surfaced as a typed error.
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate footer");
+    let executor = Executor::new(2).expect("executor");
+    let replayed = replay_store(&executor, &sim, &path).expect("footer-damaged replay");
+    assert_eq!(replayed.records, saved.write.records);
+    assert!(
+        matches!(
+            replayed.damage,
+            Some(smarts::ckpt::CkptError::Corrupted { .. })
+        ),
+        "expected an index-damage report, got {:?}",
+        replayed.damage
+    );
+
     // Tear the last record: the intact prefix must still replay, with
     // the damage surfaced as a typed error instead of a failure.
-    let bytes = std::fs::read(&path).expect("read store");
-    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate store");
-
+    std::fs::write(&path, &bytes[..records_end - 3]).expect("truncate store");
     let executor = Executor::new(2).expect("executor");
     let replayed = replay_store(&executor, &sim, &path).expect("prefix replay");
     assert_eq!(replayed.records, saved.write.records - 1);

@@ -34,6 +34,7 @@ impl RunningServer {
             addr: "127.0.0.1:0".to_string(),
             store_dir: store_dir.to_path_buf(),
             workers,
+            ..ServerConfig::default()
         })
         .expect("bind ephemeral server");
         let addr = server.local_addr().to_string();
