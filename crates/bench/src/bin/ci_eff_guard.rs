@@ -1,0 +1,362 @@
+//! CI sampler-efficiency regression guard: the detailed-instruction
+//! cost of reaching ±3% @ 99.7% under the stratified/adaptive samplers
+//! must not regress against the checked-in baseline.
+//!
+//! Reads the checked-in reference `results/bench_ci_eff.json` (this
+//! binary never writes it — the `ci_eff` binary owns the file and CI
+//! runs this guard *before* re-generating it), re-runs the same
+//! deterministic measurement at the reference scale, and fails when
+//!
+//! * the checked-in reference itself no longer states the headline
+//!   criterion (≥ half the suite saving ≥ 30% honestly) — a bad
+//!   baseline must not be quietly accepted,
+//! * any re-measured workload whose reference had an honest win now
+//!   needs more than `1 + TOLERANCE` times the reference's cheapest
+//!   honest detailed-instruction cost (or lost its honest win
+//!   entirely), or
+//! * (full mode only) the recomputed suite no longer meets the
+//!   headline criterion, or the mean best saving drops more than
+//!   [`TOLERANCE`] relative below the reference.
+//!
+//! The measurement is seeded and simulator-deterministic, so an
+//! untouched tree reproduces the reference exactly; the tolerance
+//! exists to let deliberate sampler tuning land without ping-ponging
+//! the baseline. `--quick` re-measures only the first
+//! [`QUICK_WORKLOADS`] suite workloads (at the reference scale — the
+//! pool geometry must match for the comparison to mean anything).
+
+use smarts_bench::ci_eff::{measure, Row, EPSILON, SAVINGS_BAR, SEED, UNIT_SIZE};
+use smarts_bench::upct;
+use smarts_core::SmartsSim;
+use smarts_stats::Confidence;
+use smarts_uarch::MachineConfig;
+
+/// Largest tolerated relative cost increase (and relative mean-saving
+/// drop) against the checked-in reference.
+const TOLERANCE: f64 = 0.20;
+
+/// Workloads re-measured under `--quick` (suite order).
+const QUICK_WORKLOADS: usize = 4;
+
+/// One parsed reference workload entry.
+struct RefRow {
+    benchmark: String,
+    pool: u64,
+    per_unit: u64,
+    stratified_n: u64,
+    stratified_honest: bool,
+    adaptive_n: u64,
+    adaptive_honest: bool,
+    best_savings: f64,
+}
+
+impl RefRow {
+    /// Cheapest honest detailed-instruction cost in the reference, or
+    /// `None` when neither strategy honestly met the target there.
+    fn honest_cost(&self) -> Option<u64> {
+        [
+            (self.stratified_honest, self.stratified_n),
+            (self.adaptive_honest, self.adaptive_n),
+        ]
+        .into_iter()
+        .filter(|(honest, _)| *honest)
+        .map(|(_, n)| n * self.per_unit)
+        .min()
+    }
+}
+
+struct Reference {
+    scale: f64,
+    seed: u64,
+    rows: Vec<RefRow>,
+    workloads_total: u64,
+    workloads_saving30: u64,
+    best_savings_mean: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ci_eff_guard: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let args = smarts_bench::HarnessArgs::parse();
+    let path = "results/bench_ci_eff.json";
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read reference {path}: {e}")));
+    let reference =
+        parse_reference(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    if reference.seed != SEED {
+        fail(&format!(
+            "reference seed {} does not match the build's seed {SEED}; regenerate {path}",
+            reference.seed
+        ));
+    }
+    // The reference must itself state the acceptance criterion; a
+    // regenerated baseline that lost it should never be checked in.
+    if reference.workloads_saving30 * 2 < reference.workloads_total {
+        fail(&format!(
+            "checked-in reference only has {}/{} workloads saving ≥{}% — the baseline \
+             itself fails the headline criterion",
+            reference.workloads_saving30,
+            reference.workloads_total,
+            SAVINGS_BAR * 100.0
+        ));
+    }
+
+    smarts_bench::banner(
+        "Sampler CI-efficiency guard",
+        &format!(
+            "fails if any workload's honest cost to reach ±{}% @ 99.7% rises more than \
+             {:.0}% over results/bench_ci_eff.json, or the suite criterion is lost",
+            EPSILON * 100.0,
+            TOLERANCE * 100.0
+        ),
+    );
+
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let conf = Confidence::THREE_SIGMA;
+    // Always re-measure at the *reference* scale: quick mode trims the
+    // workload list, never the pool geometry, because honest costs are
+    // only comparable on identical pools.
+    let suite: Vec<_> = smarts_workloads::suite()
+        .into_iter()
+        .map(|b| b.scaled(reference.scale))
+        .take(if args.quick {
+            QUICK_WORKLOADS
+        } else {
+            usize::MAX
+        })
+        .collect();
+
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>10} {:>10}  verdict",
+        "benchmark", "pool", "ref cost", "now cost", "ref best", "now best"
+    );
+    let mut failures = Vec::new();
+    let mut rows = Vec::new();
+    for bench in &suite {
+        let row = measure(&sim, &cfg, bench, conf);
+        let reference_row = reference
+            .rows
+            .iter()
+            .find(|r| r.benchmark == row.benchmark)
+            .unwrap_or_else(|| fail(&format!("reference has no entry for {}", row.benchmark)));
+        if reference_row.pool != row.pool {
+            fail(&format!(
+                "{}: pool {} does not match the reference pool {} — stale reference \
+                 (workload or scale changed); regenerate {path}",
+                row.benchmark, row.pool, reference_row.pool
+            ));
+        }
+        let verdict = judge(&row, reference_row);
+        println!(
+            "{:<12} {:>6} {:>12} {:>12} {:>10} {:>10}  {}",
+            row.benchmark,
+            row.pool,
+            cost_str(reference_row.honest_cost()),
+            cost_str(row.honest_cost()),
+            upct(reference_row.best_savings),
+            upct(row.best_savings()),
+            if verdict.is_none() { "ok" } else { "REGRESSED" }
+        );
+        if let Some(why) = verdict {
+            failures.push(format!("{}: {why}", row.benchmark));
+        }
+        rows.push(row);
+    }
+
+    // Suite-wide gates only make sense over the full suite.
+    if !args.quick {
+        let total = rows.len();
+        let qualifying = rows.iter().filter(|r| r.qualifies()).count();
+        if qualifying * 2 < total {
+            failures.push(format!(
+                "suite criterion lost: only {qualifying}/{total} workloads save ≥{}% \
+                 honestly (reference had {}/{})",
+                SAVINGS_BAR * 100.0,
+                reference.workloads_saving30,
+                reference.workloads_total
+            ));
+        }
+        let mean_best = rows.iter().map(Row::best_savings).sum::<f64>() / total.max(1) as f64;
+        let floor = reference.best_savings_mean * (1.0 - TOLERANCE);
+        if mean_best < floor {
+            failures.push(format!(
+                "mean best saving {} fell more than {:.0}% below the reference {}",
+                upct(mean_best),
+                TOLERANCE * 100.0,
+                upct(reference.best_savings_mean)
+            ));
+        }
+        println!(
+            "\nsuite: {qualifying}/{total} workloads saving ≥{}%, mean best saving {} \
+             (reference {}/{}, {})",
+            SAVINGS_BAR * 100.0,
+            upct(mean_best),
+            reference.workloads_saving30,
+            reference.workloads_total,
+            upct(reference.best_savings_mean)
+        );
+    }
+
+    if failures.is_empty() {
+        println!("\nsampler CI efficiency within the guard");
+    } else {
+        eprintln!();
+        for failure in &failures {
+            eprintln!("ci_eff_guard: {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Per-workload verdict: `None` when within the guard, else why not.
+fn judge(now: &Row, reference: &RefRow) -> Option<String> {
+    let Some(ref_cost) = reference.honest_cost() else {
+        // The reference had no honest win here; nothing to regress
+        // from (improvements are welcome and land via regeneration).
+        return None;
+    };
+    let Some(now_cost) = now.honest_cost() else {
+        return Some(format!(
+            "lost its honest win (reference reached the target in {ref_cost} detailed \
+             instructions)"
+        ));
+    };
+    let ceiling = (ref_cost as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+    if now_cost > ceiling {
+        return Some(format!(
+            "honest cost rose {now_cost} > {ceiling} (reference {ref_cost} + {:.0}%)",
+            TOLERANCE * 100.0
+        ));
+    }
+    None
+}
+
+fn cost_str(cost: Option<u64>) -> String {
+    match cost {
+        Some(c) => c.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Extracts the reference. Hand-rolled (the workspace builds offline,
+/// no serde): the `ci_eff` binary writes one key per line exactly so
+/// this scanner can re-read it. A `"benchmark"` key opens a new
+/// workload entry; scalar keys before the first entry or after the
+/// workload array are file-level.
+fn parse_reference(text: &str) -> Result<Reference, String> {
+    let mut scale = None;
+    let mut seed = None;
+    let mut unit_size = None;
+    let mut total = None;
+    let mut saving30 = None;
+    let mut mean = None;
+    let mut rows: Vec<RefRow> = Vec::new();
+
+    fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+        value.parse().map_err(|_| format!("bad {key} `{value}`"))
+    }
+
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(value) = key_value(line, "benchmark") {
+            rows.push(RefRow {
+                benchmark: value.trim_matches('"').to_string(),
+                pool: 0,
+                per_unit: 0,
+                stratified_n: 0,
+                stratified_honest: false,
+                adaptive_n: 0,
+                adaptive_honest: false,
+                best_savings: 0.0,
+            });
+            continue;
+        }
+        if let Some(row) = rows.last_mut() {
+            if let Some(value) = key_value(line, "pool") {
+                row.pool = parse("pool", value)?;
+            } else if let Some(value) = key_value(line, "detailed_per_unit") {
+                row.per_unit = parse("detailed_per_unit", value)?;
+            } else if let Some(value) = key_value(line, "stratified_n") {
+                row.stratified_n = parse("stratified_n", value)?;
+            } else if let Some(value) = key_value(line, "adaptive_n") {
+                row.adaptive_n = parse("adaptive_n", value)?;
+            } else if let Some(value) = key_value(line, "best_savings") {
+                row.best_savings = parse("best_savings", value)?;
+            } else {
+                // Honesty is target_met ∧ error ≤ ε, recomputed from the
+                // recorded per-strategy fields.
+                for tag in ["stratified", "adaptive"] {
+                    let met = key_value(line, &format!("{tag}_target_met"))
+                        .map(|v| parse(&format!("{tag}_target_met"), v))
+                        .transpose()?;
+                    let err: Option<f64> = key_value(line, &format!("{tag}_error"))
+                        .map(|v| parse(&format!("{tag}_error"), v))
+                        .transpose()?;
+                    let honest = match tag {
+                        "stratified" => &mut row.stratified_honest,
+                        _ => &mut row.adaptive_honest,
+                    };
+                    if let Some(met) = met {
+                        *honest = met;
+                    }
+                    if let Some(err) = err {
+                        *honest = *honest && err <= EPSILON;
+                    }
+                }
+            }
+        }
+        // File-level scalars (never shadowed: workload entries have no
+        // key named scale/seed/unit_size/workloads_*/best_savings_mean).
+        if let Some(value) = key_value(line, "scale") {
+            scale = Some(parse("scale", value)?);
+        } else if let Some(value) = key_value(line, "seed") {
+            seed = Some(parse("seed", value)?);
+        } else if let Some(value) = key_value(line, "unit_size") {
+            unit_size = Some(parse("unit_size", value)?);
+        } else if let Some(value) = key_value(line, "workloads_total") {
+            total = Some(parse("workloads_total", value)?);
+        } else if let Some(value) = key_value(line, "workloads_saving30") {
+            saving30 = Some(parse("workloads_saving30", value)?);
+        } else if let Some(value) = key_value(line, "best_savings_mean") {
+            mean = Some(parse("best_savings_mean", value)?);
+        }
+    }
+
+    if unit_size != Some(UNIT_SIZE) {
+        return Err(format!(
+            "reference unit_size {unit_size:?} does not match the build's {UNIT_SIZE}"
+        ));
+    }
+    let reference = Reference {
+        scale: scale.ok_or("missing scale")?,
+        seed: seed.ok_or("missing seed")?,
+        rows,
+        workloads_total: total.ok_or("missing workloads_total")?,
+        workloads_saving30: saving30.ok_or("missing workloads_saving30")?,
+        best_savings_mean: mean.ok_or("missing best_savings_mean")?,
+    };
+    if reference.rows.is_empty() {
+        return Err("no workload entries".into());
+    }
+    if reference.rows.len() as u64 != reference.workloads_total {
+        return Err(format!(
+            "workloads_total {} does not match the {} entries present",
+            reference.workloads_total,
+            reference.rows.len()
+        ));
+    }
+    if !(reference.scale > 0.0 && reference.scale.is_finite()) {
+        return Err("non-positive scale".into());
+    }
+    Ok(reference)
+}
+
+/// `"key": value,` → `value` (quotes kept, trailing comma stripped).
+fn key_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(&format!("\"{key}\":"))?;
+    Some(rest.trim().trim_end_matches(','))
+}

@@ -1,0 +1,247 @@
+//! Shared measurement core for the `ci_eff` benchmark and its CI guard.
+//!
+//! Both binaries need the same deterministic procedure — full-grid
+//! ground truth, the paper's two-step matched-systematic baseline, and
+//! offline drives of the stratified and adaptive samplers — so it lives
+//! here and the binaries stay thin. Everything is seeded and
+//! simulator-deterministic: re-running [`measure`] on the same workload
+//! at the same scale reproduces the checked-in
+//! `results/bench_ci_eff.json` numbers bit-for-bit.
+
+use smarts_core::{SamplingParams, SmartsSim, UnitReplay, Warming};
+use smarts_stats::{
+    drive_sampler, required_sample_size, AdaptiveSampler, Confidence, RunningStats,
+    StratifiedConfig, StratifiedSampler,
+};
+use smarts_uarch::MachineConfig;
+
+/// Sampling-unit size (instructions), the paper's U = 1000.
+pub const UNIT_SIZE: u64 = 1000;
+
+/// Relative CPI error target (±3%).
+pub const EPSILON: f64 = 0.03;
+
+/// Seed for every sampler drive; fixed so the JSON is reproducible.
+pub const SEED: u64 = 12;
+
+/// Minimum relative saving in detailed instructions (vs the matched
+/// systematic baseline) for a workload to count toward the headline
+/// criterion.
+pub const SAVINGS_BAR: f64 = 0.30;
+
+/// One workload's measurement: ground truth, baselines, and the two
+/// sampled-strategy outcomes.
+pub struct Row {
+    /// Workload name.
+    pub benchmark: String,
+    /// Number of complete sampling units in the full grid.
+    pub pool: u64,
+    /// True coefficient of variation of per-unit CPI.
+    pub cv: f64,
+    /// Full-grid (census) mean CPI — the ground truth.
+    pub truth: f64,
+    /// Detailed instructions per measured unit (`W + U`).
+    pub per_unit: u64,
+    /// Oracle-tuned systematic `n` (sized from the true variation).
+    pub n_oracle: u64,
+    /// Matched systematic cost: the paper's two-step procedure
+    /// (30-unit pilot + tuned rerun), in units.
+    pub n_systematic: u64,
+    /// Two-phase stratified sampler outcome.
+    pub stratified: Outcome,
+    /// Online adaptive sampler outcome.
+    pub adaptive: Outcome,
+}
+
+/// What one sampler strategy achieved on one workload.
+pub struct Outcome {
+    /// Detailed units the strategy measured.
+    pub n: u64,
+    /// Whether the strategy's own interval claims the target was met.
+    pub target_met: bool,
+    /// True relative error of its estimate vs the full-grid truth.
+    pub error: f64,
+    /// Relative saving in detailed units vs the matched systematic
+    /// baseline (negative when the strategy cost more).
+    pub savings: f64,
+}
+
+impl Outcome {
+    /// An honest win both claims the target *and* lands within ±ε of
+    /// the ground truth. A confident interval around a wrong answer
+    /// counts for nothing.
+    pub fn honest(&self) -> bool {
+        self.target_met && self.error <= EPSILON
+    }
+}
+
+impl Row {
+    /// Best saving over the strategies that honestly reached the
+    /// target (see [`Outcome::honest`]); 0 when neither did.
+    pub fn best_savings(&self) -> f64 {
+        [&self.stratified, &self.adaptive]
+            .into_iter()
+            .filter(|o| o.honest())
+            .map(|o| o.savings)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether this workload counts toward the headline criterion.
+    pub fn qualifies(&self) -> bool {
+        self.best_savings() >= SAVINGS_BAR
+    }
+
+    /// Cheapest honest detailed-instruction cost across the sampled
+    /// strategies, or `None` when neither honestly met the target.
+    pub fn honest_cost(&self) -> Option<u64> {
+        [&self.stratified, &self.adaptive]
+            .into_iter()
+            .filter(|o| o.honest())
+            .map(|o| o.n * self.per_unit)
+            .min()
+    }
+}
+
+/// Full-grid measurement and offline sampler drive for one workload.
+///
+/// The full unit grid is measured once (interval 1 — every unit gets a
+/// detailed `W + U` episode), yielding both the ground-truth CPI and
+/// the per-unit values the samplers are then driven against offline via
+/// [`drive_sampler`]. The matched systematic cost is the paper's own
+/// two-step procedure — a 30-unit systematic pilot estimates `V̂`, then
+/// a tuned rerun measures `n = (z·V̂/ε)²` fresh units — with each `n`
+/// capped at the pool (a census is exact under the finite-population
+/// correction). The oracle-tuned single-run `n` (sized from the *true*
+/// variation, which no real procedure knows) is recorded alongside.
+pub fn measure(
+    sim: &SmartsSim,
+    cfg: &MachineConfig,
+    bench: &smarts_workloads::Benchmark,
+    conf: Confidence,
+) -> Row {
+    let w = cfg.recommended_detailed_warming();
+    let total_units = (bench.approx_len() / UNIT_SIZE).max(1);
+    let params = SamplingParams::for_sample_size(
+        bench.approx_len(),
+        UNIT_SIZE,
+        w,
+        Warming::Functional,
+        total_units,
+        0,
+    )
+    .expect("full-grid parameters");
+    let library = sim.build_library(bench, &params).expect("library build");
+    let mut cpis = Vec::with_capacity(library.len());
+    for index in 0..library.len() {
+        match sim.replay_unit(&library, index).expect("unit replay") {
+            UnitReplay::Complete { sample, .. } => cpis.push(sample.cpi),
+            UnitReplay::Partial { .. } => break, // tail unit only
+        }
+    }
+    let pool = cpis.len() as u64;
+    let mut all = RunningStats::new();
+    for &v in &cpis {
+        all.push(v);
+    }
+    let truth = all.mean();
+    let cv = all.coefficient_of_variation();
+    // Oracle-tuned systematic: n sized from the *true* population
+    // variation — a bound no real run can reach (kept for reference).
+    let n_oracle = required_sample_size(cv, EPSILON, conf)
+        .expect("sample size")
+        .min(pool);
+    // Matched systematic: the paper's two-step procedure. A 30-unit
+    // systematic pilot estimates V̂, then the tuned rerun measures
+    // n(V̂) fresh units; the procedure's detailed cost is the sum.
+    let n_systematic = {
+        let pilot_interval = (pool / 30).max(1);
+        let mut pilot = RunningStats::new();
+        let mut at = 0;
+        while at < pool && pilot.count() < 30 {
+            pilot.push(cpis[at as usize]);
+            at += pilot_interval;
+        }
+        let tuned = required_sample_size(pilot.coefficient_of_variation(), EPSILON, conf)
+            .expect("tuned size")
+            .min(pool);
+        (pilot.count() + tuned).min(pool + pilot.count())
+    };
+
+    let scfg = StratifiedConfig::for_pool(pool, EPSILON, conf, SEED);
+    let stratified = {
+        let mut s = StratifiedSampler::new(scfg).expect("stratified sampler");
+        let est = drive_sampler(&mut s, |u| cpis[u as usize]).expect("stratified drive");
+        outcome(&est, truth, n_systematic)
+    };
+    let adaptive = {
+        let mut s = AdaptiveSampler::new(scfg, 0).expect("adaptive sampler");
+        let est = drive_sampler(&mut s, |u| cpis[u as usize]).expect("adaptive drive");
+        outcome(&est, truth, n_systematic)
+    };
+
+    Row {
+        benchmark: bench.name().to_string(),
+        pool,
+        cv,
+        truth,
+        per_unit: params.detailed_per_unit(),
+        n_oracle,
+        n_systematic,
+        stratified,
+        adaptive,
+    }
+}
+
+fn outcome(est: &smarts_stats::SamplerEstimate, truth: f64, n_systematic: u64) -> Outcome {
+    Outcome {
+        n: est.n,
+        target_met: est.target_met,
+        error: if truth.abs() > f64::EPSILON {
+            (est.mean - truth).abs() / truth.abs()
+        } else {
+            0.0
+        },
+        savings: 1.0 - est.n as f64 / n_systematic.max(1) as f64,
+    }
+}
+
+/// Renders the results file, one key per line so the guard's line
+/// scanner can re-read it without a JSON parser.
+pub fn render_json(rows: &[Row], scale: f64, qualifying: usize, mean_best: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("\"bench\": \"ci_eff\",\n");
+    out.push_str(&format!("\"scale\": {scale},\n"));
+    out.push_str(&format!("\"unit_size\": {UNIT_SIZE},\n"));
+    out.push_str(&format!("\"epsilon\": {EPSILON},\n"));
+    out.push_str("\"confidence\": 0.9973,\n");
+    out.push_str(&format!("\"seed\": {SEED},\n"));
+    out.push_str("\"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("{\n");
+        out.push_str(&format!("\"benchmark\": \"{}\",\n", r.benchmark));
+        out.push_str(&format!("\"pool\": {},\n", r.pool));
+        out.push_str(&format!("\"cv\": {:.6},\n", r.cv));
+        out.push_str(&format!("\"cpi_truth\": {:.6},\n", r.truth));
+        out.push_str(&format!("\"detailed_per_unit\": {},\n", r.per_unit));
+        out.push_str(&format!("\"n_oracle\": {},\n", r.n_oracle));
+        out.push_str(&format!("\"n_systematic\": {},\n", r.n_systematic));
+        out.push_str(&format!(
+            "\"systematic_detailed_instructions\": {},\n",
+            r.n_systematic * r.per_unit
+        ));
+        for (tag, o) in [("stratified", &r.stratified), ("adaptive", &r.adaptive)] {
+            out.push_str(&format!("\"{tag}_n\": {},\n", o.n));
+            out.push_str(&format!("\"{tag}_target_met\": {},\n", o.target_met));
+            out.push_str(&format!("\"{tag}_error\": {:.6},\n", o.error));
+            out.push_str(&format!("\"{tag}_savings\": {:.6},\n", o.savings));
+        }
+        out.push_str(&format!("\"best_savings\": {:.6}\n", r.best_savings()));
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("\"workloads_total\": {},\n", rows.len()));
+    out.push_str(&format!("\"workloads_saving30\": {qualifying},\n"));
+    out.push_str(&format!("\"best_savings_mean\": {mean_best:.6}\n"));
+    out.push_str("}\n");
+    out
+}

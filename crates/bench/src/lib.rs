@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ci_eff;
+
 use smarts_core::{ReferenceRun, SmartsSim};
 use smarts_uarch::MachineConfig;
 use smarts_workloads::Benchmark;

@@ -41,6 +41,20 @@ struct RecordFrame {
     crc: u32,
 }
 
+/// A record's on-disk placement, as reported by
+/// [`MappedStore::record_span`] — the inventory view (`smarts
+/// ckpt-info --json`) of one frame without decoding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// File offset of the frame's 8-byte length+CRC prefix.
+    pub offset: u64,
+    /// Payload bytes following the prefix (the frame occupies
+    /// `offset .. offset + 8 + payload_bytes`).
+    pub payload_bytes: u64,
+    /// The CRC32 stored in the frame prefix (not re-verified here).
+    pub crc: u32,
+}
+
 /// A checkpoint store opened for zero-copy random access. See the
 /// module docs for the residency model. Shareable across threads
 /// (`&MappedStore` is `Sync`); every concurrent reader shares one
@@ -318,6 +332,22 @@ impl MappedStore {
         match self.frames.last() {
             Some(frame) => (frame.payload_start + frame.payload_len as usize) as u64,
             None => self.header_len as u64,
+        }
+    }
+
+    /// Where record `index`'s frame sits in the file, without touching
+    /// (or CRC-verifying) its bytes. Inventory metadata for
+    /// `smarts ckpt-info --json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn record_span(&self, index: usize) -> RecordSpan {
+        let frame = self.frames[index];
+        RecordSpan {
+            offset: (frame.payload_start - 8) as u64,
+            payload_bytes: frame.payload_len as u64,
+            crc: frame.crc,
         }
     }
 

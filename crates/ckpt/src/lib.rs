@@ -94,7 +94,7 @@ mod store;
 
 pub use error::CkptError;
 pub use flat::{FlatCheckpoint, FlatCheckpointRef};
-pub use lazy::{MappedStore, StoreCursor};
+pub use lazy::{MappedStore, RecordSpan, StoreCursor};
 pub use store::{
     check_fingerprint, read_store_meta, warm_fingerprint, CkptReader, CkptWriter, StoreMeta,
     WriteSummary, FORMAT_VERSION, INDEX_MAGIC, MAGIC, MIN_FORMAT_VERSION,

@@ -7,15 +7,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use smarts_ckpt::MappedStore;
 use smarts_core::{
-    compare_machines, FunctionalEngine, SampleReport, SamplingParams, SmartsSim, Warming,
+    compare_machines, FunctionalEngine, SampleReport, SamplerKind, SamplerSpec, SamplingParams,
+    SmartsSim, Warming,
 };
 use smarts_exec::{
-    compare_machines_parallel, replay_store, sample_pipeline_saving, sample_two_step_parallel,
-    Executor, ParallelMode, ParallelReport,
+    compare_machines_parallel, replay_store, replay_store_sampled, sample_pipeline_saving,
+    sample_two_step_parallel, warm_store_saving, Executor, ParallelMode, ParallelReport,
+    SampledReplay,
 };
 use smarts_server::{
-    canonical_report_line, report_from_json, Client, JobSpec, Server, ServerConfig,
+    canonical_report_line, report_from_json, sampled_report_line, Client, JobSpec, Server,
+    ServerConfig,
 };
 use smarts_simpoint::{estimate_cpi, SimPointConfig};
 use smarts_stats::Confidence;
@@ -77,6 +81,14 @@ pub struct Options {
     pub max_open_stores: usize,
     /// Write the bound port here after `serve` binds.
     pub port_file: Option<String>,
+    /// Unit-selection strategy for `sample`/`submit`.
+    pub sampler: SamplerKind,
+    /// Seed for the sampler's randomized phases.
+    pub seed: u64,
+    /// Stratum count for the stratified/adaptive strategies.
+    pub strata: u32,
+    /// Pilot size in units (0 = automatic).
+    pub pilot: u64,
 }
 
 impl Default for Options {
@@ -107,6 +119,10 @@ impl Default for Options {
             server_workers: 2,
             max_open_stores: smarts_server::DEFAULT_MAX_OPEN_STORES,
             port_file: None,
+            sampler: SamplerKind::Systematic,
+            seed: 0,
+            strata: 4,
+            pilot: 0,
         }
     }
 }
@@ -129,7 +145,9 @@ pub fn usage() -> String {
      \x20 result                   fetch a finished job's report (--job)\n\
      \x20 cancel                   cancel a queued or running job (--job)\n\
      \x20 shutdown                 ask the server to drain and exit\n\
-     \x20 ckpt-info <store>        inspect a checkpoint store (no replay)\n\
+     \x20 ckpt-info <store>        inspect a checkpoint store (no replay);\n\
+     \x20                          --json emits a machine-readable inventory\n\
+     \x20                          with per-record offsets and sizes\n\
      \x20 help                     this message\n\
      \n\
      options:\n\
@@ -141,8 +159,16 @@ pub fn usage() -> String {
      \x20 --w <insts>              detailed warming W         [machine default]\n\
      \x20 --no-functional-warming  fast-forward without warming\n\
      \x20 --offset <units>         systematic phase offset j  [0]\n\
-     \x20 --epsilon <f>            two-step target (e.g. 0.03)\n\
+     \x20 --epsilon <f>            two-step target (e.g. 0.03); for stratified/\n\
+     \x20                          adaptive samplers, the CI half-width target\n\
      \x20 --confidence <f>         confidence level           [0.9973]\n\
+     \x20 --sampler <kind>         unit selection: systematic (default; bit-exact\n\
+     \x20                          fixed grid), stratified (pilot + Neyman\n\
+     \x20                          allocation), or adaptive (sequential stopping\n\
+     \x20                          at the CI target)\n\
+     \x20 --seed <u64>             sampler seed (stratified/adaptive)  [0]\n\
+     \x20 --strata <count>         stratum count                       [4]\n\
+     \x20 --pilot <units>          pilot sample size (0 = automatic)   [0]\n\
      \x20 --jobs <count>           worker threads for sample/compare [1]\n\
      \x20 --parallel-mode <mode>   checkpoint (bit-identical replay),\n\
      \x20                          pipeline (bit-identical, warming overlaps replay,\n\
@@ -240,6 +266,26 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.confidence = value("--confidence")?
                     .parse()
                     .map_err(|_| "--confidence takes a fraction".to_string())?;
+            }
+            "--sampler" => {
+                options.sampler = value("--sampler")?.parse()?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed takes a u64".to_string())?;
+            }
+            "--strata" => {
+                options.strata = value("--strata")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--strata takes a stratum count of at least 1".to_string())?;
+            }
+            "--pilot" => {
+                options.pilot = value("--pilot")?
+                    .parse()
+                    .map_err(|_| "--pilot takes a unit count".to_string())?;
             }
             "--jobs" => {
                 options.jobs = value("--jobs")?
@@ -340,6 +386,20 @@ fn sampling_params(
     .map_err(|e| e.to_string())
 }
 
+/// The sampler spec the options describe. `--epsilon` doubles as the
+/// CI half-width target for the non-systematic strategies (defaulting
+/// to the paper's ±3%), and `--confidence` carries over unchanged.
+fn sampler_spec(options: &Options) -> SamplerSpec {
+    SamplerSpec {
+        kind: options.sampler,
+        seed: options.seed,
+        strata: options.strata,
+        pilot: options.pilot,
+        epsilon: options.epsilon.unwrap_or(0.03),
+        confidence: options.confidence,
+    }
+}
+
 fn cmd_list() {
     println!("{:<12} {:>14}  kernel family", "name", "approx length");
     for bench in extended_suite() {
@@ -378,6 +438,9 @@ fn executor_for(options: &Options) -> Result<Executor, String> {
 }
 
 fn cmd_sample(options: &Options) -> Result<(), String> {
+    if options.sampler != SamplerKind::Systematic {
+        return cmd_sample_sampled(options);
+    }
     if options.epsilon.is_some()
         && (options.save_checkpoints.is_some() || options.from_checkpoints.is_some())
     {
@@ -478,6 +541,104 @@ fn cmd_sample(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a non-systematic (stratified/adaptive) sampling estimate.
+///
+/// Both strategies select a *subset* of the systematic checkpoint grid,
+/// so they always work against a store: `--from-checkpoints` replays an
+/// existing one, `--save-checkpoints` warms one and keeps it, and the
+/// bare cold path warms into a temporary store that is deleted after
+/// the replay. All three produce identical canonical lines for the
+/// same spec because the store bytes are identical by construction.
+fn cmd_sample_sampled(options: &Options) -> Result<(), String> {
+    if options.save_checkpoints.is_some() && options.from_checkpoints.is_some() {
+        return Err("--save-checkpoints and --from-checkpoints are mutually exclusive".into());
+    }
+    let cfg = machine(options);
+    let sim = SmartsSim::new(cfg.clone());
+    let spec = sampler_spec(options);
+    spec.validate().map_err(|e| e.to_string())?;
+    let executor = executor_for(options)?;
+
+    let sampled: SampledReplay = if let Some(path) = &options.from_checkpoints {
+        let store = MappedStore::open(path, &cfg).map_err(|e| e.to_string())?;
+        replay_store_sampled(&executor, &sim, &store, &spec).map_err(|e| e.to_string())?
+    } else {
+        let bench = benchmark(options)?;
+        let params = sampling_params(options, &cfg, &bench)?;
+        let (store_path, temporary) = match &options.save_checkpoints {
+            Some(p) => (std::path::PathBuf::from(p), false),
+            None => {
+                static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let name = format!(
+                    "smarts-sampled-{}-{}-{seq}.ck",
+                    std::process::id(),
+                    bench.name()
+                );
+                (std::env::temp_dir().join(name), true)
+            }
+        };
+        let write = warm_store_saving(&executor, &sim, &bench, options.scale, &params, &store_path)
+            .map_err(|e| e.to_string())?;
+        let replayed = {
+            let store = MappedStore::open(&store_path, &cfg).map_err(|e| e.to_string())?;
+            replay_store_sampled(&executor, &sim, &store, &spec).map_err(|e| e.to_string())
+        };
+        if temporary {
+            let _ = std::fs::remove_file(&store_path);
+        } else if !options.json {
+            println!(
+                "store         {} records, {:.2} MiB written to {}",
+                write.records,
+                write.bytes as f64 / (1024.0 * 1024.0),
+                store_path.display()
+            );
+        }
+        replayed?
+    };
+
+    if options.json {
+        println!("{}", sampled_report_line(&sampled));
+        return Ok(());
+    }
+    let conf = Confidence::new(options.confidence).map_err(|e| e.to_string())?;
+    let est = &sampled.estimate;
+    let meta = &sampled.meta;
+    let label = match find(&meta.benchmark) {
+        Some(b) => b.scaled(meta.scale).to_string(),
+        None => meta.benchmark.clone(),
+    };
+    println!("sampler       {spec}");
+    println!(
+        "selection     {} of {} units over {} rounds ({} strata); stopped: {}",
+        est.n,
+        est.pool,
+        est.rounds,
+        est.strata,
+        est.stop.tag()
+    );
+    println!(
+        "stratified    CPI {:.4} ±{:.2}% (target ±{:.2}% {})",
+        est.mean,
+        if est.mean.abs() > f64::EPSILON {
+            est.half_width / est.mean * 100.0
+        } else {
+            0.0
+        },
+        spec.epsilon * 100.0,
+        if est.target_met { "met" } else { "missed" }
+    );
+    print_sample_report(
+        &label,
+        &cfg,
+        &meta.params,
+        &sampled.report.report,
+        conf,
+        Some(&sampled.report),
+    );
+    Ok(())
+}
+
 /// Replays a persisted checkpoint store: the store's own benchmark and
 /// sampling design apply, and functional warming is skipped entirely.
 fn cmd_sample_from_store(options: &Options, path: &str) -> Result<(), String> {
@@ -522,9 +683,54 @@ fn cmd_sample_from_store(options: &Options, path: &str) -> Result<(), String> {
 /// replay exploits. Opens unchecked, so it works on v1 stores, stores
 /// for a different machine geometry, and damaged stores (the intact
 /// prefix is reported alongside the damage).
-fn cmd_ckpt_info(path: &str) -> Result<(), String> {
-    let store = smarts_ckpt::MappedStore::open_unchecked(path).map_err(|e| e.to_string())?;
+fn cmd_ckpt_info(path: &str, json: bool) -> Result<(), String> {
+    let store = MappedStore::open_unchecked(path).map_err(|e| e.to_string())?;
     let meta = store.meta();
+    if json {
+        use smarts_server::json::Json;
+        let spans: Vec<Json> = (0..store.len())
+            .map(|i| {
+                let span = store.record_span(i);
+                Json::obj(vec![
+                    ("index", Json::U64(i as u64)),
+                    ("offset", Json::U64(span.offset)),
+                    ("payload_bytes", Json::U64(span.payload_bytes)),
+                    ("crc32", Json::U64(u64::from(span.crc))),
+                ])
+            })
+            .collect();
+        let value = Json::obj(vec![
+            ("path", Json::Str(path.to_string())),
+            ("benchmark", Json::Str(meta.benchmark.clone())),
+            ("scale", Json::F64(meta.scale)),
+            (
+                "fingerprint",
+                Json::Str(format!("{:016x}", store.fingerprint())),
+            ),
+            ("version", Json::U64(u64::from(store.version()))),
+            ("index_present", Json::Bool(store.index_present())),
+            ("mapped", Json::Bool(store.is_mapped())),
+            ("unit_size", Json::U64(meta.params.unit_size)),
+            ("detailed_warming", Json::U64(meta.params.detailed_warming)),
+            ("interval", Json::U64(meta.params.interval)),
+            ("offset_units", Json::U64(meta.params.offset)),
+            ("warming", Json::Str(format!("{:?}", meta.params.warming))),
+            ("file_bytes", Json::U64(store.file_bytes())),
+            ("header_bytes", Json::U64(store.header_bytes())),
+            ("records_end", Json::U64(store.records_end())),
+            ("records", Json::U64(store.len() as u64)),
+            (
+                "damage",
+                match store.damage() {
+                    Some(d) => Json::Str(d.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("spans", Json::Arr(spans)),
+        ]);
+        println!("{}", value.to_line());
+        return Ok(());
+    }
     println!("store         {path}");
     println!(
         "identity      bench {}, scale {} (fingerprint {:016x})",
@@ -822,6 +1028,12 @@ fn job_spec(options: &Options) -> Result<JobSpec, String> {
         jobs: options.jobs,
         depth: options.pipeline_depth,
         warm_jobs: options.warm_jobs,
+        sampler: options.sampler,
+        seed: options.seed,
+        strata: options.strata,
+        pilot: options.pilot,
+        epsilon: options.epsilon.unwrap_or(0.03),
+        confidence: options.confidence,
     })
 }
 
@@ -1005,10 +1217,14 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "result" => cmd_result(&parse_options(rest)?),
         "cancel" => cmd_cancel(&parse_options(rest)?),
         "shutdown" => cmd_shutdown(&parse_options(rest)?),
-        "ckpt-info" => match rest {
-            [path] => cmd_ckpt_info(path),
-            _ => Err("usage: smarts ckpt-info <store>".into()),
-        },
+        "ckpt-info" => {
+            let json = rest.iter().any(|a| a == "--json");
+            let paths: Vec<&String> = rest.iter().filter(|a| *a != "--json").collect();
+            match paths.as_slice() {
+                [path] => cmd_ckpt_info(path, json),
+                _ => Err("usage: smarts ckpt-info <store> [--json]".into()),
+            }
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -1356,5 +1572,140 @@ mod tests {
     fn unknown_benchmark_is_reported() {
         let err = dispatch(&strings(&["sample", "--bench", "nope-9"])).unwrap_err();
         assert!(err.contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn parses_sampler_flags_with_defaults_and_rejections() {
+        let options = parse_options(&strings(&[
+            "--sampler",
+            "stratified",
+            "--seed",
+            "7",
+            "--strata",
+            "3",
+            "--pilot",
+            "12",
+        ]))
+        .unwrap();
+        assert_eq!(options.sampler, SamplerKind::Stratified);
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.strata, 3);
+        assert_eq!(options.pilot, 12);
+
+        let defaults = parse_options(&[]).unwrap();
+        assert_eq!(defaults.sampler, SamplerKind::Systematic);
+        assert_eq!(defaults.seed, 0);
+        assert_eq!(defaults.strata, 4);
+        assert_eq!(defaults.pilot, 0);
+
+        assert!(parse_options(&strings(&["--sampler", "magic"]))
+            .unwrap_err()
+            .contains("unknown sampler"));
+        assert!(parse_options(&strings(&["--strata", "0"])).is_err());
+        assert!(parse_options(&strings(&["--seed", "x"])).is_err());
+        assert!(parse_options(&strings(&["--pilot", "x"])).is_err());
+    }
+
+    #[test]
+    fn sampled_strategies_run_cold_and_from_a_saved_store() {
+        let path = std::env::temp_dir().join(format!(
+            "smarts-cli-sampled-store-{}.ckpt",
+            std::process::id()
+        ));
+        let path_s = path.to_string_lossy().to_string();
+        // Stratified cold run that keeps its warmed store …
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "12",
+            "--sampler",
+            "stratified",
+            "--seed",
+            "1",
+            "--save-checkpoints",
+            &path_s,
+        ]))
+        .unwrap();
+        // … then an adaptive replay of the same store, parallel + JSON.
+        dispatch(&strings(&[
+            "sample",
+            "--from-checkpoints",
+            &path_s,
+            "--sampler",
+            "adaptive",
+            "--seed",
+            "1",
+            "--jobs",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampled_cold_run_cleans_up_its_temporary_store() {
+        // No --save-checkpoints: the store is warmed into a temp file
+        // and removed after the replay.
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "12",
+            "--sampler",
+            "adaptive",
+            "--epsilon",
+            "0.05",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sampled_save_and_from_are_still_mutually_exclusive() {
+        let err = dispatch(&strings(&[
+            "sample",
+            "--sampler",
+            "stratified",
+            "--save-checkpoints",
+            "a.ckpt",
+            "--from-checkpoints",
+            "b.ckpt",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn ckpt_info_json_emits_a_machine_readable_inventory() {
+        let path = std::env::temp_dir().join(format!(
+            "smarts-cli-ckpt-info-json-{}.ckpt",
+            std::process::id()
+        ));
+        let path_s = path.to_string_lossy().to_string();
+        dispatch(&strings(&[
+            "sample",
+            "--bench",
+            "loopy-1",
+            "--scale",
+            "0.02",
+            "--n",
+            "8",
+            "--save-checkpoints",
+            &path_s,
+        ]))
+        .unwrap();
+        // Flag accepted in either position.
+        dispatch(&strings(&["ckpt-info", &path_s, "--json"])).unwrap();
+        dispatch(&strings(&["ckpt-info", "--json", &path_s])).unwrap();
+        std::fs::remove_file(&path).ok();
+        let err = dispatch(&strings(&["ckpt-info", "--json"])).unwrap_err();
+        assert!(err.contains("usage"));
     }
 }

@@ -65,6 +65,7 @@ pub use engine::{EngineSnapshot, FunctionalEngine};
 pub use error::SmartsError;
 pub use reference::ReferenceRun;
 pub use sampler::{
-    ModeInstructions, SampleReport, SamplingParams, SmartsSim, TwoStepOutcome, UnitSample, Warming,
+    ModeInstructions, SampleReport, SamplerKind, SamplerSpec, SamplingParams, SmartsSim,
+    TwoStepOutcome, UnitSample, Warming,
 };
 pub use speedup::SpeedupModel;

@@ -81,7 +81,8 @@ pub use executor::{
     DEFAULT_PIPELINE_DEPTH, DEFAULT_SHARD_WARMUP,
 };
 pub use persist::{
-    replay_store, replay_store_eager, replay_store_mapped, sample_pipeline_saving, SavedSample,
+    replay_store, replay_store_eager, replay_store_indices, replay_store_mapped,
+    replay_store_sampled, sample_pipeline_saving, warm_store_saving, SampledReplay, SavedSample,
     StoreReplay,
 };
 pub use warm_shard::ShardWarmStats;

@@ -43,8 +43,10 @@ use crate::pipeline::{finish_pipeline_report, run_pipeline, Residency};
 use crate::pool::run_workers;
 use smarts_ckpt::{CkptError, CkptReader, CkptWriter, MappedStore, StoreMeta, WriteSummary};
 use smarts_core::{
-    ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim, UnitReplay,
+    ModeInstructions, SampleReport, SamplerSpec, SamplingParams, SmartsError, SmartsSim, UnitReplay,
 };
+use smarts_isa::Program;
+use smarts_stats::{SamplerEstimate, SamplerPhase};
 use smarts_workloads::{find, Benchmark};
 
 /// Result of a warm-and-save run: the live sampling report plus the
@@ -344,6 +346,401 @@ pub fn replay_store_mapped(
         meta,
         records,
         damage,
+    })
+}
+
+/// Result of replaying a sampler-selected subset of a store: the report
+/// over the measured units plus the sampler's own estimate and
+/// accounting ([`replay_store_sampled`]).
+#[derive(Debug)]
+pub struct SampledReplay {
+    /// The merged report over the units the sampler selected, in stream
+    /// order. Deterministic for a fixed (store, spec) pair.
+    pub report: ParallelReport,
+    /// The store's self-describing identity.
+    pub meta: StoreMeta,
+    /// The sampler specification that drove unit selection.
+    pub spec: SamplerSpec,
+    /// The sampler's final estimate: mean, CI half-width, rounds, and
+    /// why it stopped.
+    pub estimate: SamplerEstimate,
+    /// Store record indices actually replayed, ascending.
+    pub measured: Vec<u64>,
+}
+
+/// Runs the warming pass only, persisting every unit checkpoint to a
+/// store at `path` without any detailed replay.
+///
+/// This is the cold path for sampled jobs: the warm store it writes is
+/// byte-identical to the one [`sample_pipeline_saving`] produces (same
+/// serial producer, same tee), so a subsequent
+/// [`replay_store_sampled`] over it reports exactly what the store-hit
+/// path reports. Honors the executor's [`CancelToken`](crate::CancelToken)
+/// between units; a cancelled run still flushes the intact prefix and
+/// then reports [`ExecError::Cancelled`].
+pub fn warm_store_saving(
+    executor: &Executor,
+    sim: &SmartsSim,
+    bench: &Benchmark,
+    scale: f64,
+    params: &SamplingParams,
+    path: impl AsRef<Path>,
+) -> Result<WriteSummary, ExecError> {
+    let meta = StoreMeta {
+        params: *params,
+        benchmark: bench.name().to_string(),
+        scale,
+    };
+    let mut writer = CkptWriter::create(path, sim.config(), &meta)?;
+    let cancel = executor.cancel_token();
+    let mut write_error: Option<CkptError> = None;
+    let summary = sim.stream_checkpoints(bench.load(), params, |checkpoint| {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        match writer.append(&checkpoint) {
+            Ok(_) => true,
+            Err(e) => {
+                write_error = Some(e);
+                false
+            }
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(ExecError::Ckpt(e));
+    }
+    let write = writer.finish()?;
+    if cancel.is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
+    summary.map_err(ExecError::Smarts)?;
+    Ok(write)
+}
+
+/// One parallel replay pass over an explicit, ascending set of record
+/// indices. Unlike the full-store path, record damage here is a hard
+/// error: a sampled subset with silently missing units would bias the
+/// estimate, so there is no salvage-the-prefix semantics.
+struct SubsetReplay {
+    outcomes: Vec<(usize, UnitReplay)>,
+    workers: Vec<WorkerStats>,
+    wall: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_subset(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+    program: &Program,
+    params: &SamplingParams,
+    indices: &[usize],
+    residency: &Residency,
+    done_base: &AtomicU64,
+) -> Result<SubsetReplay, ExecError> {
+    let jobs = executor.jobs();
+    let control = executor.control();
+    let cancel = &control.cancel;
+    let progress = control.progress.as_deref();
+    let pool = store.len() as u64;
+
+    let queue = AtomicUsize::new(0);
+    let damage: Mutex<Option<(u64, CkptError)>> = Mutex::new(None);
+    let note_damage = |index: u64, error: CkptError| {
+        let mut guard = damage.lock().unwrap_or_else(|p| p.into_inner());
+        match &*guard {
+            Some((floor, _)) if *floor <= index => {}
+            _ => *guard = Some((index, error)),
+        }
+    };
+
+    struct WorkerOutput {
+        stats: WorkerStats,
+        outcomes: Vec<(usize, UnitReplay)>,
+    }
+
+    let t0 = Instant::now();
+    let outputs = run_workers(jobs, |worker| -> WorkerOutput {
+        let start = Instant::now();
+        let mut cursor = store.cursor();
+        let mut outcomes = Vec::new();
+        let mut instructions = ModeInstructions::default();
+        loop {
+            if cancel.is_cancelled() {
+                break;
+            }
+            // Workers claim *slots* in the ascending index slice, so
+            // each worker's claimed indices increase and its cursor only
+            // rolls forward through the delta chain.
+            let slot = queue.fetch_add(1, Ordering::Relaxed);
+            if slot >= indices.len() {
+                break;
+            }
+            let index = indices[slot];
+            let flat = match cursor.flat_at(index) {
+                Ok(flat) => flat,
+                Err(e) => {
+                    note_damage(index as u64, e);
+                    break;
+                }
+            };
+            let checkpoint = match flat.rebuild(sim.config()) {
+                Ok(checkpoint) => checkpoint,
+                Err(detail) => {
+                    note_damage(
+                        index as u64,
+                        CkptError::Corrupted {
+                            record: index as u64,
+                            detail,
+                        },
+                    );
+                    break;
+                }
+            };
+            let bytes = flat.approx_bytes() + checkpoint.approx_resident_bytes();
+            residency.add(bytes);
+            let outcome = sim.replay_checkpoint(program, params, &checkpoint);
+            drop(checkpoint);
+            residency.remove(bytes);
+            outcome.account(&mut instructions);
+            outcomes.push((index, outcome));
+            let done = done_base.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(observe) = progress {
+                observe(PipelineProgress {
+                    emitted: pool,
+                    replayed: done,
+                });
+            }
+        }
+        WorkerOutput {
+            stats: WorkerStats {
+                worker,
+                units: outcomes.len() as u64,
+                wall: start.elapsed(),
+                instructions,
+            },
+            outcomes,
+        }
+    })?;
+    let wall = t0.elapsed();
+    if cancel.is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
+    if let Some((_, error)) = damage.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(ExecError::Ckpt(error));
+    }
+    let mut workers = Vec::with_capacity(jobs);
+    let mut outcomes: Vec<(usize, UnitReplay)> = Vec::with_capacity(indices.len());
+    for output in outputs {
+        workers.push(output.stats);
+        outcomes.extend(output.outcomes);
+    }
+    Ok(SubsetReplay {
+        outcomes,
+        workers,
+        wall,
+    })
+}
+
+/// Sums a phase's per-worker accounting into the run-wide ledger,
+/// keyed by worker id.
+fn fold_workers(acc: &mut Vec<WorkerStats>, phase: Vec<WorkerStats>) {
+    for stats in phase {
+        match acc.iter_mut().find(|w| w.worker == stats.worker) {
+            Some(slot) => {
+                slot.units += stats.units;
+                slot.wall += stats.wall;
+                slot.instructions.fast_forwarded += stats.instructions.fast_forwarded;
+                slot.instructions.detailed_warmed += stats.instructions.detailed_warmed;
+                slot.instructions.measured += stats.instructions.measured;
+            }
+            None => acc.push(stats),
+        }
+    }
+}
+
+/// Replays an arbitrary subset of an already-open store's records and
+/// merges them into a report, exactly as the full-store path would for
+/// those units. Units are mutually independent, so any subset replays
+/// in any order; the merge is in ascending record order regardless.
+///
+/// `indices` is normalized (sorted, deduplicated) before replay.
+/// Record damage is a hard [`ExecError::Ckpt`] here — a sampled subset
+/// must be complete to be meaningful — and an empty subset is
+/// [`SmartsError::EmptySample`].
+///
+/// # Panics
+///
+/// Panics when any index is `>= store.len()`: addressing past the
+/// intact prefix is a caller bug, mirroring
+/// [`MappedStore::record`](smarts_ckpt::MappedStore::record).
+pub fn replay_store_indices(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+    indices: &[usize],
+) -> Result<StoreReplay, ExecError> {
+    let meta = store.meta().clone();
+    let bench = find(&meta.benchmark)
+        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
+        .scaled(meta.scale);
+    let program = bench.load().program;
+    let params = meta.params;
+    let mut picks: Vec<usize> = indices.to_vec();
+    picks.sort_unstable();
+    picks.dedup();
+    if let Some(&last) = picks.last() {
+        assert!(
+            last < store.len(),
+            "record {last} out of range for a store of {} records",
+            store.len()
+        );
+    }
+    if picks.is_empty() {
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    let residency = Residency::default();
+    let done = AtomicU64::new(0);
+    let run = replay_subset(
+        executor, sim, store, &program, &params, &picks, &residency, &done,
+    )?;
+    let records = picks.len() as u64;
+    let (units, instructions) = merge_outcomes(run.outcomes);
+    if units.is_empty() {
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    let report = SampleReport::from_units(params, units, instructions, Duration::ZERO, run.wall);
+    Ok(StoreReplay {
+        report: ParallelReport {
+            report,
+            mode: ParallelMode::Checkpoint,
+            jobs: executor.jobs(),
+            workers: run.workers,
+            build_wall: Duration::ZERO,
+            parallel_wall: run.wall,
+            pipeline: Some(PipelineStats {
+                depth: 0,
+                producer_wall: Duration::ZERO,
+                emitted: records,
+                peak_resident_checkpoints: residency.peak_count.load(Ordering::Relaxed),
+                peak_resident_bytes: residency.peak_bytes.load(Ordering::Relaxed),
+            }),
+            shard: None,
+        },
+        meta,
+        records,
+        damage: None,
+    })
+}
+
+/// Replays an already-open store under a [`SamplerSpec`]: the sampler
+/// selects record subsets phase by phase, each phase replays in
+/// parallel, and observations feed back in ascending record order — so
+/// the phase sequence, the final unit set, and the report are all
+/// deterministic for a fixed (store, spec) pair at any worker count.
+///
+/// For [`SamplerKind::Systematic`](smarts_core::SamplerKind) the
+/// sampler issues the whole pool in one phase, reproducing
+/// [`replay_store_mapped`]'s unit set. Adaptive sampling stops between
+/// phases once the running confidence interval meets the spec's
+/// `(±ε, confidence)` target; external cancellation is honored at the
+/// same seam via the executor's [`CancelToken`](crate::CancelToken).
+///
+/// # Errors
+///
+/// As for [`replay_store_indices`]; additionally, any store damage is a
+/// hard [`ExecError::Ckpt`] up front (a sampler needs its designed
+/// population intact), and invalid specs surface
+/// [`SmartsError::Stats`].
+pub fn replay_store_sampled(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+    spec: &SamplerSpec,
+) -> Result<SampledReplay, ExecError> {
+    spec.validate().map_err(ExecError::Smarts)?;
+    if let Some(error) = store.damage() {
+        return Err(ExecError::Ckpt(error));
+    }
+    if store.is_empty() {
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    let meta = store.meta().clone();
+    let bench = find(&meta.benchmark)
+        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
+        .scaled(meta.scale);
+    let program = bench.load().program;
+    let params = meta.params;
+
+    let mut sampler = spec.build(store.len() as u64).map_err(ExecError::Smarts)?;
+    let residency = Residency::default();
+    let done = AtomicU64::new(0);
+    let mut workers: Vec<WorkerStats> = Vec::new();
+    let mut all_outcomes: Vec<(usize, UnitReplay)> = Vec::new();
+    let t0 = Instant::now();
+    loop {
+        if executor.cancel_token().is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        let units = match sampler
+            .next_phase()
+            .map_err(|e| ExecError::Smarts(SmartsError::Stats(e)))?
+        {
+            SamplerPhase::Done => break,
+            SamplerPhase::Measure(units) => units,
+        };
+        let mut picks: Vec<usize> = units.iter().map(|&u| u as usize).collect();
+        picks.sort_unstable();
+        let run = replay_subset(
+            executor, sim, store, &program, &params, &picks, &residency, &done,
+        )?;
+        fold_workers(&mut workers, run.workers);
+        let mut phase_outcomes = run.outcomes;
+        phase_outcomes.sort_unstable_by_key(|(index, _)| *index);
+        for (index, outcome) in &phase_outcomes {
+            // Partial units (only ever the stream's final record) carry
+            // no complete measurement; they stay issued but unobserved.
+            if let UnitReplay::Complete { sample, .. } = outcome {
+                sampler.observe(*index as u64, sample.cpi);
+            }
+        }
+        all_outcomes.extend(phase_outcomes);
+    }
+    let estimate = sampler
+        .estimate()
+        .map_err(|e| ExecError::Smarts(SmartsError::Stats(e)))?;
+    let parallel_wall = t0.elapsed();
+    let records = all_outcomes.len() as u64;
+    let mut measured: Vec<u64> = all_outcomes.iter().map(|(i, _)| *i as u64).collect();
+    measured.sort_unstable();
+    let (units, instructions) = merge_outcomes(all_outcomes);
+    if units.is_empty() {
+        return Err(ExecError::Smarts(SmartsError::EmptySample));
+    }
+    workers.sort_unstable_by_key(|w| w.worker);
+    let report =
+        SampleReport::from_units(params, units, instructions, Duration::ZERO, parallel_wall);
+    Ok(SampledReplay {
+        report: ParallelReport {
+            report,
+            mode: ParallelMode::Checkpoint,
+            jobs: executor.jobs(),
+            workers,
+            build_wall: Duration::ZERO,
+            parallel_wall,
+            pipeline: Some(PipelineStats {
+                depth: 0,
+                producer_wall: Duration::ZERO,
+                emitted: records,
+                peak_resident_checkpoints: residency.peak_count.load(Ordering::Relaxed),
+                peak_resident_bytes: residency.peak_bytes.load(Ordering::Relaxed),
+            }),
+            shard: None,
+        },
+        meta,
+        spec: *spec,
+        estimate,
+        measured,
     })
 }
 

@@ -51,7 +51,10 @@ pub mod store_mgr;
 pub use client::Client;
 pub use jobs::{JobRecord, JobState, JobTable, ResultSource};
 pub use proto::{JobSpec, Request, MAX_LINE};
-pub use report::{canonical_report_line, report_fingerprint, report_from_json, report_to_json};
+pub use report::{
+    canonical_report_line, report_fingerprint, report_from_json, report_to_json,
+    sampled_report_line,
+};
 pub use scheduler::{machine_for, params_for, Shared};
 pub use server::{Server, ServerConfig, ShutdownSummary};
 pub use store_mgr::{ResultsCache, StoreManager, StoreTicket, DEFAULT_MAX_OPEN_STORES};

@@ -11,6 +11,7 @@
 //! connection is answered with an error and closed.
 
 use crate::json::Json;
+use smarts_core::{SamplerKind, SamplerSpec};
 
 /// Longest request line the server will buffer, in bytes. Submit
 /// requests are a few hundred bytes; the bound exists to keep a hostile
@@ -44,6 +45,21 @@ pub struct JobSpec {
     /// Warming shards for a cold run (> 1 selects sharded-warm mode;
     /// the spliced store stays byte-identical to a serial warm).
     pub warm_jobs: usize,
+    /// Unit-selection strategy: systematic (the default), stratified,
+    /// or adaptive.
+    pub sampler: SamplerKind,
+    /// Seed for the sampler's randomized phases (ignored by
+    /// systematic).
+    pub seed: u64,
+    /// Stratum count for the stratified/adaptive strategies.
+    pub strata: u32,
+    /// Pilot size in units; 0 selects the automatic size.
+    pub pilot: u64,
+    /// Relative CI half-width target for the stratified/adaptive
+    /// strategies.
+    pub epsilon: f64,
+    /// Confidence level of the `(±ε, confidence)` target.
+    pub confidence: f64,
 }
 
 impl Default for JobSpec {
@@ -60,11 +76,29 @@ impl Default for JobSpec {
             jobs: 1,
             depth: 4,
             warm_jobs: 1,
+            sampler: SamplerKind::Systematic,
+            seed: 0,
+            strata: 4,
+            pilot: 0,
+            epsilon: 0.03,
+            confidence: 0.9973,
         }
     }
 }
 
 impl JobSpec {
+    /// The sampler specification this job's fields describe.
+    pub fn sampler_spec(&self) -> SamplerSpec {
+        SamplerSpec {
+            kind: self.sampler,
+            seed: self.seed,
+            strata: self.strata,
+            pilot: self.pilot,
+            epsilon: self.epsilon,
+            confidence: self.confidence,
+        }
+    }
+
     /// Serializes the spec as the `submit` request's field set.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -85,6 +119,12 @@ impl JobSpec {
             ("jobs", Json::U64(self.jobs as u64)),
             ("depth", Json::U64(self.depth as u64)),
             ("warm_jobs", Json::U64(self.warm_jobs as u64)),
+            ("sampler", Json::Str(self.sampler.tag().to_string())),
+            ("seed", Json::U64(self.seed)),
+            ("strata", Json::U64(self.strata as u64)),
+            ("pilot", Json::U64(self.pilot)),
+            ("epsilon", Json::F64(self.epsilon)),
+            ("confidence", Json::F64(self.confidence)),
         ])
     }
 
@@ -154,6 +194,38 @@ impl JobSpec {
                     .filter(|&j| (1..=256).contains(&j))
                     .ok_or("`warm_jobs` takes a shard count in 1..=256")? as usize;
         }
+        if let Some(v) = value.get("sampler") {
+            spec.sampler = v
+                .as_str()
+                .ok_or("`sampler` takes a string")?
+                .parse()
+                .map_err(|e: String| e)?;
+        }
+        if let Some(v) = value.get("seed") {
+            spec.seed = v.as_u64().ok_or("`seed` takes a u64")?;
+        }
+        if let Some(v) = value.get("strata") {
+            spec.strata = v
+                .as_u64()
+                .filter(|&s| (1..=4096).contains(&s))
+                .ok_or("`strata` takes a count in 1..=4096")? as u32;
+        }
+        if let Some(v) = value.get("pilot") {
+            spec.pilot = v.as_u64().ok_or("`pilot` takes a count")?;
+        }
+        if let Some(v) = value.get("epsilon") {
+            spec.epsilon = v
+                .as_f64()
+                .filter(|&e| e > 0.0 && e.is_finite())
+                .ok_or("`epsilon` takes a positive number")?;
+        }
+        if let Some(v) = value.get("confidence") {
+            spec.confidence = v
+                .as_f64()
+                .filter(|&c| c > 0.0 && c < 1.0)
+                .ok_or("`confidence` takes a level in (0, 1)")?;
+        }
+        spec.sampler_spec().validate().map_err(|e| e.to_string())?;
         Ok(spec)
     }
 }
@@ -251,6 +323,12 @@ mod tests {
             jobs: 3,
             depth: 2,
             warm_jobs: 4,
+            sampler: SamplerKind::Stratified,
+            seed: 77,
+            strata: 6,
+            pilot: 40,
+            epsilon: 0.05,
+            confidence: 0.95,
         };
         let mut line = String::from(r#"{"cmd":"submit","#);
         line.push_str(&spec.to_json().to_line()[1..]);
@@ -272,9 +350,45 @@ mod tests {
                 assert!(spec.functional_warming);
                 assert_eq!(spec.jobs, 1);
                 assert_eq!(spec.warm_jobs, 1);
+                assert_eq!(spec.sampler, SamplerKind::Systematic);
+                assert_eq!(spec.seed, 0);
+                assert_eq!(spec.strata, 4);
+                assert_eq!(spec.pilot, 0);
             }
             other => panic!("unexpected request {other:?}"),
         }
+    }
+
+    #[test]
+    fn sampler_fields_parse_and_are_validated() {
+        let request = parse_request(
+            r#"{"cmd":"submit","bench":"loopy-1","sampler":"adaptive","seed":9,"strata":3,"pilot":32,"epsilon":0.05,"confidence":0.95}"#,
+        )
+        .unwrap();
+        match request {
+            Request::Submit(spec) => {
+                assert_eq!(spec.sampler, SamplerKind::Adaptive);
+                assert_eq!(spec.seed, 9);
+                assert_eq!(spec.strata, 3);
+                assert_eq!(spec.pilot, 32);
+                assert!((spec.epsilon - 0.05).abs() < 1e-12);
+                assert!(!spec.sampler_spec().is_systematic());
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        assert!(parse_request(r#"{"cmd":"submit","bench":"x","sampler":"bogus"}"#).is_err());
+        assert!(parse_request(
+            r#"{"cmd":"submit","bench":"x","sampler":"stratified","epsilon":-1}"#
+        )
+        .is_err());
+        assert!(
+            parse_request(r#"{"cmd":"submit","bench":"x","sampler":"adaptive","strata":0}"#)
+                .is_err()
+        );
+        assert!(parse_request(
+            r#"{"cmd":"submit","bench":"x","sampler":"adaptive","confidence":1.5}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -180,6 +180,46 @@ pub fn canonical_report_line(report: &SampleReport) -> String {
     report_to_json(report).to_line()
 }
 
+/// Serializes a sampled (non-systematic) run: the canonical report
+/// object extended with a trailing `sampler` section carrying the spec,
+/// the sampler's estimate (as exact bit patterns), and the measured
+/// record indices.
+///
+/// Systematic jobs never pass through here — their lines stay
+/// byte-identical to [`canonical_report_line`] output, golden
+/// fingerprints included. Sampled lines are deterministic for a fixed
+/// (store, spec) pair, so cold, store-hit, and cache-hit paths compare
+/// byte-equal exactly as systematic ones do.
+pub fn sampled_report_line(sampled: &smarts_exec::SampledReplay) -> String {
+    let spec = &sampled.spec;
+    let est = &sampled.estimate;
+    let section = Json::obj(vec![
+        ("kind", Json::Str(spec.kind.tag().to_string())),
+        ("seed", Json::U64(spec.seed)),
+        ("strata", Json::U64(spec.strata as u64)),
+        ("pilot", Json::U64(spec.pilot)),
+        ("epsilon_bits", f64_bits(spec.epsilon)),
+        ("confidence_bits", f64_bits(spec.confidence)),
+        ("mean_bits", f64_bits(est.mean)),
+        ("half_width_bits", f64_bits(est.half_width)),
+        ("n", Json::U64(est.n)),
+        ("pool", Json::U64(est.pool)),
+        ("strata_used", Json::U64(est.strata as u64)),
+        ("rounds", Json::U64(est.rounds as u64)),
+        ("target_met", Json::Bool(est.target_met)),
+        ("stop", Json::Str(est.stop.tag().to_string())),
+        (
+            "measured",
+            Json::Arr(sampled.measured.iter().map(|&i| Json::U64(i)).collect()),
+        ),
+    ]);
+    let Json::Obj(mut pairs) = report_to_json(&sampled.report.report) else {
+        unreachable!("report_to_json returns an object");
+    };
+    pairs.push(("sampler".to_string(), section));
+    Json::Obj(pairs).to_line()
+}
+
 /// Rebuilds a report from its canonical JSON value.
 ///
 /// The returned report's wall times are zero (they are not part of the

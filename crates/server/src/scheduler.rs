@@ -5,8 +5,8 @@
 //! [`ResultSource`]:
 //!
 //! 1. **cache** — the results cache already holds a canonical report for
-//!    (store fingerprint, machine config); answered in O(lookup) with
-//!    zero simulation.
+//!    (store fingerprint, machine config, sampler key); answered in
+//!    O(lookup) with zero simulation.
 //! 2. **store** — a complete checkpoint store exists (this run or a
 //!    previous one); detailed replay only, no functional warming.
 //! 3. **cold** — this job wins the warm ticket and runs the combined
@@ -14,23 +14,31 @@
 //!    on the ticket and then replay, so one warming pass serves all.
 //!
 //! All three paths produce byte-identical canonical report lines for
-//! the same (workload, design, machine): the store replay is
+//! the same (workload, design, machine, sampler): the store replay is
 //! bit-identical to the live pipeline by `smarts-exec`'s merge
 //! contract, and the cache stores the exact serialized line.
+//!
+//! Non-systematic samplers (stratified, adaptive) share the same warmed
+//! stores — unit selection happens at replay, so the store fingerprint
+//! (and the warm pass) is independent of the sampler. Their cold path
+//! runs a warm-only pass and then replays the sampler's selection from
+//! the just-written store, which makes cold and store-hit lines equal
+//! by construction.
 
 use std::sync::Arc;
 
-use smarts_ckpt::StoreMeta;
+use smarts_ckpt::{MappedStore, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, Warming};
 use smarts_exec::{
-    replay_store_mapped, sample_pipeline_saving, CancelToken, ExecError, Executor, ParallelMode,
+    replay_store_mapped, replay_store_sampled, sample_pipeline_saving, warm_store_saving,
+    CancelToken, ExecError, Executor, ParallelMode,
 };
 use smarts_uarch::MachineConfig;
 use smarts_workloads::find;
 
 use crate::jobs::{JobState, JobTable, ResultSource};
 use crate::proto::JobSpec;
-use crate::report::canonical_report_line;
+use crate::report::{canonical_report_line, sampled_report_line};
 use crate::store_mgr::{ResultsCache, StoreManager, StoreTicket};
 
 /// State shared by every scheduler worker and the connection handlers.
@@ -102,8 +110,13 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
         scale: spec.scale,
     };
     let fingerprint = meta.fingerprint(&cfg);
+    let sampler = spec.sampler_spec();
+    if let Err(e) = sampler.validate() {
+        return JobEnd::Failed(e.to_string());
+    }
+    let sampler_key = sampler.cache_key();
 
-    if let Some(line) = shared.cache.get(fingerprint, spec.config) {
+    if let Some(line) = shared.cache.get(fingerprint, spec.config, sampler_key) {
         return JobEnd::Done(ResultSource::Cache, line);
     }
 
@@ -148,45 +161,68 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
     };
 
     let sim = SmartsSim::new(cfg.clone());
+    let to_replaying = || {
+        shared.jobs.update(id, |r| {
+            if r.state == JobState::Warming {
+                r.state = JobState::Replaying;
+            }
+        });
+    };
     let (source, outcome) = match &ticket {
+        StoreTicket::Warm { temp, .. } if !sampler.is_systematic() => {
+            // Sampled cold path: warm-only store write, then replay the
+            // sampler's selection from the just-written bytes. The store
+            // is byte-identical to what the pipeline path saves (same
+            // serial producer), so this line equals the store-hit line.
+            let outcome = warm_store_saving(&executor, &sim, &bench, spec.scale, &params, temp)
+                .and_then(|_| {
+                    to_replaying();
+                    let store = MappedStore::open(temp, &cfg)?;
+                    replay_store_sampled(&executor, &sim, &store, &sampler)
+                        .map(|sampled| sampled_report_line(&sampled))
+                });
+            (ResultSource::Cold, outcome)
+        }
         StoreTicket::Warm { temp, .. } => (
             ResultSource::Cold,
             sample_pipeline_saving(&executor, &sim, &bench, spec.scale, &params, temp)
-                .map(|saved| saved.report.report),
+                .map(|saved| canonical_report_line(&saved.report.report)),
         ),
         StoreTicket::Replay { path } => {
-            shared.jobs.update(id, |r| {
-                if r.state == JobState::Warming {
-                    r.state = JobState::Replaying;
-                }
-            });
+            to_replaying();
             // Pull the shared mapping from the LRU open-store cache so
             // back-to-back jobs on a hot store reuse one zero-copy map.
-            let outcome = match shared.stores.open_store(fingerprint, path, &cfg) {
-                Ok(store) => replay_store_mapped(&executor, &sim, &store).and_then(|replayed| {
+            let store = match shared.stores.open_store(fingerprint, path, &cfg) {
+                Ok(store) => store,
+                Err(message) => return JobEnd::Failed(message),
+            };
+            let outcome = if sampler.is_systematic() {
+                replay_store_mapped(&executor, &sim, &store).and_then(|replayed| {
                     match replayed.damage {
                         // The server never serves a damaged store: the
                         // rename-on-success protocol makes this unreachable
                         // short of on-disk corruption after commit.
                         Some(damage) => Err(ExecError::Ckpt(damage)),
-                        None => Ok(replayed.report.report),
+                        None => Ok(canonical_report_line(&replayed.report.report)),
                     }
-                }),
-                Err(message) => return JobEnd::Failed(message),
+                })
+            } else {
+                replay_store_sampled(&executor, &sim, &store, &sampler)
+                    .map(|sampled| sampled_report_line(&sampled))
             };
             (ResultSource::Store, outcome)
         }
     };
 
     match outcome {
-        Ok(report) => {
+        Ok(line) => {
             if let Err(message) = shared.stores.commit(&ticket) {
                 return JobEnd::Failed(message);
             }
-            let line = Arc::new(canonical_report_line(&report));
+            let line = Arc::new(line);
             shared
                 .cache
-                .put(fingerprint, spec.config, Arc::clone(&line));
+                .put(fingerprint, spec.config, sampler_key, Arc::clone(&line));
             JobEnd::Done(source, line)
         }
         Err(ExecError::Cancelled) => {

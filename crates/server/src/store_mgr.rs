@@ -340,14 +340,18 @@ impl StoreManager {
     }
 }
 
-/// In-memory results cache: (store fingerprint, machine config) → the
-/// canonical report line. The store fingerprint already pins workload,
-/// scale, and the full sampling design; folding in the *full* machine
-/// config distinguishes detailed cores that share warm state (the
-/// replay-many-configs case — same store, different reports).
+/// In-memory results cache: (store fingerprint, machine config, sampler
+/// key) → the canonical report line. The store fingerprint pins
+/// workload, scale, and the warmed sampling design; the machine config
+/// distinguishes detailed cores that share warm state (the
+/// replay-many-configs case — same store, different reports); and the
+/// sampler key ([`smarts_core::SamplerSpec::cache_key`]) distinguishes
+/// unit-selection strategies over the same store — without it, two jobs
+/// differing only in sampler, seed, or CI target would alias to one
+/// cached line.
 #[derive(Debug, Default)]
 pub struct ResultsCache {
-    entries: Mutex<HashMap<(u64, u32), Arc<String>>>,
+    entries: Mutex<HashMap<(u64, u32, u64), Arc<String>>>,
     hits: AtomicU64,
 }
 
@@ -358,12 +362,17 @@ impl ResultsCache {
     }
 
     /// Looks up a cached canonical report line.
-    pub fn get(&self, store_fingerprint: u64, config: u32) -> Option<Arc<String>> {
+    pub fn get(
+        &self,
+        store_fingerprint: u64,
+        config: u32,
+        sampler_key: u64,
+    ) -> Option<Arc<String>> {
         let cached = self
             .entries
             .lock()
             .expect("results cache poisoned")
-            .get(&(store_fingerprint, config))
+            .get(&(store_fingerprint, config, sampler_key))
             .cloned();
         if cached.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -373,11 +382,11 @@ impl ResultsCache {
 
     /// Inserts (or replaces, idempotently — the line is deterministic) a
     /// canonical report line.
-    pub fn put(&self, store_fingerprint: u64, config: u32, line: Arc<String>) {
+    pub fn put(&self, store_fingerprint: u64, config: u32, sampler_key: u64, line: Arc<String>) {
         self.entries
             .lock()
             .expect("results cache poisoned")
-            .insert((store_fingerprint, config), line);
+            .insert((store_fingerprint, config, sampler_key), line);
     }
 
     /// Cache hits served.
@@ -592,15 +601,59 @@ mod tests {
 
     #[test]
     fn results_cache_round_trips_and_counts_hits() {
+        use smarts_core::SamplerSpec;
+        let sys = SamplerSpec::systematic().cache_key();
         let cache = ResultsCache::new();
         assert!(cache.is_empty());
-        assert!(cache.get(1, 8).is_none());
+        assert!(cache.get(1, 8, sys).is_none());
         assert_eq!(cache.hits(), 0);
-        cache.put(1, 8, Arc::new("line".to_string()));
-        assert_eq!(cache.get(1, 8).unwrap().as_str(), "line");
+        cache.put(1, 8, sys, Arc::new("line".to_string()));
+        assert_eq!(cache.get(1, 8, sys).unwrap().as_str(), "line");
         assert_eq!(cache.hits(), 1);
         // Same store, different detailed core: distinct entry.
-        assert!(cache.get(1, 16).is_none());
+        assert!(cache.get(1, 16, sys).is_none());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn results_cache_keys_on_the_sampler_spec() {
+        use smarts_core::{SamplerKind, SamplerSpec};
+        let cache = ResultsCache::new();
+        let sys = SamplerSpec::systematic();
+        let stratified = SamplerSpec {
+            kind: SamplerKind::Stratified,
+            ..SamplerSpec::systematic()
+        };
+        let reseeded = SamplerSpec {
+            seed: 1,
+            ..stratified
+        };
+        // Same store and machine, different sampling designs: three
+        // distinct entries — the regression this key exists to prevent
+        // is a stratified job being answered with the systematic line.
+        cache.put(7, 8, sys.cache_key(), Arc::new("sys".to_string()));
+        cache.put(7, 8, stratified.cache_key(), Arc::new("strat".to_string()));
+        cache.put(7, 8, reseeded.cache_key(), Arc::new("strat-s1".to_string()));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(7, 8, sys.cache_key()).unwrap().as_str(), "sys");
+        assert_eq!(
+            cache.get(7, 8, stratified.cache_key()).unwrap().as_str(),
+            "strat"
+        );
+        assert_eq!(
+            cache.get(7, 8, reseeded.cache_key()).unwrap().as_str(),
+            "strat-s1"
+        );
+        // Systematic specs hash to one stable key regardless of the
+        // sampled-only knobs, so pre-existing cache behaviour holds.
+        let tuned = SamplerSpec {
+            seed: 99,
+            strata: 9,
+            pilot: 50,
+            epsilon: 0.01,
+            confidence: 0.95,
+            ..SamplerSpec::systematic()
+        };
+        assert_eq!(tuned.cache_key(), sys.cache_key());
     }
 }

@@ -33,6 +33,8 @@ mod design;
 mod error;
 mod population;
 mod running;
+mod sampler;
+mod stratified;
 
 pub use confidence::{
     confidence_interval, proportion_half_width, relative_half_width, required_sample_size,
@@ -44,3 +46,9 @@ pub use population::{
     bias, intraclass_correlation, systematic_sample_means, variation_curve, VariationPoint,
 };
 pub use running::RunningStats;
+pub use sampler::{
+    drive_sampler, AdaptiveSampler, Sampler, SamplerEstimate, SamplerPhase, SplitMix64, StopReason,
+    StratifiedConfig, StratifiedSampler, SystematicSampler, DEFAULT_BATCH, DEFAULT_STRATA,
+    MIN_SAMPLE,
+};
+pub use stratified::{cluster_1d, neyman_allocation, Clustering, StratifiedEstimator};

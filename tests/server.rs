@@ -69,6 +69,7 @@ fn small_spec() -> JobSpec {
         jobs: 2,
         depth: 4,
         warm_jobs: 1,
+        ..JobSpec::default()
     }
 }
 
@@ -166,6 +167,66 @@ fn sharded_warm_jobs_serve_bytes_identical_to_a_serial_warm() {
     assert_eq!(stats.get("warm_passes").and_then(Json::as_u64), Some(1));
 
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn sampled_jobs_are_deterministic_and_cache_keyed_by_sampler() {
+    let store_dir = temp_dir("sampled");
+    let spec = JobSpec {
+        sampler: smarts::core::SamplerKind::Stratified,
+        seed: 9,
+        ..small_spec()
+    };
+
+    let server = RunningServer::start(&store_dir, 2);
+    let mut client = server.client();
+
+    let first = client.submit(&spec).expect("submit sampled cold");
+    assert_eq!(client.wait(&first).expect("wait"), "done");
+    let (source, cold_line) = client.result(&first).expect("cold result");
+    assert_eq!(source, "cold");
+
+    // Exact repeat: the sampler spec is part of the cache key, so this
+    // is a cache hit with the same bytes.
+    let second = client.submit(&spec).expect("submit sampled repeat");
+    assert_eq!(client.wait(&second).expect("wait"), "done");
+    let (source, raw) = client.result(&second).expect("cached result");
+    assert_eq!(source, "cache");
+    assert_eq!(raw, cold_line, "cache path must serve the same bytes");
+
+    // Same store, different seed: must NOT alias the cached result —
+    // it replays the shared store under the new selection (and the
+    // served line embeds the seed, so the bytes differ).
+    let reseeded = JobSpec {
+        seed: 10,
+        ..spec.clone()
+    };
+    let third = client.submit(&reseeded).expect("submit reseeded");
+    assert_eq!(client.wait(&third).expect("wait"), "done");
+    let (source, raw) = client.result(&third).expect("reseeded result");
+    assert_eq!(
+        source, "store",
+        "a different sampler spec cannot hit the cache"
+    );
+    assert_ne!(raw, cold_line, "reseeded line carries its own spec");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("warm_passes").and_then(Json::as_u64), Some(1));
+    server.shutdown();
+
+    // Fresh server over the same directory: the in-memory cache is
+    // gone, so the job replays the committed store — and the fixed
+    // seed makes the selection (and the line) reproduce exactly.
+    let server = RunningServer::start(&store_dir, 2);
+    let mut client = server.client();
+    let fourth = client.submit(&spec).expect("submit store hit");
+    assert_eq!(client.wait(&fourth).expect("wait"), "done");
+    let (source, raw) = client.result(&fourth).expect("store result");
+    assert_eq!(source, "store");
+    assert_eq!(raw, cold_line, "store replay must reproduce the cold bytes");
+    server.shutdown();
+
     let _ = std::fs::remove_dir_all(&store_dir);
 }
 
