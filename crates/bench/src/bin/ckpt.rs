@@ -20,7 +20,7 @@
 //! same stores from each row's recorded scale and unit count.
 
 use smarts_bench::timing::{self, time};
-use smarts_ckpt::{CkptReader, CkptWriter, StoreMeta};
+use smarts_ckpt::{CkptReader, CkptWriter, IsaId, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, UnitCheckpoint, Warming};
 use smarts_uarch::MachineConfig;
 use std::io::Write as _;
@@ -117,6 +117,7 @@ fn main() {
             params,
             benchmark: name.clone(),
             scale,
+            isa: IsaId::Builtin,
         };
 
         let mut file_bytes = 0u64;

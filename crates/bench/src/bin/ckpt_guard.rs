@@ -15,7 +15,7 @@
 //! restricts to one probe.
 
 use smarts_bench::timing::time;
-use smarts_ckpt::{CkptReader, CkptWriter, StoreMeta};
+use smarts_ckpt::{CkptReader, CkptWriter, IsaId, StoreMeta};
 use smarts_core::{SampleReport, SamplingParams, SmartsSim, Warming};
 use smarts_exec::{replay_store, Executor};
 use smarts_uarch::MachineConfig;
@@ -122,6 +122,7 @@ fn main() {
             params,
             benchmark: reference.benchmark.clone(),
             scale: reference.scale,
+            isa: IsaId::Builtin,
         };
         let mut writer = CkptWriter::create(&store, &cfg, &meta)
             .unwrap_or_else(|e| fail(&format!("cannot create scratch store: {e}")));

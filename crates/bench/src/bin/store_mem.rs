@@ -25,7 +25,7 @@
 //! the ≥10× residency-ratio floor).
 
 use smarts_bench::timing::{self, time};
-use smarts_ckpt::{CkptWriter, MappedStore, StoreMeta};
+use smarts_ckpt::{CkptWriter, IsaId, MappedStore, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, UnitCheckpoint, Warming};
 use smarts_exec::{replay_store_mapped, Executor};
 use smarts_uarch::MachineConfig;
@@ -80,6 +80,7 @@ fn main() {
         params,
         benchmark: probe.clone(),
         scale,
+        isa: IsaId::Builtin,
     };
 
     // Warm once (untimed) — write the store and account what an eager

@@ -18,7 +18,7 @@
 //! O(workers), not O(units).
 
 use smarts_bench::timing::time;
-use smarts_ckpt::{CkptWriter, MappedStore, StoreMeta};
+use smarts_ckpt::{CkptWriter, IsaId, MappedStore, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, Warming};
 use smarts_exec::{replay_store_mapped, Executor};
 use smarts_uarch::MachineConfig;
@@ -104,6 +104,7 @@ fn main() {
         params,
         benchmark: reference.benchmark.clone(),
         scale,
+        isa: IsaId::Builtin,
     };
 
     // Rebuild the store (untimed) and accumulate the eager footprint.

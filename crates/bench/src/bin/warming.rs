@@ -24,7 +24,9 @@
 
 use smarts_bench::timing::{self, time};
 use smarts_core::FunctionalEngine;
+use smarts_isa::RiscIsa;
 use smarts_uarch::{MachineConfig, WarmState};
+use smarts_workloads::{Frontend, Loaded};
 use std::io::Write as _;
 use std::time::Duration;
 
@@ -35,6 +37,7 @@ const PROBES: [&str; 4] = ["hashp-2", "loopy-1", "chase-2", "branchy-1"];
 
 struct Row {
     name: String,
+    isa: &'static str,
     instructions: u64,
     functional: Duration,
     warming: Duration,
@@ -75,60 +78,47 @@ fn main() {
     let cfg = MachineConfig::eight_way();
     let probes: Vec<String> = match &args.bench {
         Some(name) => vec![name.clone()],
-        None if args.quick => vec![PROBES[0].to_string()],
+        None if args.quick => {
+            // Quick mode keeps one probe per frontend: the Figure 4
+            // probe, plus the first probe the risc encoding accepts (the
+            // Figure 4 probe itself uses instructions outside the
+            // compact set).
+            let mut list = vec![PROBES[0].to_string()];
+            if let Some(name) = PROBES
+                .iter()
+                .find(|name| RiscIsa::resolve(name, 1.0).is_ok())
+            {
+                if *name != PROBES[0] {
+                    list.push(name.to_string());
+                }
+            }
+            list
+        }
         None => PROBES.iter().map(|s| s.to_string()).collect(),
     };
 
     println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>8} {:>12}",
-        "benchmark", "func MIPS", "warm MIPS", "w+pt MIPS", "S_FW", "overhead/in"
+        "{:<12} {:<8} {:>12} {:>12} {:>12} {:>8} {:>12}",
+        "benchmark", "isa", "func MIPS", "warm MIPS", "w+pt MIPS", "S_FW", "overhead/in"
     );
     let mut rows = Vec::new();
     for name in &probes {
-        let bench = smarts_workloads::find(name)
-            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
-            .scaled(1.0);
-        let loaded = bench.load();
-
-        let functional = time(|| {
-            let mut engine = FunctionalEngine::new(loaded.clone());
-            engine.fast_forward(instructions)
-        });
-        let warming = time(|| {
-            let mut engine = FunctionalEngine::new(loaded.clone());
-            let mut warm = WarmState::new(&cfg);
-            engine.fast_forward_warming(instructions, &mut warm)
-        });
-        let warming_pretouch = time(|| {
-            let mut engine = FunctionalEngine::new(loaded.clone());
-            let mut warm = WarmState::new(&cfg);
-            warm.set_batch_pretouch(true);
-            engine.fast_forward_warming(instructions, &mut warm)
-        });
-
-        let row = Row {
-            name: name.clone(),
-            instructions,
-            functional,
-            warming,
-            warming_pretouch,
-        };
-        println!(
-            "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>8.3} {:>9.1} ns",
-            row.name,
-            row.functional_mips(),
-            row.warming_mips(),
-            row.warming_pretouch_mips(),
-            row.s_fw(),
-            row.overhead_ns()
-        );
-        rows.push(row);
+        let loaded = smarts_isa::BuiltinIsa::resolve(name, 1.0)
+            .unwrap_or_else(|e| panic!("unknown benchmark {name}: {e}"));
+        rows.push(measure(name, "builtin", &loaded, instructions, &cfg));
+        // The compact-RISC frontend decodes its fixed 32-bit binary form
+        // on the same warming hot path, so its rate is a first-class
+        // figure: one row per probe the encoding can represent.
+        if let Ok(loaded) = RiscIsa::resolve(name, 1.0) {
+            rows.push(measure(name, "risc", &loaded, instructions, &cfg));
+        }
     }
     println!();
     for row in &rows {
         println!(
-            "{}: functional {} / warming {}",
+            "{} ({}): functional {} / warming {}",
             row.name,
+            row.isa,
             timing::pretty(row.functional),
             timing::pretty(row.warming)
         );
@@ -136,6 +126,52 @@ fn main() {
 
     write_json(&rows).expect("write results/bench_warming.json");
     println!("\nwrote results/bench_warming.json");
+}
+
+/// Times one probe's functional / warming / warming+pretouch passes
+/// under frontend `F` and prints its table row.
+fn measure<F: Frontend>(
+    name: &str,
+    isa: &'static str,
+    loaded: &Loaded<F>,
+    instructions: u64,
+    cfg: &MachineConfig,
+) -> Row {
+    let functional = time(|| {
+        let mut engine = FunctionalEngine::new(loaded.clone());
+        engine.fast_forward(instructions)
+    });
+    let warming = time(|| {
+        let mut engine = FunctionalEngine::new(loaded.clone());
+        let mut warm = WarmState::new(cfg);
+        engine.fast_forward_warming(instructions, &mut warm)
+    });
+    let warming_pretouch = time(|| {
+        let mut engine = FunctionalEngine::new(loaded.clone());
+        let mut warm = WarmState::new(cfg);
+        warm.set_batch_pretouch(true);
+        engine.fast_forward_warming(instructions, &mut warm)
+    });
+
+    let row = Row {
+        name: name.to_string(),
+        isa,
+        instructions,
+        functional,
+        warming,
+        warming_pretouch,
+    };
+    println!(
+        "{:<12} {:<8} {:>12.2} {:>12.2} {:>12.2} {:>8.3} {:>9.1} ns",
+        row.name,
+        row.isa,
+        row.functional_mips(),
+        row.warming_mips(),
+        row.warming_pretouch_mips(),
+        row.s_fw(),
+        row.overhead_ns()
+    );
+    row
 }
 
 /// Emits the machine-readable baseline (hand-rolled JSON: the workspace
@@ -152,11 +188,12 @@ fn write_json(rows: &[Row]) -> std::io::Result<()> {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         writeln!(f, "    {{")?;
         writeln!(f, "      \"benchmark\": \"{}\",", row.name)?;
-        // Rows are keyed (benchmark, warm_jobs): this bin measures the
-        // single-producer pass only, so every row is warm_jobs = 1;
+        // Rows are keyed (benchmark, isa, warm_jobs): this bin measures
+        // the single-producer pass only, so every row is warm_jobs = 1;
         // sharded rows live in results/bench_warm_shard.json with their
-        // own guard. The field keeps the two guard populations from
-        // silently comparing across modes.
+        // own guard. The fields keep the guard populations from silently
+        // comparing across modes or frontends.
+        writeln!(f, "      \"isa\": \"{}\",", row.isa)?;
         writeln!(f, "      \"warm_jobs\": 1,")?;
         writeln!(f, "      \"instructions\": {},", row.instructions)?;
         writeln!(

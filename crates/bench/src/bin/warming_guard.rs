@@ -8,12 +8,14 @@
 //! has dropped more than [`TOLERANCE`] below its reference — the S_FW
 //! regression gate for the warming hot path.
 //!
-//! `--quick` checks only the first reference probe; `--bench <name>`
-//! restricts to one probe.
+//! `--quick` checks the first reference probe of each frontend;
+//! `--bench <name>` restricts to one probe.
 
 use smarts_bench::timing::time;
 use smarts_core::FunctionalEngine;
+use smarts_isa::{BuiltinIsa, RiscIsa};
 use smarts_uarch::{MachineConfig, WarmState};
+use smarts_workloads::{Frontend, Loaded};
 
 /// Largest tolerated drop of measured warming MIPS below the reference
 /// (machine-to-machine and load-induced noise stays well inside this;
@@ -22,6 +24,7 @@ const TOLERANCE: f64 = 0.20;
 
 struct Reference {
     benchmark: String,
+    isa: String,
     warm_jobs: u64,
     instructions: u64,
     warming_mips: f64,
@@ -45,7 +48,17 @@ fn main() {
         fail(&format!("reference {path} lists no warm_jobs=1 probes"));
     }
     if args.quick {
-        references.truncate(1);
+        // Quick mode still guards every frontend: keep the first probe
+        // of each distinct isa rather than the first row outright.
+        let mut seen: Vec<String> = Vec::new();
+        references.retain(|r| {
+            if seen.contains(&r.isa) {
+                false
+            } else {
+                seen.push(r.isa.clone());
+                true
+            }
+        });
     }
     if let Some(name) = &args.bench {
         references.retain(|r| &r.benchmark == name);
@@ -63,33 +76,26 @@ fn main() {
     );
     let cfg = MachineConfig::eight_way();
     println!(
-        "{:<12} {:>12} {:>12} {:>8}  verdict",
-        "benchmark", "ref MIPS", "now MIPS", "ratio"
+        "{:<12} {:<8} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "isa", "ref MIPS", "now MIPS", "ratio"
     );
     let mut regressed = false;
     for reference in &references {
-        let bench = smarts_workloads::find(&reference.benchmark)
-            .unwrap_or_else(|| {
-                fail(&format!(
-                    "reference probe {} is not in the suite",
-                    reference.benchmark
-                ))
-            })
-            .scaled(1.0);
-        let loaded = bench.load();
-        let instructions = reference.instructions;
-        let warming = time(|| {
-            let mut engine = FunctionalEngine::new(loaded.clone());
-            let mut warm = WarmState::new(&cfg);
-            engine.fast_forward_warming(instructions, &mut warm)
-        });
-        let mips = instructions as f64 / warming.as_secs_f64() / 1e6;
+        let mips = match reference.isa.as_str() {
+            "builtin" => remeasure::<BuiltinIsa>(reference, &cfg),
+            "risc" => remeasure::<RiscIsa>(reference, &cfg),
+            other => fail(&format!(
+                "reference probe {} names unknown frontend `{other}`",
+                reference.benchmark
+            )),
+        };
         let ratio = mips / reference.warming_mips;
         let ok = ratio >= 1.0 - TOLERANCE;
         regressed |= !ok;
         println!(
-            "{:<12} {:>12.2} {:>12.2} {:>8.3}  {}",
+            "{:<12} {:<8} {:>12.2} {:>12.2} {:>8.3}  {}",
             reference.benchmark,
+            reference.isa,
             reference.warming_mips,
             mips,
             ratio,
@@ -111,21 +117,43 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1)
 }
 
-/// Extracts `(benchmark, warm_jobs, instructions, warming_mips)` rows
-/// from the reference file. Hand-rolled (the workspace builds offline,
-/// no serde): scans for the keys in order within each result object,
-/// which is exactly the shape the `warming` binary writes. `warm_jobs`
-/// defaults to 1 for rows written before the field existed.
+/// Re-measures one reference probe's warming MIPS under frontend `F`.
+fn remeasure<F: Frontend>(reference: &Reference, cfg: &MachineConfig) -> f64 {
+    let loaded: Loaded<F> = F::resolve(&reference.benchmark, 1.0).unwrap_or_else(|e| {
+        fail(&format!(
+            "reference probe {} does not resolve under `{}`: {e}",
+            reference.benchmark, reference.isa
+        ))
+    });
+    let instructions = reference.instructions;
+    let warming = time(|| {
+        let mut engine = FunctionalEngine::new(loaded.clone());
+        let mut warm = WarmState::new(cfg);
+        engine.fast_forward_warming(instructions, &mut warm)
+    });
+    instructions as f64 / warming.as_secs_f64() / 1e6
+}
+
+/// Extracts `(benchmark, isa, warm_jobs, instructions, warming_mips)`
+/// rows from the reference file. Hand-rolled (the workspace builds
+/// offline, no serde): scans for the keys in order within each result
+/// object, which is exactly the shape the `warming` binary writes.
+/// `isa` and `warm_jobs` default to builtin / 1 for rows written before
+/// the fields existed.
 fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
     let mut references = Vec::new();
     let mut benchmark: Option<String> = None;
+    let mut isa: Option<String> = None;
     let mut warm_jobs: Option<u64> = None;
     let mut instructions: Option<u64> = None;
     for line in text.lines() {
         let line = line.trim();
         if let Some(value) = key_value(line, "benchmark") {
             benchmark = Some(value.trim_matches('"').to_string());
+            isa = None;
             warm_jobs = None;
+        } else if let Some(value) = key_value(line, "isa") {
+            isa = Some(value.trim_matches('"').to_string());
         } else if let Some(value) = key_value(line, "warm_jobs") {
             warm_jobs = Some(
                 value
@@ -153,6 +181,8 @@ fn parse_references(text: &str) -> Result<Vec<Reference>, String> {
             }
             references.push(Reference {
                 benchmark,
+                // Rows written before the frontend existed are builtin.
+                isa: isa.take().unwrap_or_else(|| "builtin".to_string()),
                 warm_jobs: warm_jobs.take().unwrap_or(1),
                 instructions,
                 warming_mips: mips,

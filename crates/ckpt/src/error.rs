@@ -1,5 +1,6 @@
 //! Typed errors for the on-disk checkpoint store.
 
+use smarts_isa::IsaId;
 use std::fmt;
 
 /// Everything that can go wrong opening, reading, or writing a
@@ -24,6 +25,16 @@ pub enum CkptError {
         expected: u64,
         /// Fingerprint recorded in the store header.
         found: u64,
+    },
+    /// The store was written by a different instruction-set frontend
+    /// than the one trying to replay it. Surfaced before any record is
+    /// decoded, so a frontend mix-up reads as this typed error rather
+    /// than a record-level decode failure.
+    IsaMismatch {
+        /// Frontend attempting the replay.
+        expected: IsaId,
+        /// Frontend recorded in the store header.
+        found: IsaId,
     },
     /// A record failed its CRC or decoded inconsistently. Every record
     /// before it is intact and has already been (or can be) replayed.
@@ -61,6 +72,10 @@ impl CkptError {
                 expected: *expected,
                 found: *found,
             },
+            CkptError::IsaMismatch { expected, found } => CkptError::IsaMismatch {
+                expected: *expected,
+                found: *found,
+            },
             CkptError::Corrupted { record, detail } => CkptError::Corrupted {
                 record: *record,
                 detail,
@@ -86,6 +101,11 @@ impl fmt::Display for CkptError {
                 f,
                 "checkpoint store was warmed for a different machine geometry \
                  (store fingerprint {found:#018x}, this machine {expected:#018x})"
+            ),
+            CkptError::IsaMismatch { expected, found } => write!(
+                f,
+                "checkpoint store was written by the {found} frontend, \
+                 not {expected}"
             ),
             CkptError::Corrupted { record, detail } => {
                 write!(f, "checkpoint record {record} is corrupted: {detail}")

@@ -21,7 +21,7 @@
 use crate::codec::{apply_deltas, decode_deltas, read_varint, write_varint, RleEncoder};
 use crate::error::CkptError;
 use smarts_core::{EngineSnapshot, UnitCheckpoint};
-use smarts_isa::{Cpu, Memory};
+use smarts_isa::{BuiltinIsa, Isa, Memory};
 use smarts_uarch::{MachineConfig, WarmState};
 
 /// Words per memory page (4 KiB of little-endian `u64`s).
@@ -52,10 +52,12 @@ impl FlatCheckpoint {
         self.fixed.first().copied().unwrap_or(0)
     }
 
-    /// Flattens a checkpoint into word streams.
-    pub fn flatten(checkpoint: &UnitCheckpoint) -> Self {
+    /// Flattens a checkpoint into word streams. The frontend determines
+    /// only how the CPU-state words are produced ([`Isa::save_state`]);
+    /// the container layout is frontend-independent.
+    pub fn flatten<I: Isa>(checkpoint: &UnitCheckpoint<I>) -> Self {
         let mut fixed = vec![checkpoint.unit_start()];
-        checkpoint.snapshot().cpu().save_state(&mut fixed);
+        I::save_state(checkpoint.snapshot().cpu(), &mut fixed);
         checkpoint.warm().save_state(&mut fixed);
         let pages = checkpoint
             .snapshot()
@@ -73,15 +75,28 @@ impl FlatCheckpoint {
         FlatCheckpoint { fixed, pages }
     }
 
-    /// Rebuilds the checkpoint for a machine of the geometry the store
-    /// was written for. Fails (with a diagnostic) when the word stream
-    /// does not parse against that geometry — the corrupted-record path.
+    /// Rebuilds a built-in-frontend checkpoint — see
+    /// [`FlatCheckpoint::rebuild_isa`].
     pub fn rebuild(&self, cfg: &MachineConfig) -> Result<UnitCheckpoint, &'static str> {
+        self.rebuild_isa::<BuiltinIsa>(cfg)
+    }
+
+    /// Rebuilds the checkpoint for a machine of the geometry the store
+    /// was written for, parsing the CPU-state words under frontend `I`.
+    /// Fails (with a diagnostic) when the word stream does not parse
+    /// against that geometry — the corrupted-record path. Callers gate
+    /// on the store's recorded [`smarts_isa::IsaId`] first, so a
+    /// frontend mix-up surfaces as a typed
+    /// [`CkptError::IsaMismatch`](crate::CkptError::IsaMismatch) rather
+    /// than falling through to this parse failure.
+    pub fn rebuild_isa<I: Isa>(
+        &self,
+        cfg: &MachineConfig,
+    ) -> Result<UnitCheckpoint<I>, &'static str> {
         let (&unit_start, rest) = self.fixed.split_first().ok_or("fixed section is empty")?;
-        let mut cpu = Cpu::new();
-        let mut used = cpu
-            .load_state(rest)
-            .ok_or("fixed section too short for CPU state")?;
+        let mut cpu = I::new_cpu();
+        let mut used =
+            I::load_state(&mut cpu, rest).ok_or("fixed section too short for CPU state")?;
         let mut warm = WarmState::new(cfg);
         used += warm
             .load_state(

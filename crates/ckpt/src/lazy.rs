@@ -301,7 +301,8 @@ impl MappedStore {
         self.fingerprint
     }
 
-    /// The store's on-disk format version (1 = pre-index, 2 = indexed).
+    /// The store's on-disk format version (1 = pre-index, 2 = indexed,
+    /// 3 = indexed with a non-built-in frontend tag).
     pub fn version(&self) -> u32 {
         self.version
     }
@@ -494,6 +495,7 @@ mod tests {
     use super::*;
     use crate::store::{CkptWriter, StoreMeta};
     use smarts_core::{SamplingParams, Warming};
+    use smarts_isa::IsaId;
     use smarts_uarch::MachineConfig;
 
     fn meta() -> StoreMeta {
@@ -508,6 +510,7 @@ mod tests {
             },
             benchmark: "loopy-1".to_string(),
             scale: 0.1,
+            isa: IsaId::Builtin,
         }
     }
 

@@ -43,7 +43,7 @@
 //! # Examples
 //!
 //! ```
-//! use smarts_ckpt::{CkptReader, CkptWriter, StoreMeta};
+//! use smarts_ckpt::{CkptReader, CkptWriter, IsaId, StoreMeta};
 //! use smarts_core::{SamplingParams, SmartsSim, Warming};
 //! use smarts_uarch::MachineConfig;
 //! use smarts_workloads::find;
@@ -60,6 +60,7 @@
 //!     params,
 //!     benchmark: bench.name().to_string(),
 //!     scale: 0.02,
+//!     isa: IsaId::Builtin,
 //! };
 //! let mut writer = CkptWriter::create(&path, sim.config(), &meta)?;
 //! sim.stream_checkpoints(bench.load(), &params, |checkpoint| {
@@ -97,5 +98,9 @@ pub use flat::{FlatCheckpoint, FlatCheckpointRef};
 pub use lazy::{MappedStore, RecordSpan, StoreCursor};
 pub use store::{
     check_fingerprint, read_store_meta, warm_fingerprint, CkptReader, CkptWriter, StoreMeta,
-    WriteSummary, FORMAT_VERSION, INDEX_MAGIC, MAGIC, MIN_FORMAT_VERSION,
+    WriteSummary, FORMAT_VERSION, FORMAT_VERSION_ISA, INDEX_MAGIC, MAGIC, MIN_FORMAT_VERSION,
 };
+
+// Re-exported so store consumers can name the frontend recorded in a
+// [`StoreMeta`] without depending on `smarts-isa` directly.
+pub use smarts_isa::IsaId;

@@ -37,6 +37,7 @@ use crate::codec::crc32;
 use crate::error::CkptError;
 use crate::flat::{decode_record, encode_record, FlatCheckpoint};
 use smarts_core::{SamplingParams, UnitCheckpoint, Warming};
+use smarts_isa::{BuiltinIsa, Isa, IsaId};
 use smarts_uarch::{CacheConfig, MachineConfig, PredictorConfig, TlbConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -45,8 +46,14 @@ use std::path::Path;
 /// Store magic: the first eight bytes of every checkpoint store.
 pub const MAGIC: [u8; 8] = *b"SMARTSCK";
 
-/// On-disk format version this build writes (v2 = indexed footer).
+/// On-disk format version this build writes for built-in-frontend
+/// stores (v2 = indexed footer). Built-in stores deliberately stay at
+/// v2 so their files are byte-identical to pre-frontend builds.
 pub const FORMAT_VERSION: u32 = 2;
+
+/// On-disk format version written for non-built-in frontends: identical
+/// to v2 plus one [`IsaId`] tag byte after the version field.
+pub const FORMAT_VERSION_ISA: u32 = 3;
 
 /// Oldest on-disk format version readers still accept (v1 stores have
 /// no index footer and are scanned sequentially).
@@ -143,11 +150,21 @@ pub fn check_fingerprint(cfg: &MachineConfig, found: u64) -> Result<(), CkptErro
 pub struct StoreMeta {
     /// The sampling design the warming pass ran with.
     pub params: SamplingParams,
-    /// Benchmark name (e.g. `"hashp-2"`).
+    /// Benchmark name (e.g. `"hashp-2"`), or the trace path for the
+    /// trace frontend.
     pub benchmark: String,
     /// Scale factor the benchmark was loaded with.
     pub scale: f64,
+    /// The instruction-set frontend the store's checkpoints were
+    /// produced under. Replaying under a different frontend is refused
+    /// with [`CkptError::IsaMismatch`].
+    pub isa: IsaId,
 }
+
+/// Salt mixed ahead of the [`IsaId`] tag in non-built-in store
+/// fingerprints ("ISA" in ASCII), so an ISA tag can never collide with
+/// an adjacent benchmark-name byte fold.
+const FINGERPRINT_ISA_SALT: u64 = 0x0049_5341;
 
 impl StoreMeta {
     /// Full store-identity fingerprint: the warm-geometry
@@ -158,6 +175,14 @@ impl StoreMeta {
     /// results cache keys on.
     pub fn fingerprint(&self, cfg: &MachineConfig) -> u64 {
         let h = warm_fingerprint(cfg);
+        // Built-in stores skip the ISA fold entirely so every
+        // fingerprint recorded by a pre-frontend (v1/v2) build stays
+        // valid; other frontends mix their tag so stores from different
+        // frontends can never share an identity.
+        let h = match self.isa {
+            IsaId::Builtin => h,
+            other => mix(mix(h, FINGERPRINT_ISA_SALT), other.tag() as u64),
+        };
         let h = self
             .benchmark
             .as_bytes()
@@ -203,7 +228,16 @@ pub fn read_store_meta(path: impl AsRef<Path>) -> Result<(u64, StoreMeta), CkptE
 pub(crate) fn encode_header(fingerprint: u64, meta: &StoreMeta) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // The version is derived from the frontend: built-in stores keep
+    // writing v2 byte-identically; other frontends write v3, which
+    // inserts exactly one ISA tag byte after the version field.
+    match meta.isa {
+        IsaId::Builtin => out.extend_from_slice(&FORMAT_VERSION.to_le_bytes()),
+        other => {
+            out.extend_from_slice(&FORMAT_VERSION_ISA.to_le_bytes());
+            out.push(other.tag());
+        }
+    }
     out.extend_from_slice(&fingerprint.to_le_bytes());
     out.extend_from_slice(&meta.params.unit_size.to_le_bytes());
     out.extend_from_slice(&meta.params.detailed_warming.to_le_bytes());
@@ -278,9 +312,16 @@ pub(crate) fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta, u
         return Err(CkptError::BadMagic);
     }
     let version = h.u32()?;
-    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION_ISA).contains(&version) {
         return Err(CkptError::UnsupportedVersion(version));
     }
+    let isa = if version >= FORMAT_VERSION_ISA {
+        IsaId::from_tag(h.u8()?).ok_or(CkptError::HeaderCorrupted)?
+    } else {
+        // v1/v2 stores predate frontends and are built-in by
+        // definition.
+        IsaId::Builtin
+    };
     let fingerprint = h.u64()?;
     let unit_size = h.u64()?;
     let detailed_warming = h.u64()?;
@@ -321,6 +362,7 @@ pub(crate) fn decode_header(reader: &mut impl Read) -> Result<(u64, StoreMeta, u
             },
             benchmark,
             scale,
+            isa,
         },
         version,
     ))
@@ -360,6 +402,7 @@ pub struct WriteSummary {
 pub struct CkptWriter {
     file: BufWriter<File>,
     fingerprint: u64,
+    isa: IsaId,
     prev: Option<FlatCheckpoint>,
     records: u64,
     bytes: u64,
@@ -386,6 +429,7 @@ impl CkptWriter {
         Ok(CkptWriter {
             file,
             fingerprint,
+            isa: meta.isa,
             prev: None,
             records: 0,
             bytes: header.len() as u64,
@@ -405,8 +449,16 @@ impl CkptWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`CkptError::Io`] on a write failure.
-    pub fn append(&mut self, checkpoint: &UnitCheckpoint) -> Result<(), CkptError> {
+    /// Returns [`CkptError::Io`] on a write failure, or
+    /// [`CkptError::IsaMismatch`] when the checkpoint's frontend differs
+    /// from the one the store was created for.
+    pub fn append<I: Isa>(&mut self, checkpoint: &UnitCheckpoint<I>) -> Result<(), CkptError> {
+        if I::ID != self.isa {
+            return Err(CkptError::IsaMismatch {
+                expected: I::ID,
+                found: self.isa,
+            });
+        }
         self.append_flat(FlatCheckpoint::flatten(checkpoint))
     }
 
@@ -562,11 +614,30 @@ impl CkptReader {
     /// yielded by earlier calls.
     #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
     pub fn next_checkpoint(&mut self) -> Option<Result<UnitCheckpoint, CkptError>> {
+        self.next_checkpoint_isa::<BuiltinIsa>()
+    }
+
+    /// Decodes the next checkpoint for frontend `I`. A store written by
+    /// a different frontend is refused with [`CkptError::IsaMismatch`]
+    /// before any record is decoded — the typed alternative to letting
+    /// the wrong frontend's state words surface as a decode failure.
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next_checkpoint_isa<I: Isa>(&mut self) -> Option<Result<UnitCheckpoint<I>, CkptError>> {
+        if self.done {
+            return None;
+        }
+        if self.meta.isa != I::ID {
+            self.done = true;
+            return Some(Err(CkptError::IsaMismatch {
+                expected: I::ID,
+                found: self.meta.isa,
+            }));
+        }
         let flat = match self.next_flat()? {
             Ok(flat) => flat,
             Err(e) => return Some(Err(e)),
         };
-        match flat.rebuild(&self.cfg) {
+        match flat.rebuild_isa::<I>(&self.cfg) {
             Ok(checkpoint) => Some(Ok(checkpoint)),
             Err(detail) => {
                 self.done = true;
@@ -729,6 +800,7 @@ mod tests {
             },
             benchmark: "hashp-2".to_string(),
             scale: 0.25,
+            isa: IsaId::Builtin,
         };
         let base = meta.fingerprint(&cfg);
         assert_eq!(base, meta.fingerprint(&cfg), "fingerprint is deterministic");
@@ -772,6 +844,7 @@ mod tests {
             },
             benchmark: "loopy-1".to_string(),
             scale: 0.1,
+            isa: IsaId::Builtin,
         };
         let path = std::env::temp_dir().join(format!(
             "smarts-ckpt-peek-{}-{:x}.ckpt",
@@ -800,6 +873,7 @@ mod tests {
             },
             benchmark: "hashp-2".to_string(),
             scale: 0.25,
+            isa: IsaId::Builtin,
         };
         let bytes = encode_header(0xDEAD_BEEF, &meta);
         let mut cursor = &bytes[..];
@@ -824,6 +898,66 @@ mod tests {
     }
 
     #[test]
+    fn v3_header_round_trips_the_isa_tag() {
+        let mut meta = StoreMeta {
+            params: SamplingParams {
+                unit_size: 1000,
+                detailed_warming: 2000,
+                warming: Warming::Functional,
+                interval: 37,
+                offset: 3,
+                max_units: Some(12),
+            },
+            benchmark: "hashp-2".to_string(),
+            scale: 0.25,
+            isa: IsaId::Risc,
+        };
+        for isa in [IsaId::Risc, IsaId::Trace] {
+            meta.isa = isa;
+            let bytes = encode_header(0xDEAD_BEEF, &meta);
+            let mut cursor = &bytes[..];
+            let (fp, decoded, version) = decode_header(&mut cursor).unwrap();
+            assert_eq!(fp, 0xDEAD_BEEF);
+            assert_eq!(decoded, meta);
+            assert_eq!(version, FORMAT_VERSION_ISA);
+        }
+
+        // The built-in frontend keeps writing v2 headers byte-for-byte:
+        // a v3 header is exactly one ISA tag byte longer.
+        meta.isa = IsaId::Builtin;
+        let builtin = encode_header(0xDEAD_BEEF, &meta);
+        meta.isa = IsaId::Risc;
+        let risc = encode_header(0xDEAD_BEEF, &meta);
+        assert_eq!(risc.len(), builtin.len() + 1);
+    }
+
+    #[test]
+    fn fingerprint_folds_the_frontend() {
+        let cfg = MachineConfig::eight_way();
+        let mut meta = StoreMeta {
+            params: SamplingParams {
+                unit_size: 1000,
+                detailed_warming: 2000,
+                warming: Warming::Functional,
+                interval: 37,
+                offset: 3,
+                max_units: None,
+            },
+            benchmark: "loopy-1".to_string(),
+            scale: 0.5,
+            isa: IsaId::Builtin,
+        };
+        let builtin = meta.fingerprint(&cfg);
+        meta.isa = IsaId::Risc;
+        let risc = meta.fingerprint(&cfg);
+        meta.isa = IsaId::Trace;
+        let trace = meta.fingerprint(&cfg);
+        assert_ne!(builtin, risc);
+        assert_ne!(builtin, trace);
+        assert_ne!(risc, trace);
+    }
+
+    #[test]
     fn header_crc_catches_flips() {
         let meta = StoreMeta {
             params: SamplingParams {
@@ -836,6 +970,7 @@ mod tests {
             },
             benchmark: "loopy-1".to_string(),
             scale: 1.0,
+            isa: IsaId::Builtin,
         };
         let mut bytes = encode_header(7, &meta);
         let flip = bytes.len() / 2;

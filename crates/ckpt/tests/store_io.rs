@@ -6,10 +6,11 @@
 use std::fs;
 use std::path::PathBuf;
 
-use smarts_ckpt::{CkptError, CkptReader, CkptWriter, MappedStore, StoreMeta};
+use smarts_ckpt::{CkptError, CkptReader, CkptWriter, IsaId, MappedStore, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, UnitCheckpoint, Warming};
+use smarts_isa::{Isa, RiscIsa};
 use smarts_uarch::MachineConfig;
-use smarts_workloads::{find, Benchmark};
+use smarts_workloads::{find, Benchmark, Frontend};
 
 /// Deterministic pseudo-random stream for the corruption property tests.
 struct SplitMix64(u64);
@@ -64,6 +65,7 @@ fn write_store(path: &PathBuf, cfg: &MachineConfig, checkpoints: &[UnitCheckpoin
         params: small_params(&bench),
         benchmark: bench.name().to_string(),
         scale: 0.02,
+        isa: IsaId::Builtin,
     };
     let mut writer = CkptWriter::create(path, cfg, &meta).expect("create store");
     for checkpoint in checkpoints {
@@ -485,5 +487,106 @@ fn incompatible_stores_are_rejected_before_replay() {
     let mut reader = CkptReader::open(&path, &narrow).expect("compatible core variant");
     assert!(reader.next_checkpoint().expect("record").is_ok());
 
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn frontend_mismatch_is_typed_on_both_ends() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let originals = collect_checkpoints(&sim, &bench, &params);
+    let path = temp_path("isamismatch");
+
+    // Writer side: a store declared for the RISC frontend refuses
+    // built-in checkpoints before writing a byte of the record.
+    let meta = StoreMeta {
+        params,
+        benchmark: bench.name().to_string(),
+        scale: 0.02,
+        isa: IsaId::Risc,
+    };
+    let mut writer = CkptWriter::create(&path, &cfg, &meta).expect("create store");
+    let err = writer.append(&originals[0]).expect_err("wrong frontend");
+    assert!(matches!(
+        err,
+        CkptError::IsaMismatch {
+            expected: IsaId::Builtin,
+            found: IsaId::Risc,
+        }
+    ));
+    writer.finish().expect("finish empty store");
+
+    // Reader side: a built-in store read under the RISC frontend
+    // surfaces the mismatch before any record is decoded.
+    write_store(&path, &cfg, &originals);
+    let mut reader = CkptReader::open(&path, &cfg).expect("open store");
+    match reader.next_checkpoint_isa::<RiscIsa>() {
+        Some(Err(CkptError::IsaMismatch { expected, found })) => {
+            assert_eq!(expected, IsaId::Risc);
+            assert_eq!(found, IsaId::Builtin);
+        }
+        other => panic!("expected a typed ISA mismatch, got {other:?}"),
+    }
+    // The mismatch is terminal, like every other reader error.
+    assert!(reader.next_checkpoint_isa::<RiscIsa>().is_none());
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn risc_stores_round_trip_under_the_v3_format() {
+    let cfg = MachineConfig::eight_way();
+    let sim = SmartsSim::new(cfg.clone());
+    let bench = small_bench();
+    let params = small_params(&bench);
+    let loaded = RiscIsa::resolve(bench.name(), 0.02).expect("risc-encodable benchmark");
+    let mut originals = Vec::new();
+    sim.stream_checkpoints(loaded, &params, |checkpoint| {
+        originals.push(checkpoint);
+        true
+    })
+    .expect("risc warming pass");
+    assert!(originals.len() >= 8, "want a non-trivial unit count");
+
+    let path = temp_path("riscroundtrip");
+    let meta = StoreMeta {
+        params,
+        benchmark: bench.name().to_string(),
+        scale: 0.02,
+        isa: IsaId::Risc,
+    };
+    let mut writer = CkptWriter::create(&path, &cfg, &meta).expect("create store");
+    for checkpoint in &originals {
+        writer.append(checkpoint).expect("append");
+    }
+    writer.finish().expect("finish");
+
+    let (_, peeked) = smarts_ckpt::read_store_meta(&path).expect("peek header");
+    assert_eq!(peeked.isa, IsaId::Risc);
+
+    let mut reader = CkptReader::open(&path, &cfg).expect("open store");
+    let mut restored = Vec::new();
+    while let Some(next) = reader.next_checkpoint_isa::<RiscIsa>() {
+        restored.push(next.expect("intact record"));
+    }
+    assert_eq!(restored.len(), originals.len());
+    for (original, rebuilt) in originals.iter().zip(&restored) {
+        assert_eq!(original.unit_start(), rebuilt.unit_start());
+        let mut want = Vec::new();
+        RiscIsa::save_state(original.snapshot().cpu(), &mut want);
+        let mut got = Vec::new();
+        RiscIsa::save_state(rebuilt.snapshot().cpu(), &mut got);
+        assert_eq!(want, got, "cpu words");
+        let mut want = Vec::new();
+        original.warm().save_state(&mut want);
+        let mut got = Vec::new();
+        rebuilt.warm().save_state(&mut got);
+        assert_eq!(want, got, "warm words");
+        assert_eq!(
+            original.snapshot().memory().pages_sorted(),
+            rebuilt.snapshot().memory().pages_sorted()
+        );
+    }
     fs::remove_file(&path).ok();
 }

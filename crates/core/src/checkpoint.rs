@@ -35,10 +35,11 @@ use crate::error::SmartsError;
 use crate::sampler::{
     ModeInstructions, SampleReport, SamplingParams, SmartsSim, UnitSample, Warming,
 };
-use smarts_isa::Program;
+use smarts_isa::{BuiltinIsa, Isa};
 use smarts_uarch::{MachineConfig, Pipeline, WarmState};
-use smarts_workloads::{Benchmark, LoadedBenchmark};
+use smarts_workloads::{Benchmark, Loaded};
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -50,19 +51,40 @@ use std::time::{Duration, Instant};
 /// [`SmartsSim::stream_checkpoints`], and replayed with
 /// [`SmartsSim::replay_checkpoint`] (or [`SmartsSim::replay_unit`] via a
 /// library).
-#[derive(Debug, Clone)]
-pub struct UnitCheckpoint {
+/// Generic over the instruction-set frontend that produced it (default:
+/// the built-in one); the warm state is frontend-independent because all
+/// frontends warm through the shared record vocabulary.
+pub struct UnitCheckpoint<I: Isa = BuiltinIsa> {
     unit_start: u64,
-    snapshot: EngineSnapshot,
+    snapshot: EngineSnapshot<I>,
     warm: WarmState,
 }
 
-impl UnitCheckpoint {
+impl<I: Isa> Clone for UnitCheckpoint<I> {
+    fn clone(&self) -> Self {
+        UnitCheckpoint {
+            unit_start: self.unit_start,
+            snapshot: self.snapshot.clone(),
+            warm: self.warm.clone(),
+        }
+    }
+}
+
+impl<I: Isa> fmt::Debug for UnitCheckpoint<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnitCheckpoint")
+            .field("unit_start", &self.unit_start)
+            .field("snapshot", &self.snapshot)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: Isa> UnitCheckpoint<I> {
     /// Assembles a checkpoint from decoded parts (the checkpoint-store
     /// load path). The parts must describe one coherent warming-pass
     /// state — the store guarantees this by construction, serializing
     /// exactly what [`SmartsSim::stream_checkpoints`] emitted.
-    pub fn from_parts(unit_start: u64, snapshot: EngineSnapshot, warm: WarmState) -> Self {
+    pub fn from_parts(unit_start: u64, snapshot: EngineSnapshot<I>, warm: WarmState) -> Self {
         UnitCheckpoint {
             unit_start,
             snapshot,
@@ -76,7 +98,7 @@ impl UnitCheckpoint {
     }
 
     /// The architectural snapshot at the unit's warming-start point.
-    pub fn snapshot(&self) -> &EngineSnapshot {
+    pub fn snapshot(&self) -> &EngineSnapshot<I> {
         &self.snapshot
     }
 
@@ -132,14 +154,14 @@ pub struct RangeSummary {
 /// validated. At most `max_units` checkpoints are emitted. On return
 /// the engine stands wherever the last fast-forward left it — for a
 /// completed range, at the last emitted unit's warm-start point.
-pub fn stream_checkpoints_range(
-    engine: &mut FunctionalEngine,
+pub fn stream_checkpoints_range<I: Isa>(
+    engine: &mut FunctionalEngine<I>,
     warm: &mut WarmState,
     params: &SamplingParams,
     grid_start: u64,
     grid_end: u64,
     max_units: Option<u64>,
-    emit: &mut dyn FnMut(UnitCheckpoint) -> bool,
+    emit: &mut dyn FnMut(UnitCheckpoint<I>) -> bool,
 ) -> RangeSummary {
     let mut emitted: u64 = 0;
     let mut stopped = false;
@@ -502,11 +524,11 @@ impl SmartsSim {
     /// Returns an error for invalid parameters, or
     /// [`SmartsError::EmptySample`] when the stream ends before the first
     /// unit boundary.
-    pub fn stream_checkpoints(
+    pub fn stream_checkpoints<I: Isa>(
         &self,
-        loaded: LoadedBenchmark,
+        loaded: Loaded<I>,
         params: &SamplingParams,
-        mut emit: impl FnMut(UnitCheckpoint) -> bool,
+        mut emit: impl FnMut(UnitCheckpoint<I>) -> bool,
     ) -> Result<StreamSummary, SmartsError> {
         params.validate()?;
         let start = Instant::now();
@@ -608,11 +630,11 @@ impl SmartsSim {
     /// replays go through [`SmartsSim::replay_unit`], which checks).
     /// The replay math is identical to [`SmartsSim::replay_unit`]'s, so
     /// results are bit-identical however the checkpoint was delivered.
-    pub fn replay_checkpoint(
+    pub fn replay_checkpoint<I: Isa>(
         &self,
-        program: &Program,
+        program: &I::Program,
         params: &SamplingParams,
-        checkpoint: &UnitCheckpoint,
+        checkpoint: &UnitCheckpoint<I>,
     ) -> UnitReplay {
         let mut engine =
             FunctionalEngine::from_snapshot(program.clone(), checkpoint.snapshot.clone());

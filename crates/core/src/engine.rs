@@ -1,8 +1,9 @@
 //! The functional execution engine: SMARTS's fast-forwarding substrate.
 
-use smarts_isa::{Cpu, ExecRecord, Memory, Program};
+use smarts_isa::{BuiltinIsa, ExecRecord, Isa, Memory};
 use smarts_uarch::{TraceSource, WarmState};
-use smarts_workloads::LoadedBenchmark;
+use smarts_workloads::Loaded;
+use std::fmt;
 
 /// Owns the architectural state of one benchmark execution and exposes
 /// the three ways SMARTS consumes instructions:
@@ -17,11 +18,16 @@ use smarts_workloads::LoadedBenchmark;
 /// `position` counts instructions consumed from the dynamic stream in any
 /// of the three modes, so the sampling driver can align sampling units on
 /// absolute stream offsets.
-#[derive(Debug, Clone)]
-pub struct FunctionalEngine {
-    cpu: Cpu,
+///
+/// The engine is generic over its instruction-set frontend `I` and
+/// monomorphizes per frontend — the step loop has no dynamic dispatch.
+/// The default frontend is the built-in one, so `FunctionalEngine` in
+/// type position keeps meaning exactly what it did before frontends
+/// existed.
+pub struct FunctionalEngine<I: Isa = BuiltinIsa> {
+    cpu: I::Cpu,
     memory: Memory,
-    program: Program,
+    program: I::Program,
 }
 
 /// A resumable snapshot of an engine's architectural state.
@@ -29,24 +35,60 @@ pub struct FunctionalEngine {
 /// Cloning is cheap: memory pages are shared copy-on-write, so a snapshot
 /// costs O(pages) reference bumps. Used by the checkpoint library to jump
 /// straight to a sampling unit without fast-forwarding.
-#[derive(Debug, Clone)]
-pub struct EngineSnapshot {
-    cpu: Cpu,
+pub struct EngineSnapshot<I: Isa = BuiltinIsa> {
+    cpu: I::Cpu,
     memory: Memory,
 }
 
-impl FunctionalEngine {
-    /// Starts an engine at the entry point of a loaded benchmark.
-    pub fn new(loaded: LoadedBenchmark) -> Self {
+impl<I: Isa> Clone for FunctionalEngine<I> {
+    fn clone(&self) -> Self {
         FunctionalEngine {
-            cpu: Cpu::new(),
+            cpu: self.cpu.clone(),
+            memory: self.memory.clone(),
+            program: self.program.clone(),
+        }
+    }
+}
+
+impl<I: Isa> fmt::Debug for FunctionalEngine<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionalEngine")
+            .field("isa", &I::NAME)
+            .field("cpu", &self.cpu)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: Isa> Clone for EngineSnapshot<I> {
+    fn clone(&self) -> Self {
+        EngineSnapshot {
+            cpu: self.cpu.clone(),
+            memory: self.memory.clone(),
+        }
+    }
+}
+
+impl<I: Isa> fmt::Debug for EngineSnapshot<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("isa", &I::NAME)
+            .field("cpu", &self.cpu)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: Isa> FunctionalEngine<I> {
+    /// Starts an engine at the entry point of a loaded benchmark.
+    pub fn new(loaded: Loaded<I>) -> Self {
+        FunctionalEngine {
+            cpu: I::new_cpu(),
             memory: loaded.memory,
             program: loaded.program,
         }
     }
 
     /// Captures the current architectural state.
-    pub fn snapshot(&self) -> EngineSnapshot {
+    pub fn snapshot(&self) -> EngineSnapshot<I> {
         EngineSnapshot {
             cpu: self.cpu.clone(),
             memory: self.memory.clone(),
@@ -54,7 +96,7 @@ impl FunctionalEngine {
     }
 
     /// Resumes an engine from a snapshot of the same program.
-    pub fn from_snapshot(program: Program, snapshot: EngineSnapshot) -> Self {
+    pub fn from_snapshot(program: I::Program, snapshot: EngineSnapshot<I>) -> Self {
         FunctionalEngine {
             cpu: snapshot.cpu,
             memory: snapshot.memory,
@@ -63,22 +105,22 @@ impl FunctionalEngine {
     }
 
     /// The program being executed.
-    pub fn program(&self) -> &Program {
+    pub fn program(&self) -> &I::Program {
         &self.program
     }
 
     /// Instructions consumed from the dynamic stream so far.
     pub fn position(&self) -> u64 {
-        self.cpu.retired()
+        I::retired(&self.cpu)
     }
 
     /// Whether the program has executed its `halt`.
     pub fn finished(&self) -> bool {
-        self.cpu.halted()
+        I::halted(&self.cpu)
     }
 
     /// Read-only access to the architectural CPU state.
-    pub fn cpu(&self) -> &Cpu {
+    pub fn cpu(&self) -> &I::Cpu {
         &self.cpu
     }
 
@@ -88,12 +130,16 @@ impl FunctionalEngine {
     pub fn fast_forward(&mut self, target: u64) -> u64 {
         // The budget is computed once and the halt flag is the block
         // loop's condition, so nothing per-instruction re-reads `target`.
-        let before = self.cpu.retired();
+        let before = I::retired(&self.cpu);
         let remaining = target.saturating_sub(before);
-        let _ = self
-            .cpu
-            .step_block(&self.program, &mut self.memory, remaining, |_| {});
-        self.cpu.retired() - before
+        let _ = I::step_block(
+            &mut self.cpu,
+            &self.program,
+            &mut self.memory,
+            remaining,
+            |_| {},
+        );
+        I::retired(&self.cpu) - before
     }
 
     /// Functionally executes until `position() >= target` (or halt),
@@ -112,32 +158,36 @@ impl FunctionalEngine {
         // fills to overlap, small enough that the record buffer
         // (24 B each) stays in the host L1.
         const BATCH: usize = 64;
-        let before = self.cpu.retired();
+        let before = I::retired(&self.cpu);
         let remaining = target.saturating_sub(before);
         let mut batch: Vec<ExecRecord> = Vec::with_capacity(BATCH);
-        let _ = self
-            .cpu
-            .step_block(&self.program, &mut self.memory, remaining, |rec| {
+        let _ = I::step_block(
+            &mut self.cpu,
+            &self.program,
+            &mut self.memory,
+            remaining,
+            |rec| {
                 batch.push(*rec);
                 if batch.len() == BATCH {
                     warm.warm_batch(&batch);
                     batch.clear();
                 }
-            });
+            },
+        );
         warm.warm_batch(&batch);
-        self.cpu.retired() - before
+        I::retired(&self.cpu) - before
     }
 }
 
-impl EngineSnapshot {
+impl<I: Isa> EngineSnapshot<I> {
     /// Assembles a snapshot from decoded parts (the checkpoint-store
     /// load path).
-    pub fn from_parts(cpu: Cpu, memory: Memory) -> Self {
+    pub fn from_parts(cpu: I::Cpu, memory: Memory) -> Self {
         EngineSnapshot { cpu, memory }
     }
 
     /// The architectural CPU state.
-    pub fn cpu(&self) -> &Cpu {
+    pub fn cpu(&self) -> &I::Cpu {
         &self.cpu
     }
 
@@ -163,20 +213,21 @@ impl EngineSnapshot {
     }
 }
 
-impl TraceSource for FunctionalEngine {
+impl<I: Isa> TraceSource for FunctionalEngine<I> {
     fn next_record(&mut self) -> Option<ExecRecord> {
-        if self.cpu.halted() {
+        if I::halted(&self.cpu) {
             return None;
         }
-        self.cpu.step(&self.program, &mut self.memory).ok()
+        I::step(&mut self.cpu, &self.program, &mut self.memory).ok()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smarts_isa::{RiscIsa, TraceIsa, TraceProgram};
     use smarts_uarch::MachineConfig;
-    use smarts_workloads::find;
+    use smarts_workloads::{find, Frontend, LoadedBenchmark};
 
     fn tiny() -> LoadedBenchmark {
         find("loopy-1").unwrap().scaled(0.01).load()
@@ -222,5 +273,47 @@ mod tests {
         let rec = engine.next_record().unwrap();
         assert_eq!(engine.position(), 101);
         assert_eq!(rec.pc, rec.pc); // record is well-formed
+    }
+
+    #[test]
+    fn risc_engine_warms_identically_to_builtin() {
+        let name = "loopy-1";
+        let cfg = MachineConfig::eight_way();
+        let mut bw = WarmState::new(&cfg);
+        let mut rw = WarmState::new(&cfg);
+        let mut be: FunctionalEngine =
+            FunctionalEngine::new(BuiltinIsa::resolve(name, 0.01).unwrap());
+        let mut re: FunctionalEngine<RiscIsa> =
+            FunctionalEngine::new(RiscIsa::resolve(name, 0.01).unwrap());
+        be.fast_forward_warming(5_000, &mut bw);
+        re.fast_forward_warming(5_000, &mut rw);
+        assert_eq!(be.position(), re.position());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        bw.save_state(&mut a);
+        rw.save_state(&mut b);
+        assert_eq!(a, b, "warm state diverged between frontends");
+    }
+
+    #[test]
+    fn trace_engine_replays_recorded_stream() {
+        let mut source = FunctionalEngine::new(tiny());
+        let mut records = Vec::new();
+        while let Some(rec) = source.next_record() {
+            records.push(rec);
+        }
+        let loaded = smarts_workloads::Loaded::<TraceIsa> {
+            name: "tiny".into(),
+            program: TraceProgram::from_records("tiny", records.clone()),
+            memory: Memory::new(),
+        };
+        let mut replay = FunctionalEngine::new(loaded);
+        let mut got = Vec::new();
+        while let Some(rec) = replay.next_record() {
+            got.push(rec);
+        }
+        assert_eq!(got, records);
+        assert!(replay.finished());
+        assert_eq!(replay.position(), records.len() as u64);
     }
 }

@@ -8,7 +8,7 @@ use crate::error::SmartsError;
 use smarts_energy::{ActivityCounters, EnergyModel};
 use smarts_stats::{Confidence, RunningStats, SampleEstimate};
 use smarts_uarch::{MachineConfig, Pipeline, WarmState};
-use smarts_workloads::{Benchmark, LoadedBenchmark};
+use smarts_workloads::{Benchmark, Loaded};
 
 /// How microarchitectural state is maintained between sampling units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -664,9 +664,9 @@ impl SmartsSim {
     /// # Errors
     ///
     /// As for [`SmartsSim::sample`].
-    pub fn sample_loaded(
+    pub fn sample_loaded<I: smarts_isa::Isa>(
         &self,
-        loaded: LoadedBenchmark,
+        loaded: Loaded<I>,
         params: &SamplingParams,
     ) -> Result<SampleReport, SmartsError> {
         params.validate()?;

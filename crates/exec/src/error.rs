@@ -20,6 +20,11 @@ pub enum ExecError {
     /// A checkpoint store names a benchmark the workload suite does not
     /// know, so its program cannot be reconstructed for replay.
     UnknownBenchmark(String),
+    /// A non-built-in frontend could not resolve its workload (a
+    /// benchmark outside the RISC encoding's reach, an unreadable trace
+    /// file, ...). The built-in frontend keeps reporting
+    /// [`ExecError::UnknownBenchmark`] for its only failure mode.
+    Frontend(String),
     /// A worker thread panicked; the panic payload is preserved so the
     /// failure is attributable instead of tearing down the process.
     WorkerPanic {
@@ -42,6 +47,9 @@ impl fmt::Display for ExecError {
             ExecError::Ckpt(e) => write!(f, "checkpoint store error: {e}"),
             ExecError::UnknownBenchmark(name) => {
                 write!(f, "checkpoint store names unknown benchmark `{name}`")
+            }
+            ExecError::Frontend(message) => {
+                write!(f, "frontend cannot resolve workload: {message}")
             }
             ExecError::WorkerPanic { worker, message } => {
                 write!(f, "worker {worker} panicked: {message}")

@@ -81,8 +81,10 @@ pub use executor::{
     DEFAULT_PIPELINE_DEPTH, DEFAULT_SHARD_WARMUP,
 };
 pub use persist::{
-    replay_store, replay_store_eager, replay_store_indices, replay_store_mapped,
-    replay_store_sampled, sample_pipeline_saving, warm_store_saving, SampledReplay, SavedSample,
-    StoreReplay,
+    replay_store, replay_store_eager, replay_store_eager_isa, replay_store_indices,
+    replay_store_indices_isa, replay_store_isa, replay_store_mapped, replay_store_mapped_isa,
+    replay_store_sampled, replay_store_sampled_isa, sample_pipeline_saving,
+    sample_pipeline_saving_isa, warm_store_saving, warm_store_saving_isa, SampledReplay,
+    SavedSample, StoreReplay,
 };
 pub use warm_shard::ShardWarmStats;

@@ -24,6 +24,14 @@
 //! while machines differing only in detailed-core parameters (widths,
 //! window, FUs) replay the same store freely.
 //!
+//! Every entry point has an `_isa` variant generic over the
+//! [`Frontend`] that produced (or should replay) the store. The store
+//! header records its frontend ([`StoreMeta::isa`]); replaying under a
+//! different frontend is refused with a typed
+//! [`CkptError::IsaMismatch`](smarts_ckpt::CkptError::IsaMismatch)
+//! before any record is decoded. The non-`_isa` functions are the
+//! built-in-frontend specializations and behave exactly as before.
+//!
 //! [`replay_store`] (lazy, mmap-backed) and [`replay_store_eager`]
 //! (streaming [`CkptReader`] through the pipeline channel) produce
 //! byte-identical reports at any worker count; the eager path is kept
@@ -45,9 +53,9 @@ use smarts_ckpt::{CkptError, CkptReader, CkptWriter, MappedStore, StoreMeta, Wri
 use smarts_core::{
     ModeInstructions, SampleReport, SamplerSpec, SamplingParams, SmartsError, SmartsSim, UnitReplay,
 };
-use smarts_isa::Program;
+use smarts_isa::{BuiltinIsa, IsaId};
 use smarts_stats::{SamplerEstimate, SamplerPhase};
-use smarts_workloads::{find, Benchmark};
+use smarts_workloads::{Benchmark, Frontend, Loaded};
 
 /// Result of a warm-and-save run: the live sampling report plus the
 /// write-side accounting of the store that now holds the warm state.
@@ -67,7 +75,7 @@ pub struct StoreReplay {
     /// the store (for the same detailed machine).
     pub report: ParallelReport,
     /// The store's self-describing identity (benchmark, scale, sampling
-    /// design).
+    /// design, frontend).
     pub meta: StoreMeta,
     /// Records decoded and replayed.
     pub records: u64,
@@ -75,6 +83,32 @@ pub struct StoreReplay {
     /// still replayed, and this holds the typed error for the rest
     /// (corruption or truncation). `None` for a clean read.
     pub damage: Option<CkptError>,
+}
+
+/// Refuses a store written by a different frontend, before any record
+/// is touched.
+fn check_store_isa<F: Frontend>(meta: &StoreMeta) -> Result<(), ExecError> {
+    if meta.isa != F::ID {
+        return Err(ExecError::Ckpt(CkptError::IsaMismatch {
+            expected: F::ID,
+            found: meta.isa,
+        }));
+    }
+    Ok(())
+}
+
+/// Reconstructs a store's workload through its recorded frontend. The
+/// built-in frontend keeps its historical error shape
+/// ([`ExecError::UnknownBenchmark`]); other frontends surface the
+/// resolver's own message.
+fn resolve_for_replay<F: Frontend>(meta: &StoreMeta) -> Result<Loaded<F>, ExecError> {
+    F::resolve(&meta.benchmark, meta.scale).map_err(|message| {
+        if F::ID == IsaId::Builtin {
+            ExecError::UnknownBenchmark(meta.benchmark.clone())
+        } else {
+            ExecError::Frontend(message)
+        }
+    })
 }
 
 /// Runs a pipelined sampling simulation exactly like
@@ -96,22 +130,62 @@ pub fn sample_pipeline_saving(
     params: &SamplingParams,
     path: impl AsRef<Path>,
 ) -> Result<SavedSample, ExecError> {
+    sample_pipeline_saving_impl::<BuiltinIsa>(
+        executor,
+        sim,
+        bench.load(),
+        bench.name(),
+        bench.approx_len(),
+        scale,
+        params,
+        path,
+    )
+}
+
+/// [`sample_pipeline_saving`] for an arbitrary frontend: the workload is
+/// resolved by name through `F` and the store is tagged with `F::ID`.
+pub fn sample_pipeline_saving_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    workload: &str,
+    scale: f64,
+    params: &SamplingParams,
+    path: impl AsRef<Path>,
+) -> Result<SavedSample, ExecError> {
+    let loaded = F::resolve(workload, scale).map_err(ExecError::Frontend)?;
+    let approx_len = F::approx_len(workload, scale).map_err(ExecError::Frontend)?;
+    sample_pipeline_saving_impl::<F>(
+        executor, sim, loaded, workload, approx_len, scale, params, path,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_pipeline_saving_impl<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    loaded: Loaded<F>,
+    name: &str,
+    approx_len: u64,
+    scale: f64,
+    params: &SamplingParams,
+    path: impl AsRef<Path>,
+) -> Result<SavedSample, ExecError> {
     if executor.mode() == crate::ParallelMode::ShardedWarm {
         // Sharded warming splices per-shard segments into a final store
         // byte-identical to the one this serial producer writes.
-        return crate::warm_shard::sample_sharded_warm_saving(
-            executor, sim, bench, scale, params, path,
+        return crate::warm_shard::sample_sharded_warm_saving_impl::<F>(
+            executor, sim, loaded, name, approx_len, scale, params, path,
         );
     }
     let jobs = executor.jobs();
     let depth = executor.pipeline_depth();
     let meta = StoreMeta {
         params: *params,
-        benchmark: bench.name().to_string(),
+        benchmark: name.to_string(),
         scale,
+        isa: F::ID,
     };
     let mut writer = CkptWriter::create(path, sim.config(), &meta)?;
-    let loaded = bench.load();
     let program = loaded.program.clone();
 
     let run = run_pipeline(
@@ -178,8 +252,19 @@ pub fn replay_store(
     sim: &SmartsSim,
     path: impl AsRef<Path>,
 ) -> Result<StoreReplay, ExecError> {
+    replay_store_isa::<BuiltinIsa>(executor, sim, path)
+}
+
+/// [`replay_store`] for an arbitrary frontend. A store written by a
+/// different frontend is refused with a typed
+/// [`CkptError::IsaMismatch`](smarts_ckpt::CkptError::IsaMismatch).
+pub fn replay_store_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    path: impl AsRef<Path>,
+) -> Result<StoreReplay, ExecError> {
     let store = MappedStore::open(path, sim.config())?;
-    replay_store_mapped(executor, sim, &store)
+    replay_store_mapped_isa::<F>(executor, sim, &store)
 }
 
 /// Replays an already-open [`MappedStore`] — the shared-store path: the
@@ -203,12 +288,19 @@ pub fn replay_store_mapped(
     sim: &SmartsSim,
     store: &MappedStore,
 ) -> Result<StoreReplay, ExecError> {
+    replay_store_mapped_isa::<BuiltinIsa>(executor, sim, store)
+}
+
+/// [`replay_store_mapped`] for an arbitrary frontend.
+pub fn replay_store_mapped_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+) -> Result<StoreReplay, ExecError> {
     let jobs = executor.jobs();
     let meta = store.meta().clone();
-    let bench = find(&meta.benchmark)
-        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
-        .scaled(meta.scale);
-    let program = bench.load().program;
+    check_store_isa::<F>(&meta)?;
+    let program = resolve_for_replay::<F>(&meta)?.program;
     let params = meta.params;
     let count = store.len();
     let control = executor.control();
@@ -258,7 +350,7 @@ pub fn replay_store_mapped(
                     break;
                 }
             };
-            let checkpoint = match flat.rebuild(sim.config()) {
+            let checkpoint = match flat.rebuild_isa::<F>(sim.config()) {
                 Ok(checkpoint) => checkpoint,
                 Err(detail) => {
                     note_damage(
@@ -386,15 +478,49 @@ pub fn warm_store_saving(
     params: &SamplingParams,
     path: impl AsRef<Path>,
 ) -> Result<WriteSummary, ExecError> {
+    warm_store_saving_impl::<BuiltinIsa>(
+        executor,
+        sim,
+        bench.load(),
+        bench.name(),
+        scale,
+        params,
+        path,
+    )
+}
+
+/// [`warm_store_saving`] for an arbitrary frontend.
+pub fn warm_store_saving_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    workload: &str,
+    scale: f64,
+    params: &SamplingParams,
+    path: impl AsRef<Path>,
+) -> Result<WriteSummary, ExecError> {
+    let loaded = F::resolve(workload, scale).map_err(ExecError::Frontend)?;
+    warm_store_saving_impl::<F>(executor, sim, loaded, workload, scale, params, path)
+}
+
+fn warm_store_saving_impl<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    loaded: Loaded<F>,
+    name: &str,
+    scale: f64,
+    params: &SamplingParams,
+    path: impl AsRef<Path>,
+) -> Result<WriteSummary, ExecError> {
     let meta = StoreMeta {
         params: *params,
-        benchmark: bench.name().to_string(),
+        benchmark: name.to_string(),
         scale,
+        isa: F::ID,
     };
     let mut writer = CkptWriter::create(path, sim.config(), &meta)?;
     let cancel = executor.cancel_token();
     let mut write_error: Option<CkptError> = None;
-    let summary = sim.stream_checkpoints(bench.load(), params, |checkpoint| {
+    let summary = sim.stream_checkpoints(loaded, params, |checkpoint| {
         if cancel.is_cancelled() {
             return false;
         }
@@ -428,11 +554,11 @@ struct SubsetReplay {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn replay_subset(
+fn replay_subset<F: Frontend>(
     executor: &Executor,
     sim: &SmartsSim,
     store: &MappedStore,
-    program: &Program,
+    program: &F::Program,
     params: &SamplingParams,
     indices: &[usize],
     residency: &Residency,
@@ -484,7 +610,7 @@ fn replay_subset(
                     break;
                 }
             };
-            let checkpoint = match flat.rebuild(sim.config()) {
+            let checkpoint = match flat.rebuild_isa::<F>(sim.config()) {
                 Ok(checkpoint) => checkpoint,
                 Err(detail) => {
                     note_damage(
@@ -580,11 +706,19 @@ pub fn replay_store_indices(
     store: &MappedStore,
     indices: &[usize],
 ) -> Result<StoreReplay, ExecError> {
+    replay_store_indices_isa::<BuiltinIsa>(executor, sim, store, indices)
+}
+
+/// [`replay_store_indices`] for an arbitrary frontend.
+pub fn replay_store_indices_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+    indices: &[usize],
+) -> Result<StoreReplay, ExecError> {
     let meta = store.meta().clone();
-    let bench = find(&meta.benchmark)
-        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
-        .scaled(meta.scale);
-    let program = bench.load().program;
+    check_store_isa::<F>(&meta)?;
+    let program = resolve_for_replay::<F>(&meta)?.program;
     let params = meta.params;
     let mut picks: Vec<usize> = indices.to_vec();
     picks.sort_unstable();
@@ -601,7 +735,7 @@ pub fn replay_store_indices(
     }
     let residency = Residency::default();
     let done = AtomicU64::new(0);
-    let run = replay_subset(
+    let run = replay_subset::<F>(
         executor, sim, store, &program, &params, &picks, &residency, &done,
     )?;
     let records = picks.len() as u64;
@@ -658,6 +792,16 @@ pub fn replay_store_sampled(
     store: &MappedStore,
     spec: &SamplerSpec,
 ) -> Result<SampledReplay, ExecError> {
+    replay_store_sampled_isa::<BuiltinIsa>(executor, sim, store, spec)
+}
+
+/// [`replay_store_sampled`] for an arbitrary frontend.
+pub fn replay_store_sampled_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    store: &MappedStore,
+    spec: &SamplerSpec,
+) -> Result<SampledReplay, ExecError> {
     spec.validate().map_err(ExecError::Smarts)?;
     if let Some(error) = store.damage() {
         return Err(ExecError::Ckpt(error));
@@ -666,10 +810,8 @@ pub fn replay_store_sampled(
         return Err(ExecError::Smarts(SmartsError::EmptySample));
     }
     let meta = store.meta().clone();
-    let bench = find(&meta.benchmark)
-        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
-        .scaled(meta.scale);
-    let program = bench.load().program;
+    check_store_isa::<F>(&meta)?;
+    let program = resolve_for_replay::<F>(&meta)?.program;
     let params = meta.params;
 
     let mut sampler = spec.build(store.len() as u64).map_err(ExecError::Smarts)?;
@@ -691,7 +833,7 @@ pub fn replay_store_sampled(
         };
         let mut picks: Vec<usize> = units.iter().map(|&u| u as usize).collect();
         picks.sort_unstable();
-        let run = replay_subset(
+        let run = replay_subset::<F>(
             executor, sim, store, &program, &params, &picks, &residency, &done,
         )?;
         fold_workers(&mut workers, run.workers);
@@ -760,14 +902,21 @@ pub fn replay_store_eager(
     sim: &SmartsSim,
     path: impl AsRef<Path>,
 ) -> Result<StoreReplay, ExecError> {
+    replay_store_eager_isa::<BuiltinIsa>(executor, sim, path)
+}
+
+/// [`replay_store_eager`] for an arbitrary frontend.
+pub fn replay_store_eager_isa<F: Frontend>(
+    executor: &Executor,
+    sim: &SmartsSim,
+    path: impl AsRef<Path>,
+) -> Result<StoreReplay, ExecError> {
     let jobs = executor.jobs();
     let depth = executor.pipeline_depth();
     let mut reader = CkptReader::open(path, sim.config())?;
     let meta = reader.meta().clone();
-    let bench = find(&meta.benchmark)
-        .ok_or_else(|| ExecError::UnknownBenchmark(meta.benchmark.clone()))?
-        .scaled(meta.scale);
-    let program = bench.load().program;
+    check_store_isa::<F>(&meta)?;
+    let program = resolve_for_replay::<F>(&meta)?.program;
     let params = meta.params;
 
     let run = run_pipeline(
@@ -777,7 +926,7 @@ pub fn replay_store_eager(
         move |emit| {
             let start = Instant::now();
             let mut damage = None;
-            while let Some(next) = reader.next_checkpoint() {
+            while let Some(next) = reader.next_checkpoint_isa::<F>() {
                 match next {
                     Ok(checkpoint) => {
                         if !emit(checkpoint) {

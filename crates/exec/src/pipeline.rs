@@ -48,6 +48,7 @@ use smarts_core::{
     ModeInstructions, SampleReport, SamplingParams, SmartsError, SmartsSim, UnitCheckpoint,
     UnitReplay,
 };
+use smarts_isa::Isa;
 use smarts_workloads::Benchmark;
 
 struct ChannelState<T> {
@@ -254,7 +255,7 @@ impl ProgressCounters {
 /// `Ok` with partial outcomes and the *caller* decides whether partial
 /// state is worth flushing before surfacing
 /// [`ExecError::Cancelled`](crate::ExecError::Cancelled).
-pub(crate) fn run_pipeline<S, P, R>(
+pub(crate) fn run_pipeline<I, S, P, R>(
     jobs: usize,
     depth: usize,
     control: &RunControl,
@@ -262,11 +263,12 @@ pub(crate) fn run_pipeline<S, P, R>(
     replay: R,
 ) -> Result<PipelineRun<S>, ExecError>
 where
+    I: Isa,
     S: Send,
-    P: FnOnce(&mut dyn FnMut(UnitCheckpoint) -> bool) -> S + Send,
-    R: Fn(&UnitCheckpoint) -> UnitReplay + Sync,
+    P: FnOnce(&mut dyn FnMut(UnitCheckpoint<I>) -> bool) -> S + Send,
+    R: Fn(&UnitCheckpoint<I>) -> UnitReplay + Sync,
 {
-    let channel: Channel<(usize, u64, UnitCheckpoint)> = Channel::new(depth, jobs);
+    let channel: Channel<(usize, u64, UnitCheckpoint<I>)> = Channel::new(depth, jobs);
     let residency = Residency::default();
     let counters = ProgressCounters::default();
     let t0 = Instant::now();
@@ -282,7 +284,7 @@ where
         let producer = scope.spawn(move || {
             let _close = CloseOnDrop(channel);
             let mut next_index = 0usize;
-            let mut emit = |checkpoint: UnitCheckpoint| {
+            let mut emit = |checkpoint: UnitCheckpoint<I>| {
                 if cancel.is_cancelled() {
                     return false;
                 }

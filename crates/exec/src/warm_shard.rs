@@ -43,6 +43,10 @@
 //! CRCs, same `StoreMeta` fingerprint. Replay consumers cannot tell the
 //! difference, which is the whole point.
 //!
+//! The machinery is generic over the [`Frontend`]: the stitch argument
+//! rests only on the shared warm/flat vocabulary, so a RISC or trace
+//! store shards and splices exactly like a built-in one.
+//!
 //! DESIGN.md §3.6e develops the convergence and bit-identity arguments
 //! in full.
 
@@ -61,9 +65,9 @@ use smarts_core::{
     stream_checkpoints_range, EngineSnapshot, FunctionalEngine, SamplingParams, SmartsSim,
     UnitCheckpoint, Warming,
 };
-use smarts_isa::Program;
+use smarts_isa::{BuiltinIsa, Isa};
 use smarts_uarch::{MachineConfig, WarmState};
-use smarts_workloads::Benchmark;
+use smarts_workloads::{Benchmark, Frontend, Loaded};
 
 /// Accounting specific to [`ParallelMode::ShardedWarm`]: how the warming
 /// pass was split, how quickly each shard converged back onto the serial
@@ -177,13 +181,13 @@ impl Drop for RemoveOnDrop {
 
 /// The exact serial warming state at one shard boundary: what the next
 /// shard's stitch drive resumes from.
-struct Handoff {
-    snapshot: EngineSnapshot,
+struct Handoff<F: Isa> {
+    snapshot: EngineSnapshot<F>,
     warm: WarmState,
 }
 
 /// One shard's phase-1 product.
-struct SegmentOutput {
+struct SegmentOutput<F: Isa> {
     grid_start: u64,
     grid_end: u64,
     path: PathBuf,
@@ -195,34 +199,37 @@ struct SegmentOutput {
     /// The shard-local state at the successor's warm-start point; `None`
     /// for the last shard, or when the shard was cancelled or errored
     /// before completing its range.
-    handoff: Option<Handoff>,
+    handoff: Option<Handoff<F>>,
     write_error: Option<CkptError>,
 }
 
 /// Phase 1: produce every shard's segment in parallel.
-fn produce_segments(
+fn produce_segments<F: Frontend>(
     sim: &SmartsSim,
-    bench: &Benchmark,
+    loaded: &Loaded<F>,
+    name: &str,
     params: &SamplingParams,
     shards: &[(u64, u64)],
     paths: &[PathBuf],
     cancel: &CancelToken,
-) -> Result<Vec<SegmentOutput>, ExecError> {
+) -> Result<Vec<SegmentOutput<F>>, ExecError> {
     let cfg = sim.config();
     // Segment headers only need the right warm fingerprint for reopening;
-    // their meta is never consulted again.
+    // their meta is never consulted again — but the frontend tag must
+    // match or the typed-append guard rejects the shard's checkpoints.
     let meta = StoreMeta {
         params: *params,
-        benchmark: bench.name().to_string(),
+        benchmark: name.to_string(),
         scale: 1.0,
+        isa: F::ID,
     };
     let n = shards.len();
-    let outputs = run_workers(n, |s| -> Result<SegmentOutput, ExecError> {
+    let outputs = run_workers(n, |s| -> Result<SegmentOutput<F>, ExecError> {
         let t0 = Instant::now();
         let (grid_start, grid_end) = shards[s];
         let path = paths[s].clone();
         let mut writer = CkptWriter::create(&path, cfg, &meta)?;
-        let mut engine = FunctionalEngine::new(bench.load());
+        let mut engine = FunctionalEngine::new(loaded.clone());
         let mut warm = WarmState::new(cfg);
         if s > 0 {
             // Leapfrog: only shard 0 pays warmed-rate execution for the
@@ -301,12 +308,12 @@ enum MergeStop {
 
 /// Phase-2 sink: tees each proven-serial flat into the final store (when
 /// saving) and offers its checkpoint to the replay channel.
-struct Merge<'a, 'b> {
+struct Merge<'a, 'b, F: Isa> {
     cfg: &'a MachineConfig,
     cancel: &'a CancelToken,
     cap: Option<u64>,
     sink: Option<CkptWriter>,
-    emit: &'a mut (dyn FnMut(UnitCheckpoint) -> bool + 'b),
+    emit: &'a mut (dyn FnMut(UnitCheckpoint<F>) -> bool + 'b),
     emitted: u64,
     /// Cancelled with a store attached: keep splicing provable records
     /// into the final store (cheap, salvageable) without offering them
@@ -315,12 +322,12 @@ struct Merge<'a, 'b> {
     stop: Option<MergeStop>,
 }
 
-impl Merge<'_, '_> {
+impl<F: Isa> Merge<'_, '_, F> {
     /// Streams one proven-serial unit. `checkpoint` carries the live
     /// re-warmed checkpoint when the stitcher has one; spliced tail
     /// units rebuild from the flat. Returns `false` once the merge must
     /// stop (reason recorded in `self.stop`).
-    fn offer(&mut self, flat: FlatCheckpoint, checkpoint: Option<UnitCheckpoint>) -> bool {
+    fn offer(&mut self, flat: FlatCheckpoint, checkpoint: Option<UnitCheckpoint<F>>) -> bool {
         if self.stop.is_some() {
             return false;
         }
@@ -333,7 +340,7 @@ impl Merge<'_, '_> {
         } else {
             match checkpoint {
                 Some(c) => Some(c),
-                None => match flat.rebuild(self.cfg) {
+                None => match flat.rebuild_isa::<F>(self.cfg) {
                     Ok(c) => Some(c),
                     Err(detail) => {
                         self.stop =
@@ -366,7 +373,7 @@ impl Merge<'_, '_> {
         true
     }
 
-    fn emit(&mut self, checkpoint: UnitCheckpoint) -> bool {
+    fn emit(&mut self, checkpoint: UnitCheckpoint<F>) -> bool {
         (self.emit)(checkpoint)
     }
 
@@ -378,13 +385,13 @@ impl Merge<'_, '_> {
 }
 
 /// What a stitched shard passes to its successor.
-enum NextStart {
+enum NextStart<F: Isa> {
     /// Fixpoint found: the shard's own phase-1 handoff is behaviorally
     /// serial, so the successor resumes from it at no extra cost.
     Phase1,
     /// No fixpoint: the stitcher carried its exact engine to the
     /// boundary itself.
-    Fallback(Box<Handoff>),
+    Fallback(Box<Handoff<F>>),
     /// The segment ended early (cancelled shard) — nothing downstream is
     /// provable, stop the merge here.
     None,
@@ -394,13 +401,13 @@ enum NextStart {
 /// predecessor's exact serial state until the canonical flats converge,
 /// then splice the segment tail verbatim. Returns the successor's start
 /// state plus (units re-warmed, instructions re-executed).
-fn stitch_shard(
-    merge: &mut Merge<'_, '_>,
+fn stitch_shard<F: Frontend>(
+    merge: &mut Merge<'_, '_, F>,
     params: &SamplingParams,
-    program: &Program,
-    seg: &SegmentOutput,
-    prev: Handoff,
-) -> (NextStart, u64, u64) {
+    program: &F::Program,
+    seg: &SegmentOutput<F>,
+    prev: Handoff<F>,
+) -> (NextStart<F>, u64, u64) {
     let mut reader = match CkptReader::open(&seg.path, merge.cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -503,22 +510,23 @@ struct ShardedProduct {
 /// The producer body: phase 1 (parallel segments) then phase 2 (stitch
 /// and splice), streaming each proven unit into the replay channel.
 #[allow(clippy::too_many_arguments)]
-fn produce_sharded(
+fn produce_sharded<F: Frontend>(
     sim: &SmartsSim,
-    bench: &Benchmark,
+    loaded: &Loaded<F>,
+    name: &str,
     params: &SamplingParams,
     shards: &[(u64, u64)],
     paths: &[PathBuf],
     cancel: &CancelToken,
     sink: Option<CkptWriter>,
-    emit: &mut dyn FnMut(UnitCheckpoint) -> bool,
+    emit: &mut dyn FnMut(UnitCheckpoint<F>) -> bool,
 ) -> (ShardedProduct, Option<CkptWriter>) {
     let t0 = Instant::now();
     let mut stats = ShardWarmStats {
         warm_jobs: shards.len(),
         ..ShardWarmStats::default()
     };
-    let outputs = match produce_segments(sim, bench, params, shards, paths, cancel) {
+    let outputs = match produce_segments::<F>(sim, loaded, name, params, shards, paths, cancel) {
         Ok(outputs) => outputs,
         Err(e) => {
             return (
@@ -541,7 +549,7 @@ fn produce_sharded(
     }
 
     let stitch_t = Instant::now();
-    let program = bench.load().program;
+    let program = loaded.program.clone();
     let mut merge = Merge {
         cfg: sim.config(),
         cancel,
@@ -560,7 +568,7 @@ fn produce_sharded(
             merge.fail(ExecError::Ckpt(e));
         }
     }
-    let mut prev: Option<Handoff> = None;
+    let mut prev: Option<Handoff<F>> = None;
     for (s, seg) in outputs.into_iter().enumerate() {
         if merge.stop.is_some() {
             break;
@@ -594,7 +602,7 @@ fn produce_sharded(
             break;
         };
         let (next, rewarmed, instructions) =
-            stitch_shard(&mut merge, params, &program, &seg, handoff);
+            stitch_shard::<F>(&mut merge, params, &program, &seg, handoff);
         stats.fixpoints[s] = rewarmed;
         stats.rewarm_instructions += instructions;
         prev = match next {
@@ -634,13 +642,19 @@ pub(crate) fn sample_sharded_warm(
     let paths = segment_paths(shards.len(), None);
     let _cleanup = RemoveOnDrop(paths.clone());
     let cancel = executor.cancel_token().clone();
-    let program = bench.load().program;
+    let loaded: Loaded<BuiltinIsa> = bench.load();
+    let name = bench.name();
+    let program = loaded.program.clone();
 
     let run = run_pipeline(
         jobs,
         depth,
         &executor.control(),
-        |emit| produce_sharded(sim, bench, params, &shards, &paths, &cancel, None, emit),
+        |emit| {
+            produce_sharded::<BuiltinIsa>(
+                sim, &loaded, name, params, &shards, &paths, &cancel, None, emit,
+            )
+        },
         |checkpoint| sim.replay_checkpoint(&program, params, checkpoint),
     )?;
     if executor.cancel_token().is_cancelled() {
@@ -664,11 +678,17 @@ pub(crate) fn sample_sharded_warm(
 
 /// Runs one sharded-warm sampling simulation while splicing the stitched
 /// segments into a final store at `path` — byte-identical to the store a
-/// serial `--save-checkpoints` run writes.
-pub(crate) fn sample_sharded_warm_saving(
+/// serial `--save-checkpoints` run writes. Generic over the frontend;
+/// reached through
+/// [`sample_pipeline_saving`](crate::sample_pipeline_saving) and its
+/// `_isa` variant when the executor is in sharded-warm mode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_sharded_warm_saving_impl<F: Frontend>(
     executor: &Executor,
     sim: &SmartsSim,
-    bench: &Benchmark,
+    loaded: Loaded<F>,
+    name: &str,
+    approx_len: u64,
     scale: f64,
     params: &SamplingParams,
     path: impl AsRef<Path>,
@@ -678,25 +698,27 @@ pub(crate) fn sample_sharded_warm_saving(
     let depth = executor.pipeline_depth();
     let meta = StoreMeta {
         params: *params,
-        benchmark: bench.name().to_string(),
+        benchmark: name.to_string(),
         scale,
+        isa: F::ID,
     };
     // Created before any thread spawns, so an unwritable path fails fast.
     let writer = CkptWriter::create(path.as_ref(), sim.config(), &meta)?;
-    let shards = plan_shards(params, bench.approx_len(), executor.warm_jobs());
+    let shards = plan_shards(params, approx_len, executor.warm_jobs());
     let paths = segment_paths(shards.len(), Some(path.as_ref()));
     let _cleanup = RemoveOnDrop(paths.clone());
     let cancel = executor.cancel_token().clone();
-    let program = bench.load().program;
+    let program = loaded.program.clone();
 
     let run = run_pipeline(
         jobs,
         depth,
         &executor.control(),
         |emit| {
-            produce_sharded(
+            produce_sharded::<F>(
                 sim,
-                bench,
+                &loaded,
+                name,
                 params,
                 &shards,
                 &paths,

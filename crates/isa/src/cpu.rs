@@ -195,6 +195,21 @@ impl Cpu {
             pc,
             len: program.len(),
         })?;
+        Ok(self.exec_decoded(inst, mem))
+    }
+
+    /// Executes one already-fetched, already-decoded instruction,
+    /// assuming the caller has checked [`Cpu::halted`].
+    ///
+    /// This is the fetchless interpreter body: frontends with their own
+    /// program representation (binary encodings decoded per step) fetch
+    /// and decode themselves, then commit through here so every frontend
+    /// shares one set of operation semantics. The built-in [`Cpu::step`]
+    /// path goes through this same body, so factoring it out cannot
+    /// change built-in behaviour.
+    #[inline(always)]
+    pub fn exec_decoded(&mut self, inst: Inst, mem: &mut Memory) -> ExecRecord {
+        let pc = self.pc;
         let mut next_pc = pc + 1;
         let mut taken = false;
         let mut mem_access = None;
@@ -327,13 +342,13 @@ impl Cpu {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(ExecRecord {
+        ExecRecord {
             pc,
             inst,
             mem: mem_access,
             taken,
             next_pc,
-        })
+        }
     }
 
     /// Runs at most `max_insts` instructions, feeding each committed

@@ -16,6 +16,9 @@ pub enum IsaError {
     Halted,
     /// A register operand outside 0..=31.
     InvalidRegister(u8),
+    /// A binary instruction word that does not decode to any instruction
+    /// of the frontend's set.
+    InvalidEncoding(u32),
     /// A label was referenced but never bound to a position.
     UnboundLabel(usize),
     /// A label was bound more than once.
@@ -35,6 +38,9 @@ impl fmt::Display for IsaError {
             }
             IsaError::Halted => write!(f, "cpu has halted"),
             IsaError::InvalidRegister(r) => write!(f, "register index {r} outside 0..=31"),
+            IsaError::InvalidEncoding(word) => {
+                write!(f, "instruction word {word:#010x} does not decode")
+            }
             IsaError::UnboundLabel(id) => write!(f, "label {id} referenced but never bound"),
             IsaError::RedefinedLabel(id) => write!(f, "label {id} bound more than once"),
             IsaError::EmptyProgram => write!(f, "assembled program contains no instructions"),

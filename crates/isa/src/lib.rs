@@ -51,12 +51,21 @@ mod asm;
 mod cpu;
 mod error;
 mod inst;
+mod isa;
 mod mem;
 mod program;
+mod risc;
+mod trace;
 
 pub use asm::{Asm, Label};
 pub use cpu::{Cpu, ExecRecord, MemAccess};
 pub use error::IsaError;
 pub use inst::{reg, ArchReg, Inst, OpClass, Opcode};
+pub use isa::{BuiltinIsa, Isa, IsaId, MemTouches};
 pub use mem::Memory;
 pub use program::{Program, TEXT_BASE};
+pub use risc::{RiscIsa, RiscProgram};
+pub use trace::{
+    encode_trace, write_trace, TraceCpu, TraceError, TraceIsa, TraceProgram, TRACE_MAGIC,
+    TRACE_VERSION,
+};

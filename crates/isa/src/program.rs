@@ -48,9 +48,14 @@ impl Program {
         self.insts.get(pc as usize)
     }
 
+    /// Bytes one instruction occupies in the text section; the I-side
+    /// warming granularity shared by every frontend (see
+    /// [`Isa::INST_BYTES`](crate::Isa::INST_BYTES)).
+    pub const INST_BYTES: u64 = 4;
+
     /// Byte address of instruction `pc` as seen by the instruction cache.
     pub fn fetch_addr(pc: u64) -> u64 {
-        TEXT_BASE + pc * 4
+        TEXT_BASE + pc * Self::INST_BYTES
     }
 
     /// All instructions in program order.

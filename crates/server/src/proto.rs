@@ -11,6 +11,7 @@
 //! connection is answered with an error and closed.
 
 use crate::json::Json;
+use smarts_ckpt::IsaId;
 use smarts_core::{SamplerKind, SamplerSpec};
 
 /// Longest request line the server will buffer, in bytes. Submit
@@ -24,6 +25,10 @@ pub const MAX_LINE: usize = 64 * 1024;
 pub struct JobSpec {
     /// Benchmark name (see `smarts list`).
     pub bench: String,
+    /// Instruction-set frontend the workload resolves under: `builtin`
+    /// (the default) or `risc`. Trace jobs are refused at submit — a
+    /// trace file lives on the client's filesystem, not the server's.
+    pub isa: IsaId,
     /// Machine configuration: 8 or 16.
     pub config: u32,
     /// Benchmark length multiplier.
@@ -66,6 +71,7 @@ impl Default for JobSpec {
     fn default() -> Self {
         JobSpec {
             bench: String::new(),
+            isa: IsaId::Builtin,
             config: 8,
             scale: 1.0,
             n: 100,
@@ -103,6 +109,7 @@ impl JobSpec {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("bench", Json::Str(self.bench.clone())),
+            ("isa", Json::Str(self.isa.name().to_string())),
             ("config", Json::U64(self.config as u64)),
             ("scale", Json::F64(self.scale)),
             ("n", Json::U64(self.n)),
@@ -143,6 +150,18 @@ impl JobSpec {
                 .to_string(),
             ..JobSpec::default()
         };
+        if let Some(v) = value.get("isa") {
+            let isa = v
+                .as_str()
+                .and_then(IsaId::from_name)
+                .ok_or("`isa` takes builtin or risc")?;
+            if isa == IsaId::Trace {
+                return Err("trace workloads are client-local files; replay them with \
+                     `smarts sample --trace` instead of the server"
+                    .to_string());
+            }
+            spec.isa = isa;
+        }
         if let Some(v) = value.get("config") {
             spec.config = v
                 .as_u64()
@@ -313,6 +332,7 @@ mod tests {
     fn submit_round_trips_through_json() {
         let spec = JobSpec {
             bench: "hashp-2".into(),
+            isa: IsaId::Risc,
             config: 16,
             scale: 0.25,
             n: 42,
@@ -344,6 +364,7 @@ mod tests {
         match request {
             Request::Submit(spec) => {
                 assert_eq!(spec.bench, "loopy-1");
+                assert_eq!(spec.isa, IsaId::Builtin);
                 assert_eq!(spec.config, 8);
                 assert_eq!(spec.n, 100);
                 assert_eq!(spec.warming_len, None);
@@ -429,6 +450,21 @@ mod tests {
         assert!(parse_request(r#"{"cmd":"submit","bench":"x","jobs":0}"#).is_err());
         assert!(parse_request(r#"{"cmd":"submit","bench":"x","warm_jobs":0}"#).is_err());
         assert!(parse_request(r#"{"cmd":"submit","bench":"x","warm_jobs":300}"#).is_err());
+    }
+
+    #[test]
+    fn isa_field_parses_and_is_validated() {
+        let request = parse_request(r#"{"cmd":"submit","bench":"loopy-1","isa":"risc"}"#).unwrap();
+        match request {
+            Request::Submit(spec) => assert_eq!(spec.isa, IsaId::Risc),
+            other => panic!("unexpected request {other:?}"),
+        }
+        // Unknown names are refused with the field's message; trace is a
+        // known frontend but deliberately not servable.
+        let err = parse_request(r#"{"cmd":"submit","bench":"x","isa":"mips"}"#).unwrap_err();
+        assert!(err.contains("builtin or risc"), "got: {err}");
+        let err = parse_request(r#"{"cmd":"submit","bench":"x","isa":"trace"}"#).unwrap_err();
+        assert!(err.contains("--trace"), "got: {err}");
     }
 
     #[test]

@@ -27,14 +27,15 @@
 
 use std::sync::Arc;
 
-use smarts_ckpt::{MappedStore, StoreMeta};
+use smarts_ckpt::{IsaId, MappedStore, StoreMeta};
 use smarts_core::{SamplingParams, SmartsSim, Warming};
 use smarts_exec::{
-    replay_store_mapped, replay_store_sampled, sample_pipeline_saving, warm_store_saving,
-    CancelToken, ExecError, Executor, ParallelMode,
+    replay_store_mapped_isa, replay_store_sampled_isa, sample_pipeline_saving_isa,
+    warm_store_saving_isa, CancelToken, ExecError, Executor, ParallelMode,
 };
+use smarts_isa::{BuiltinIsa, RiscIsa};
 use smarts_uarch::MachineConfig;
-use smarts_workloads::find;
+use smarts_workloads::{find, Frontend};
 
 use crate::jobs::{JobState, JobTable, ResultSource};
 use crate::proto::JobSpec;
@@ -72,9 +73,17 @@ pub fn machine_for(spec: &JobSpec) -> MachineConfig {
 /// parameter derivation so server results are comparable to one-shot
 /// `smarts sample` runs.
 pub fn params_for(spec: &JobSpec, cfg: &MachineConfig) -> Result<SamplingParams, String> {
-    let bench = find(&spec.bench)
-        .ok_or_else(|| format!("unknown benchmark `{}`", spec.bench))?
-        .scaled(spec.scale);
+    let approx_len = match spec.isa {
+        // The builtin lookup keeps its pre-frontend error message.
+        IsaId::Builtin => find(&spec.bench)
+            .ok_or_else(|| format!("unknown benchmark `{}`", spec.bench))?
+            .scaled(spec.scale)
+            .approx_len(),
+        IsaId::Risc => RiscIsa::approx_len(&spec.bench, spec.scale)?,
+        // Unreachable through the wire protocol: submit refuses trace
+        // specs before a job is created.
+        IsaId::Trace => return Err("trace workloads are not servable".to_string()),
+    };
     let warming = if spec.functional_warming {
         Warming::Functional
     } else {
@@ -83,31 +92,49 @@ pub fn params_for(spec: &JobSpec, cfg: &MachineConfig) -> Result<SamplingParams,
     let w = spec
         .warming_len
         .unwrap_or_else(|| cfg.recommended_detailed_warming());
-    SamplingParams::for_sample_size(
-        bench.approx_len(),
-        spec.unit,
-        w,
-        warming,
-        spec.n,
-        spec.offset,
-    )
-    .map_err(|e| e.to_string())
+    SamplingParams::for_sample_size(approx_len, spec.unit, w, warming, spec.n, spec.offset)
+        .map_err(|e| e.to_string())
 }
 
 fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken) -> JobEnd {
+    match spec.isa {
+        IsaId::Builtin => run_job_isa::<BuiltinIsa>(shared, id, spec, cancel),
+        IsaId::Risc => run_job_isa::<RiscIsa>(shared, id, spec, cancel),
+        // Refused at submit; a job table can never hold a trace spec.
+        IsaId::Trace => JobEnd::Failed("trace workloads are not servable".to_string()),
+    }
+}
+
+/// Runs one claimed job under frontend `F`. Builtin jobs take exactly
+/// the pre-frontend path (the `_isa` entry points are the same
+/// implementations the builtin wrappers delegate to), so reports,
+/// stores, and cache lines are unchanged; risc jobs resolve the same
+/// benchmark names through the compact encoding and their stores carry
+/// the frontend in the header — and in the fingerprint, so a risc job
+/// can never be answered from a builtin store or cache line.
+fn run_job_isa<F: Frontend>(
+    shared: &Arc<Shared>,
+    id: &str,
+    spec: &JobSpec,
+    cancel: &CancelToken,
+) -> JobEnd {
     let cfg = machine_for(spec);
     let params = match params_for(spec, &cfg) {
         Ok(p) => p,
         Err(message) => return JobEnd::Failed(message),
     };
-    let bench = match find(&spec.bench) {
-        Some(b) => b.scaled(spec.scale),
-        None => return JobEnd::Failed(format!("unknown benchmark `{}`", spec.bench)),
+    // Resolve up front so an unservable workload (unknown name, or a
+    // kernel outside the risc encoding) fails before a store ticket is
+    // taken; replay re-resolves from store metadata as usual.
+    let resolved_name = match F::resolve(&spec.bench, spec.scale) {
+        Ok(loaded) => loaded.name,
+        Err(message) => return JobEnd::Failed(message),
     };
     let meta = StoreMeta {
         params,
-        benchmark: bench.name().to_string(),
+        benchmark: resolved_name,
         scale: spec.scale,
+        isa: F::ID,
     };
     let fingerprint = meta.fingerprint(&cfg);
     let sampler = spec.sampler_spec();
@@ -174,19 +201,27 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
             // sampler's selection from the just-written bytes. The store
             // is byte-identical to what the pipeline path saves (same
             // serial producer), so this line equals the store-hit line.
-            let outcome = warm_store_saving(&executor, &sim, &bench, spec.scale, &params, temp)
-                .and_then(|_| {
-                    to_replaying();
-                    let store = MappedStore::open(temp, &cfg)?;
-                    replay_store_sampled(&executor, &sim, &store, &sampler)
-                        .map(|sampled| sampled_report_line(&sampled))
-                });
+            let outcome =
+                warm_store_saving_isa::<F>(&executor, &sim, &spec.bench, spec.scale, &params, temp)
+                    .and_then(|_| {
+                        to_replaying();
+                        let store = MappedStore::open(temp, &cfg)?;
+                        replay_store_sampled_isa::<F>(&executor, &sim, &store, &sampler)
+                            .map(|sampled| sampled_report_line(&sampled))
+                    });
             (ResultSource::Cold, outcome)
         }
         StoreTicket::Warm { temp, .. } => (
             ResultSource::Cold,
-            sample_pipeline_saving(&executor, &sim, &bench, spec.scale, &params, temp)
-                .map(|saved| canonical_report_line(&saved.report.report)),
+            sample_pipeline_saving_isa::<F>(
+                &executor,
+                &sim,
+                &spec.bench,
+                spec.scale,
+                &params,
+                temp,
+            )
+            .map(|saved| canonical_report_line(&saved.report.report)),
         ),
         StoreTicket::Replay { path } => {
             to_replaying();
@@ -197,7 +232,7 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
                 Err(message) => return JobEnd::Failed(message),
             };
             let outcome = if sampler.is_systematic() {
-                replay_store_mapped(&executor, &sim, &store).and_then(|replayed| {
+                replay_store_mapped_isa::<F>(&executor, &sim, &store).and_then(|replayed| {
                     match replayed.damage {
                         // The server never serves a damaged store: the
                         // rename-on-success protocol makes this unreachable
@@ -207,7 +242,7 @@ fn run_job(shared: &Arc<Shared>, id: &str, spec: &JobSpec, cancel: &CancelToken)
                     }
                 })
             } else {
-                replay_store_sampled(&executor, &sim, &store, &sampler)
+                replay_store_sampled_isa::<F>(&executor, &sim, &store, &sampler)
                     .map(|sampled| sampled_report_line(&sampled))
             };
             (ResultSource::Store, outcome)

@@ -408,6 +408,7 @@ impl ResultsCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smarts_ckpt::IsaId;
     use smarts_core::{SamplingParams, Warming};
 
     fn test_meta() -> StoreMeta {
@@ -422,6 +423,7 @@ mod tests {
             },
             benchmark: "hashp-2".to_string(),
             scale: 1.0,
+            isa: IsaId::Builtin,
         }
     }
 
@@ -655,5 +657,44 @@ mod tests {
             ..SamplerSpec::systematic()
         };
         assert_eq!(tuned.cache_key(), sys.cache_key());
+    }
+
+    #[test]
+    fn results_cache_keys_on_the_frontend() {
+        use smarts_core::SamplerSpec;
+        use smarts_uarch::MachineConfig;
+        // Same benchmark, scale, and sampling design under a different
+        // frontend must be a different store identity: the cache keys on
+        // the store fingerprint, and the fingerprint folds the ISA tag
+        // for non-builtin frontends. The regression this prevents is a
+        // `risc` job being answered with the builtin frontend's line.
+        let cfg = MachineConfig::eight_way();
+        let builtin = test_meta();
+        let risc = StoreMeta {
+            isa: IsaId::Risc,
+            ..builtin.clone()
+        };
+        assert_ne!(builtin.fingerprint(&cfg), risc.fingerprint(&cfg));
+
+        let sys = SamplerSpec::systematic().cache_key();
+        let cache = ResultsCache::new();
+        cache.put(
+            builtin.fingerprint(&cfg),
+            8,
+            sys,
+            Arc::new("builtin-line".to_string()),
+        );
+        assert!(cache.get(risc.fingerprint(&cfg), 8, sys).is_none());
+        cache.put(
+            risc.fingerprint(&cfg),
+            8,
+            sys,
+            Arc::new("risc-line".to_string()),
+        );
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.get(risc.fingerprint(&cfg), 8, sys).unwrap().as_str(),
+            "risc-line"
+        );
     }
 }

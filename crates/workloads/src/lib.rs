@@ -45,9 +45,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod frontend;
 pub mod kernels;
 mod rng;
 mod suite;
 
+pub use frontend::{risc_suite, Frontend, Loaded, LoadedBenchmark};
 pub use rng::{cyclic_permutation, SplitMix64};
-pub use suite::{extended_suite, find, scaled_suite, suite, Benchmark, LoadedBenchmark, Spec};
+pub use suite::{extended_suite, find, scaled_suite, suite, Benchmark, Spec};

@@ -1,8 +1,8 @@
 //! The benchmark suite: named kernel/input combinations standing in for
 //! the paper's 41 SPEC2K benchmark/input pairs.
 
+use crate::frontend::LoadedBenchmark;
 use crate::kernels;
-use smarts_isa::{Memory, Program};
 use std::fmt;
 
 /// Kernel selection plus all of its input parameters.
@@ -89,17 +89,6 @@ pub enum Spec {
 pub struct Benchmark {
     name: String,
     spec: Spec,
-}
-
-/// A benchmark ready for execution: program text plus initialized memory.
-#[derive(Debug, Clone)]
-pub struct LoadedBenchmark {
-    /// The benchmark's name (e.g. `"chase-1"`).
-    pub name: String,
-    /// Assembled program text.
-    pub program: Program,
-    /// Initial memory image (data segments).
-    pub memory: Memory,
 }
 
 impl Benchmark {
